@@ -1,0 +1,140 @@
+// Command tlcbench regenerates the evaluation tables of the TLC paper:
+//
+//	tlcbench -fig 15 -factor 0.1        # Figure 15: workload × engines
+//	tlcbench -fig 16 -factor 0.1        # Figure 16: TLC vs OPT rewrites
+//	tlcbench -fig 17                    # Figure 17: scalability sweep
+//	tlcbench -fig all                   # everything
+//
+// Times are wall-clock seconds (trimmed mean of -reps runs). -queries
+// restricts Figure 15 to a comma-separated list of query IDs; -engines
+// restricts the engine columns (e.g. -engines TLC,GTP).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"tlc"
+	"tlc/internal/harness"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "figure to regenerate: 15, 16, 17 or all")
+	factor := flag.Float64("factor", 0.1, "XMark scale factor for figures 15/16")
+	reps := flag.Int("reps", 5, "timed repetitions per query")
+	deadline := flag.Duration("deadline", 10*time.Minute, "per-run DNF deadline")
+	queries := flag.String("queries", "", "comma-separated query IDs (figure 15 only)")
+	engines := flag.String("engines", "", "comma-separated engines: TLC,OPT,GTP,TAX,NAV")
+	factors := flag.String("factors", "0.1,0.5,1,2,5", "scale factors for figure 17")
+	flag.Parse()
+
+	cfg := harness.Config{Factor: *factor, Reps: *reps, Deadline: *deadline}
+	if *engines != "" {
+		cfg.Engines = parseEngines(*engines)
+	}
+
+	switch *fig {
+	case "15", "16", "all":
+	case "17":
+	default:
+		fmt.Fprintf(os.Stderr, "tlcbench: unknown figure %q\n", *fig)
+		os.Exit(2)
+	}
+
+	if *fig == "15" || *fig == "16" || *fig == "all" {
+		fmt.Printf("loading XMark factor %g ...\n", *factor)
+		start := time.Now()
+		db, err := harness.OpenDatabase(*factor)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("loaded in %.2fs\n\n", time.Since(start).Seconds())
+
+		if *fig == "15" || *fig == "all" {
+			fmt.Printf("=== Figure 15: execution time, XMark factor %g ===\n", *factor)
+			rows := runFig15(db, cfg, *queries)
+			fmt.Print(harness.FormatFigure15(rows, cfg.Engines))
+			fmt.Println()
+		}
+		if *fig == "16" || *fig == "all" {
+			fmt.Printf("=== Figure 16: TLC vs OPT (Flatten and Shadow/Illuminate rewrites) ===\n")
+			fmt.Print(harness.FormatFigure16(harness.RunFigure16(db, cfg)))
+			fmt.Println()
+		}
+	}
+
+	if *fig == "17" || *fig == "all" {
+		fs, err := parseFactors(*factors)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("=== Figure 17: TLC scalability, factors %v ===\n", fs)
+		points, err := harness.RunFigure17(fs, cfg)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(harness.FormatFigure17(points))
+	}
+}
+
+func runFig15(db *tlc.Database, cfg harness.Config, filter string) []harness.Row {
+	if filter == "" {
+		return harness.RunFigure15(db, cfg)
+	}
+	wanted := map[string]bool{}
+	for _, id := range strings.Split(filter, ",") {
+		wanted[strings.TrimSpace(id)] = true
+	}
+	var rows []harness.Row
+	for _, q := range tlc.Workload() {
+		if !wanted[q.ID] {
+			continue
+		}
+		row := harness.Row{QueryID: q.ID, Comment: q.Comment, Cells: map[string]harness.Measurement{}}
+		engs := cfg.Engines
+		if len(engs) == 0 {
+			engs = tlc.Engines()
+		}
+		for _, e := range engs {
+			row.Cells[e.String()] = harness.Measure(db, q.Text, e, cfg)
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+func parseEngines(s string) []tlc.Engine {
+	names := map[string]tlc.Engine{
+		"TLC": tlc.TLC, "OPT": tlc.TLCOpt, "GTP": tlc.GTP, "TAX": tlc.TAX, "NAV": tlc.Nav,
+	}
+	var out []tlc.Engine
+	for _, part := range strings.Split(s, ",") {
+		e, ok := names[strings.ToUpper(strings.TrimSpace(part))]
+		if !ok {
+			fatal(fmt.Errorf("unknown engine %q", part))
+		}
+		out = append(out, e)
+	}
+	return out
+}
+
+func parseFactors(s string) ([]float64, error) {
+	var out []float64
+	for _, part := range strings.Split(s, ",") {
+		f, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad factor %q", part)
+		}
+		out = append(out, f)
+	}
+	return out, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tlcbench:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,166 @@
+// Command tlcshell loads XML documents and evaluates XQuery expressions
+// against them interactively (or from -query):
+//
+//	tlcshell -load auction.xml=path/to/file.xml
+//	tlcshell -xmark 0.1 -query 'FOR $p IN document("auction.xml")//person RETURN $p/name'
+//	tlcshell -xmark 0.1 -engine TAX -explain -query '...'
+//
+// Without -query the shell reads queries from stdin, terminated by a line
+// containing only ";". The special commands ".explain on|off", ".engine
+// <name>" and ".stats" adjust the session.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"tlc"
+)
+
+func main() {
+	load := flag.String("load", "", "load a document: name=path (comma separated for several)")
+	xmarkFactor := flag.Float64("xmark", 0, "generate and load an XMark document at this factor as auction.xml")
+	engineName := flag.String("engine", "TLC", "engine: TLC, OPT, GTP, TAX, NAV")
+	query := flag.String("query", "", "evaluate one query and exit")
+	explain := flag.Bool("explain", false, "print the evaluation plan before results")
+	flag.Parse()
+
+	db := tlc.Open()
+	if *xmarkFactor > 0 {
+		if err := db.LoadXMark("auction.xml", *xmarkFactor); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "loaded XMark factor %g as auction.xml\n", *xmarkFactor)
+	}
+	if *load != "" {
+		for _, spec := range strings.Split(*load, ",") {
+			name, path, ok := strings.Cut(spec, "=")
+			if !ok {
+				fatal(fmt.Errorf("bad -load spec %q, want name=path", spec))
+			}
+			f, err := os.Open(path)
+			if err != nil {
+				fatal(err)
+			}
+			err = db.LoadXML(name, f)
+			f.Close()
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Fprintf(os.Stderr, "loaded %s\n", name)
+		}
+	}
+	if len(db.Documents()) == 0 {
+		fatal(fmt.Errorf("no documents loaded; use -load or -xmark"))
+	}
+
+	engine, ok := engineByName(*engineName)
+	if !ok {
+		fatal(fmt.Errorf("unknown engine %q", *engineName))
+	}
+
+	if *query != "" {
+		if err := evalOne(db, *query, engine, *explain); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	fmt.Fprintln(os.Stderr, `enter queries terminated by a line containing ";" (.help for commands)`)
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var buf strings.Builder
+	for sc.Scan() {
+		line := sc.Text()
+		if buf.Len() == 0 && strings.HasPrefix(line, ".") {
+			switch {
+			case line == ".help":
+				fmt.Println(".engine TLC|OPT|GTP|TAX|NAV   switch engine\n.explain on|off               toggle plan printing\n.profile <query>              EXPLAIN ANALYZE a one-line query\n.stats                        show store access counters\n.quit                         exit")
+			case strings.HasPrefix(line, ".engine "):
+				if e, ok := engineByName(strings.TrimSpace(line[8:])); ok {
+					engine = e
+					fmt.Fprintf(os.Stderr, "engine = %v\n", engine)
+				} else {
+					fmt.Fprintln(os.Stderr, "unknown engine")
+				}
+			case line == ".explain on":
+				*explain = true
+			case line == ".explain off":
+				*explain = false
+			case line == ".stats":
+				fmt.Println(db.Stats())
+			case strings.HasPrefix(line, ".profile "):
+				// .profile <query...> on one line
+				out, err := db.Profile(strings.TrimSpace(line[9:]), tlc.WithEngine(engine))
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "error:", err)
+				} else {
+					fmt.Print(out)
+				}
+			case line == ".quit":
+				return
+			default:
+				fmt.Fprintln(os.Stderr, "unknown command; .help")
+			}
+			continue
+		}
+		if strings.TrimSpace(line) == ";" {
+			if err := evalOne(db, buf.String(), engine, *explain); err != nil {
+				fmt.Fprintln(os.Stderr, "error:", err)
+			}
+			buf.Reset()
+			continue
+		}
+		buf.WriteString(line)
+		buf.WriteByte('\n')
+	}
+}
+
+func evalOne(db *tlc.Database, text string, engine tlc.Engine, explain bool) error {
+	if explain {
+		plan, err := db.Explain(text, tlc.WithEngine(engine))
+		if err != nil {
+			return err
+		}
+		fmt.Println("--- plan ---")
+		fmt.Print(plan)
+		fmt.Println("--- result ---")
+	}
+	db.ResetStats()
+	start := time.Now()
+	res, err := db.Query(text, tlc.WithEngine(engine))
+	if err != nil {
+		return err
+	}
+	elapsed := time.Since(start)
+	fmt.Println(res.XML())
+	fmt.Fprintf(os.Stderr, "%d trees in %.3fs under %v [%s]\n",
+		res.Len(), elapsed.Seconds(), engine, db.Stats())
+	return nil
+}
+
+func engineByName(s string) (tlc.Engine, bool) {
+	switch strings.ToUpper(s) {
+	case "TLC":
+		return tlc.TLC, true
+	case "OPT", "TLCOPT":
+		return tlc.TLCOpt, true
+	case "GTP":
+		return tlc.GTP, true
+	case "TAX":
+		return tlc.TAX, true
+	case "NAV":
+		return tlc.Nav, true
+	default:
+		return 0, false
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tlcshell:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,98 @@
+// Auction: run the paper's example queries Q1 and Q2 (Figures 1 and 3) on
+// generated XMark data, under every engine, and show why the TLC plan is
+// shaped the way Figure 7 draws it.
+//
+//	go run ./examples/auction
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"tlc"
+)
+
+const q1 = `
+FOR $p IN document("auction.xml")//person
+FOR $o IN document("auction.xml")//open_auction
+WHERE count($o/bidder) > 5 AND $p/age > 25
+  AND $p/@id = $o/bidder//@person
+RETURN
+<person name={$p/name/text()}> $o/bidder </person>`
+
+const q2 = `
+FOR $p IN document("auction.xml")//person
+LET $a := FOR $o IN document("auction.xml")//open_auction
+          WHERE count($o/bidder) > 5
+            AND $p/@id = $o/bidder//@person
+          RETURN <myauction> {$o/bidder}
+                   <myquan>{$o/quantity/text()}</myquan>
+                 </myauction>
+WHERE $p/age > 25
+  AND EVERY $i IN $a/myquan SATISFIES $i > 0
+RETURN
+<person name={$p/name/text()}>{$a/bidder}</person>`
+
+func main() {
+	db := tlc.Open()
+	if err := db.LoadXMark("auction.xml", 0.05); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("XMark data loaded (factor 0.05)")
+
+	fmt.Println("\n=== Q1 plan (compare with Figure 7 of the paper) ===")
+	plan, err := db.Explain(q1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(plan)
+
+	fmt.Println("=== Q1 under every engine ===")
+	runAll(db, "Q1", q1)
+
+	fmt.Println("\n=== Q2 (nested FLWOR, Figure 8) under every engine ===")
+	runAll(db, "Q2", q2)
+
+	// Show a couple of Q1 results.
+	res, err := db.Query(q1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nfirst Q1 result (of %d):\n%.400s...\n", res.Len(), res.TreeXML(0))
+}
+
+func runAll(db *tlc.Database, label, query string) {
+	var base []string
+	for _, e := range []tlc.Engine{tlc.TLC, tlc.TLCOpt, tlc.GTP, tlc.TAX, tlc.Nav} {
+		db.ResetStats()
+		start := time.Now()
+		res, err := db.Query(query, tlc.WithEngine(e))
+		if err != nil {
+			log.Fatalf("%s under %v: %v", label, e, err)
+		}
+		elapsed := time.Since(start)
+		agrees := "≡"
+		sorted := res.SortedXML()
+		if base == nil {
+			base = sorted
+			agrees = " "
+		} else if !equal(base, sorted) {
+			agrees = "≠ DISAGREES"
+		}
+		fmt.Printf("  %-4v %4d results in %8.3fms %s  [%s]\n",
+			e, res.Len(), float64(elapsed.Microseconds())/1000, agrees, db.Stats())
+	}
+}
+
+func equal(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,90 @@
+// Quickstart: load a small XML document and run FLWOR queries against it
+// with the TLC engine.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"tlc"
+)
+
+const library = `<library>
+  <book year="1994">
+    <title>TCP/IP Illustrated</title>
+    <author><last>Stevens</last><first>W.</first></author>
+    <publisher>Addison-Wesley</publisher>
+    <price>65.95</price>
+  </book>
+  <book year="2000">
+    <title>Data on the Web</title>
+    <author><last>Abiteboul</last><first>Serge</first></author>
+    <author><last>Buneman</last><first>Peter</first></author>
+    <author><last>Suciu</last><first>Dan</first></author>
+    <publisher>Morgan Kaufmann</publisher>
+    <price>39.95</price>
+  </book>
+  <book year="1999">
+    <title>The Economics of Technology for Digital TV</title>
+    <author><last>Gerbarg</last><first>Darcy</first></author>
+    <publisher>Kluwer</publisher>
+    <price>129.95</price>
+  </book>
+</library>`
+
+func main() {
+	db := tlc.Open()
+	if err := db.LoadXMLString("bib.xml", library); err != nil {
+		log.Fatal(err)
+	}
+
+	// Cheap books, titles only.
+	run(db, "books under $100", `
+		FOR $b IN document("bib.xml")/book
+		WHERE $b/price < 100
+		RETURN $b/title`)
+
+	// Element construction with attributes pulled from the data.
+	run(db, "constructed summaries", `
+		FOR $b IN document("bib.xml")/book
+		WHERE $b/@year > 1995
+		RETURN <summary year={$b/@year}>
+		  <t>{$b/title/text()}</t>
+		  <authors>{count($b/author)}</authors>
+		</summary>`)
+
+	// Sorting.
+	run(db, "books by price, descending", `
+		FOR $b IN document("bib.xml")/book
+		ORDER BY $b/price DESCENDING
+		RETURN <entry>{$b/price/text()}</entry>`)
+
+	// The same query under every engine — identical answers, different
+	// evaluation strategies (see Explain).
+	q := `FOR $b IN document("bib.xml")/book WHERE $b/price < 100 RETURN $b/title`
+	for _, e := range []tlc.Engine{tlc.TLC, tlc.TLCOpt, tlc.GTP, tlc.TAX, tlc.Nav} {
+		res, err := db.Query(q, tlc.WithEngine(e))
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-4v -> %d results\n", e, res.Len())
+	}
+
+	// Inspect the TLC plan for the first query.
+	plan, err := db.Explain(q)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nTLC plan for the first query:")
+	fmt.Print(plan)
+}
+
+func run(db *tlc.Database, label, query string) {
+	res, err := db.Query(query)
+	if err != nil {
+		log.Fatalf("%s: %v", label, err)
+	}
+	fmt.Printf("== %s (%d trees) ==\n%s\n\n", label, res.Len(), res.XML())
+}

@@ -1,0 +1,107 @@
+// Rewrites: demonstrate the Section 4 redundancy-eliminating rewrites —
+// Flatten (Figure 10) and Shadow/Illuminate (Figure 12) — by showing the
+// plan before and after optimization and measuring the saved work.
+//
+//	go run ./examples/rewrites
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"tlc"
+)
+
+// flattenQuery has the Figure 10 shape: the bidder path feeds an aggregate
+// (a "*" pattern edge) and a value join (a "-" edge) — two branches over
+// the same elements, so the plain plan accesses every bidder twice.
+const flattenQuery = `
+FOR $p IN document("auction.xml")//person
+FOR $o IN document("auction.xml")//open_auction
+WHERE count($o/bidder) > 0 AND $p/@id = $o/bidder//@person
+RETURN <q>{$o/quantity/text()}</q>`
+
+// shadowQuery has the Figure 12 shape: the bidder path feeds a value join,
+// and the RETURN clause needs all bidders clustered back — the plain plan
+// re-matches them from the store.
+const shadowQuery = `
+FOR $p IN document("auction.xml")//person
+FOR $o IN document("auction.xml")//open_auction
+WHERE $p/@id = $o/bidder//@person AND $p/age > 25
+RETURN <auction name={$p/name/text()}> $o/bidder </auction>`
+
+func main() {
+	db := tlc.Open()
+	if err := db.LoadXMark("auction.xml", 0.05); err != nil {
+		log.Fatal(err)
+	}
+
+	demo(db, "Flatten rewrite (Figure 10)", flattenQuery)
+	demo(db, "Shadow/Illuminate rewrite (Figure 12)", shadowQuery)
+
+	// The full Figure 16 comparison over the rewrite-applicable workload
+	// queries.
+	fmt.Println("=== Figure 16: TLC vs OPT on the workload ===")
+	for _, q := range tlc.Workload() {
+		if !q.Rewritable {
+			continue
+		}
+		plain := timeIt(db, q.Text, tlc.TLC)
+		opt := timeIt(db, q.Text, tlc.TLCOpt)
+		fmt.Printf("  %-4s TLC %8.3fms   OPT %8.3fms   speedup %.2fx\n",
+			q.ID, ms(plain), ms(opt), float64(plain)/float64(opt))
+	}
+}
+
+func demo(db *tlc.Database, title, query string) {
+	fmt.Printf("=== %s ===\n", title)
+	before, err := db.Explain(query, tlc.WithEngine(tlc.TLC))
+	if err != nil {
+		log.Fatal(err)
+	}
+	after, err := db.Explain(query, tlc.WithEngine(tlc.TLCOpt))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("-- plan before --")
+	fmt.Print(before)
+	fmt.Println("-- plan after --")
+	fmt.Print(after)
+
+	db.ResetStats()
+	resA, err := db.Query(query, tlc.WithEngine(tlc.TLC))
+	if err != nil {
+		log.Fatal(err)
+	}
+	statsBefore := db.Stats()
+	db.ResetStats()
+	resB, err := db.Query(query, tlc.WithEngine(tlc.TLCOpt))
+	if err != nil {
+		log.Fatal(err)
+	}
+	statsAfter := db.Stats()
+	fmt.Printf("results: %d vs %d (must match)\n", resA.Len(), resB.Len())
+	fmt.Printf("store work before: %s\n", statsBefore)
+	fmt.Printf("store work after : %s\n\n", statsAfter)
+}
+
+func timeIt(db *tlc.Database, query string, e tlc.Engine) time.Duration {
+	p, err := db.Compile(query, tlc.WithEngine(e))
+	if err != nil {
+		log.Fatal(err)
+	}
+	best := time.Duration(1<<62 - 1)
+	for i := 0; i < 3; i++ {
+		start := time.Now()
+		if _, err := db.Run(p); err != nil {
+			log.Fatal(err)
+		}
+		if d := time.Since(start); d < best {
+			best = d
+		}
+	}
+	return best
+}
+
+func ms(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }

@@ -1,0 +1,3 @@
+module tlc
+
+go 1.22

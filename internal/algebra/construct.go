@@ -1,0 +1,159 @@
+package algebra
+
+import (
+	"fmt"
+
+	"tlc/internal/pattern"
+	"tlc/internal/seq"
+	"tlc/internal/store"
+)
+
+// Construct assembles one output tree per input tree according to an
+// annotated construct-pattern tree (Section 2.3). Class references copy
+// whole subtrees — store-backed nodes are materialized from the store at
+// this point and only at this point, which is the deferred-materialization
+// property TLC has over TAX — and copies labelled with NewLCL remain
+// addressable by enclosing query blocks (Figure 8).
+type Construct struct {
+	unary
+	Pattern *pattern.ConstructNode
+}
+
+// NewConstruct returns a Construct over in.
+func NewConstruct(in Op, pat *pattern.ConstructNode) *Construct {
+	c := &Construct{Pattern: pat}
+	c.In = in
+	return c
+}
+
+// Label implements Op.
+func (c *Construct) Label() string {
+	return "Construct\n" + c.Pattern.String()
+}
+
+func (c *Construct) eval(ctx *Context, in []seq.Seq) (seq.Seq, error) {
+	if c.Pattern == nil {
+		return nil, fmt.Errorf("construct without a pattern")
+	}
+	out := make(seq.Seq, 0, len(in[0]))
+	for _, t := range in[0] {
+		nt := seq.NewTree(nil)
+		roots, err := buildConstruct(ctx.Store, t, nt, c.Pattern)
+		if err != nil {
+			return nil, err
+		}
+		switch len(roots) {
+		case 1:
+			nt.Root = roots[0]
+		default:
+			// A pattern whose top level expands to zero or several nodes
+			// (e.g. a bare subtree reference) is wrapped in a result root,
+			// keeping the output a tree.
+			root := seq.NewTempElement("result")
+			for _, r := range roots {
+				seq.Attach(root, r)
+			}
+			nt.Root = root
+		}
+		out = append(out, nt)
+	}
+	return out, nil
+}
+
+// buildConstruct evaluates one construct node against input tree t,
+// returning the nodes it produces and registering classes in nt.
+func buildConstruct(st *store.Store, t *seq.Tree, nt *seq.Tree, c *pattern.ConstructNode) ([]*seq.Node, error) {
+	switch c.Kind {
+	case pattern.ConstructElement:
+		el := seq.NewTempElement(c.Tag)
+		for _, a := range c.Attrs {
+			val := a.Literal
+			if a.FromLCL > 0 {
+				members := t.Class(a.FromLCL)
+				if len(members) == 0 {
+					continue // no value: attribute omitted
+				}
+				val = seq.Content(st, members[0])
+			}
+			seq.Attach(el, seq.NewTempAttr(a.Name, val))
+		}
+		for _, ch := range c.Children {
+			kids, err := buildConstruct(st, t, nt, ch)
+			if err != nil {
+				return nil, err
+			}
+			for _, k := range kids {
+				seq.Attach(el, k)
+			}
+		}
+		if c.NewLCL > 0 {
+			nt.AddToClass(c.NewLCL, el)
+		}
+		return []*seq.Node{el}, nil
+
+	case pattern.ConstructSubtree:
+		members := t.Class(c.FromLCL)
+		outs := make([]*seq.Node, 0, len(members))
+		for _, m := range members {
+			cp := copyForOutput(st, t, nt, m)
+			if c.NewLCL > 0 {
+				nt.AddToClass(c.NewLCL, cp)
+			}
+			outs = append(outs, cp)
+		}
+		return outs, nil
+
+	case pattern.ConstructText:
+		members := t.Class(c.FromLCL)
+		outs := make([]*seq.Node, 0, len(members))
+		for _, m := range members {
+			txt := seq.NewTempText(seq.Content(st, m))
+			if c.NewLCL > 0 {
+				nt.AddToClass(c.NewLCL, txt)
+			}
+			outs = append(outs, txt)
+		}
+		return outs, nil
+
+	case pattern.ConstructLiteral:
+		return []*seq.Node{seq.NewTempText(c.Literal)}, nil
+
+	default:
+		return nil, fmt.Errorf("unknown construct kind %d", c.Kind)
+	}
+}
+
+// copyForOutput copies the full subtree of a referenced node into the
+// output tree: store references are materialized from the store, temporary
+// nodes (earlier construct results) are deep-copied, carrying their class
+// labels along so outer blocks can keep referencing them.
+func copyForOutput(st *store.Store, t *seq.Tree, nt *seq.Tree, n *seq.Node) *seq.Node {
+	if n.IsStore() && !n.Full {
+		return seq.Materialize(st, n.Doc, n.Ord)
+	}
+	// Reverse class lookup for carried labels.
+	classOf := make(map[*seq.Node][]int)
+	for _, lcl := range t.Classes() {
+		for _, m := range t.ClassAll(lcl) {
+			classOf[m] = append(classOf[m], lcl)
+		}
+	}
+	var cp func(x, parent *seq.Node) *seq.Node
+	cp = func(x, parent *seq.Node) *seq.Node {
+		m := *x
+		m.Parent = parent
+		m.Kids = make([]*seq.Node, len(x.Kids))
+		for _, lcl := range classOf[x] {
+			if x != n { // the reference root's own class is set by the caller
+				nt.AddToClass(lcl, &m)
+			}
+		}
+		for i, k := range x.Kids {
+			m.Kids[i] = cp(k, &m)
+		}
+		return &m
+	}
+	return cp(n, nil)
+}
+
+var _ Op = (*Construct)(nil)

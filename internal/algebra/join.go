@@ -1,0 +1,146 @@
+package algebra
+
+import (
+	"fmt"
+
+	"tlc/internal/pattern"
+	"tlc/internal/physical"
+	"tlc/internal/seq"
+)
+
+// Join stitches trees from two inputs under an artificial root
+// (Section 2.3). With a predicate it is a value join evaluated by
+// sort–merge–sort (Section 5.1); without one it is a Cartesian product —
+// the state a Join created for two FOR clauses is in before the WHERE
+// clause contributes its condition.
+type Join struct {
+	binary
+	// Pred describes the value-join condition; nil means Cartesian.
+	Pred *JoinPred
+	// RightSpec is the mSpec of the right edge of the result pattern
+	// ("-", "?", "+", "*"). Ignored for Cartesian joins (always "-").
+	RightSpec pattern.MSpec
+	// RootTag and RootLCL describe the artificial root node.
+	RootTag string
+	RootLCL int
+	// ForceNestedLoop disables sort–merge–sort for equality predicates
+	// (ablation benchmarks only).
+	ForceNestedLoop bool
+}
+
+// JoinPred is the value predicate of a Join: content of the left class
+// compared to content of the right class.
+type JoinPred struct {
+	LeftLCL  int
+	Op       pattern.Cmp
+	RightLCL int
+}
+
+// NewCartesianJoin returns a Cartesian Join of left and right.
+func NewCartesianJoin(left, right Op, rootLCL int) *Join {
+	j := &Join{RootTag: "join_root", RootLCL: rootLCL, RightSpec: pattern.One}
+	j.Left, j.Right = left, right
+	return j
+}
+
+// NewValueJoin returns a value Join of left and right.
+func NewValueJoin(left, right Op, pred JoinPred, rightSpec pattern.MSpec, rootLCL int) *Join {
+	j := &Join{Pred: &pred, RightSpec: rightSpec, RootTag: "join_root", RootLCL: rootLCL}
+	j.Left, j.Right = left, right
+	return j
+}
+
+// Label implements Op.
+func (j *Join) Label() string {
+	if j.Pred == nil {
+		return fmt.Sprintf("Join: cartesian -> %s[%d]", j.RootTag, j.RootLCL)
+	}
+	return fmt.Sprintf("Join: (%d) %s (%d) {%s} -> %s[%d]",
+		j.Pred.LeftLCL, j.Pred.Op, j.Pred.RightLCL, j.RightSpec, j.RootTag, j.RootLCL)
+}
+
+func (j *Join) eval(ctx *Context, in []seq.Seq) (seq.Seq, error) {
+	if j.Pred == nil {
+		if j.RightSpec.Nested() {
+			return physical.NestAllJoin(j.RootTag, j.RootLCL, in[0], in[1]), nil
+		}
+		return physical.CartesianJoin(j.RootTag, j.RootLCL, in[0], in[1]), nil
+	}
+	return physical.ValueJoin(ctx.Store, in[0], in[1], physical.JoinSpec{
+		LeftLCL:         j.Pred.LeftLCL,
+		RightLCL:        j.Pred.RightLCL,
+		Op:              j.Pred.Op,
+		RightSpec:       j.RightSpec,
+		RootTag:         j.RootTag,
+		RootLCL:         j.RootLCL,
+		ForceNestedLoop: j.ForceNestedLoop,
+	})
+}
+
+// Union concatenates the results of its inputs, preserving input order —
+// the operator OR-expressions translate to (Figure 6, ORExp case).
+type Union struct {
+	ins []Op
+}
+
+// NewUnion returns a Union of the given inputs.
+func NewUnion(ins ...Op) *Union { return &Union{ins: ins} }
+
+// Inputs implements Op.
+func (u *Union) Inputs() []Op { return u.ins }
+
+func (u *Union) replaceInput(oldIn, newIn Op) bool {
+	done := false
+	for i, in := range u.ins {
+		if in == oldIn {
+			u.ins[i] = newIn
+			done = true
+		}
+	}
+	return done
+}
+
+// Label implements Op.
+func (u *Union) Label() string { return fmt.Sprintf("Union: %d inputs", len(u.ins)) }
+
+func (u *Union) eval(_ *Context, in []seq.Seq) (seq.Seq, error) {
+	var out seq.Seq
+	for _, s := range in {
+		out = append(out, s...)
+	}
+	return out, nil
+}
+
+var _ Op = (*Join)(nil)
+var _ Op = (*Union)(nil)
+var _ Op = (*Select)(nil)
+var _ Op = (*Filter)(nil)
+
+// StructuralJoinOp exposes the (nest-)structural join of Definition 8 as a
+// plan operator. The TLC translation itself embeds structural matching
+// inside Select, but baseline plans and the ablation benchmarks compose the
+// primitive directly.
+type StructuralJoinOp struct {
+	binary
+	LeftLCL int
+	Axis    pattern.Axis
+	Spec    pattern.MSpec
+}
+
+// NewStructuralJoin returns a structural join of left and right.
+func NewStructuralJoin(left, right Op, leftLCL int, axis pattern.Axis, spec pattern.MSpec) *StructuralJoinOp {
+	s := &StructuralJoinOp{LeftLCL: leftLCL, Axis: axis, Spec: spec}
+	s.Left, s.Right = left, right
+	return s
+}
+
+// Label implements Op.
+func (s *StructuralJoinOp) Label() string {
+	return fmt.Sprintf("StructuralJoin: (%d) %s child {%s}", s.LeftLCL, s.Axis, s.Spec)
+}
+
+func (s *StructuralJoinOp) eval(ctx *Context, in []seq.Seq) (seq.Seq, error) {
+	return physical.StructuralJoin(ctx.Store, in[0], in[1], s.LeftLCL, s.Axis, s.Spec)
+}
+
+var _ Op = (*StructuralJoinOp)(nil)

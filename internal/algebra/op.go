@@ -1,0 +1,187 @@
+// Package algebra implements the TLC logical algebra of Section 2.3 of the
+// paper — Select, Filter, Join, Project, Duplicate-Elimination,
+// Aggregate-Function, Construct, Sort, Union — together with the
+// redundancy-eliminating operators of Section 4: Flatten, Shadow and
+// Illuminate. It also provides the Materialize, GroupBy and Merge operators
+// that the TAX and GTP baseline plan generators use; sharing one executor
+// keeps the engine comparison honest (identical data structures, identical
+// store, different plan shapes).
+//
+// Every operator maps one or more sequences of trees to one sequence of
+// trees (possibly heterogeneous); operators address nodes through logical
+// class labels only. Plans are DAGs of operators evaluated bottom-up with
+// per-node memoization, so a shared subplan (pattern tree reuse) is
+// computed once.
+package algebra
+
+import (
+	"fmt"
+	"strings"
+
+	"tlc/internal/physical"
+	"tlc/internal/seq"
+	"tlc/internal/store"
+)
+
+// Op is a node of a logical plan.
+type Op interface {
+	// Inputs returns the operator's input plans, leftmost first.
+	Inputs() []Op
+	// Label renders the operator for plan explanation, without inputs.
+	Label() string
+	// eval computes the output sequence given the evaluated inputs.
+	eval(ctx *Context, in []seq.Seq) (seq.Seq, error)
+}
+
+// Context carries the evaluation environment for one query.
+type Context struct {
+	Store   *store.Store
+	Matcher *physical.Matcher
+	// memo caches operator results so DAG-shaped plans evaluate shared
+	// subplans once (pattern tree reuse across operators).
+	memo map[Op]seq.Seq
+}
+
+// NewContext returns a fresh evaluation context over st.
+func NewContext(st *store.Store) *Context {
+	return &Context{Store: st, Matcher: physical.NewMatcher(st), memo: make(map[Op]seq.Seq)}
+}
+
+// Eval evaluates the plan rooted at op and returns its result sequence.
+// Plans may be DAGs: operators feeding several consumers are evaluated once
+// and their results cloned per consumer, so downstream restructuring cannot
+// corrupt a shared subplan's output.
+func Eval(ctx *Context, op Op) (seq.Seq, error) {
+	fanout := make(map[Op]int)
+	for _, o := range Ops(op) {
+		for _, in := range o.Inputs() {
+			fanout[in]++
+		}
+	}
+	return evalNode(ctx, op, fanout)
+}
+
+func evalNode(ctx *Context, op Op, fanout map[Op]int) (seq.Seq, error) {
+	if res, ok := ctx.memo[op]; ok {
+		return res.Clone(), nil
+	}
+	ins := op.Inputs()
+	res := make([]seq.Seq, len(ins))
+	for i, in := range ins {
+		r, err := evalNode(ctx, in, fanout)
+		if err != nil {
+			return nil, err
+		}
+		res[i] = r
+	}
+	out, err := op.eval(ctx, res)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", op.Label(), err)
+	}
+	if fanout[op] > 1 {
+		ctx.memo[op] = out
+		return out.Clone(), nil
+	}
+	return out, nil
+}
+
+// Run is a convenience wrapper: build a context, evaluate, return result.
+func Run(st *store.Store, op Op) (seq.Seq, error) {
+	return Eval(NewContext(st), op)
+}
+
+// Explain renders the plan as an indented operator tree, children below
+// their consumer, mirroring the bottom-up figures of the paper.
+func Explain(op Op) string {
+	var sb strings.Builder
+	var walk func(o Op, depth int)
+	walk = func(o Op, depth int) {
+		indent := strings.Repeat("  ", depth)
+		label := o.Label()
+		// Multi-line labels (operators embedding a pattern tree) are
+		// indented as a block.
+		lines := strings.Split(strings.TrimRight(label, "\n"), "\n")
+		for i, l := range lines {
+			if i == 0 {
+				sb.WriteString(indent + l + "\n")
+			} else {
+				sb.WriteString(indent + "    " + l + "\n")
+			}
+		}
+		for _, in := range o.Inputs() {
+			walk(in, depth+1)
+		}
+	}
+	walk(op, 0)
+	return sb.String()
+}
+
+// Ops returns all operators of the plan in pre-order, each once (DAG
+// aware). Used by rewrite rules and plan statistics.
+func Ops(root Op) []Op {
+	seen := make(map[Op]bool)
+	var out []Op
+	var walk func(Op)
+	walk = func(o Op) {
+		if seen[o] {
+			return
+		}
+		seen[o] = true
+		out = append(out, o)
+		for _, in := range o.Inputs() {
+			walk(in)
+		}
+	}
+	walk(root)
+	return out
+}
+
+// ReplaceInput swaps the input oldIn of op for newIn. It reports whether a
+// replacement happened. Rewrite rules use it to splice plans.
+func ReplaceInput(op Op, oldIn, newIn Op) bool {
+	type mutable interface{ replaceInput(oldIn, newIn Op) bool }
+	if m, ok := op.(mutable); ok {
+		return m.replaceInput(oldIn, newIn)
+	}
+	return false
+}
+
+// unary is the common base of single-input operators.
+type unary struct {
+	In Op
+}
+
+func (u *unary) Inputs() []Op {
+	if u.In == nil {
+		return nil
+	}
+	return []Op{u.In}
+}
+
+func (u *unary) replaceInput(oldIn, newIn Op) bool {
+	if u.In == oldIn {
+		u.In = newIn
+		return true
+	}
+	return false
+}
+
+// binary is the common base of two-input operators.
+type binary struct {
+	Left, Right Op
+}
+
+func (b *binary) Inputs() []Op { return []Op{b.Left, b.Right} }
+
+func (b *binary) replaceInput(oldIn, newIn Op) bool {
+	done := false
+	if b.Left == oldIn {
+		b.Left = newIn
+		done = true
+	}
+	if b.Right == oldIn {
+		b.Right = newIn
+		done = true
+	}
+	return done
+}

@@ -1,0 +1,228 @@
+// Package baselines_test cross-validates the three baseline engines (TAX,
+// GTP, navigational) against the TLC engine: every engine must produce the
+// same result trees for the same query, while their plans exhibit the
+// characteristic shapes Section 6.1 describes.
+package baselines_test
+
+import (
+	"sort"
+	"strings"
+	"testing"
+
+	"tlc/internal/algebra"
+	"tlc/internal/baselines/gtp"
+	"tlc/internal/baselines/nav"
+	"tlc/internal/baselines/tax"
+	"tlc/internal/seq"
+	"tlc/internal/store"
+	"tlc/internal/translate"
+	"tlc/internal/xquery"
+)
+
+const testAuction = `<site>
+  <people>
+    <person id="p0"><name>Alice</name><age>30</age></person>
+    <person id="p1"><name>Bob</name><age>20</age></person>
+    <person id="p2"><name>Carol</name><age>40</age></person>
+    <person id="p3"><name>Dave</name></person>
+  </people>
+  <open_auctions>
+    <open_auction id="a0">
+      <bidder><personref person="p0"/><increase>3</increase></bidder>
+      <bidder><personref person="p2"/><increase>4</increase></bidder>
+      <bidder><personref person="p0"/><increase>5</increase></bidder>
+      <bidder><personref person="p2"/><increase>6</increase></bidder>
+      <bidder><personref person="p0"/><increase>7</increase></bidder>
+      <bidder><personref person="p2"/><increase>8</increase></bidder>
+      <quantity>2</quantity>
+    </open_auction>
+    <open_auction id="a1">
+      <bidder><personref person="p2"/><increase>1</increase></bidder>
+      <quantity>5</quantity>
+    </open_auction>
+    <open_auction id="a2"><quantity>1</quantity></open_auction>
+  </open_auctions>
+</site>`
+
+var crossQueries = map[string]string{
+	"simple-for": `FOR $p IN document("auction.xml")//person RETURN $p/name`,
+	"predicate": `FOR $p IN document("auction.xml")//person
+		WHERE $p/age > 25 RETURN $p/name/text()`,
+	"equality": `FOR $p IN document("auction.xml")//person
+		WHERE $p/@id = "p1" RETURN <hit>{$p/name/text()}</hit>`,
+	"count-filter": `FOR $o IN document("auction.xml")//open_auction
+		WHERE count($o/bidder) > 5 RETURN $o/@id`,
+	"count-return": `FOR $o IN document("auction.xml")//open_auction
+		RETURN <n>{count($o/bidder)}</n>`,
+	"value-join": `FOR $p IN document("auction.xml")//person
+		FOR $o IN document("auction.xml")//open_auction
+		WHERE $p/@id = $o/bidder//@person AND $p/age > 25
+		RETURN <pair>{$p/name/text()}</pair>`,
+	"q1": `FOR $p IN document("auction.xml")//person
+		FOR $o IN document("auction.xml")//open_auction
+		WHERE count($o/bidder) > 5 AND $p/age > 25
+		  AND $p/@id = $o/bidder//@person
+		RETURN <person name={$p/name/text()}> $o/bidder </person>`,
+	"q2": `FOR $p IN document("auction.xml")//person
+		LET $a := FOR $o IN document("auction.xml")//open_auction
+			WHERE count($o/bidder) > 5 AND $p/@id = $o/bidder//@person
+			RETURN <myauction> {$o/bidder}
+				<myquan>{$o/quantity/text()}</myquan></myauction>
+		WHERE $p/age > 25
+		  AND EVERY $i IN $a/myquan SATISFIES $i > 1
+		RETURN <person name={$p/name/text()}>{$a/bidder}</person>`,
+	"quantifier": `FOR $o IN document("auction.xml")//open_auction
+		WHERE SOME $b IN $o/bidder SATISFIES $b/increase > 7
+		RETURN $o/@id`,
+	"every-vacuous": `FOR $o IN document("auction.xml")//open_auction
+		WHERE EVERY $b IN $o/bidder SATISFIES $b/increase > 0
+		RETURN $o/@id`,
+	"let-count": `FOR $o IN document("auction.xml")//open_auction
+		LET $b := $o/bidder
+		RETURN <a><c>{count($b)}</c></a>`,
+	"var-rooted": `FOR $o IN document("auction.xml")//open_auction
+		FOR $b IN $o/bidder
+		WHERE $b/increase > 6
+		RETURN $b/increase/text()`,
+	"or": `FOR $p IN document("auction.xml")//person
+		WHERE $p/age > 35 OR $p/age < 25
+		RETURN $p/name/text()`,
+	"order-by": `FOR $p IN document("auction.xml")//person
+		WHERE $p/age > 0
+		ORDER BY $p/age DESCENDING
+		RETURN $p/age/text()`,
+}
+
+func loadStore(t *testing.T) *store.Store {
+	t.Helper()
+	s := store.New()
+	if _, err := s.LoadXML("auction.xml", strings.NewReader(testAuction)); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func canonical(s *store.Store, out seq.Seq) string {
+	xs := make([]string, len(out))
+	for i, w := range out {
+		xs[i] = w.XML(s)
+	}
+	sort.Strings(xs)
+	return strings.Join(xs, "\n")
+}
+
+func TestEnginesAgree(t *testing.T) {
+	s := loadStore(t)
+	for name, q := range crossQueries {
+		t.Run(name, func(t *testing.T) {
+			ast, err := xquery.Parse(q)
+			if err != nil {
+				t.Fatalf("parse: %v", err)
+			}
+			tlcRes, err := translate.Translate(ast)
+			if err != nil {
+				t.Fatalf("translate: %v", err)
+			}
+			want, err := algebra.Run(s, tlcRes.Plan)
+			if err != nil {
+				t.Fatalf("tlc eval: %v", err)
+			}
+			wantC := canonical(s, want)
+
+			gtpRes, err := gtp.Translate(ast)
+			if err != nil {
+				t.Fatalf("gtp translate: %v", err)
+			}
+			gtpOut, err := algebra.Run(s, gtpRes.Plan)
+			if err != nil {
+				t.Fatalf("gtp eval: %v\nplan:\n%s", err, algebra.Explain(gtpRes.Plan))
+			}
+			if got := canonical(s, gtpOut); got != wantC {
+				t.Errorf("GTP differs from TLC.\nTLC:\n%s\nGTP:\n%s\nplan:\n%s",
+					wantC, got, algebra.Explain(gtpRes.Plan))
+			}
+
+			taxRes, err := tax.Translate(ast)
+			if err != nil {
+				t.Fatalf("tax translate: %v", err)
+			}
+			taxOut, err := algebra.Run(s, taxRes.Plan)
+			if err != nil {
+				t.Fatalf("tax eval: %v\nplan:\n%s", err, algebra.Explain(taxRes.Plan))
+			}
+			if got := canonical(s, taxOut); got != wantC {
+				t.Errorf("TAX differs from TLC.\nTLC:\n%s\nTAX:\n%s\nplan:\n%s",
+					wantC, got, algebra.Explain(taxRes.Plan))
+			}
+
+			navOut, err := nav.Run(s, ast)
+			if err != nil {
+				t.Fatalf("nav eval: %v", err)
+			}
+			if got := canonical(s, navOut); got != wantC {
+				t.Errorf("NAV differs from TLC.\nTLC:\n%s\nNAV:\n%s", wantC, got)
+			}
+		})
+	}
+}
+
+func TestGTPPlanUsesGrouping(t *testing.T) {
+	ast, err := xquery.Parse(crossQueries["q1"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := gtp.Translate(ast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exp := algebra.Explain(res.Plan)
+	if !strings.Contains(exp, "GroupBy") {
+		t.Errorf("GTP plan has no GroupBy:\n%s", exp)
+	}
+	if strings.Contains(exp, "{*}") || strings.Contains(exp, "{+}") {
+		t.Errorf("GTP plan retains nested select edges:\n%s", exp)
+	}
+}
+
+func TestTAXPlanShape(t *testing.T) {
+	ast, err := xquery.Parse(crossQueries["q1"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := tax.Translate(ast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exp := algebra.Explain(res.Plan)
+	for _, want := range []string{"GroupBy", "IdentityJoin", "Materialize"} {
+		if !strings.Contains(exp, want) {
+			t.Errorf("TAX plan missing %s:\n%s", want, exp)
+		}
+	}
+	if strings.Contains(exp, "class(") {
+		t.Errorf("TAX plan retains extension selects (pattern reuse):\n%s", exp)
+	}
+}
+
+func TestBaselinesAreSlowerOnQ1(t *testing.T) {
+	s := loadStore(t)
+	ast, err := xquery.Parse(crossQueries["q1"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	cost := func(res *translate.Result) store.Stats {
+		s.ResetStats()
+		if _, err := algebra.Run(s, res.Plan); err != nil {
+			t.Fatal(err)
+		}
+		return s.Snapshot()
+	}
+	tlcRes, _ := translate.Translate(ast)
+	taxRes, _ := tax.Translate(ast)
+	tlcStats := cost(tlcRes)
+	taxStats := cost(taxRes)
+	if taxStats.NodesMaterialized <= tlcStats.NodesMaterialized {
+		t.Errorf("TAX materialized %d nodes, TLC %d — early materialization not visible",
+			taxStats.NodesMaterialized, tlcStats.NodesMaterialized)
+	}
+}

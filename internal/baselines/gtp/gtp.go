@@ -1,0 +1,143 @@
+// Package gtp builds GTP-style evaluation plans (Chen et al., VLDB 2003;
+// Section 6.1 of the TLC paper). GTP shares TLC's pattern tree reuse — one
+// generalized tree per query block, no early materialization, no final
+// value join for the RETURN clause — but it has no annotated edges:
+// wherever TLC matches a "+"/"*" edge with a nest-join, GTP performs a
+// flat match (multiplying the intermediate result) followed by the
+// grouping procedure that splits, groups and merges the nested paths.
+//
+// The transformation below converts a TLC plan into that shape: every
+// nested branch of every Select is pulled out into a flat extension match
+// (multiplying) topped by a GroupBy that re-nests the members. The paper's
+// measured disadvantages of GTP — group-by costs more than a nest-join,
+// and the multiplied intermediate results must be cloned and collapsed —
+// all fall out of these operators.
+package gtp
+
+import (
+	"tlc/internal/algebra"
+	"tlc/internal/pattern"
+	"tlc/internal/translate"
+	"tlc/internal/xquery"
+)
+
+// Translate parses nothing: it compiles the query with the TLC translator
+// and then reshapes the plan into GTP style.
+func Translate(f *xquery.FLWOR) (*translate.Result, error) {
+	res, err := translate.Translate(f)
+	if err != nil {
+		return nil, err
+	}
+	res.Plan = Transform(res.Plan)
+	return res, nil
+}
+
+// Transform reshapes a TLC plan into a GTP-style plan in place and returns
+// the (possibly new) root.
+func Transform(root algebra.Op) algebra.Op {
+	for {
+		changed := false
+		for _, op := range algebra.Ops(root) {
+			sel, ok := op.(*algebra.Select)
+			if !ok || sel.APT == nil || sel.APT.Root == nil {
+				continue
+			}
+			node, edgeIdx := findNestedEdge(sel.APT)
+			if node == nil {
+				continue
+			}
+			root = pullOutBranch(root, sel, node, edgeIdx)
+			changed = true
+			break
+		}
+		if !changed {
+			return root
+		}
+	}
+}
+
+// findNestedEdge locates the first nested edge in an APT (pre-order).
+func findNestedEdge(apt *pattern.Tree) (*pattern.Node, int) {
+	for _, n := range apt.Nodes() {
+		for i := range n.Edges {
+			if n.Edges[i].Spec.Nested() {
+				return n, i
+			}
+		}
+	}
+	return nil, 0
+}
+
+// pullOutBranch removes the nested branch from the select's APT and stacks
+// a flat extension match plus a GroupBy above the select. Returns the new
+// plan root.
+func pullOutBranch(root algebra.Op, sel *algebra.Select, node *pattern.Node, edgeIdx int) algebra.Op {
+	e := node.Edges[edgeIdx]
+	node.Edges = append(node.Edges[:edgeIdx:edgeIdx], node.Edges[edgeIdx+1:]...)
+
+	anchorClass := node.LCL
+	if node.Kind == pattern.TestLC && anchorClass == 0 {
+		anchorClass = node.InClass
+	}
+
+	flattenSpecs(&e)
+	anchor := pattern.NewLCAnchor(0, anchorClass)
+	anchor.Edges = []pattern.Edge{e}
+	ext := &pattern.Tree{Root: anchor}
+
+	build := func(in algebra.Op) algebra.Op {
+		return algebra.NewGroupBy(
+			algebra.NewExtendSelect(in, ext),
+			anchorClass, e.To.LCL, branchLabels(e.To)...)
+	}
+
+	// When stripping the branch empties an anonymous extension select, the
+	// select reduces to a no-op and is spliced out of the plan.
+	below := algebra.Op(sel)
+	if sel.APT.Root.Kind == pattern.TestLC && sel.APT.Root.LCL == 0 &&
+		len(sel.APT.Root.Edges) == 0 && len(sel.Inputs()) == 1 {
+		below = sel.Inputs()[0]
+	}
+	if sel == root {
+		return build(below)
+	}
+	for _, op := range algebra.Ops(root) {
+		for _, in := range op.Inputs() {
+			if in == sel {
+				algebra.ReplaceInput(op, sel, build(below))
+				return root
+			}
+		}
+	}
+	return root
+}
+
+// flattenSpecs converts the matching specifications of a branch to their
+// flat counterparts: "*" → "?" and "+" → "-", at every level.
+func flattenSpecs(e *pattern.Edge) {
+	switch e.Spec {
+	case pattern.ZeroOrMore:
+		e.Spec = pattern.ZeroOrOne
+	case pattern.OneOrMore:
+		e.Spec = pattern.One
+	}
+	for i := range e.To.Edges {
+		flattenSpecs(&e.To.Edges[i])
+	}
+}
+
+// branchLabels collects the class labels of a pattern branch.
+func branchLabels(n *pattern.Node) []int {
+	var out []int
+	var walk func(*pattern.Node)
+	walk = func(p *pattern.Node) {
+		if p.LCL > 0 {
+			out = append(out, p.LCL)
+		}
+		for _, e := range p.Edges {
+			walk(e.To)
+		}
+	}
+	walk(n)
+	return out
+}

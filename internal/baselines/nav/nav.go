@@ -1,0 +1,234 @@
+// Package nav implements the navigational baseline of Section 6.1: a
+// recursive tree-walking interpreter for the same XQuery fragment. It uses
+// no indexes and no joins — every path step "traverses down a path by
+// recursively getting all children of a node and checking them for a
+// condition on content or name", paying one store read per visited node.
+// Correlated predicates come for free from the nested-loop evaluation
+// order, which is also why navigation is insensitive to the
+// heterogeneity instigators that hurt TAX and GTP, but degrades with path
+// length, fan-out and '//' steps (Section 6.3).
+package nav
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+
+	"tlc/internal/pattern"
+	"tlc/internal/seq"
+	"tlc/internal/store"
+	"tlc/internal/xquery"
+)
+
+// Run evaluates the query against the store by navigation and returns the
+// result sequence (one tree per binding tuple, as for the algebraic
+// engines).
+func Run(st *store.Store, f *xquery.FLWOR) (seq.Seq, error) {
+	ev := &evaluator{st: st}
+	return ev.flwor(f, env{})
+}
+
+type evaluator struct {
+	st *store.Store
+}
+
+// env is the variable environment: each variable binds to one node (FOR)
+// or a node sequence (LET).
+type env map[string][]*seq.Node
+
+func (e env) extend(name string, nodes []*seq.Node) env {
+	ne := make(env, len(e)+1)
+	for k, v := range e {
+		ne[k] = v
+	}
+	ne[name] = nodes
+	return ne
+}
+
+// flwor evaluates a FLWOR block under the given environment.
+func (ev *evaluator) flwor(f *xquery.FLWOR, e env) (seq.Seq, error) {
+	type row struct {
+		tree *seq.Tree
+		keys []string
+	}
+	var rows []row
+	var loop func(i int, e env) error
+	loop = func(i int, e env) error {
+		if i == len(f.Bindings) {
+			keep, err := ev.whereHolds(f.Where, e)
+			if err != nil {
+				return err
+			}
+			if !keep {
+				return nil
+			}
+			// ORDER BY keys are evaluated in the binding-tuple
+			// environment, before the output is constructed.
+			var keys []string
+			for _, k := range f.OrderBy {
+				vs, err := ev.values(k.Path, e)
+				if err != nil {
+					return err
+				}
+				if len(vs) == 0 {
+					keys = append(keys, "￿") // missing sorts last
+				} else {
+					keys = append(keys, vs[0])
+				}
+			}
+			tree, err := ev.buildReturn(f.Return, e)
+			if err != nil {
+				return err
+			}
+			rows = append(rows, row{tree: tree, keys: keys})
+			return nil
+		}
+		b := f.Bindings[i]
+		var nodes []*seq.Node
+		if b.Sub != nil {
+			sub, err := ev.flwor(b.Sub, e)
+			if err != nil {
+				return err
+			}
+			for _, t := range sub {
+				nodes = append(nodes, t.Root)
+			}
+		} else {
+			var err error
+			nodes, err = ev.path(b.Path, e)
+			if err != nil {
+				return err
+			}
+		}
+		if b.Kind == xquery.BindLet {
+			return loop(i+1, e.extend(b.Var, nodes))
+		}
+		for _, n := range nodes {
+			if err := loop(i+1, e.extend(b.Var, []*seq.Node{n})); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := loop(0, e); err != nil {
+		return nil, err
+	}
+	if len(f.OrderBy) > 0 {
+		sort.SliceStable(rows, func(a, b int) bool {
+			for j, k := range f.OrderBy {
+				c := compareValues(rows[a].keys[j], rows[b].keys[j])
+				if c == 0 {
+					continue
+				}
+				if k.Descending {
+					return c > 0
+				}
+				return c < 0
+			}
+			return false
+		})
+	}
+	out := make(seq.Seq, len(rows))
+	for i, r := range rows {
+		out[i] = r.tree
+	}
+	return out, nil
+}
+
+func compareValues(a, b string) int {
+	af, aerr := strconv.ParseFloat(a, 64)
+	bf, berr := strconv.ParseFloat(b, 64)
+	if aerr == nil && berr == nil {
+		switch {
+		case af < bf:
+			return -1
+		case af > bf:
+			return 1
+		default:
+			return 0
+		}
+	}
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// path evaluates a simple path by navigation, returning matching nodes in
+// document order.
+func (ev *evaluator) path(p *xquery.Path, e env) ([]*seq.Node, error) {
+	var cur []*seq.Node
+	switch p.Root {
+	case xquery.RootDocument:
+		id, ok := ev.st.Lookup(p.Doc)
+		if !ok {
+			return nil, fmt.Errorf("nav: document %q not loaded", p.Doc)
+		}
+		cur = []*seq.Node{seq.NewStoreNode(id, 0, ev.st.Node(id, 0))}
+	default:
+		bound, ok := e[p.Var]
+		if !ok {
+			return nil, fmt.Errorf("nav: unbound variable %s", p.Var)
+		}
+		cur = bound
+	}
+	for _, s := range p.Steps {
+		var next []*seq.Node
+		for _, n := range cur {
+			if s.Axis == pattern.Child {
+				next = append(next, ev.childrenNamed(n, s.Name)...)
+			} else {
+				next = append(next, ev.descendantsNamed(n, s.Name)...)
+			}
+		}
+		cur = next
+	}
+	return cur, nil
+}
+
+// childrenNamed returns the children of n with the given tag, reading the
+// store for store references and the in-memory kids for temporaries.
+func (ev *evaluator) childrenNamed(n *seq.Node, tag string) []*seq.Node {
+	var out []*seq.Node
+	for _, k := range ev.children(n) {
+		if k.Tag == tag {
+			out = append(out, k)
+		}
+	}
+	return out
+}
+
+func (ev *evaluator) descendantsNamed(n *seq.Node, tag string) []*seq.Node {
+	var out []*seq.Node
+	var walk func(x *seq.Node)
+	walk = func(x *seq.Node) {
+		for _, k := range ev.children(x) {
+			if k.Tag == tag {
+				out = append(out, k)
+			}
+			walk(k)
+		}
+	}
+	walk(n)
+	return out
+}
+
+// children enumerates a node's children, paying store reads for stored
+// nodes (this is the navigational cost model: every visited child is a
+// node fetch).
+func (ev *evaluator) children(n *seq.Node) []*seq.Node {
+	if !n.IsStore() || n.Full {
+		return n.Kids
+	}
+	ords := ev.st.Children(n.Doc, n.Ord)
+	out := make([]*seq.Node, 0, len(ords))
+	d := ev.st.Doc(n.Doc)
+	for _, o := range ords {
+		out = append(out, seq.NewStoreNode(n.Doc, o, d.Node(o)))
+	}
+	return out
+}

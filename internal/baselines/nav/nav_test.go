@@ -1,0 +1,142 @@
+package nav
+
+import (
+	"strings"
+	"testing"
+
+	"tlc/internal/store"
+	"tlc/internal/xquery"
+)
+
+const navXML = `<site>
+  <person id="p0"><name>Alice</name><age>30</age></person>
+  <person id="p1"><name>Bob</name><age>20</age></person>
+  <auction><ref person="p0"/><amount>5</amount></auction>
+  <auction><ref person="p0"/><amount>9</amount></auction>
+</site>`
+
+func navStore(t *testing.T) *store.Store {
+	t.Helper()
+	s := store.New()
+	if _, err := s.LoadXML("n.xml", strings.NewReader(navXML)); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func navRun(t *testing.T, s *store.Store, q string) string {
+	t.Helper()
+	ast, err := xquery.Parse(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := Run(s, ast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out.XML(s)
+}
+
+func TestNavNestedLoopCorrelation(t *testing.T) {
+	s := navStore(t)
+	got := navRun(t, s, `FOR $p IN document("n.xml")/person
+		LET $a := FOR $x IN document("n.xml")/auction
+		          WHERE $x/ref/@person = $p/@id
+		          RETURN $x/amount/text()
+		RETURN <r name={$p/name/text()}><n>{count($a)}</n></r>`)
+	if !strings.Contains(got, `<r name="Alice"><n>2</n></r>`) ||
+		!strings.Contains(got, `<r name="Bob"><n>0</n></r>`) {
+		t.Errorf("correlated LET: %s", got)
+	}
+}
+
+func TestNavCountsStoreReads(t *testing.T) {
+	s := navStore(t)
+	s.ResetStats()
+	navRun(t, s, `FOR $p IN document("n.xml")//name RETURN $p`)
+	st := s.Snapshot()
+	if st.NodesRead == 0 {
+		t.Error("navigation recorded no node reads")
+	}
+	if st.TagLookups != 0 {
+		t.Error("navigation used the tag index")
+	}
+}
+
+func TestNavOrderBy(t *testing.T) {
+	s := navStore(t)
+	got := navRun(t, s, `FOR $a IN document("n.xml")/auction
+		ORDER BY $a/amount DESCENDING
+		RETURN <amt>{$a/amount/text()}</amt>`)
+	if !strings.HasPrefix(got, "<amt>9</amt>") {
+		t.Errorf("descending order: %s", got)
+	}
+}
+
+func TestNavQuantifiers(t *testing.T) {
+	s := navStore(t)
+	got := navRun(t, s, `FOR $p IN document("n.xml")/person
+		WHERE EVERY $x IN $p/age SATISFIES $x > 25
+		RETURN $p/name/text()`)
+	// Alice (30) passes; Bob (20) fails; a person without age would pass
+	// vacuously.
+	if !strings.Contains(got, "Alice") || strings.Contains(got, "Bob") {
+		t.Errorf("EVERY: %s", got)
+	}
+	got = navRun(t, s, `FOR $p IN document("n.xml")/person
+		WHERE SOME $x IN $p/age SATISFIES $x < 25
+		RETURN $p/name/text()`)
+	if strings.Contains(got, "Alice") || !strings.Contains(got, "Bob") {
+		t.Errorf("SOME: %s", got)
+	}
+}
+
+func TestNavAggregates(t *testing.T) {
+	s := navStore(t)
+	got := navRun(t, s, `FOR $s IN document("n.xml")/auction
+		WHERE avg($s/amount) >= 5 RETURN $s/amount/text()`)
+	if !strings.Contains(got, "5") || !strings.Contains(got, "9") {
+		t.Errorf("avg filter: %s", got)
+	}
+	// Aggregate over missing path compares false (flag "empty").
+	got = navRun(t, s, `FOR $s IN document("n.xml")/auction
+		WHERE max($s/missing) > 0 RETURN $s`)
+	if got != "" {
+		t.Errorf("empty max: %s", got)
+	}
+}
+
+func TestNavErrors(t *testing.T) {
+	s := navStore(t)
+	for _, q := range []string{
+		`FOR $p IN document("missing.xml")/a RETURN $p`,
+		`FOR $p IN document("n.xml")/person WHERE sum($p/name) > 0 RETURN $p`, // non-numeric sum
+	} {
+		ast, err := xquery.Parse(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Run(s, ast); err == nil {
+			t.Errorf("Run(%q) succeeded, want error", q)
+		}
+	}
+}
+
+func TestNavOrSemantics(t *testing.T) {
+	s := navStore(t)
+	got := navRun(t, s, `FOR $p IN document("n.xml")/person
+		WHERE $p/age > 25 OR $p/@id = "p1"
+		RETURN $p/name/text()`)
+	if !strings.Contains(got, "Alice") || !strings.Contains(got, "Bob") {
+		t.Errorf("OR: %s", got)
+	}
+}
+
+func TestNavAttributeSteps(t *testing.T) {
+	s := navStore(t)
+	got := navRun(t, s, `FOR $a IN document("n.xml")/auction
+		RETURN <who>{$a/ref/@person}</who>`)
+	if strings.Count(got, `person="p0"`) != 2 {
+		t.Errorf("attribute step: %s", got)
+	}
+}

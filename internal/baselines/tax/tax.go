@@ -1,0 +1,166 @@
+// Package tax builds TAX-style evaluation plans (Jagadish et al., DBPL
+// 2001; Section 6.1 of the TLC paper). TAX has every disadvantage GTP has
+// — flat matches plus the grouping procedure in place of annotated edges —
+// and three of its own, all reproduced here:
+//
+//  1. no pattern tree reuse: every RETURN-clause path triggers a fresh
+//     pattern match against the document, re-selecting nodes that were
+//     already bound (the "Redundant Accesses" of Section 1.2);
+//  2. early materialization: the complete subtree of every bound variable
+//     is copied into the intermediate result right after selection, and
+//     dragged through all subsequent joins and groupings;
+//  3. a join at the end: the re-matched RETURN paths are stitched back
+//     onto the bound variables with an identity join.
+package tax
+
+import (
+	"tlc/internal/algebra"
+	"tlc/internal/baselines/gtp"
+	"tlc/internal/pattern"
+	"tlc/internal/translate"
+	"tlc/internal/xquery"
+)
+
+// Translate compiles the query with the TLC translator and reshapes the
+// plan into TAX style.
+func Translate(f *xquery.FLWOR) (*translate.Result, error) {
+	res, err := translate.Translate(f)
+	if err != nil {
+		return nil, err
+	}
+	res.Plan = Transform(res.Plan, res)
+	return res, nil
+}
+
+// Transform reshapes a TLC plan into a TAX-style plan. It first applies
+// the GTP transformation (flat matches + grouping), then removes pattern
+// reuse (fresh document selects + identity joins for extension matches)
+// and inserts early materialization of the bound variables.
+func Transform(root algebra.Op, res *translate.Result) algebra.Op {
+	root = gtp.Transform(root)
+	root = breakReuse(root, res)
+	root = materializeEarly(root, res)
+	return root
+}
+
+// breakReuse replaces every extension Select anchored at a stored class
+// with a fresh document-rooted Select (re-matching the anchor tag from the
+// root, "//") plus an identity join that reconciles the re-matched anchor
+// with the bound one. Extension selects over constructed classes stay:
+// constructed nodes do not exist in the document.
+func breakReuse(root algebra.Op, res *translate.Result) algebra.Op {
+	if len(res.DocNames) == 0 {
+		return root
+	}
+	doc := res.DocNames[0]
+	fresh := maxLabel(res.TagOf)
+	for {
+		changed := false
+		for _, op := range algebra.Ops(root) {
+			es, ok := op.(*algebra.Select)
+			if !ok || es.APT == nil || es.APT.Root == nil || es.APT.Root.Kind != pattern.TestLC {
+				continue
+			}
+			anchorClass := es.APT.Root.InClass
+			tag, known := res.TagOf[anchorClass]
+			if !known || tag == "doc_root" || len(es.APT.Root.Edges) == 0 {
+				continue
+			}
+			if definedByConstruct(root, anchorClass) {
+				continue
+			}
+			fresh++
+			freshLbl := fresh
+			res.TagOf[freshLbl] = tag
+			docRoot := pattern.NewDocRoot(0, doc)
+			anchor := pattern.NewTagNode(freshLbl, tag)
+			anchor.Edges = es.APT.Root.Edges
+			docRoot.Add(anchor, pattern.Descendant, pattern.One)
+			freshSel := algebra.NewSelect(&pattern.Tree{Root: docRoot})
+
+			join := algebra.NewIdentityJoin(es.Inputs()[0], freshSel, anchorClass, freshLbl)
+			root = replaceOp(root, es, join)
+			changed = true
+			break
+		}
+		if !changed {
+			return root
+		}
+	}
+}
+
+// materializeEarly inserts a Materialize of the bound-variable classes
+// directly above every document Select that defines one.
+func materializeEarly(root algebra.Op, res *translate.Result) algebra.Op {
+	vars := make(map[int]bool, len(res.VarLCLs))
+	for _, lcl := range res.VarLCLs {
+		vars[lcl] = true
+	}
+	for _, op := range algebra.Ops(root) {
+		sel, ok := op.(*algebra.Select)
+		if !ok || sel.APT == nil || sel.APT.Root == nil || sel.APT.Root.Kind != pattern.TestDocRoot {
+			continue
+		}
+		var classes []int
+		for _, n := range sel.APT.Nodes() {
+			if n.LCL > 0 && vars[n.LCL] {
+				classes = append(classes, n.LCL)
+			}
+		}
+		if len(classes) == 0 {
+			continue
+		}
+		root = replaceOp(root, sel, algebra.NewMaterialize(sel, classes...))
+	}
+	return root
+}
+
+// replaceOp swaps oldOp for newOp in every consumer (or re-roots the plan).
+func replaceOp(root, oldOp, newOp algebra.Op) algebra.Op {
+	if root == oldOp {
+		return newOp
+	}
+	for _, op := range algebra.Ops(root) {
+		if op == newOp {
+			continue
+		}
+		algebra.ReplaceInput(op, oldOp, newOp)
+	}
+	return root
+}
+
+// definedByConstruct reports whether some Construct in the plan labels its
+// output with lcl (so the class holds constructed nodes, not stored ones).
+func definedByConstruct(root algebra.Op, lcl int) bool {
+	for _, op := range algebra.Ops(root) {
+		c, ok := op.(*algebra.Construct)
+		if !ok || c.Pattern == nil {
+			continue
+		}
+		found := false
+		var walk func(n *pattern.ConstructNode)
+		walk = func(n *pattern.ConstructNode) {
+			if n.NewLCL == lcl {
+				found = true
+			}
+			for _, ch := range n.Children {
+				walk(ch)
+			}
+		}
+		walk(c.Pattern)
+		if found {
+			return true
+		}
+	}
+	return false
+}
+
+func maxLabel(tagOf map[int]string) int {
+	max := 0
+	for l := range tagOf {
+		if l > max {
+			max = l
+		}
+	}
+	return max
+}

@@ -1,0 +1,281 @@
+// Package harness drives the experiments of Section 6: it loads XMark
+// data at a chosen scale factor, runs the Figure 15 workload under every
+// engine, the Figure 16 rewrite comparison, and the Figure 17 scalability
+// sweep, and renders the results as the paper's tables. Timing follows the
+// paper's methodology: each query runs five times, the best and worst
+// runs are dropped and the remaining three averaged; queries exceeding the
+// deadline are reported as DNF.
+package harness
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"tlc"
+	"tlc/internal/store"
+)
+
+// Config controls an experiment run.
+type Config struct {
+	// Factor is the XMark scale factor (see xmark.SizesFor).
+	Factor float64
+	// Reps is the number of timed repetitions per query (default 5; the
+	// best and worst are discarded when Reps >= 3).
+	Reps int
+	// Deadline aborts further repetitions of a query once one run exceeds
+	// it; the query is reported as DNF (paper: 10 minutes).
+	Deadline time.Duration
+	// Engines to run, in column order; defaults to TLC, GTP, TAX, NAV.
+	Engines []tlc.Engine
+}
+
+func (c Config) withDefaults() Config {
+	if c.Factor == 0 {
+		c.Factor = 0.1
+	}
+	if c.Reps == 0 {
+		c.Reps = 5
+	}
+	if c.Deadline == 0 {
+		c.Deadline = 10 * time.Minute
+	}
+	if len(c.Engines) == 0 {
+		c.Engines = tlc.Engines()
+	}
+	return c
+}
+
+// Measurement is one (query, engine) cell.
+type Measurement struct {
+	Time    time.Duration
+	DNF     bool
+	Err     error
+	Results int
+	Stats   store.Stats
+}
+
+// Row is one Figure 15 table row.
+type Row struct {
+	QueryID string
+	Comment string
+	Cells   map[string]Measurement // keyed by engine name
+}
+
+// OpenDatabase loads a fresh database with an XMark document at the given
+// factor.
+func OpenDatabase(factor float64) (*tlc.Database, error) {
+	db := tlc.Open()
+	if err := db.LoadXMark("auction.xml", factor); err != nil {
+		return nil, err
+	}
+	return db, nil
+}
+
+// Measure runs one query text under one engine with the configured
+// repetitions and returns the trimmed-mean measurement.
+func Measure(db *tlc.Database, text string, engine tlc.Engine, cfg Config) Measurement {
+	cfg = cfg.withDefaults()
+	prep, err := db.Compile(text, tlc.WithEngine(engine))
+	if err != nil {
+		return Measurement{Err: err}
+	}
+	var times []time.Duration
+	var m Measurement
+	for i := 0; i < cfg.Reps; i++ {
+		db.ResetStats()
+		start := time.Now()
+		res, err := db.Run(prep)
+		elapsed := time.Since(start)
+		if err != nil {
+			return Measurement{Err: err}
+		}
+		m.Results = res.Len()
+		m.Stats = db.Stats()
+		times = append(times, elapsed)
+		if elapsed > cfg.Deadline {
+			m.DNF = true
+			break
+		}
+	}
+	m.Time = trimmedMean(times)
+	return m
+}
+
+// trimmedMean averages the times after dropping the best and the worst
+// (when at least three samples exist) — the paper's footnote 6.
+func trimmedMean(times []time.Duration) time.Duration {
+	if len(times) == 0 {
+		return 0
+	}
+	sorted := append([]time.Duration(nil), times...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	if len(sorted) >= 3 {
+		sorted = sorted[1 : len(sorted)-1]
+	}
+	var sum time.Duration
+	for _, t := range sorted {
+		sum += t
+	}
+	return sum / time.Duration(len(sorted))
+}
+
+// RunFigure15 runs the full workload under every configured engine.
+func RunFigure15(db *tlc.Database, cfg Config) []Row {
+	cfg = cfg.withDefaults()
+	var rows []Row
+	for _, q := range tlc.Workload() {
+		row := Row{QueryID: q.ID, Comment: q.Comment, Cells: make(map[string]Measurement)}
+		for _, e := range cfg.Engines {
+			row.Cells[e.String()] = Measure(db, q.Text, e, cfg)
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// RunFigure16 runs the rewrite-applicable queries under plain TLC and the
+// optimized (OPT) configuration.
+func RunFigure16(db *tlc.Database, cfg Config) []Row {
+	cfg = cfg.withDefaults()
+	var rows []Row
+	for _, q := range tlc.Workload() {
+		if !q.Rewritable {
+			continue
+		}
+		row := Row{QueryID: q.ID, Comment: q.Comment, Cells: make(map[string]Measurement)}
+		row.Cells["TLC"] = Measure(db, q.Text, tlc.TLC, cfg)
+		row.Cells["OPT"] = Measure(db, q.Text, tlc.TLCOpt, cfg)
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// ScalePoint is one (factor, query) measurement of Figure 17.
+type ScalePoint struct {
+	Factor  float64
+	QueryID string
+	Time    time.Duration
+}
+
+// Figure17Queries are the queries plotted in Figure 17.
+var Figure17Queries = []string{"x3", "x5", "x13", "Q1", "Q2"}
+
+// RunFigure17 sweeps the TLC engine over the given factors for the
+// Figure 17 query set. A fresh database is loaded per factor.
+func RunFigure17(factors []float64, cfg Config) ([]ScalePoint, error) {
+	cfg = cfg.withDefaults()
+	var out []ScalePoint
+	for _, f := range factors {
+		db, err := OpenDatabase(f)
+		if err != nil {
+			return nil, err
+		}
+		for _, id := range Figure17Queries {
+			q, ok := findQuery(id)
+			if !ok {
+				return nil, fmt.Errorf("harness: unknown query %q", id)
+			}
+			m := Measure(db, q.Text, tlc.TLC, cfg)
+			if m.Err != nil {
+				return nil, fmt.Errorf("harness: %s at factor %g: %w", id, f, m.Err)
+			}
+			out = append(out, ScalePoint{Factor: f, QueryID: id, Time: m.Time})
+		}
+	}
+	return out, nil
+}
+
+func findQuery(id string) (tlc.WorkloadQuery, bool) {
+	for _, q := range tlc.Workload() {
+		if q.ID == id {
+			return q, true
+		}
+	}
+	return tlc.WorkloadQuery{}, false
+}
+
+// FormatFigure15 renders the rows as the paper's Figure 15 table.
+func FormatFigure15(rows []Row, engines []tlc.Engine) string {
+	if len(engines) == 0 {
+		engines = tlc.Engines()
+	}
+	var sb strings.Builder
+	sb.WriteString(fmt.Sprintf("%-5s", ""))
+	// Paper column order: TLC, GTP, TAX, NAV.
+	for _, e := range engines {
+		sb.WriteString(fmt.Sprintf("%10s", e.String()))
+	}
+	sb.WriteString("   Comments\n")
+	for _, r := range rows {
+		sb.WriteString(fmt.Sprintf("%-5s", r.QueryID))
+		for _, e := range engines {
+			sb.WriteString(fmt.Sprintf("%10s", formatCell(r.Cells[e.String()])))
+		}
+		sb.WriteString("   " + r.Comment + "\n")
+	}
+	return sb.String()
+}
+
+// FormatFigure16 renders the TLC-vs-OPT comparison.
+func FormatFigure16(rows []Row) string {
+	var sb strings.Builder
+	sb.WriteString(fmt.Sprintf("%-5s%10s%10s%10s\n", "", "TLC", "OPT", "speedup"))
+	for _, r := range rows {
+		t, o := r.Cells["TLC"], r.Cells["OPT"]
+		speedup := "-"
+		if o.Time > 0 {
+			speedup = fmt.Sprintf("%.2fx", float64(t.Time)/float64(o.Time))
+		}
+		sb.WriteString(fmt.Sprintf("%-5s%10s%10s%10s\n",
+			r.QueryID, formatCell(t), formatCell(o), speedup))
+	}
+	return sb.String()
+}
+
+// FormatFigure17 renders the scalability sweep as factor rows × query
+// columns.
+func FormatFigure17(points []ScalePoint) string {
+	factors := []float64{}
+	seen := map[float64]bool{}
+	for _, p := range points {
+		if !seen[p.Factor] {
+			seen[p.Factor] = true
+			factors = append(factors, p.Factor)
+		}
+	}
+	var sb strings.Builder
+	sb.WriteString(fmt.Sprintf("%-8s", "factor"))
+	for _, id := range Figure17Queries {
+		sb.WriteString(fmt.Sprintf("%10s", id))
+	}
+	sb.WriteByte('\n')
+	for _, f := range factors {
+		sb.WriteString(fmt.Sprintf("%-8g", f))
+		for _, id := range Figure17Queries {
+			for _, p := range points {
+				if p.Factor == f && p.QueryID == id {
+					sb.WriteString(fmt.Sprintf("%10s", fmtDuration(p.Time)))
+				}
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+func formatCell(m Measurement) string {
+	switch {
+	case m.Err != nil:
+		return "ERR"
+	case m.DNF:
+		return "DNF"
+	default:
+		return fmtDuration(m.Time)
+	}
+}
+
+func fmtDuration(d time.Duration) string {
+	return fmt.Sprintf("%.3fs", d.Seconds())
+}

@@ -1,0 +1,133 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"tlc"
+)
+
+func tinyConfig() Config {
+	return Config{Factor: 0.01, Reps: 1, Deadline: time.Minute}
+}
+
+func TestOpenDatabase(t *testing.T) {
+	db, err := OpenDatabase(0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := db.Documents(); len(got) != 1 || got[0] != "auction.xml" {
+		t.Errorf("documents = %v", got)
+	}
+}
+
+func TestMeasure(t *testing.T) {
+	db, err := OpenDatabase(0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, _ := findQuery("x1")
+	m := Measure(db, q.Text, tlc.TLC, tinyConfig())
+	if m.Err != nil {
+		t.Fatalf("measure: %v", m.Err)
+	}
+	if m.DNF || m.Time <= 0 {
+		t.Errorf("measurement = %+v", m)
+	}
+	// Compile errors surface on the measurement.
+	if bad := Measure(db, "not a query", tlc.TLC, tinyConfig()); bad.Err == nil {
+		t.Error("bad query measured without error")
+	}
+}
+
+func TestTrimmedMean(t *testing.T) {
+	times := []time.Duration{100, 1, 5, 3, 1000} // drop 1 and 1000
+	if got := trimmedMean(times); got != (100+5+3)/3 {
+		t.Errorf("trimmedMean = %d", got)
+	}
+	if got := trimmedMean([]time.Duration{7}); got != 7 {
+		t.Errorf("single sample = %d", got)
+	}
+	if got := trimmedMean(nil); got != 0 {
+		t.Errorf("empty = %d", got)
+	}
+}
+
+func TestRunFigure16AndFormat(t *testing.T) {
+	db, err := OpenDatabase(0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := RunFigure16(db, tinyConfig())
+	if len(rows) != 4 { // x3, x5, Q1, Q2
+		t.Fatalf("figure 16 rows = %d, want 4", len(rows))
+	}
+	out := FormatFigure16(rows)
+	for _, want := range []string{"TLC", "OPT", "speedup", "Q1", "x5"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("format missing %q:\n%s", want, out)
+		}
+	}
+	for _, r := range rows {
+		if r.Cells["TLC"].Err != nil || r.Cells["OPT"].Err != nil {
+			t.Errorf("%s errored: %+v", r.QueryID, r.Cells)
+		}
+	}
+}
+
+func TestRunFigure17AndFormat(t *testing.T) {
+	points, err := RunFigure17([]float64{0.01, 0.02}, tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 2*len(Figure17Queries) {
+		t.Fatalf("points = %d", len(points))
+	}
+	out := FormatFigure17(points)
+	if !strings.Contains(out, "factor") || !strings.Contains(out, "x13") {
+		t.Errorf("format17:\n%s", out)
+	}
+}
+
+func TestFigure15SubsetAndFormat(t *testing.T) {
+	db, err := OpenDatabase(0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := tinyConfig()
+	cfg.Engines = []tlc.Engine{tlc.TLC, tlc.GTP}
+	// Run just a couple of rows through the full-table path by measuring
+	// directly (RunFigure15 over the whole workload is exercised by the
+	// benchmarks; keep the unit test fast).
+	q, _ := findQuery("Q1")
+	row := Row{QueryID: q.ID, Comment: q.Comment, Cells: map[string]Measurement{}}
+	for _, e := range cfg.Engines {
+		row.Cells[e.String()] = Measure(db, q.Text, e, cfg)
+	}
+	out := FormatFigure15([]Row{row}, cfg.Engines)
+	if !strings.Contains(out, "Q1") || !strings.Contains(out, "GTP") {
+		t.Errorf("format15:\n%s", out)
+	}
+	if strings.Contains(out, "ERR") {
+		t.Errorf("Q1 errored:\n%s", out)
+	}
+}
+
+func TestFormatCellStates(t *testing.T) {
+	if got := formatCell(Measurement{Err: errTest}); got != "ERR" {
+		t.Errorf("err cell = %q", got)
+	}
+	if got := formatCell(Measurement{DNF: true}); got != "DNF" {
+		t.Errorf("dnf cell = %q", got)
+	}
+	if got := formatCell(Measurement{Time: 1500 * time.Millisecond}); got != "1.500s" {
+		t.Errorf("time cell = %q", got)
+	}
+}
+
+var errTest = errTestType{}
+
+type errTestType struct{}
+
+func (errTestType) Error() string { return "test" }

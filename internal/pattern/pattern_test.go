@@ -1,0 +1,230 @@
+package pattern
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// q1SelectTree builds the APT of Select 1 in Figure 7:
+// doc_root//person with children @id and age>25.
+func q1SelectTree() *Tree {
+	root := NewDocRoot(2, "auction.xml")
+	person := root.Add(NewTagNode(3, "person"), Descendant, One)
+	person.Add(NewTagNode(7, "@id"), Child, One)
+	age := NewTagNode(10, "age")
+	age.Pred = &Predicate{Op: GT, Value: "25"}
+	person.Add(age, Child, One)
+	return &Tree{Root: root}
+}
+
+func TestValidateOK(t *testing.T) {
+	if err := q1SelectTree().Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	cases := map[string]*Tree{
+		"nil root":     {},
+		"dup lcl":      {Root: func() *Node { r := NewTagNode(1, "a"); r.Add(NewTagNode(1, "b"), Child, One); return r }()},
+		"empty tag":    {Root: NewTagNode(1, "")},
+		"empty doc":    {Root: NewDocRoot(1, "")},
+		"lc not root":  {Root: func() *Node { r := NewTagNode(1, "a"); r.Add(NewLCAnchor(2, 5), Child, One); return r }()},
+		"lc bad class": {Root: NewLCAnchor(1, 0)},
+		"negative lcl": {Root: NewTagNode(-1, "a")},
+	}
+	for name, tree := range cases {
+		if err := tree.Validate(); err == nil {
+			t.Errorf("%s: Validate succeeded, want error", name)
+		}
+	}
+}
+
+func TestNodesAndFind(t *testing.T) {
+	tr := q1SelectTree()
+	nodes := tr.Nodes()
+	if len(nodes) != 4 {
+		t.Fatalf("Nodes len = %d, want 4", len(nodes))
+	}
+	if n := tr.FindLCL(10); n == nil || n.Tag != "age" {
+		t.Errorf("FindLCL(10) = %+v", n)
+	}
+	if tr.FindLCL(99) != nil {
+		t.Error("FindLCL(99) found a node")
+	}
+}
+
+func TestParentOf(t *testing.T) {
+	tr := q1SelectTree()
+	age := tr.FindLCL(10)
+	parent, edge := tr.ParentOf(age)
+	if parent == nil || parent.LCL != 3 {
+		t.Fatalf("ParentOf(age) = %+v", parent)
+	}
+	if edge.Axis != Child || edge.Spec != One {
+		t.Errorf("edge = %+v", edge)
+	}
+	if p, _ := tr.ParentOf(tr.Root); p != nil {
+		t.Error("root has a parent")
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	tr := q1SelectTree()
+	cp := tr.Clone()
+	cp.FindLCL(10).Pred.Value = "99"
+	cp.FindLCL(3).Tag = "changed"
+	if tr.FindLCL(10).Pred.Value != "25" || tr.FindLCL(3).Tag != "person" {
+		t.Error("Clone shares state with original")
+	}
+	if err := cp.Validate(); err != nil {
+		t.Errorf("clone Validate: %v", err)
+	}
+}
+
+func TestString(t *testing.T) {
+	s := q1SelectTree().String()
+	for _, want := range []string{"doc_root(auction.xml)", "//person [3]", "/age>25 [10]", "/@id [7]"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestStringAnnotations(t *testing.T) {
+	root := NewTagNode(1, "open_auction")
+	root.Add(NewTagNode(2, "bidder"), Child, ZeroOrMore)
+	root.Add(NewTagNode(3, "quantity"), Child, ZeroOrOne)
+	s := (&Tree{Root: root}).String()
+	if !strings.Contains(s, "{*}") || !strings.Contains(s, "{?}") {
+		t.Errorf("annotations missing:\n%s", s)
+	}
+}
+
+func TestMSpecHelpers(t *testing.T) {
+	cases := []struct {
+		m        MSpec
+		nested   bool
+		optional bool
+		str      string
+	}{
+		{One, false, false, "-"},
+		{ZeroOrOne, false, true, "?"},
+		{OneOrMore, true, false, "+"},
+		{ZeroOrMore, true, true, "*"},
+	}
+	for _, c := range cases {
+		if c.m.Nested() != c.nested || c.m.Optional() != c.optional || c.m.String() != c.str {
+			t.Errorf("MSpec %v: nested=%v optional=%v str=%q", c.m, c.m.Nested(), c.m.Optional(), c.m.String())
+		}
+	}
+}
+
+func TestCompareNumeric(t *testing.T) {
+	cases := []struct {
+		op   Cmp
+		l, r string
+		want bool
+	}{
+		{GT, "30", "25", true},
+		{GT, "9", "25", false}, // numeric, not lexicographic
+		{LT, "2.5", "10", true},
+		{EQ, "5.0", "5", true}, // numeric equality
+		{GE, "25", "25", true},
+		{NE, "1", "2", true},
+		{LE, "3", "2", false},
+	}
+	for _, c := range cases {
+		if got := Compare(c.op, c.l, c.r); got != c.want {
+			t.Errorf("Compare(%v, %q, %q) = %v, want %v", c.op, c.l, c.r, got, c.want)
+		}
+	}
+}
+
+func TestCompareString(t *testing.T) {
+	cases := []struct {
+		op   Cmp
+		l, r string
+		want bool
+	}{
+		{EQ, "person0", "person0", true},
+		{EQ, "person0", "person1", false},
+		{LT, "apple", "banana", true},
+		{GT, "banana", "apple", true},
+		{NE, "a", "a", false},
+		{GT, "10x", "9", false}, // mixed types: ordering comparisons are false
+	}
+	for _, c := range cases {
+		if got := Compare(c.op, c.l, c.r); got != c.want {
+			t.Errorf("Compare(%v, %q, %q) = %v, want %v", c.op, c.l, c.r, got, c.want)
+		}
+	}
+}
+
+func TestPredicateEval(t *testing.T) {
+	p := Predicate{Op: GT, Value: "25"}
+	if !p.Eval("30") || p.Eval("20") || p.Eval("25") {
+		t.Error("Predicate.Eval wrong")
+	}
+	if p.String() != ">25" {
+		t.Errorf("Predicate.String = %q", p.String())
+	}
+}
+
+// TestQuickCompareTrichotomy: for numeric operands exactly one of <, =, >
+// holds, and EQ/NE are complements.
+func TestQuickCompareTrichotomy(t *testing.T) {
+	f := func(a, b int16) bool {
+		l, r := itoa(int(a)), itoa(int(b))
+		lt, eq, gt := Compare(LT, l, r), Compare(EQ, l, r), Compare(GT, l, r)
+		if btoi(lt)+btoi(eq)+btoi(gt) != 1 {
+			return false
+		}
+		return Compare(NE, l, r) != eq &&
+			Compare(LE, l, r) == (lt || eq) &&
+			Compare(GE, l, r) == (gt || eq)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func itoa(v int) string {
+	if v < 0 {
+		return "-" + itoa(-v)
+	}
+	if v < 10 {
+		return string(rune('0' + v))
+	}
+	return itoa(v/10) + string(rune('0'+v%10))
+}
+
+func btoi(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func TestConstructString(t *testing.T) {
+	c := NewElement("person",
+		NewSubtreeRef(13),
+		NewTextRef(12),
+		&ConstructNode{Kind: ConstructLiteral, Literal: "hi"},
+	)
+	c.Attrs = append(c.Attrs, ConstructAttr{Name: "name", FromLCL: 12})
+	c.NewLCL = 15
+	s := c.String()
+	for _, want := range []string{"<person name=(12).text()>", "(13)", "(12).text()", `"hi"`, "[15]"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("construct String missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestAxisString(t *testing.T) {
+	if Child.String() != "/" || Descendant.String() != "//" {
+		t.Error("Axis.String wrong")
+	}
+}

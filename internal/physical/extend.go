@@ -1,0 +1,373 @@
+package physical
+
+import (
+	"fmt"
+
+	"tlc/internal/pattern"
+	"tlc/internal/seq"
+	"tlc/internal/xmltree"
+)
+
+// attachment is one branch to add under an anchor node: either a fresh
+// partial matched in the store (branch) or an existing in-memory node of
+// the input tree that merely gets classified (existing).
+type attachment struct {
+	branch   *partial
+	existing *seq.Node
+	classes  []classEntry // classes for existing-node attachments
+}
+
+// alternative is one way of satisfying all edges of the anchor pattern for
+// a single anchor node.
+type alternative struct {
+	attachments []attachment
+}
+
+// MatchExtend evaluates an extension APT — a pattern anchored at an
+// existing logical class (Section 4.1, pattern tree reuse) — over every
+// tree of the input sequence. For each input tree the pattern is matched at
+// every active member of the anchored class; "-" edges can multiply a tree
+// into several witness trees, "?"/"*" edges let trees without matches
+// through, and a failed "-"/"+" edge at any anchor drops the tree.
+//
+// Anchors that reference stored nodes are extended by probing the store
+// indexes within the anchor's interval (new branches are attached to the
+// tree). Anchors that are temporary nodes — constructed intermediate
+// results — are matched against their in-memory children instead, and
+// matching nodes are classified in place.
+func (m *Matcher) MatchExtend(input seq.Seq, apt *pattern.Tree) (seq.Seq, error) {
+	if err := apt.Validate(); err != nil {
+		return nil, err
+	}
+	anchor := apt.Root
+	if anchor.Kind != pattern.TestLC {
+		return nil, fmt.Errorf("physical: MatchExtend needs a logical-class anchor, got kind %d", anchor.Kind)
+	}
+	out := make(seq.Seq, 0, len(input))
+	for _, t := range input {
+		trees, err := m.extendTree(t, anchor)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, trees...)
+	}
+	return out, nil
+}
+
+func (m *Matcher) extendTree(t *seq.Tree, anchor *pattern.Node) (seq.Seq, error) {
+	anchors := t.Class(anchor.InClass)
+	if len(anchors) == 0 {
+		// Nothing to anchor at: the pattern is vacuously satisfied and the
+		// tree passes through unchanged.
+		return seq.Seq{t}, nil
+	}
+	// Per anchor node, the set of alternatives; the tree's alternatives are
+	// the cross product (each anchor must be satisfied in every witness).
+	perAnchor := make([][]alternative, len(anchors))
+	total := 1
+	for i, a := range anchors {
+		alts, err := m.anchorAlternatives(a, anchor)
+		if err != nil {
+			return nil, err
+		}
+		if len(alts) == 0 {
+			return nil, nil // some anchor cannot satisfy a required edge
+		}
+		perAnchor[i] = alts
+		total *= len(alts)
+		if total > maxAlternatives {
+			return nil, fmt.Errorf("physical: extension match explodes past %d witness trees", maxAlternatives)
+		}
+	}
+	// Fast path: a single combination (all edges nested or unique) mutates
+	// the tree in place — operators own their single-consumer inputs, and
+	// extension selects over "*" edges are the common case (RETURN paths).
+	if total == 1 {
+		for i, a := range anchors {
+			alt := perAnchor[i][0]
+			if anchor.LCL > 0 && anchor.LCL != anchor.InClass {
+				t.AddToClass(anchor.LCL, a)
+			}
+			for _, att := range alt.attachments {
+				if att.existing != nil {
+					for _, c := range att.classes {
+						t.AddToClass(c.lcl, att.existing)
+					}
+					continue
+				}
+				b := att.branch.take()
+				seq.Attach(a, b.root)
+				for _, c := range b.classes {
+					t.AddToClass(c.lcl, c.node)
+				}
+			}
+		}
+		return seq.Seq{t}, nil
+	}
+	// Enumerate the cross product; each combination yields one witness.
+	combo := make([]int, len(anchors))
+	var out seq.Seq
+	for {
+		nt, mapping := t.CloneWithMapping()
+		for i, a := range anchors {
+			alt := perAnchor[i][combo[i]]
+			target := mapping[a]
+			if anchor.LCL > 0 && anchor.LCL != anchor.InClass {
+				nt.AddToClass(anchor.LCL, target)
+			}
+			for _, att := range alt.attachments {
+				if att.existing != nil {
+					ex := mapping[att.existing]
+					for _, c := range att.classes {
+						nt.AddToClass(c.lcl, ex)
+					}
+					continue
+				}
+				b := att.branch.take()
+				seq.Attach(target, b.root)
+				for _, c := range b.classes {
+					nt.AddToClass(c.lcl, c.node)
+				}
+			}
+		}
+		out = append(out, nt)
+		// Advance the combination odometer.
+		i := len(combo) - 1
+		for ; i >= 0; i-- {
+			combo[i]++
+			if combo[i] < len(perAnchor[i]) {
+				break
+			}
+			combo[i] = 0
+		}
+		if i < 0 {
+			break
+		}
+	}
+	return out, nil
+}
+
+// anchorAlternatives computes the ways the anchor pattern's edges can be
+// satisfied at one concrete anchor node. An empty result means a required
+// edge has no match.
+func (m *Matcher) anchorAlternatives(a *seq.Node, anchor *pattern.Node) ([]alternative, error) {
+	alts := []alternative{{}}
+	for _, e := range anchor.Edges {
+		var edgeAlts []alternative
+		var err error
+		if a.IsStore() {
+			edgeAlts, err = m.storeEdgeAlternatives(a, e)
+		} else {
+			edgeAlts, err = m.memoryEdgeAlternatives(a, e)
+		}
+		if err != nil {
+			return nil, err
+		}
+		if len(edgeAlts) == 0 {
+			return nil, nil
+		}
+		// Cross product with the alternatives accumulated so far.
+		var next []alternative
+		for _, base := range alts {
+			for _, ea := range edgeAlts {
+				merged := alternative{attachments: append(append([]attachment(nil), base.attachments...), ea.attachments...)}
+				next = append(next, merged)
+				if len(next) > maxAlternatives {
+					return nil, fmt.Errorf("physical: anchor alternatives explode past %d", maxAlternatives)
+				}
+			}
+		}
+		alts = next
+	}
+	return alts, nil
+}
+
+// storeEdgeAlternatives matches one pattern edge below a stored anchor by
+// probing the store within the anchor's interval.
+func (m *Matcher) storeEdgeAlternatives(a *seq.Node, e pattern.Edge) ([]alternative, error) {
+	children, err := m.matchNode(a.Doc, e.To)
+	if err != nil {
+		return nil, err
+	}
+	d := m.st.Doc(a.Doc)
+	ms := structuralMatches(d, a.Ord, children, e.Axis)
+	return specAlternatives(ms, e.Spec), nil
+}
+
+// memoryEdgeAlternatives matches one pattern edge below a temporary anchor
+// by scanning the anchor's in-memory children, classifying matches in
+// place. Deeper pattern levels below the matched child are resolved in
+// memory as well.
+func (m *Matcher) memoryEdgeAlternatives(a *seq.Node, e pattern.Edge) ([]alternative, error) {
+	var nodes []*seq.Node
+	collect := func(n *seq.Node) {
+		if n.Shadowed {
+			return
+		}
+		if matchesTest(n, e.To) && m.predHolds(n, e.To.Pred) {
+			nodes = append(nodes, n)
+		}
+	}
+	if e.Axis == pattern.Child {
+		for _, k := range a.Kids {
+			collect(k)
+		}
+	} else {
+		for _, k := range a.Kids {
+			k.Walk(func(n *seq.Node) bool {
+				collect(n)
+				return true
+			})
+		}
+	}
+	var ms []*partial
+	for _, n := range nodes {
+		sub, err := m.memorySubMatch(n, e.To)
+		if err != nil {
+			return nil, err
+		}
+		ms = append(ms, sub...)
+	}
+	// In-memory matches attach nothing: they classify existing nodes.
+	var alts []alternative
+	mkAtt := func(p *partial) attachment {
+		att := attachment{existing: p.root, classes: p.classes}
+		return att
+	}
+	switch {
+	case e.Spec.Nested():
+		if len(ms) == 0 && !e.Spec.Optional() {
+			return nil, nil
+		}
+		alt := alternative{}
+		for _, p := range ms {
+			alt.attachments = append(alt.attachments, mkAtt(p))
+		}
+		return []alternative{alt}, nil
+	default:
+		if len(ms) == 0 {
+			if e.Spec.Optional() {
+				return []alternative{{}}, nil
+			}
+			return nil, nil
+		}
+		for _, p := range ms {
+			alts = append(alts, alternative{attachments: []attachment{mkAtt(p)}})
+		}
+		return alts, nil
+	}
+}
+
+// memorySubMatch matches the pattern subtree rooted at p against the
+// in-memory node n (already known to satisfy p's own test/predicate) and
+// returns the classified combinations. Attachments are in-memory nodes, so
+// the partial's root is n itself and classes reference existing nodes.
+func (m *Matcher) memorySubMatch(n *seq.Node, p *pattern.Node) ([]*partial, error) {
+	base := &partial{root: n, used: true} // never cloned; existing node
+	if p.LCL > 0 {
+		base.classes = append(base.classes, classEntry{lcl: p.LCL, node: n})
+	}
+	parts := []*partial{base}
+	for _, e := range p.Edges {
+		var next []*partial
+		for _, P := range parts {
+			var kids []*seq.Node
+			if e.Axis == pattern.Child {
+				kids = n.Kids
+			} else {
+				for _, k := range n.Kids {
+					k.Walk(func(x *seq.Node) bool {
+						kids = append(kids, x)
+						return true
+					})
+				}
+			}
+			var ms []*partial
+			for _, k := range kids {
+				if k.Shadowed || !matchesTest(k, e.To) || !m.predHolds(k, e.To.Pred) {
+					continue
+				}
+				sub, err := m.memorySubMatch(k, e.To)
+				if err != nil {
+					return nil, err
+				}
+				ms = append(ms, sub...)
+			}
+			switch {
+			case e.Spec.Nested():
+				if len(ms) == 0 && !e.Spec.Optional() {
+					continue
+				}
+				for _, C := range ms {
+					P.classes = append(P.classes, C.classes...)
+				}
+				next = append(next, P)
+			default:
+				if len(ms) == 0 {
+					if e.Spec.Optional() {
+						next = append(next, P)
+					}
+					continue
+				}
+				for _, C := range ms {
+					cp := &partial{root: P.root, used: true, classes: append(append([]classEntry(nil), P.classes...), C.classes...)}
+					next = append(next, cp)
+				}
+			}
+		}
+		parts = next
+	}
+	return parts, nil
+}
+
+// specAlternatives converts the matched partials of a store edge into
+// alternatives according to the edge's matching specification.
+func specAlternatives(ms []*partial, spec pattern.MSpec) []alternative {
+	switch {
+	case spec.Nested():
+		if len(ms) == 0 {
+			if spec.Optional() {
+				return []alternative{{}}
+			}
+			return nil
+		}
+		alt := alternative{}
+		for _, p := range ms {
+			alt.attachments = append(alt.attachments, attachment{branch: p})
+		}
+		return []alternative{alt}
+	default:
+		if len(ms) == 0 {
+			if spec.Optional() {
+				return []alternative{{}}
+			}
+			return nil
+		}
+		alts := make([]alternative, 0, len(ms))
+		for _, p := range ms {
+			alts = append(alts, alternative{attachments: []attachment{{branch: p}}})
+		}
+		return alts
+	}
+}
+
+// matchesTest reports whether the in-memory node satisfies the pattern
+// node's tag test.
+func matchesTest(n *seq.Node, p *pattern.Node) bool {
+	switch p.Kind {
+	case pattern.TestTag:
+		return n.Tag == p.Tag
+	case pattern.TestWildcard:
+		return n.Kind == xmltree.Element
+	default:
+		return false
+	}
+}
+
+// predHolds evaluates an optional content predicate against a node.
+func (m *Matcher) predHolds(n *seq.Node, p *pattern.Predicate) bool {
+	if p == nil {
+		return true
+	}
+	return p.Eval(seq.Content(m.st, n))
+}

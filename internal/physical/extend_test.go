@@ -1,0 +1,214 @@
+package physical
+
+import (
+	"strings"
+	"testing"
+
+	"tlc/internal/pattern"
+	"tlc/internal/seq"
+)
+
+// matchAs returns the witness trees of doc_root/a with classes 1=a.
+func matchAs(t *testing.T, m *Matcher) seq.Seq {
+	t.Helper()
+	res, err := m.MatchDocument(aTree())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestExtendAddsBranches(t *testing.T) {
+	s, _ := loadFixture(t, fixtureXML)
+	m := NewMatcher(s)
+	in := matchAs(t, m) // three bare a trees
+	// class(1) -> b{*}[5]
+	anchor := pattern.NewLCAnchor(0, 1)
+	anchor.Add(pattern.NewTagNode(5, "b"), pattern.Child, pattern.ZeroOrMore)
+	out, err := m.MatchExtend(in, &pattern.Tree{Root: anchor})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 3 {
+		t.Fatalf("got %d trees, want 3", len(out))
+	}
+	for i, want := range []int{2, 1, 0} {
+		if got := len(out[i].Class(5)); got != want {
+			t.Errorf("tree %d class 5 size = %d, want %d", i, got, want)
+		}
+	}
+	// The branches are attached under the anchor.
+	a := out[0].Class(1)[0]
+	if len(a.Kids) != 2 || a.Kids[0].Tag != "b" {
+		t.Errorf("anchor kids = %v", tags(a.Kids))
+	}
+	// Single-combination extensions mutate in place (operators own their
+	// single-consumer inputs): the output trees ARE the input trees.
+	if out[0] != in[0] {
+		t.Error("single-combination extension did not reuse the input tree")
+	}
+}
+
+func TestExtendDashMultipliesAndDrops(t *testing.T) {
+	s, _ := loadFixture(t, fixtureXML)
+	m := NewMatcher(s)
+	in := matchAs(t, m)
+	anchor := pattern.NewLCAnchor(0, 1)
+	anchor.Add(pattern.NewTagNode(5, "b"), pattern.Child, pattern.One)
+	out, err := m.MatchExtend(in, &pattern.Tree{Root: anchor})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// a1 -> two witnesses, a2 -> one, a3 dropped ("-" needs a match).
+	if len(out) != 3 {
+		t.Fatalf("got %d trees, want 3", len(out))
+	}
+	var vals []string
+	for _, w := range out {
+		b, err := w.Singleton(5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		vals = append(vals, seq.Content(s, b))
+	}
+	if strings.Join(vals, ",") != "1,2,3" {
+		t.Errorf("b values = %v", vals)
+	}
+}
+
+func TestExtendPlusDropsAnchorlessTree(t *testing.T) {
+	s, _ := loadFixture(t, fixtureXML)
+	m := NewMatcher(s)
+	in := matchAs(t, m)
+	anchor := pattern.NewLCAnchor(0, 1)
+	anchor.Add(pattern.NewTagNode(5, "c"), pattern.Child, pattern.OneOrMore)
+	out, err := m.MatchExtend(in, &pattern.Tree{Root: anchor})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// a1 has one c, a2 none (dropped), a3 has two (clustered).
+	if len(out) != 2 {
+		t.Fatalf("got %d trees, want 2", len(out))
+	}
+	if got := len(out[1].Class(5)); got != 2 {
+		t.Errorf("clustered c class = %d, want 2", got)
+	}
+}
+
+func TestExtendEmptyAnchorClassPassesThrough(t *testing.T) {
+	s, _ := loadFixture(t, fixtureXML)
+	m := NewMatcher(s)
+	in := matchAs(t, m)
+	anchor := pattern.NewLCAnchor(0, 42) // class 42 empty everywhere
+	anchor.Add(pattern.NewTagNode(5, "b"), pattern.Child, pattern.One)
+	out, err := m.MatchExtend(in, &pattern.Tree{Root: anchor})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(in) {
+		t.Errorf("got %d trees, want %d", len(out), len(in))
+	}
+}
+
+func TestExtendRelabelsAnchor(t *testing.T) {
+	s, _ := loadFixture(t, fixtureXML)
+	m := NewMatcher(s)
+	in := matchAs(t, m)
+	anchor := pattern.NewLCAnchor(9, 1) // anchor additionally labelled 9
+	out, err := m.MatchExtend(in, &pattern.Tree{Root: anchor})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, w := range out {
+		if len(w.Class(9)) != 1 {
+			t.Errorf("tree %d: anchor not added to class 9", i)
+		}
+	}
+}
+
+func TestExtendDeepPath(t *testing.T) {
+	s, _ := loadFixture(t, `<r>
+	  <a><m><n>7</n></m></a>
+	  <a><m/></a>
+	</r>`)
+	m := NewMatcher(s)
+	in := matchAs(t, m)
+	anchor := pattern.NewLCAnchor(0, 1)
+	mn := anchor.Add(pattern.NewTagNode(5, "m"), pattern.Child, pattern.ZeroOrMore)
+	mn.Add(pattern.NewTagNode(6, "n"), pattern.Child, pattern.One)
+	out, err := m.MatchExtend(in, &pattern.Tree{Root: anchor})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 2 {
+		t.Fatalf("got %d trees, want 2", len(out))
+	}
+	// First a: m survives because its n matched; second a: its m has no n,
+	// so the "*" cluster is empty.
+	if got := len(out[0].Class(6)); got != 1 {
+		t.Errorf("first tree class 6 = %d", got)
+	}
+	if got := len(out[1].Class(5)); got != 0 {
+		t.Errorf("second tree class 5 = %d, want 0 (m without n is not a match)", got)
+	}
+}
+
+func TestExtendTemporaryAnchorClassifiesInPlace(t *testing.T) {
+	s, _ := loadFixture(t, fixtureXML)
+	m := NewMatcher(s)
+	// Build a constructed tree: <res><b/>(store b)</res> where the b nodes
+	// are materialized copies.
+	bs := s.Tag(0, "b")
+	root := seq.NewTempElement("res")
+	tr := seq.NewTree(root)
+	tr.AddToClass(1, root)
+	for _, o := range bs {
+		seq.Attach(root, seq.Materialize(s, 0, o))
+	}
+	anchor := pattern.NewLCAnchor(0, 1)
+	anchor.Add(pattern.NewTagNode(5, "b"), pattern.Child, pattern.ZeroOrMore)
+	out, err := m.MatchExtend(seq.Seq{tr}, &pattern.Tree{Root: anchor})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 1 {
+		t.Fatalf("got %d trees", len(out))
+	}
+	if got := len(out[0].Class(5)); got != 3 {
+		t.Errorf("class 5 = %d, want 3 existing nodes classified", got)
+	}
+	// No branches were added: the kids are still exactly the 3 b nodes.
+	if got := len(out[0].Root.Kids); got != 3 {
+		t.Errorf("root kids = %d, want 3", got)
+	}
+}
+
+func TestExtendTemporaryAnchorDescendant(t *testing.T) {
+	s, _ := loadFixture(t, fixtureXML)
+	m := NewMatcher(s)
+	root := seq.NewTempElement("res")
+	mid := seq.NewTempElement("mid")
+	seq.Attach(root, mid)
+	seq.Attach(mid, seq.NewTempText("x"))
+	leaf := seq.NewTempElement("leaf")
+	seq.Attach(mid, leaf)
+	tr := seq.NewTree(root)
+	tr.AddToClass(1, root)
+	anchor := pattern.NewLCAnchor(0, 1)
+	anchor.Add(pattern.NewTagNode(5, "leaf"), pattern.Descendant, pattern.OneOrMore)
+	out, err := m.MatchExtend(seq.Seq{tr}, &pattern.Tree{Root: anchor})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 1 || len(out[0].Class(5)) != 1 {
+		t.Fatalf("descendant classify failed: %d trees", len(out))
+	}
+}
+
+func TestExtendRequiresLCAnchor(t *testing.T) {
+	s, _ := loadFixture(t, fixtureXML)
+	m := NewMatcher(s)
+	if _, err := m.MatchExtend(nil, aTree()); err == nil {
+		t.Error("doc-rooted pattern accepted by MatchExtend")
+	}
+}

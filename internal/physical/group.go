@@ -1,0 +1,160 @@
+package physical
+
+import (
+	"fmt"
+	"strings"
+
+	"tlc/internal/seq"
+	"tlc/internal/store"
+)
+
+// GroupBy implements the grouping procedure that the TAX and GTP baselines
+// use in place of annotated edges (Section 6.1): the input trees are
+// partitioned by the identity of everything *except* the grouped branch —
+// the tree root, the basis node, and every other class binding (minus the
+// labels listed in exclude, the grouped branch's own classes) — and each
+// group collapses into a single output tree in which the member nodes
+// (class memberLCL) of every group member are gathered under the shared
+// basis node. The first tree of each group supplies the output structure.
+//
+// This is deliberately more expensive than a nest-join: it hashes every
+// tree over all its bindings, clones member subtrees across trees, and —
+// unlike the nest-join — runs *after* a flat match has already multiplied
+// the intermediate result.
+func GroupBy(st *store.Store, input seq.Seq, basisLCL, memberLCL int, exclude []int) (seq.Seq, error) {
+	excluded := make(map[int]bool, len(exclude)+2)
+	for _, lcl := range exclude {
+		excluded[lcl] = true
+	}
+	excluded[basisLCL] = true
+	excluded[memberLCL] = true
+	type group struct {
+		tree  *seq.Tree
+		basis *seq.Node
+	}
+	groups := make(map[string]*group)
+	var order []string
+	passKey := 0
+	for _, t := range input {
+		members := t.Class(basisLCL)
+		if len(members) == 0 {
+			// No basis to group on: the tree forms its own group.
+			passKey++
+			key := fmt.Sprintf("pass|%d", passKey)
+			groups[key] = &group{tree: t}
+			order = append(order, key)
+			continue
+		}
+		if len(members) > 1 {
+			return nil, fmt.Errorf("physical: group basis class %d binds to %d nodes", basisLCL, len(members))
+		}
+		b := members[0]
+		key := groupKey(t, b, excluded)
+		g, ok := groups[key]
+		if !ok {
+			// The first tree of a group becomes the representative; the
+			// operator owns its single-consumer input, so no copy is made.
+			groups[key] = &group{tree: t, basis: b}
+			order = append(order, key)
+			continue
+		}
+		// Move this tree's member nodes into the group representative
+		// (the source tree is consumed).
+		rev := make(map[*seq.Node][]int)
+		for _, lcl := range t.Classes() {
+			if lcl == memberLCL {
+				continue
+			}
+			for _, n := range t.ClassAll(lcl) {
+				rev[n] = append(rev[n], lcl)
+			}
+		}
+		for _, m := range t.Class(memberLCL) {
+			seq.Detach(m)
+			seq.Attach(g.basis, m)
+			g.tree.AddToClass(memberLCL, m)
+			// Nested classes inside the member subtree follow along.
+			m.Walk(func(n *seq.Node) bool {
+				for _, lcl := range rev[n] {
+					g.tree.AddToClass(lcl, n)
+				}
+				return true
+			})
+		}
+	}
+	out := make(seq.Seq, 0, len(order))
+	for _, k := range order {
+		out = append(out, groups[k].tree)
+	}
+	return out, nil
+}
+
+// groupKey builds the grouping key: root identity, basis identity, and
+// the identities of every class binding not excluded. Flat-multiplication
+// clones agree on all of these (clones preserve temporary IDs and store
+// coordinates, differing only in the grouped branch), while genuinely
+// distinct witnesses differ in at least one other binding.
+func groupKey(t *seq.Tree, basis *seq.Node, excluded map[int]bool) string {
+	var sb strings.Builder
+	sb.WriteString(t.Root.Identity())
+	sb.WriteByte('|')
+	sb.WriteString(basis.Identity())
+	for _, lcl := range t.Classes() {
+		if excluded[lcl] {
+			continue
+		}
+		members := t.Class(lcl)
+		switch {
+		case len(members) == 0:
+		case len(members) <= 2:
+			for _, n := range members {
+				fmt.Fprintf(&sb, "|%d:%s", lcl, n.Identity())
+			}
+		default:
+			// Already-clustered classes (an earlier grouping round) are
+			// summarized by size and endpoints: a real grouping
+			// implementation operates per split path and never hashes a
+			// sibling cluster member-by-member.
+			fmt.Fprintf(&sb, "|%d:#%d:%s:%s", lcl, len(members),
+				members[0].Identity(), members[len(members)-1].Identity())
+		}
+	}
+	return sb.String()
+}
+
+// MergeOnRoot merges two sequences whose trees are rooted at stored nodes,
+// joining trees whose roots are the *same* stored node: the right tree's
+// branches and classes are grafted onto the left tree. Trees without a
+// partner on the other side are dropped (inner merge). This is the "merge"
+// step of the split/group/merge DAG procedure used by the GTP baseline.
+func MergeOnRoot(st *store.Store, left, right seq.Seq) (seq.Seq, error) {
+	byRoot := make(map[string][]*seq.Tree, len(right))
+	for _, r := range right {
+		byRoot[r.Root.Identity()] = append(byRoot[r.Root.Identity()], r)
+	}
+	var out seq.Seq
+	for _, l := range left {
+		partners := byRoot[l.Root.Identity()]
+		if len(partners) == 0 {
+			continue
+		}
+		nt := l.Clone()
+		for _, r := range partners {
+			rc, mapping := r.CloneWithMapping()
+			for _, k := range rc.Root.Kids {
+				seq.Attach(nt.Root, k)
+			}
+			for _, lcl := range r.Classes() {
+				for _, n := range r.ClassAll(lcl) {
+					cp := mapping[n]
+					if cp == rc.Root {
+						cp = nt.Root
+					}
+					nt.AddToClass(lcl, cp)
+				}
+			}
+		}
+		out = append(out, nt)
+	}
+	return out, nil
+}

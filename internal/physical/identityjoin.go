@@ -1,0 +1,69 @@
+package physical
+
+import (
+	"fmt"
+
+	"tlc/internal/seq"
+	"tlc/internal/store"
+)
+
+// IdentityMergeJoin joins two sequences on node identity: a left tree
+// pairs with every right tree whose node bound to rightLCL references the
+// same underlying node as the left tree's leftLCL binding. For each pair,
+// the right anchor's attached branches (its witness kids) are grafted
+// under the left anchor and the right tree's classes carried over.
+//
+// This is the "join on the bound variables" the TAX baseline performs to
+// stitch the RETURN-clause path selections back onto the FOR/WHERE part
+// (Section 6.1): the re-matched paths are reconciled with the already
+// bound nodes by identity. Left trees without a partner pass through
+// unchanged (the re-matched path may be optional); identifiers are already
+// in memory, so the join itself is cheap — the cost TAX pays is the fresh
+// pattern match producing the right side.
+func IdentityMergeJoin(st *store.Store, left, right seq.Seq, leftLCL, rightLCL int) (seq.Seq, error) {
+	byID := make(map[string][]*seq.Tree, len(right))
+	for _, r := range right {
+		a, err := r.Singleton(rightLCL)
+		if err != nil {
+			return nil, fmt.Errorf("physical: identity join right side: %w", err)
+		}
+		byID[a.Identity()] = append(byID[a.Identity()], r)
+	}
+	var out seq.Seq
+	for _, l := range left {
+		members := l.Class(leftLCL)
+		if len(members) != 1 {
+			// No (or ambiguous) anchor: nothing to merge onto.
+			out = append(out, l)
+			continue
+		}
+		partners := byID[members[0].Identity()]
+		if len(partners) == 0 {
+			out = append(out, l)
+			continue
+		}
+		for _, r := range partners {
+			nt, mapping := l.CloneWithMapping()
+			anchor := mapping[members[0]]
+			rc, rmap := r.CloneWithMapping()
+			ra, _ := rc.Singleton(rightLCL)
+			for _, k := range ra.Kids {
+				seq.Attach(anchor, k)
+			}
+			for _, lcl := range r.Classes() {
+				if lcl == rightLCL {
+					continue // the anchor itself is already bound on the left
+				}
+				for _, n := range r.ClassAll(lcl) {
+					cp := rmap[n]
+					if cp == ra {
+						cp = anchor
+					}
+					nt.AddToClass(lcl, cp)
+				}
+			}
+			out = append(out, nt)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,393 @@
+package physical
+
+import (
+	"strings"
+	"testing"
+
+	"tlc/internal/pattern"
+	"tlc/internal/seq"
+	"tlc/internal/store"
+)
+
+const joinXML = `<site>
+  <person id="p0"><name>Alice</name></person>
+  <person id="p1"><name>Bob</name></person>
+  <person id="p2"><name>Carol</name></person>
+  <open_auction><ref person="p0"/></open_auction>
+  <open_auction><ref person="p0"/></open_auction>
+  <open_auction><ref person="p2"/></open_auction>
+  <open_auction><ref person="px"/></open_auction>
+</site>`
+
+// personSeq returns witness trees person[1]/@id[2]; auctionSeq returns
+// open_auction[3]/ref/@person[4].
+func joinInputs(t *testing.T, s *store.Store, m *Matcher) (seq.Seq, seq.Seq) {
+	t.Helper()
+	pRoot := pattern.NewDocRoot(0, "fixture.xml")
+	p := pRoot.Add(pattern.NewTagNode(1, "person"), pattern.Descendant, pattern.One)
+	p.Add(pattern.NewTagNode(2, "@id"), pattern.Child, pattern.One)
+	left, err := m.MatchDocument(&pattern.Tree{Root: pRoot})
+	if err != nil {
+		t.Fatal(err)
+	}
+	aRoot := pattern.NewDocRoot(0, "fixture.xml")
+	a := aRoot.Add(pattern.NewTagNode(3, "open_auction"), pattern.Descendant, pattern.One)
+	r := a.Add(pattern.NewTagNode(0, "ref"), pattern.Child, pattern.One)
+	r.Add(pattern.NewTagNode(4, "@person"), pattern.Child, pattern.One)
+	right, err := m.MatchDocument(&pattern.Tree{Root: aRoot})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return left, right
+}
+
+func TestValueJoinPairs(t *testing.T) {
+	s, _ := loadFixture(t, joinXML)
+	m := NewMatcher(s)
+	left, right := joinInputs(t, s, m)
+	out, err := ValueJoin(s, left, right, JoinSpec{
+		LeftLCL: 2, RightLCL: 4, Op: pattern.EQ, RightSpec: pattern.One, RootLCL: 9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// p0 matches two auctions, p2 one; p1 none; px matches nobody.
+	if len(out) != 3 {
+		t.Fatalf("got %d joined trees, want 3", len(out))
+	}
+	for _, w := range out {
+		if w.Root.Tag != "join_root" {
+			t.Errorf("root tag = %q", w.Root.Tag)
+		}
+		if len(w.Root.Kids) != 2 {
+			t.Errorf("pair join root has %d kids, want 2", len(w.Root.Kids))
+		}
+		if len(w.Class(9)) != 1 {
+			t.Error("join root not classified")
+		}
+		p, err := w.Singleton(2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, err := w.Singleton(4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seq.Content(s, p) != seq.Content(s, a) {
+			t.Errorf("join mismatch: %q vs %q", seq.Content(s, p), seq.Content(s, a))
+		}
+	}
+	// Output in left (document) order: p0, p0, p2.
+	var ids []string
+	for _, w := range out {
+		n, _ := w.Singleton(2)
+		ids = append(ids, seq.Content(s, n))
+	}
+	if strings.Join(ids, ",") != "p0,p0,p2" {
+		t.Errorf("left order = %v", ids)
+	}
+}
+
+func TestValueJoinNest(t *testing.T) {
+	s, _ := loadFixture(t, joinXML)
+	m := NewMatcher(s)
+	left, right := joinInputs(t, s, m)
+	out, err := ValueJoin(s, left, right, JoinSpec{
+		LeftLCL: 2, RightLCL: 4, Op: pattern.EQ, RightSpec: pattern.OneOrMore,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One output per matching left tree: p0 (two auctions nested), p2.
+	if len(out) != 2 {
+		t.Fatalf("got %d, want 2", len(out))
+	}
+	if got := len(out[0].Class(3)); got != 2 {
+		t.Errorf("nested auctions = %d, want 2", got)
+	}
+	if got := len(out[0].Root.Kids); got != 3 {
+		t.Errorf("nest join root kids = %d, want 1 left + 2 right", got)
+	}
+}
+
+func TestValueJoinOuterNest(t *testing.T) {
+	s, _ := loadFixture(t, joinXML)
+	m := NewMatcher(s)
+	left, right := joinInputs(t, s, m)
+	out, err := ValueJoin(s, left, right, JoinSpec{
+		LeftLCL: 2, RightLCL: 4, Op: pattern.EQ, RightSpec: pattern.ZeroOrMore,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every person survives; p1 with empty nest.
+	if len(out) != 3 {
+		t.Fatalf("got %d, want 3", len(out))
+	}
+	if got := len(out[1].Class(3)); got != 0 {
+		t.Errorf("p1 nested auctions = %d, want 0", got)
+	}
+}
+
+func TestValueJoinOuterPairs(t *testing.T) {
+	s, _ := loadFixture(t, joinXML)
+	m := NewMatcher(s)
+	left, right := joinInputs(t, s, m)
+	out, err := ValueJoin(s, left, right, JoinSpec{
+		LeftLCL: 2, RightLCL: 4, Op: pattern.EQ, RightSpec: pattern.ZeroOrOne,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// p0 two pairs, p1 passes bare, p2 one pair.
+	if len(out) != 4 {
+		t.Fatalf("got %d, want 4", len(out))
+	}
+}
+
+func TestValueJoinNonEquality(t *testing.T) {
+	s, _ := loadFixture(t, `<r><l><v>5</v></l><l><v>1</v></l><rr><w>3</w></rr></r>`)
+	m := NewMatcher(s)
+	lt := pattern.NewDocRoot(0, "fixture.xml")
+	lt.Add(pattern.NewTagNode(1, "l"), pattern.Child, pattern.One).
+		Add(pattern.NewTagNode(2, "v"), pattern.Child, pattern.One)
+	left, err := m.MatchDocument(&pattern.Tree{Root: lt})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt := pattern.NewDocRoot(0, "fixture.xml")
+	rt.Add(pattern.NewTagNode(3, "rr"), pattern.Child, pattern.One).
+		Add(pattern.NewTagNode(4, "w"), pattern.Child, pattern.One)
+	right, err := m.MatchDocument(&pattern.Tree{Root: rt})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := ValueJoin(s, left, right, JoinSpec{LeftLCL: 2, RightLCL: 4, Op: pattern.GT, RightSpec: pattern.One})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Only v=5 > w=3.
+	if len(out) != 1 {
+		t.Fatalf("got %d, want 1", len(out))
+	}
+}
+
+func TestValueJoinMissingKeySkipsTree(t *testing.T) {
+	s, _ := loadFixture(t, joinXML)
+	m := NewMatcher(s)
+	left, right := joinInputs(t, s, m)
+	// Join on a class that exists on the right but is empty on the left
+	// trees: every left tree is skipped.
+	out, err := ValueJoin(s, left, right, JoinSpec{LeftLCL: 77, RightLCL: 4, Op: pattern.EQ, RightSpec: pattern.One})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 0 {
+		t.Errorf("got %d outputs from missing-key join", len(out))
+	}
+}
+
+func TestValueJoinExistentialOverClusters(t *testing.T) {
+	s, _ := loadFixture(t, fixtureXML)
+	m := NewMatcher(s)
+	// Clustered b values per a: {1,2} and {3} (third a has no b).
+	res, err := m.MatchDocument(aTree(edge("b", 2, pattern.Child, pattern.OneOrMore)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Left side: single b per witness (flat): values 1, 2, 3.
+	flat, err := m.MatchDocument(aTree(edge("b", 2, pattern.Child, pattern.One)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Existential equality: flat values 1 and 2 match the {1,2} cluster,
+	// 3 matches {3}: one pair per (left tree, matching right tree).
+	out, err := ValueJoin(s, flat, res, JoinSpec{LeftLCL: 2, RightLCL: 2, Op: pattern.EQ, RightSpec: pattern.One})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 3 {
+		t.Errorf("existential cluster join: %d pairs, want 3", len(out))
+	}
+	// A cluster matching via two values still pairs once.
+	out, err = ValueJoin(s, res, res, JoinSpec{LeftLCL: 2, RightLCL: 2, Op: pattern.EQ, RightSpec: pattern.One})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 2 {
+		t.Errorf("cluster-cluster join: %d pairs, want 2", len(out))
+	}
+}
+
+func TestCartesianJoin(t *testing.T) {
+	s, _ := loadFixture(t, joinXML)
+	m := NewMatcher(s)
+	left, right := joinInputs(t, s, m)
+	out := CartesianJoin("join_root", 1, left, right)
+	if len(out) != len(left)*len(right) {
+		t.Fatalf("got %d, want %d", len(out), len(left)*len(right))
+	}
+	// Inputs unchanged (everything cloned).
+	if left[0].Root.Parent != nil {
+		t.Error("cartesian join re-parented its input")
+	}
+}
+
+// Figure 14: structural join vs nest structural join.
+func TestStructuralJoinFigure14(t *testing.T) {
+	s, _ := loadFixture(t, `<A><E/><B/><D/><D/></A>`)
+	m := NewMatcher(s)
+	aPat := &pattern.Tree{Root: pattern.NewDocRoot(0, "fixture.xml")}
+	aPat.Root.LCL = 1
+	left, err := m.MatchDocument(aPat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dRoot := pattern.NewDocRoot(0, "fixture.xml")
+	dRoot.Add(pattern.NewTagNode(2, "D"), pattern.Descendant, pattern.One)
+	dsel, err := m.MatchDocument(&pattern.Tree{Root: dRoot})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Project to bare D trees.
+	var right seq.Seq
+	for _, w := range dsel {
+		d, err := w.Singleton(2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nt := seq.NewTree(seq.NewStoreNode(d.Doc, d.Ord, s.Doc(d.Doc).Node(d.Ord)))
+		nt.AddToClass(2, nt.Root)
+		right = append(right, nt)
+	}
+
+	// Regular structural join: one output tree per (A, D) pair.
+	pairs, err := StructuralJoin(s, left.Clone(), right.Clone(), 1, pattern.Descendant, pattern.One)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pairs) != 2 {
+		t.Fatalf("regular join: %d trees, want 2", len(pairs))
+	}
+	for _, w := range pairs {
+		if got := len(w.Class(2)); got != 1 {
+			t.Errorf("pair tree has %d D nodes, want 1", got)
+		}
+	}
+
+	// Nest structural join: a single output with both Ds clustered.
+	nested, err := StructuralJoin(s, left.Clone(), right.Clone(), 1, pattern.Descendant, pattern.OneOrMore)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nested) != 1 {
+		t.Fatalf("nest join: %d trees, want 1", len(nested))
+	}
+	if got := len(nested[0].Class(2)); got != 2 {
+		t.Errorf("nest tree has %d D nodes, want 2", got)
+	}
+}
+
+func TestStructuralJoinOuterAndChildAxis(t *testing.T) {
+	s, _ := loadFixture(t, `<r><A><D/></A><A><x><D/></x></A></r>`)
+	m := NewMatcher(s)
+	aRoot := pattern.NewDocRoot(0, "fixture.xml")
+	aRoot.Add(pattern.NewTagNode(1, "A"), pattern.Child, pattern.One)
+	left, err := m.MatchDocument(&pattern.Tree{Root: aRoot})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dRoot := pattern.NewDocRoot(0, "fixture.xml")
+	dRoot.Add(pattern.NewTagNode(2, "D"), pattern.Descendant, pattern.One)
+	dsel, err := m.MatchDocument(&pattern.Tree{Root: dRoot})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var right seq.Seq
+	for _, w := range dsel {
+		d, _ := w.Singleton(2)
+		nt := seq.NewTree(seq.NewStoreNode(d.Doc, d.Ord, s.Doc(d.Doc).Node(d.Ord)))
+		nt.AddToClass(2, nt.Root)
+		right = append(right, nt)
+	}
+	// Child axis: only the first A has a D child.
+	out, err := StructuralJoin(s, left.Clone(), right.Clone(), 1, pattern.Child, pattern.ZeroOrMore)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 2 {
+		t.Fatalf("outer nest child join: %d trees, want 2", len(out))
+	}
+	if got := len(out[0].Class(2)); got != 1 {
+		t.Errorf("first A: %d D kids, want 1", got)
+	}
+	if got := len(out[1].Class(2)); got != 0 {
+		t.Errorf("second A: %d D kids, want 0 (grandchild)", got)
+	}
+}
+
+func TestGroupByCollapsesPairs(t *testing.T) {
+	s, _ := loadFixture(t, `<A><D>1</D><D>2</D></A>`)
+	m := NewMatcher(s)
+	// Flat match: (A, D) pairs.
+	root := pattern.NewDocRoot(0, "fixture.xml")
+	root.LCL = 1
+	root.Add(pattern.NewTagNode(2, "D"), pattern.Child, pattern.One)
+	pairs, err := m.MatchDocument(&pattern.Tree{Root: root})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pairs) != 2 {
+		t.Fatalf("flat match: %d pairs", len(pairs))
+	}
+	grouped, err := GroupBy(s, pairs, 1, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(grouped) != 1 {
+		t.Fatalf("grouped: %d trees, want 1", len(grouped))
+	}
+	if got := len(grouped[0].Class(2)); got != 2 {
+		t.Errorf("group member class = %d, want 2", got)
+	}
+}
+
+func TestMergeOnRoot(t *testing.T) {
+	s, _ := loadFixture(t, `<r><A id="1"><B/><C/></A><A id="2"><B/></A></r>`)
+	m := NewMatcher(s)
+	mk := func(childTag string, lcl int) seq.Seq {
+		root := pattern.NewDocRoot(0, "fixture.xml")
+		a := root.Add(pattern.NewTagNode(1, "A"), pattern.Child, pattern.One)
+		a.Add(pattern.NewTagNode(lcl, childTag), pattern.Child, pattern.One)
+		res, err := m.MatchDocument(&pattern.Tree{Root: root})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Re-root each tree at the A node.
+		var out seq.Seq
+		for _, w := range res {
+			aNode, _ := w.Singleton(1)
+			seq.Detach(aNode)
+			nt := seq.NewTree(aNode)
+			nt.AddToClass(1, aNode)
+			for _, c := range w.Class(lcl) {
+				nt.AddToClass(lcl, c)
+			}
+			out = append(out, nt)
+		}
+		return out
+	}
+	withB := mk("B", 2)
+	withC := mk("C", 3)
+	merged, err := MergeOnRoot(s, withB, withC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Only the first A has both B and C.
+	if len(merged) != 1 {
+		t.Fatalf("merged: %d trees, want 1", len(merged))
+	}
+	if len(merged[0].Class(2)) != 1 || len(merged[0].Class(3)) != 1 {
+		t.Errorf("merged classes: B=%d C=%d", len(merged[0].Class(2)), len(merged[0].Class(3)))
+	}
+}

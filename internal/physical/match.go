@@ -1,0 +1,297 @@
+// Package physical implements the physical operators of Section 5 of the
+// TLC paper: annotated-pattern-tree matching compiled to structural joins
+// (with the nest variants of Definition 8), the sort–merge–sort value join
+// that preserves document order (Section 5.1), and the grouping machinery
+// that the TAX and GTP baselines rely on instead of nest-joins.
+//
+// Pattern matching follows Section 5.2 exactly: each pattern edge is
+// matched bottom-up by a structural join chosen by the edge's matching
+// specification — "-" by a regular structural join, "?" by a left-outer
+// join, "+" by a nest-join and "*" by a left-outer-nest-join. Candidate
+// lists come from the store's tag index (merged with the value index for
+// equality content predicates), and containment is decided on interval
+// node identifiers, so each join is a range scan over sorted candidates.
+package physical
+
+import (
+	"fmt"
+
+	"tlc/internal/pattern"
+	"tlc/internal/seq"
+	"tlc/internal/store"
+	"tlc/internal/xmltree"
+)
+
+// maxAlternatives bounds the number of witness trees a single input tree
+// may expand into during an extension match. Exceeding it indicates a
+// runaway "-" edge combination and is reported as an error rather than
+// allowed to exhaust memory.
+const maxAlternatives = 65536
+
+type classEntry struct {
+	lcl  int
+	node *seq.Node
+}
+
+// partial is a matched instance of a pattern subtree: its root witness node
+// with all matched descendants already attached, plus the class labels
+// collected along the way. A partial is single-use; take returns the
+// partial itself on first use and a deep clone afterwards, so one matched
+// subtree can be stitched under several ancestors.
+type partial struct {
+	root    *seq.Node
+	classes []classEntry
+	used    bool
+}
+
+func (p *partial) take() *partial {
+	if !p.used {
+		p.used = true
+		return p
+	}
+	return p.clone()
+}
+
+func (p *partial) clone() *partial {
+	mapping := make(map[*seq.Node]*seq.Node, len(p.classes))
+	var cp func(n, parent *seq.Node) *seq.Node
+	cp = func(n, parent *seq.Node) *seq.Node {
+		m := *n
+		m.Parent = parent
+		m.Kids = make([]*seq.Node, len(n.Kids))
+		mapping[n] = &m
+		for i, k := range n.Kids {
+			m.Kids[i] = cp(k, &m)
+		}
+		return &m
+	}
+	root := cp(p.root, nil)
+	classes := make([]classEntry, len(p.classes))
+	for i, c := range p.classes {
+		classes[i] = classEntry{lcl: c.lcl, node: mapping[c.node]}
+	}
+	return &partial{root: root, classes: classes}
+}
+
+func (p *partial) attach(c *partial) {
+	seq.Attach(p.root, c.root)
+	p.classes = append(p.classes, c.classes...)
+}
+
+// Matcher executes annotated pattern trees against a store. It caches
+// candidate node lists per pattern node, so a pattern used over a whole
+// sequence probes each index once — the set-at-a-time behaviour of a
+// structural join — rather than once per input tree.
+type Matcher struct {
+	st    *store.Store
+	cands map[candKey][]int32
+	// partials caches the matched subtree instances per pattern node, so
+	// an extension pattern evaluated for every tree of a sequence builds
+	// its candidate matches once; take() hands out the original on first
+	// use and clones afterwards, keeping cached instances reusable.
+	partials map[candKey][]*partial
+}
+
+type candKey struct {
+	doc  store.DocID
+	node *pattern.Node
+}
+
+// NewMatcher returns a matcher over st.
+func NewMatcher(st *store.Store) *Matcher {
+	return &Matcher{
+		st:       st,
+		cands:    make(map[candKey][]int32),
+		partials: make(map[candKey][]*partial),
+	}
+}
+
+// MatchDocument evaluates an APT rooted at a document-root test and returns
+// the full set of witness trees in document order of their roots.
+func (m *Matcher) MatchDocument(apt *pattern.Tree) (seq.Seq, error) {
+	if err := apt.Validate(); err != nil {
+		return nil, err
+	}
+	if apt.Root.Kind != pattern.TestDocRoot {
+		return nil, fmt.Errorf("physical: MatchDocument needs a doc_root pattern, got kind %d", apt.Root.Kind)
+	}
+	doc, ok := m.st.Lookup(apt.Root.Doc)
+	if !ok {
+		return nil, fmt.Errorf("physical: document %q not loaded", apt.Root.Doc)
+	}
+	parts, err := m.matchNode(doc, apt.Root)
+	if err != nil {
+		return nil, err
+	}
+	out := make(seq.Seq, 0, len(parts))
+	for _, p := range parts {
+		p := p.take() // the witness trees own these instances
+		t := seq.NewTree(p.root)
+		for _, c := range p.classes {
+			t.AddToClass(c.lcl, c.node)
+		}
+		out = append(out, t)
+	}
+	return out, nil
+}
+
+// matchNode matches the pattern subtree rooted at p bottom-up and returns
+// the resulting partials sorted by root ordinal. Results are cached per
+// pattern node: repeated evaluations (one per input tree in extension
+// matching) reuse the matched instances through take().
+func (m *Matcher) matchNode(doc store.DocID, p *pattern.Node) ([]*partial, error) {
+	key := candKey{doc: doc, node: p}
+	if parts, ok := m.partials[key]; ok {
+		return parts, nil
+	}
+	parts, err := m.buildPartials(doc, p)
+	if err != nil {
+		return nil, err
+	}
+	m.partials[key] = parts
+	return parts, nil
+}
+
+func (m *Matcher) buildPartials(doc store.DocID, p *pattern.Node) ([]*partial, error) {
+	ords, err := m.candidates(doc, p)
+	if err != nil {
+		return nil, err
+	}
+	d := m.st.Doc(doc)
+	parts := make([]*partial, 0, len(ords))
+	for _, o := range ords {
+		n := seq.NewStoreNode(doc, o, d.Node(o))
+		pt := &partial{root: n}
+		if p.LCL > 0 {
+			pt.classes = append(pt.classes, classEntry{lcl: p.LCL, node: n})
+		}
+		parts = append(parts, pt)
+	}
+	for _, e := range p.Edges {
+		parts, err = m.expandEdge(doc, parts, e)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return parts, nil
+}
+
+// expandEdge joins the parent partials with the matches of one pattern
+// edge, implementing the mSpec → join-variant mapping of Section 5.2.
+func (m *Matcher) expandEdge(doc store.DocID, parents []*partial, e pattern.Edge) ([]*partial, error) {
+	children, err := m.matchNode(doc, e.To)
+	if err != nil {
+		return nil, err
+	}
+	d := m.st.Doc(doc)
+	var out []*partial
+	for _, P := range parents {
+		ms := structuralMatches(d, P.root.Ord, children, e.Axis)
+		switch {
+		case e.Spec.Nested():
+			if len(ms) == 0 && !e.Spec.Optional() {
+				continue // "+" requires at least one match
+			}
+			for _, C := range ms {
+				P.attach(C.take())
+			}
+			out = append(out, P)
+		default: // "-" or "?"
+			if len(ms) == 0 {
+				if e.Spec.Optional() {
+					out = append(out, P) // "?" lets the parent through
+				}
+				continue
+			}
+			for i, C := range ms {
+				target := P
+				if i < len(ms)-1 {
+					target = P.clone()
+				}
+				target.attach(C.take())
+				out = append(out, target)
+			}
+		}
+	}
+	// Combination order: clones for the first k-1 children of a parent are
+	// appended before the parent itself, which already follows child
+	// document order per parent and parent order overall.
+	return out, nil
+}
+
+// structuralMatches returns the child partials whose roots stand in the
+// required structural relationship to the parent ordinal. Children are
+// sorted by root ordinal, so containment is a binary-search range scan;
+// the parent-child axis additionally filters on level (within an ancestor's
+// interval, a node one level deeper is necessarily a child).
+func structuralMatches(d *xmltree.Document, parentOrd int32, children []*partial, axis pattern.Axis) []*partial {
+	pid := d.Node(parentOrd).ID
+	lo := searchPartials(children, pid.Start+1)
+	hi := searchPartials(children, pid.End+1)
+	in := children[lo:hi]
+	if axis == pattern.Descendant {
+		return in
+	}
+	var out []*partial
+	for _, c := range in {
+		if d.Node(c.root.Ord).ID.Level == pid.Level+1 {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// searchPartials returns the first index whose root ordinal is >= ord.
+func searchPartials(parts []*partial, ord int32) int {
+	lo, hi := 0, len(parts)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if parts[mid].root.Ord < ord {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// candidates returns the filtered, document-ordered candidate ordinals for
+// one pattern node, caching the result so a pattern probed for a whole
+// sequence hits each index once.
+func (m *Matcher) candidates(doc store.DocID, p *pattern.Node) ([]int32, error) {
+	key := candKey{doc: doc, node: p}
+	if c, ok := m.cands[key]; ok {
+		return c, nil
+	}
+	var ords []int32
+	switch p.Kind {
+	case pattern.TestDocRoot:
+		if m.st.Doc(doc).Name != p.Doc {
+			return nil, fmt.Errorf("physical: pattern document %q does not match %q", p.Doc, m.st.Doc(doc).Name)
+		}
+		ords = []int32{0}
+	case pattern.TestTag:
+		switch {
+		case p.Pred != nil && p.Pred.Op == pattern.EQ:
+			// Equality content predicates are answered by merging the tag
+			// and value indexes, as in the paper's experimental setup.
+			ords = m.st.TagValue(doc, p.Tag, p.Pred.Value)
+		case p.Pred != nil:
+			for _, o := range m.st.Tag(doc, p.Tag) {
+				if p.Pred.Eval(m.st.Content(doc, o)) {
+					ords = append(ords, o)
+				}
+			}
+		default:
+			ords = m.st.Tag(doc, p.Tag)
+		}
+	case pattern.TestWildcard:
+		return nil, fmt.Errorf("physical: wildcard node tests are not supported in stored matches")
+	case pattern.TestLC:
+		return nil, fmt.Errorf("physical: logical-class anchor below the pattern root")
+	default:
+		return nil, fmt.Errorf("physical: unknown node test kind %d", p.Kind)
+	}
+	m.cands[key] = ords
+	return ords, nil
+}

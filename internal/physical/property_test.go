@@ -1,0 +1,238 @@
+package physical
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+
+	"tlc/internal/pattern"
+	"tlc/internal/seq"
+	"tlc/internal/store"
+	"tlc/internal/xmltree"
+)
+
+// This file cross-checks the structural-join-based APT matcher against a
+// brute-force reference evaluator on randomly generated documents and
+// patterns. The reference enumerates witness trees directly from the
+// semantics of Definition 3; agreement over thousands of random cases is
+// the strongest correctness evidence we have for the matcher.
+
+// genDoc builds a random document over a tiny tag alphabet with repeated
+// and missing children at every level.
+func genDoc(rng *rand.Rand, maxNodes int) *xmltree.Document {
+	b := xmltree.NewBuilder("rand.xml")
+	b.OpenElement("r")
+	n := 1
+	var grow func(depth int)
+	grow = func(depth int) {
+		if depth > 4 {
+			return
+		}
+		kids := rng.Intn(4)
+		for i := 0; i < kids && n < maxNodes; i++ {
+			tag := string(rune('a' + rng.Intn(3)))
+			n++
+			b.OpenElement(tag)
+			if rng.Intn(2) == 0 {
+				b.TextNode(fmt.Sprint(rng.Intn(5)))
+			}
+			grow(depth + 1)
+			b.CloseElement()
+		}
+	}
+	grow(0)
+	b.CloseElement()
+	return b.Done()
+}
+
+// genPattern builds a random APT rooted at the document with 1-4 nodes.
+func genPattern(rng *rand.Rand) *pattern.Tree {
+	lcl := 0
+	newNode := func() *pattern.Node {
+		lcl++
+		return pattern.NewTagNode(lcl, string(rune('a'+rng.Intn(3))))
+	}
+	specs := []pattern.MSpec{pattern.One, pattern.ZeroOrOne, pattern.OneOrMore, pattern.ZeroOrMore}
+	axes := []pattern.Axis{pattern.Child, pattern.Descendant}
+	lcl++
+	root := pattern.NewDocRoot(lcl, "rand.xml")
+	nodes := []*pattern.Node{root}
+	for i, n := 0, 1+rng.Intn(3); i < n; i++ {
+		parent := nodes[rng.Intn(len(nodes))]
+		child := newNode()
+		if rng.Intn(4) == 0 {
+			child.Pred = &pattern.Predicate{Op: pattern.GT, Value: fmt.Sprint(rng.Intn(4))}
+		}
+		parent.Add(child, axes[rng.Intn(2)], specs[rng.Intn(4)])
+		nodes = append(nodes, child)
+	}
+	return &pattern.Tree{Root: root}
+}
+
+// refMatch enumerates witness trees by direct recursion over Definition 3:
+// for each candidate x of a pattern node, each edge contributes either the
+// clustered set of all matching children ("+"/"*") or a choice over single
+// children ("-"/"?"); the result is the cross product of edge choices.
+type refWitness struct {
+	// classes maps LCL -> sorted store ordinals.
+	classes map[int][]int32
+}
+
+func refMatch(st *store.Store, id store.DocID, apt *pattern.Tree) []refWitness {
+	d := st.Doc(id)
+	var matchNode func(p *pattern.Node, ord int32) []refWitness
+	candidatesBelow := func(p *pattern.Node, anc int32, axis pattern.Axis) []int32 {
+		var out []int32
+		aid := d.Node(anc).ID
+		for i := range d.Nodes {
+			nd := &d.Nodes[i]
+			if nd.Tag != p.Tag || !aid.Contains(nd.ID) {
+				continue
+			}
+			if axis == pattern.Child && nd.ID.Level != aid.Level+1 {
+				continue
+			}
+			if p.Pred != nil && !p.Pred.Eval(d.Content(int32(i))) {
+				continue
+			}
+			out = append(out, int32(i))
+		}
+		return out
+	}
+	merge := func(a, b refWitness) refWitness {
+		m := refWitness{classes: map[int][]int32{}}
+		for k, v := range a.classes {
+			m.classes[k] = append(m.classes[k], v...)
+		}
+		for k, v := range b.classes {
+			m.classes[k] = append(m.classes[k], v...)
+		}
+		return m
+	}
+	matchNode = func(p *pattern.Node, ord int32) []refWitness {
+		base := refWitness{classes: map[int][]int32{}}
+		if p.LCL > 0 {
+			base.classes[p.LCL] = []int32{ord}
+		}
+		results := []refWitness{base}
+		for _, e := range p.Edges {
+			cands := candidatesBelow(e.To, ord, e.Axis)
+			// Sub-witnesses per candidate.
+			var subs [][]refWitness
+			for _, c := range cands {
+				subs = append(subs, matchNode(e.To, c))
+			}
+			var edgeAlts []refWitness
+			if e.Spec.Nested() {
+				// Join semantics (Section 5.2, normative for the
+				// implementation): the cluster contains every matched
+				// sub-witness of every candidate — candidates whose own
+				// subtrees cannot match are silently dropped, and a
+				// candidate whose flat descendants multiply contributes
+				// one cluster entry per alternative.
+				cluster := refWitness{classes: map[int][]int32{}}
+				contributed := 0
+				for _, sw := range subs {
+					for _, w := range sw {
+						cluster = merge(cluster, w)
+						contributed++
+					}
+				}
+				if contributed == 0 && !e.Spec.Optional() {
+					return nil
+				}
+				edgeAlts = []refWitness{cluster}
+			} else {
+				for _, sw := range subs {
+					edgeAlts = append(edgeAlts, sw...)
+				}
+				if len(edgeAlts) == 0 && e.Spec.Optional() {
+					edgeAlts = []refWitness{{classes: map[int][]int32{}}}
+				}
+			}
+			if len(edgeAlts) == 0 {
+				return nil
+			}
+			var next []refWitness
+			for _, r := range results {
+				for _, ea := range edgeAlts {
+					next = append(next, merge(r, ea))
+				}
+			}
+			results = next
+		}
+		return results
+	}
+	return matchNode(apt.Root, 0)
+}
+
+// canonicalWitnesses renders witnesses order-insensitively.
+func canonicalWitnesses(ws []refWitness) string {
+	lines := make([]string, 0, len(ws))
+	for _, w := range ws {
+		var ks []int
+		for k := range w.classes {
+			ks = append(ks, k)
+		}
+		sort.Ints(ks)
+		var sb strings.Builder
+		for _, k := range ks {
+			v := append([]int32(nil), w.classes[k]...)
+			sort.Slice(v, func(i, j int) bool { return v[i] < v[j] })
+			fmt.Fprintf(&sb, "%d=%v;", k, v)
+		}
+		lines = append(lines, sb.String())
+	}
+	sort.Strings(lines)
+	return strings.Join(lines, "\n")
+}
+
+func witnessesOf(res seq.Seq) []refWitness {
+	out := make([]refWitness, 0, len(res))
+	for _, t := range res {
+		w := refWitness{classes: map[int][]int32{}}
+		for _, lcl := range t.Classes() {
+			for _, n := range t.Class(lcl) {
+				w.classes[lcl] = append(w.classes[lcl], n.Ord)
+			}
+		}
+		out = append(out, w)
+	}
+	return out
+}
+
+// TestPropertyMatchAgainstReference runs the matcher against the reference
+// evaluator on many random (document, pattern) pairs.
+func TestPropertyMatchAgainstReference(t *testing.T) {
+	const cases = 400
+	mismatches := 0
+	for i := 0; i < cases; i++ {
+		rng := rand.New(rand.NewSource(int64(i)))
+		doc := genDoc(rng, 40)
+		st := store.New()
+		id, err := st.Load(doc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		apt := genPattern(rng)
+		m := NewMatcher(st)
+		res, err := m.MatchDocument(apt)
+		if err != nil {
+			t.Fatalf("case %d: match: %v\npattern:\n%s", i, err, apt)
+		}
+		got := canonicalWitnesses(witnessesOf(res))
+		want := canonicalWitnesses(refMatch(st, id, apt))
+		if got != want {
+			mismatches++
+			if mismatches <= 3 {
+				t.Errorf("case %d mismatch\npattern:\n%s\ndoc: %s\ngot:\n%s\nwant:\n%s",
+					i, apt, doc.XML(0), got, want)
+			}
+		}
+	}
+	if mismatches > 0 {
+		t.Fatalf("%d/%d cases mismatched", mismatches, cases)
+	}
+}

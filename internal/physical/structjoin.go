@@ -1,0 +1,120 @@
+package physical
+
+import (
+	"fmt"
+	"sort"
+
+	"tlc/internal/pattern"
+	"tlc/internal/seq"
+	"tlc/internal/store"
+)
+
+// StructuralJoin joins two tree sequences on a structural relationship
+// (Definition 8 and its variants). The node bound to leftLCL in each left
+// tree (a singleton) is tested against the root of each right tree; right
+// trees standing in the required relationship are stitched under the left
+// class node. The edge specification selects the variant exactly as in
+// Section 5.2:
+//
+//	"-"  regular structural join: one output per matching pair
+//	"?"  left-outer structural join
+//	"+"  nest-structural-join: one output per left tree, all matches
+//	"*"  left-outer-nest-structural-join
+//
+// Both the left class node and the right roots must reference stored nodes
+// of the same document; structural predicates are undefined on temporary
+// nodes (Section 5.1, property 2 is not required of temporaries).
+func StructuralJoin(st *store.Store, left, right seq.Seq, leftLCL int, axis pattern.Axis, spec pattern.MSpec) (seq.Seq, error) {
+	// Index right trees by root ordinal; right sequences are in document
+	// order, so containment is a binary-search range scan.
+	type rentry struct {
+		tree *seq.Tree
+		used bool
+	}
+	rents := make([]*rentry, 0, len(right))
+	var prevOrd int32 = -1
+	sorted := true
+	for _, r := range right {
+		if !r.Root.IsStore() {
+			return nil, fmt.Errorf("physical: structural join right root is a temporary node")
+		}
+		if r.Root.Ord < prevOrd {
+			sorted = false
+		}
+		prevOrd = r.Root.Ord
+		rents = append(rents, &rentry{tree: r})
+	}
+	if !sorted {
+		return nil, fmt.Errorf("physical: structural join right input not in document order")
+	}
+	takeRight := func(e *rentry) *seq.Tree {
+		if !e.used {
+			e.used = true
+			return e.tree
+		}
+		return e.tree.Clone()
+	}
+	var out seq.Seq
+	for _, l := range left {
+		anchor, err := l.Singleton(leftLCL)
+		if err != nil {
+			return nil, fmt.Errorf("physical: structural join left side: %w", err)
+		}
+		if !anchor.IsStore() {
+			return nil, fmt.Errorf("physical: structural join left anchor is a temporary node")
+		}
+		d := st.Doc(anchor.Doc)
+		aid := d.Node(anchor.Ord).ID
+		lo := sort.Search(len(rents), func(i int) bool { return rents[i].tree.Root.Ord >= aid.Start+1 })
+		hi := sort.Search(len(rents), func(i int) bool { return rents[i].tree.Root.Ord >= aid.End+1 })
+		var ms []*rentry
+		for _, e := range rents[lo:hi] {
+			if e.tree.Root.Doc != anchor.Doc {
+				continue
+			}
+			if axis == pattern.Child && d.Node(e.tree.Root.Ord).ID.Level != aid.Level+1 {
+				continue
+			}
+			ms = append(ms, e)
+		}
+		emit := func(l *seq.Tree, anchor *seq.Node, rights []*seq.Tree) {
+			for _, r := range rights {
+				seq.Attach(anchor, r.Root)
+				for _, lcl := range r.Classes() {
+					for _, n := range r.ClassAll(lcl) {
+						l.AddToClass(lcl, n)
+					}
+				}
+			}
+			out = append(out, l)
+		}
+		switch {
+		case spec.Nested():
+			if len(ms) == 0 && !spec.Optional() {
+				continue
+			}
+			rights := make([]*seq.Tree, 0, len(ms))
+			for _, e := range ms {
+				rights = append(rights, takeRight(e))
+			}
+			emit(l, anchor, rights)
+		default:
+			if len(ms) == 0 {
+				if spec.Optional() {
+					emit(l, anchor, nil)
+				}
+				continue
+			}
+			for i, e := range ms {
+				lt, a := l, anchor
+				if i < len(ms)-1 {
+					var mapping map[*seq.Node]*seq.Node
+					lt, mapping = l.CloneWithMapping()
+					a = mapping[anchor]
+				}
+				emit(lt, a, []*seq.Tree{takeRight(e)})
+			}
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,123 @@
+// Package rewrite implements the redundancy-eliminating plan rewrites of
+// Section 4 of the TLC paper: pattern tree reuse (branch merging and
+// extension-select reuse, Section 4.1), the Flatten rewrite (Section 4.2,
+// Figure 10) and the Shadow/Illuminate rewrite (Section 4.3, Figure 12).
+// The entry point Optimize applies them in the order the paper's "OPT"
+// plans use: merge duplicate branches, reuse existing matches for
+// extension selects, and break up clustered matches with Flatten — or,
+// when a later operator needs the suppressed siblings back, with Shadow
+// and a matching Illuminate in place of the redundant re-match.
+package rewrite
+
+import (
+	"tlc/internal/pattern"
+)
+
+// extra is a pattern branch of the richer tree (C) that the poorer tree
+// (B) lacks: it must be re-matched by an extension select anchored at the
+// B-side node corresponding to the C-side parent.
+type extra struct {
+	anchorLCL int
+	edge      pattern.Edge
+}
+
+// embed tries to embed the pattern subtree b into the pattern subtree c
+// (tree(B) ⊆ tree(C) in the paper's notation). On success it returns a
+// mapping from the labels of c's matched nodes to the labels of the
+// corresponding b nodes, plus the branches of c that b lacks, anchored at
+// b labels.
+func embed(b, c *pattern.Node) (lclMap map[int]int, extras []extra, ok bool) {
+	lclMap = make(map[int]int)
+	if !nodesCompatible(b, c) {
+		return nil, nil, false
+	}
+	if !embedInto(b, c, lclMap, &extras) {
+		return nil, nil, false
+	}
+	return lclMap, extras, true
+}
+
+func embedInto(b, c *pattern.Node, lclMap map[int]int, extras *[]extra) bool {
+	if c.LCL > 0 && b.LCL > 0 {
+		lclMap[c.LCL] = b.LCL
+	}
+	usedC := make([]bool, len(c.Edges))
+	// Every b edge must match a distinct c edge.
+	for _, be := range b.Edges {
+		matched := false
+		for i, ce := range c.Edges {
+			if usedC[i] || be.Axis != ce.Axis || be.Spec != ce.Spec || !nodesCompatible(be.To, ce.To) {
+				continue
+			}
+			// Tentatively recurse; embedInto only mutates on success paths,
+			// so a failed branch match just tries the next candidate.
+			sub := make(map[int]int)
+			var subExtras []extra
+			if embedInto(be.To, ce.To, sub, &subExtras) {
+				for k, v := range sub {
+					lclMap[k] = v
+				}
+				*extras = append(*extras, subExtras...)
+				usedC[i] = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			return false
+		}
+	}
+	// c's unmatched edges become extras anchored at the b node.
+	for i, ce := range c.Edges {
+		if !usedC[i] {
+			*extras = append(*extras, extra{anchorLCL: b.LCL, edge: ce})
+		}
+	}
+	return true
+}
+
+// nodesCompatible reports whether two pattern nodes perform the same test
+// and carry the same predicate.
+func nodesCompatible(a, b *pattern.Node) bool {
+	if a.Kind != b.Kind {
+		return false
+	}
+	switch a.Kind {
+	case pattern.TestTag:
+		if a.Tag != b.Tag {
+			return false
+		}
+	case pattern.TestDocRoot:
+		if a.Doc != b.Doc {
+			return false
+		}
+	case pattern.TestLC:
+		if a.InClass != b.InClass {
+			return false
+		}
+	}
+	switch {
+	case a.Pred == nil && b.Pred == nil:
+		return true
+	case a.Pred == nil || b.Pred == nil:
+		return false
+	default:
+		return *a.Pred == *b.Pred
+	}
+}
+
+// subtreeLCLs collects the labels of a pattern subtree.
+func subtreeLCLs(n *pattern.Node) []int {
+	var out []int
+	var walk func(*pattern.Node)
+	walk = func(p *pattern.Node) {
+		if p.LCL > 0 {
+			out = append(out, p.LCL)
+		}
+		for _, e := range p.Edges {
+			walk(e.To)
+		}
+	}
+	walk(n)
+	return out
+}

@@ -1,0 +1,308 @@
+package rewrite
+
+import (
+	"sort"
+	"strings"
+	"testing"
+
+	"tlc/internal/algebra"
+	"tlc/internal/seq"
+	"tlc/internal/store"
+	"tlc/internal/translate"
+	"tlc/internal/xquery"
+)
+
+const testAuction = `<site>
+  <people>
+    <person id="p0"><name>Alice</name><age>30</age></person>
+    <person id="p1"><name>Bob</name><age>20</age></person>
+    <person id="p2"><name>Carol</name><age>40</age></person>
+  </people>
+  <open_auctions>
+    <open_auction id="a0">
+      <bidder><personref person="p0"/><increase>3</increase></bidder>
+      <bidder><personref person="p2"/><increase>4</increase></bidder>
+      <bidder><personref person="p0"/><increase>5</increase></bidder>
+      <bidder><personref person="p2"/><increase>6</increase></bidder>
+      <bidder><personref person="p0"/><increase>7</increase></bidder>
+      <bidder><personref person="p2"/><increase>8</increase></bidder>
+      <quantity>2</quantity>
+    </open_auction>
+    <open_auction id="a1">
+      <bidder><personref person="p2"/><increase>1</increase></bidder>
+      <quantity>5</quantity>
+    </open_auction>
+    <open_auction id="a2"><quantity>1</quantity></open_auction>
+  </open_auctions>
+</site>`
+
+const q1Text = `
+FOR $p IN document("auction.xml")//person
+FOR $o IN document("auction.xml")//open_auction
+WHERE count($o/bidder) > 5 AND $p/age > 25
+  AND $p/@id = $o/bidder//@person
+RETURN
+<person name={$p/name/text()}> $o/bidder </person>`
+
+const q2Text = `
+FOR $p IN document("auction.xml")//person
+LET $a := FOR $o IN document("auction.xml")//open_auction
+          WHERE count($o/bidder) > 5
+            AND $p/@id = $o/bidder//@person
+          RETURN <myauction> {$o/bidder}
+                   <myquan>{$o/quantity/text()}</myquan>
+                 </myauction>
+WHERE $p/age > 25
+  AND EVERY $i IN $a/myquan SATISFIES $i > 1
+RETURN
+<person name={$p/name/text()}>{$a/bidder}</person>`
+
+// q5Text exercises the plain Flatten rewrite: the bidder path feeds an
+// aggregate (nested edge) and a value join ("-" edge), and the RETURN does
+// not re-match bidders, so Shadow/Illuminate is not triggered.
+const q5Text = `
+FOR $p IN document("auction.xml")//person
+FOR $o IN document("auction.xml")//open_auction
+WHERE count($o/bidder) > 0 AND $p/@id = $o/bidder//@person
+RETURN <q>{$o/quantity/text()}</q>`
+
+func loadStore(t *testing.T) *store.Store {
+	t.Helper()
+	s := store.New()
+	if _, err := s.LoadXML("auction.xml", strings.NewReader(testAuction)); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func buildPlan(t *testing.T, q string) algebra.Op {
+	t.Helper()
+	ast, err := xquery.Parse(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := translate.Translate(ast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Plan
+}
+
+// canonical renders a result sequence in an order-insensitive form for
+// equivalence checks (rewrites may reorder trees with equal roots).
+func canonical(s *store.Store, out seq.Seq) []string {
+	xs := make([]string, len(out))
+	for i, w := range out {
+		xs[i] = w.XML(s)
+	}
+	sort.Strings(xs)
+	return xs
+}
+
+func runPlan(t *testing.T, s *store.Store, p algebra.Op) seq.Seq {
+	t.Helper()
+	out, err := algebra.Run(s, p)
+	if err != nil {
+		t.Fatalf("eval: %v\nplan:\n%s", err, algebra.Explain(p))
+	}
+	return out
+}
+
+func TestOptimizeQ1ShadowIlluminate(t *testing.T) {
+	s := loadStore(t)
+	base := buildPlan(t, q1Text)
+	want := canonical(s, runPlan(t, s, base))
+
+	opt := buildPlan(t, q1Text)
+	opt, n := Optimize(opt)
+	if n == 0 {
+		t.Fatalf("no rewrites applied to Q1:\n%s", algebra.Explain(opt))
+	}
+	exp := algebra.Explain(opt)
+	if !strings.Contains(exp, "Shadow") || !strings.Contains(exp, "Illuminate") {
+		t.Errorf("Q1 OPT plan missing Shadow/Illuminate:\n%s", exp)
+	}
+	got := canonical(s, runPlan(t, s, opt))
+	if strings.Join(got, "\n") != strings.Join(want, "\n") {
+		t.Errorf("Q1 OPT results differ.\nwant:\n%s\ngot:\n%s\nplan:\n%s",
+			strings.Join(want, "\n"), strings.Join(got, "\n"), exp)
+	}
+}
+
+func TestOptimizeQ1SavesIndexWork(t *testing.T) {
+	s := loadStore(t)
+	base := buildPlan(t, q1Text)
+	s.ResetStats()
+	runPlan(t, s, base)
+	baseStats := s.Snapshot()
+
+	opt, _ := Optimize(buildPlan(t, q1Text))
+	s.ResetStats()
+	runPlan(t, s, opt)
+	optStats := s.Snapshot()
+
+	if optStats.TagLookups >= baseStats.TagLookups {
+		t.Errorf("OPT did not reduce index probes: base %d, opt %d",
+			baseStats.TagLookups, optStats.TagLookups)
+	}
+}
+
+func TestOptimizeQ2Equivalent(t *testing.T) {
+	s := loadStore(t)
+	base := buildPlan(t, q2Text)
+	want := canonical(s, runPlan(t, s, base))
+
+	opt, n := Optimize(buildPlan(t, q2Text))
+	if n == 0 {
+		t.Fatalf("no rewrites applied to Q2:\n%s", algebra.Explain(opt))
+	}
+	got := canonical(s, runPlan(t, s, opt))
+	if strings.Join(got, "\n") != strings.Join(want, "\n") {
+		t.Errorf("Q2 OPT results differ.\nwant:\n%s\ngot:\n%s\nplan:\n%s",
+			strings.Join(want, "\n"), strings.Join(got, "\n"), algebra.Explain(opt))
+	}
+}
+
+func TestOptimizeQ5PlainFlatten(t *testing.T) {
+	s := loadStore(t)
+	base := buildPlan(t, q5Text)
+	want := canonical(s, runPlan(t, s, base))
+
+	opt, n := Optimize(buildPlan(t, q5Text))
+	if n == 0 {
+		t.Fatalf("no rewrites applied:\n%s", algebra.Explain(opt))
+	}
+	exp := algebra.Explain(opt)
+	if !strings.Contains(exp, "Flatten") {
+		t.Errorf("plan missing Flatten:\n%s", exp)
+	}
+	if strings.Contains(exp, "Illuminate") {
+		t.Errorf("unexpected Illuminate (no re-match to replace):\n%s", exp)
+	}
+	got := canonical(s, runPlan(t, s, opt))
+	if strings.Join(got, "\n") != strings.Join(want, "\n") {
+		t.Errorf("Q5 OPT results differ.\nwant:\n%s\ngot:\n%s\nplan:\n%s",
+			strings.Join(want, "\n"), strings.Join(got, "\n"), exp)
+	}
+}
+
+func TestOptimizeIdempotentOnSimpleQuery(t *testing.T) {
+	s := loadStore(t)
+	q := `FOR $p IN document("auction.xml")//person WHERE $p/age > 25 RETURN $p/name`
+	base := buildPlan(t, q)
+	want := canonical(s, runPlan(t, s, base))
+	opt, _ := Optimize(buildPlan(t, q))
+	got := canonical(s, runPlan(t, s, opt))
+	if strings.Join(got, "\n") != strings.Join(want, "\n") {
+		t.Errorf("simple query changed under Optimize")
+	}
+}
+
+func TestOptimizePreservesResultCountQ1(t *testing.T) {
+	s := loadStore(t)
+	opt, _ := Optimize(buildPlan(t, q1Text))
+	out := runPlan(t, s, opt)
+	if len(out) != 2 {
+		t.Fatalf("Q1 OPT produced %d trees, want 2:\n%s\nplan:\n%s",
+			len(out), out.XML(s), algebra.Explain(opt))
+	}
+	for _, w := range out {
+		if got := strings.Count(w.XML(s), "<bidder>"); got != 6 {
+			t.Errorf("OPT result has %d bidders, want 6", got)
+		}
+	}
+}
+
+// q3Text exercises the native Shadow/Illuminate rewrite (Figure 12): the
+// bidder path feeds a value join with a "-" edge, and the RETURN re-matches
+// bidders with a "*" extension select — no aggregate in sight.
+const q3Text = `
+FOR $p IN document("auction.xml")//person
+FOR $o IN document("auction.xml")//open_auction
+WHERE $p/@id = $o/bidder//@person AND $p/age > 25
+RETURN <auction name={$p/name/text()}> $o/bidder </auction>`
+
+func TestOptimizeNativeShadow(t *testing.T) {
+	s := loadStore(t)
+	base := buildPlan(t, q3Text)
+	want := canonical(s, runPlan(t, s, base))
+
+	opt, n := Optimize(buildPlan(t, q3Text))
+	if n == 0 {
+		t.Fatalf("no rewrites applied:\n%s", algebra.Explain(opt))
+	}
+	exp := algebra.Explain(opt)
+	if !strings.Contains(exp, "Shadow") || !strings.Contains(exp, "Illuminate") {
+		t.Errorf("native shadow plan missing Shadow/Illuminate:\n%s", exp)
+	}
+	got := canonical(s, runPlan(t, s, opt))
+	if strings.Join(got, "\n") != strings.Join(want, "\n") {
+		t.Errorf("native shadow results differ.\nwant:\n%s\ngot:\n%s\nplan:\n%s",
+			strings.Join(want, "\n"), strings.Join(got, "\n"), exp)
+	}
+}
+
+// TestOptimizeFlattenPredicateBranch checks the relaxed phase-1 condition:
+// a C branch that only filters (predicate path, referenced by no operator)
+// still enables the Flatten rewrite.
+func TestOptimizeFlattenPredicateBranch(t *testing.T) {
+	s := loadStore(t)
+	q := `FOR $o IN document("auction.xml")//open_auction
+		WHERE count($o/bidder) > 0 AND $o/bidder/increase > 7
+		RETURN <n>{count($o/bidder)}</n>`
+	base := buildPlan(t, q)
+	want := canonical(s, runPlan(t, s, base))
+	opt, _ := Optimize(buildPlan(t, q))
+	got := canonical(s, runPlan(t, s, opt))
+	if strings.Join(got, "\n") != strings.Join(want, "\n") {
+		t.Errorf("predicate-branch flatten results differ.\nwant:\n%s\ngot:\n%s\nplan:\n%s",
+			strings.Join(want, "\n"), strings.Join(got, "\n"), algebra.Explain(opt))
+	}
+}
+
+// TestOrderEdgesPreservesResults reorders pattern edges by selectivity and
+// checks result equality plus that a reorder actually happened on the Q1
+// shape (flat join branch before the nested cluster).
+func TestOrderEdgesPreservesResults(t *testing.T) {
+	s := loadStore(t)
+	base := buildPlan(t, q1Text)
+	want := canonical(s, runPlan(t, s, base))
+
+	ordered := buildPlan(t, q1Text)
+	if n := OrderEdges(ordered, s); n == 0 {
+		t.Fatalf("no edges reordered:\n%s", algebra.Explain(ordered))
+	}
+	got := canonical(s, runPlan(t, s, ordered))
+	if strings.Join(got, "\n") != strings.Join(want, "\n") {
+		t.Errorf("edge ordering changed results.\nwant:\n%s\ngot:\n%s",
+			strings.Join(want, "\n"), strings.Join(got, "\n"))
+	}
+}
+
+// TestOrderEdgesPredicatesFirst checks the selectivity classes: a
+// predicated flat branch sorts before an unpredicated one, nested last.
+func TestOrderEdgesPredicatesFirst(t *testing.T) {
+	s := loadStore(t)
+	q := `FOR $o IN document("auction.xml")//open_auction
+		LET $b := $o/bidder
+		WHERE $o/quantity > 1 AND count($b) > 0
+		RETURN $o/@id`
+	plan := buildPlan(t, q)
+	OrderEdges(plan, s)
+	for _, op := range algebra.Ops(plan) {
+		sel, ok := op.(*algebra.Select)
+		if !ok || sel.APT == nil || sel.APT.Root == nil {
+			continue
+		}
+		for _, n := range sel.APT.Nodes() {
+			lastClass := -1
+			for _, e := range n.Edges {
+				c := edgeClass(e)
+				if c < lastClass {
+					t.Errorf("edges out of class order:\n%s", algebra.Explain(plan))
+				}
+				lastClass = c
+			}
+		}
+	}
+}

@@ -1,0 +1,306 @@
+// Package seq implements the intermediate results flowing between TLC
+// algebra operators: sequences of witness trees whose nodes either
+// reference stored nodes or are temporary nodes created during evaluation
+// (join roots, aggregate results, constructed elements).
+//
+// Each tree carries its logical class reduction (Definition 4): a map from
+// logical class labels to the member nodes within the tree. Operators
+// address nodes exclusively through that map, which is what lets them treat
+// heterogeneous sets of trees homogeneously.
+//
+// Temporary node identifiers follow Section 5.1 of the paper: they satisfy
+// node-ID properties 1 (uniqueness) and 4 (order within a class) but not
+// properties 2–3, avoiding the in-memory renumbering that full dynamic
+// interval assignment would require. They are drawn from a process-wide
+// monotone counter, so nodes of the same class created in sequence order
+// sort correctly.
+package seq
+
+import (
+	"fmt"
+	"sort"
+	"sync/atomic"
+
+	"tlc/internal/store"
+	"tlc/internal/xmltree"
+)
+
+// tempCounter issues temporary node identifiers (properties 1 and 4 of
+// Figure 13). It is atomic so tests and parallel benchmarks may build trees
+// concurrently, even though single-query evaluation is sequential.
+var tempCounter atomic.Int64
+
+// Node is a witness tree node. A node either references a stored node
+// (Ord >= 0) or is a temporary node (Ord < 0, TempID > 0).
+type Node struct {
+	// Doc and Ord locate the referenced store node; Ord is -1 for
+	// temporary nodes.
+	Doc store.DocID
+	Ord int32
+	// TempID is the temporary identifier; 0 for store references.
+	TempID int64
+	// Kind, Tag and Value mirror the node's model data. For store
+	// references they are cached copies of the stored record; Value holds
+	// attribute/text values only (element content is always read through
+	// Content).
+	Kind  xmltree.Kind
+	Tag   string
+	Value string
+	// Parent is the node's parent within this witness tree, nil at the root.
+	Parent *Node
+	// Kids are the node's children within this witness tree. For store
+	// references this is in general a *subset* of the stored children:
+	// only nodes attached by pattern matching. If Full is set, Kids is the
+	// complete materialized child list.
+	Kids []*Node
+	// Full marks a store reference whose Kids are a complete copy of the
+	// stored subtree (set by materialization).
+	Full bool
+	// Shadowed marks the node invisible to every operator except
+	// Illuminate (Definition 6).
+	Shadowed bool
+}
+
+// NewStoreNode returns a witness node referencing the store node at
+// (doc, ord). Kind, tag and value are cached from the record n.
+func NewStoreNode(doc store.DocID, ord int32, n *xmltree.Node) *Node {
+	return &Node{Doc: doc, Ord: ord, Kind: n.Kind, Tag: n.Tag, Value: n.Value}
+}
+
+// NewTempElement returns a fresh temporary element node.
+func NewTempElement(tag string) *Node {
+	return &Node{Ord: -1, TempID: tempCounter.Add(1), Kind: xmltree.Element, Tag: tag}
+}
+
+// NewTempText returns a fresh temporary text node.
+func NewTempText(value string) *Node {
+	return &Node{Ord: -1, TempID: tempCounter.Add(1), Kind: xmltree.Text, Tag: xmltree.TextTag, Value: value}
+}
+
+// NewTempAttr returns a fresh temporary attribute node; name is stored with
+// the "@" prefix like stored attributes.
+func NewTempAttr(name, value string) *Node {
+	return &Node{Ord: -1, TempID: tempCounter.Add(1), Kind: xmltree.Attribute, Tag: "@" + name, Value: value}
+}
+
+// IsStore reports whether the node references a stored node.
+func (n *Node) IsStore() bool { return n.Ord >= 0 }
+
+// Identity returns a string key unique to the underlying node: the store
+// coordinates for store references, the temporary ID otherwise. It is the
+// key used by identifier-based duplicate elimination.
+func (n *Node) Identity() string {
+	if n.IsStore() {
+		return fmt.Sprintf("s%d:%d", n.Doc, n.Ord)
+	}
+	return fmt.Sprintf("t%d", n.TempID)
+}
+
+// Less orders nodes for document-order sorts: store references order by
+// (document, start) — property 3 — and temporary nodes by creation order —
+// property 4. Store references sort before temporaries, which only matters
+// when a class mixes both (constructed nodes are "later" than base data).
+func Less(a, b *Node) bool {
+	as, bs := a.IsStore(), b.IsStore()
+	switch {
+	case as && bs:
+		if a.Doc != b.Doc {
+			return a.Doc < b.Doc
+		}
+		return a.Ord < b.Ord
+	case as:
+		return true
+	case bs:
+		return false
+	default:
+		return a.TempID < b.TempID
+	}
+}
+
+// Attach links child under parent, keeping Parent pointers consistent.
+func Attach(parent, child *Node) {
+	child.Parent = parent
+	parent.Kids = append(parent.Kids, child)
+}
+
+// Walk visits the subtree rooted at n in pre-order, including shadowed
+// nodes, until fn returns false.
+func (n *Node) Walk(fn func(*Node) bool) bool {
+	if !fn(n) {
+		return false
+	}
+	for _, k := range n.Kids {
+		if !k.Walk(fn) {
+			return false
+		}
+	}
+	return true
+}
+
+// Tree is one witness tree together with its logical class reduction.
+type Tree struct {
+	Root *Node
+	// lc maps a logical class label to the member nodes, in the order they
+	// were classified (pattern matching classifies in document order).
+	lc map[int][]*Node
+}
+
+// NewTree returns a tree rooted at root with an empty class map.
+func NewTree(root *Node) *Tree {
+	return &Tree{Root: root, lc: make(map[int][]*Node)}
+}
+
+// AddToClass records n as a member of logical class lcl.
+func (t *Tree) AddToClass(lcl int, n *Node) {
+	if lcl <= 0 {
+		return
+	}
+	t.lc[lcl] = append(t.lc[lcl], n)
+}
+
+// Class returns the active (non-shadowed) members of class lcl. The result
+// aliases internal state when no member is shadowed and must not be
+// modified by callers.
+func (t *Tree) Class(lcl int) []*Node {
+	members := t.lc[lcl]
+	shadowed := 0
+	for _, m := range members {
+		if m.Shadowed {
+			shadowed++
+		}
+	}
+	if shadowed == 0 {
+		return members
+	}
+	out := make([]*Node, 0, len(members)-shadowed)
+	for _, m := range members {
+		if !m.Shadowed {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// ClassAll returns every member of class lcl including shadowed nodes.
+func (t *Tree) ClassAll(lcl int) []*Node { return t.lc[lcl] }
+
+// Classes returns the labels present in the tree, sorted.
+func (t *Tree) Classes() []int {
+	out := make([]int, 0, len(t.lc))
+	for l := range t.lc {
+		out = append(out, l)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Singleton returns the single active member of class lcl, or an error if
+// the class does not bind to exactly one node — the per-operator
+// requirement stated in Section 2.3.
+func (t *Tree) Singleton(lcl int) (*Node, error) {
+	m := t.Class(lcl)
+	if len(m) != 1 {
+		return nil, fmt.Errorf("seq: logical class %d binds to %d nodes, need exactly 1", lcl, len(m))
+	}
+	return m[0], nil
+}
+
+// ClassOf returns the labels whose class contains n.
+func (t *Tree) ClassOf(n *Node) []int {
+	var out []int
+	for l, members := range t.lc {
+		for _, m := range members {
+			if m == n {
+				out = append(out, l)
+				break
+			}
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// RemoveFromClasses removes n (by pointer identity) from every class.
+func (t *Tree) RemoveFromClasses(n *Node) {
+	for l, members := range t.lc {
+		for i, m := range members {
+			if m == n {
+				t.lc[l] = append(members[:i:i], members[i+1:]...)
+				break
+			}
+		}
+	}
+}
+
+// Clone returns a deep copy of the tree: fresh Node structs wired
+// identically, with the class map rebuilt to point at the copies. Store
+// references keep their coordinates; temporary nodes keep their TempIDs
+// (a clone denotes the same logical nodes).
+func (t *Tree) Clone() *Tree {
+	nt, _ := t.CloneWithMapping()
+	return nt
+}
+
+// CloneWithMapping deep-copies the tree like Clone and additionally returns
+// the original-node → copied-node mapping, which operators that must keep
+// addressing specific nodes across the copy (extension matching, Flatten,
+// Shadow) use to re-locate their targets.
+func (t *Tree) CloneWithMapping() (*Tree, map[*Node]*Node) {
+	mapping := make(map[*Node]*Node)
+	var cp func(*Node, *Node) *Node
+	cp = func(n, parent *Node) *Node {
+		m := *n
+		m.Parent = parent
+		m.Kids = make([]*Node, len(n.Kids))
+		mapping[n] = &m
+		for i, k := range n.Kids {
+			m.Kids[i] = cp(k, &m)
+		}
+		return &m
+	}
+	nt := NewTree(cp(t.Root, nil))
+	for l, members := range t.lc {
+		nm := make([]*Node, len(members))
+		for i, m := range members {
+			if c, ok := mapping[m]; ok {
+				nm[i] = c
+			} else {
+				// Class member detached from the tree structure; keep the
+				// original pointer (cannot happen with well-formed trees,
+				// but do not silently drop data).
+				nm[i] = m
+			}
+		}
+		nt.lc[l] = nm
+	}
+	return nt, mapping
+}
+
+// Detach removes child from its parent's kid list (pointer identity) and
+// clears its Parent link. It does not touch class membership.
+func Detach(child *Node) {
+	p := child.Parent
+	if p == nil {
+		return
+	}
+	for i, k := range p.Kids {
+		if k == child {
+			p.Kids = append(p.Kids[:i:i], p.Kids[i+1:]...)
+			break
+		}
+	}
+	child.Parent = nil
+}
+
+// Seq is a sequence of witness trees — the value flowing along every
+// algebra edge. Order is significant (document order of the results).
+type Seq []*Tree
+
+// Clone deep-copies every tree in the sequence.
+func (s Seq) Clone() Seq {
+	out := make(Seq, len(s))
+	for i, t := range s {
+		out[i] = t.Clone()
+	}
+	return out
+}

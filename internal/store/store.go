@@ -1,0 +1,263 @@
+// Package store implements the native XML store that all four evaluation
+// engines (TLC, GTP, TAX, navigational) run against. It stands in for the
+// disk-based TIMBER storage manager used in the paper: documents are kept
+// as xmltree arenas, and the store maintains the two index structures the
+// paper's experiments rely on — an element tag-name index (tag → node IDs
+// in document order) and a value index (content → node IDs). Access
+// counters make the relative cost of the competing plans observable.
+//
+// A Store is immutable after loading and safe for concurrent readers,
+// except for the statistics counters, which are maintained without
+// synchronization: query evaluation in this system is single-goroutine,
+// matching the paper's single-query-at-a-time measurements.
+package store
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"tlc/internal/xmltree"
+)
+
+// DocID identifies a loaded document within a store.
+type DocID int32
+
+// Stats counts the store accesses performed during query evaluation. The
+// benchmark harness resets it per query and reports it next to wall-clock
+// time, making visible *why* one plan beats another (redundant index scans,
+// early materialization, navigation steps).
+type Stats struct {
+	// TagLookups counts tag-index probes.
+	TagLookups int64
+	// TagRefs counts node references returned by tag-index probes.
+	TagRefs int64
+	// ValueLookups counts value-index probes.
+	ValueLookups int64
+	// NodesRead counts individual node records fetched (navigation and
+	// content reads).
+	NodesRead int64
+	// NodesMaterialized counts nodes copied out of the store into
+	// intermediate results (subtree materialization).
+	NodesMaterialized int64
+}
+
+// Add accumulates other into s.
+func (s *Stats) Add(other Stats) {
+	s.TagLookups += other.TagLookups
+	s.TagRefs += other.TagRefs
+	s.ValueLookups += other.ValueLookups
+	s.NodesRead += other.NodesRead
+	s.NodesMaterialized += other.NodesMaterialized
+}
+
+// String renders the counters in a compact single-line form.
+func (s Stats) String() string {
+	return fmt.Sprintf("tagLookups=%d tagRefs=%d valueLookups=%d nodesRead=%d materialized=%d",
+		s.TagLookups, s.TagRefs, s.ValueLookups, s.NodesRead, s.NodesMaterialized)
+}
+
+type docEntry struct {
+	doc *xmltree.Document
+	// tags maps a tag name (elements plain, attributes with "@", text as
+	// "#text") to the ordinals of matching nodes in document order.
+	tags map[string][]int32
+	// values maps textual content to the ordinals of nodes (elements with
+	// text content, attributes, text nodes) having exactly that content.
+	values map[string][]int32
+}
+
+// Store is a collection of indexed XML documents.
+type Store struct {
+	docs    []docEntry
+	byName  map[string]DocID
+	stats   Stats
+	noStats bool
+}
+
+// New returns an empty store.
+func New() *Store {
+	return &Store{byName: make(map[string]DocID)}
+}
+
+// Load indexes doc and adds it to the store. Loading a document whose name
+// is already present is an error.
+func (s *Store) Load(doc *xmltree.Document) (DocID, error) {
+	if err := doc.Validate(); err != nil {
+		return 0, fmt.Errorf("store: load: %w", err)
+	}
+	if _, dup := s.byName[doc.Name]; dup {
+		return 0, fmt.Errorf("store: document %q already loaded", doc.Name)
+	}
+	e := docEntry{
+		doc:    doc,
+		tags:   make(map[string][]int32),
+		values: make(map[string][]int32),
+	}
+	for i := range doc.Nodes {
+		n := &doc.Nodes[i]
+		e.tags[n.Tag] = append(e.tags[n.Tag], int32(i))
+		switch n.Kind {
+		case xmltree.Attribute, xmltree.Text:
+			e.values[n.Value] = append(e.values[n.Value], int32(i))
+		case xmltree.Element:
+			if c := doc.Content(int32(i)); c != "" {
+				e.values[c] = append(e.values[c], int32(i))
+			}
+		}
+	}
+	id := DocID(len(s.docs))
+	s.docs = append(s.docs, e)
+	s.byName[doc.Name] = id
+	return id, nil
+}
+
+// LoadXML parses XML from r and loads it under the given document name.
+func (s *Store) LoadXML(name string, r io.Reader) (DocID, error) {
+	doc, err := xmltree.Parse(name, r)
+	if err != nil {
+		return 0, err
+	}
+	return s.Load(doc)
+}
+
+// Lookup returns the DocID for a loaded document name.
+func (s *Store) Lookup(name string) (DocID, bool) {
+	id, ok := s.byName[name]
+	return id, ok
+}
+
+// Names returns the names of the loaded documents in load order.
+func (s *Store) Names() []string {
+	names := make([]string, len(s.docs))
+	for i := range s.docs {
+		names[i] = s.docs[i].doc.Name
+	}
+	return names
+}
+
+// Doc returns the document with the given ID.
+func (s *Store) Doc(id DocID) *xmltree.Document { return s.docs[id].doc }
+
+// NumDocs returns the number of loaded documents.
+func (s *Store) NumDocs() int { return len(s.docs) }
+
+// ResetStats zeroes the access counters.
+func (s *Store) ResetStats() { s.stats = Stats{} }
+
+// Snapshot returns a copy of the current access counters.
+func (s *Store) Snapshot() Stats { return s.stats }
+
+// DisableStats turns off counter maintenance; used by throughput-focused
+// benchmarks where even the counter writes are unwanted.
+func (s *Store) DisableStats() { s.noStats = true }
+
+// TagCount returns the number of nodes with the given tag — catalog
+// metadata used by the plan optimizer for selectivity estimates. Catalog
+// probes are free (no access counting): a real system keeps these counts
+// in its catalog.
+func (s *Store) TagCount(id DocID, tag string) int {
+	return len(s.docs[id].tags[tag])
+}
+
+// Tag returns the ordinals of all nodes with the given tag in document id,
+// in document order. The returned slice is shared and must not be modified.
+func (s *Store) Tag(id DocID, tag string) []int32 {
+	refs := s.docs[id].tags[tag]
+	if !s.noStats {
+		s.stats.TagLookups++
+		s.stats.TagRefs += int64(len(refs))
+	}
+	return refs
+}
+
+// TagWithin returns the ordinals of nodes with the given tag that lie
+// strictly inside the interval of the node at ancestor, using binary search
+// over the tag index (node-ID property 2 makes this a range scan).
+func (s *Store) TagWithin(id DocID, tag string, ancestor int32) []int32 {
+	refs := s.docs[id].tags[tag]
+	anc := s.docs[id].doc.Nodes[ancestor].ID
+	lo := sort.Search(len(refs), func(i int) bool { return refs[i] > anc.Start })
+	hi := sort.Search(len(refs), func(i int) bool { return refs[i] > anc.End })
+	if !s.noStats {
+		s.stats.TagLookups++
+		s.stats.TagRefs += int64(hi - lo)
+	}
+	return refs[lo:hi]
+}
+
+// Value returns the ordinals of all nodes in document id whose content is
+// exactly v, in document order.
+func (s *Store) Value(id DocID, v string) []int32 {
+	refs := s.docs[id].values[v]
+	if !s.noStats {
+		s.stats.ValueLookups++
+		s.stats.TagRefs += int64(len(refs))
+	}
+	return refs
+}
+
+// TagValue returns the ordinals of nodes with the given tag and exact
+// content v, computed by merging the tag and value index postings. This is
+// how equality content predicates are answered when a value index exists.
+func (s *Store) TagValue(id DocID, tag, v string) []int32 {
+	tagRefs := s.docs[id].tags[tag]
+	valRefs := s.docs[id].values[v]
+	if !s.noStats {
+		s.stats.TagLookups++
+		s.stats.ValueLookups++
+	}
+	var out []int32
+	i, j := 0, 0
+	for i < len(tagRefs) && j < len(valRefs) {
+		switch {
+		case tagRefs[i] < valRefs[j]:
+			i++
+		case tagRefs[i] > valRefs[j]:
+			j++
+		default:
+			out = append(out, tagRefs[i])
+			i++
+			j++
+		}
+	}
+	if !s.noStats {
+		s.stats.TagRefs += int64(len(out))
+	}
+	return out
+}
+
+// Node fetches a node record, counting the access.
+func (s *Store) Node(id DocID, ord int32) *xmltree.Node {
+	if !s.noStats {
+		s.stats.NodesRead++
+	}
+	return s.docs[id].doc.Node(ord)
+}
+
+// Content returns the content value of a node (see xmltree.Document.Content),
+// counting the access.
+func (s *Store) Content(id DocID, ord int32) string {
+	if !s.noStats {
+		s.stats.NodesRead++
+	}
+	return s.docs[id].doc.Content(ord)
+}
+
+// Children returns the child ordinals of a node, counting one read per
+// child returned. This is the primitive the navigational engine uses.
+func (s *Store) Children(id DocID, ord int32) []int32 {
+	kids := s.docs[id].doc.Children(ord)
+	if !s.noStats {
+		s.stats.NodesRead += int64(len(kids)) + 1
+	}
+	return kids
+}
+
+// CountMaterialized records that n nodes were copied out of the store into
+// an intermediate result.
+func (s *Store) CountMaterialized(n int) {
+	if !s.noStats {
+		s.stats.NodesMaterialized += int64(n)
+	}
+}

@@ -1,0 +1,227 @@
+package translate
+
+import (
+	"strings"
+	"testing"
+
+	"tlc/internal/algebra"
+	"tlc/internal/xquery"
+)
+
+func TestNestedFLWORInReturn(t *testing.T) {
+	s := loadStore(t)
+	out := run(t, s, `FOR $p IN document("auction.xml")//person
+		WHERE $p/age > 25
+		RETURN <p name={$p/name/text()}>{
+			FOR $o IN document("auction.xml")//open_auction
+			WHERE $o/bidder//@person = $p/@id
+			RETURN <won>{$o/@id}</won>
+		}</p>`)
+	// Alice and Carol qualify; their auctions nest inside.
+	if len(out) != 2 {
+		t.Fatalf("%d trees, want 2: %s", len(out), out.XML(s))
+	}
+	xml := out.XML(s)
+	if !strings.Contains(xml, "<won ") && !strings.Contains(xml, "<won>") {
+		t.Errorf("nested return missing: %s", xml)
+	}
+	// Carol bids on a0 and a1.
+	for _, w := range out {
+		x := w.XML(s)
+		if strings.Contains(x, "Carol") && strings.Count(x, "<won") != 2 {
+			t.Errorf("Carol should have 2 wins: %s", x)
+		}
+	}
+}
+
+func TestOrderByMultipleKeys(t *testing.T) {
+	s := loadStore(t)
+	out := run(t, s, `FOR $b IN document("auction.xml")//bidder
+		ORDER BY $b/increase ASCENDING
+		RETURN $b/increase/text()`)
+	var prev float64 = -1
+	for _, w := range out {
+		x := w.XML(s)
+		var v float64
+		if _, err := sscanFloat(x, &v); err != nil {
+			t.Fatalf("bad value %q", x)
+		}
+		if v < prev {
+			t.Fatalf("order violated: %v after %v", v, prev)
+		}
+		prev = v
+	}
+}
+
+func sscanFloat(s string, v *float64) (int, error) {
+	var f float64
+	var err error
+	n := 0
+	f, err = parseFloat(strings.TrimSpace(s))
+	if err == nil {
+		*v = f
+		n = 1
+	}
+	return n, err
+}
+
+func parseFloat(s string) (float64, error) {
+	var out float64
+	var neg bool
+	if s == "" {
+		return 0, errEmpty{}
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c == '-' && i == 0:
+			neg = true
+		case c >= '0' && c <= '9':
+			out = out*10 + float64(c-'0')
+		default:
+			return 0, errEmpty{}
+		}
+	}
+	if neg {
+		out = -out
+	}
+	return out, nil
+}
+
+type errEmpty struct{}
+
+func (errEmpty) Error() string { return "empty" }
+
+func TestVarRootedLet(t *testing.T) {
+	s := loadStore(t)
+	out := run(t, s, `FOR $o IN document("auction.xml")//open_auction
+		LET $i := $o/bidder/increase
+		WHERE count($i) > 5
+		RETURN <sum>{count($i)}</sum>`)
+	if len(out) != 1 || !strings.Contains(out.XML(s), "<sum>6</sum>") {
+		t.Fatalf("got: %s", out.XML(s))
+	}
+}
+
+func TestReturnBareVariable(t *testing.T) {
+	s := loadStore(t)
+	out := run(t, s, `FOR $p IN document("auction.xml")//person
+		WHERE $p/@id = "p0" RETURN $p`)
+	if len(out) != 1 {
+		t.Fatalf("%d trees", len(out))
+	}
+	xml := out.XML(s)
+	if !strings.Contains(xml, "<name>Alice</name>") || !strings.Contains(xml, `id="p0"`) {
+		t.Errorf("bare variable return lost the subtree: %s", xml)
+	}
+}
+
+func TestDeepReturnPath(t *testing.T) {
+	s := loadStore(t)
+	out := run(t, s, `FOR $o IN document("auction.xml")//open_auction
+		WHERE $o/@id = "a0"
+		RETURN <refs>{$o/bidder/personref/@person}</refs>`)
+	if len(out) != 1 {
+		t.Fatalf("%d trees", len(out))
+	}
+	if got := strings.Count(out.XML(s), "person="); got != 6 {
+		t.Errorf("deep path found %d refs, want 6: %s", got, out.XML(s))
+	}
+}
+
+func TestDescendantWherePath(t *testing.T) {
+	s := loadStore(t)
+	out := run(t, s, `FOR $o IN document("auction.xml")//open_auction
+		WHERE $o//increase > 7
+		RETURN $o/@id`)
+	// Only a0 has an increase of 8.
+	if len(out) != 1 || !strings.Contains(out.XML(s), "a0") {
+		t.Fatalf("got: %s", out.XML(s))
+	}
+}
+
+func TestTwoValueJoinsOnSamePair(t *testing.T) {
+	s := loadStore(t)
+	// Second predicate on an already-joined pair becomes a FilterCompare.
+	out := run(t, s, `FOR $p IN document("auction.xml")//person
+		FOR $o IN document("auction.xml")//open_auction
+		WHERE $p/@id = $o/bidder//@person
+		  AND $p/@id = $o/bidder/personref/@person
+		RETURN <x>{$p/name/text()}</x>`)
+	if len(out) == 0 {
+		t.Fatal("double join produced nothing")
+	}
+	ast, err := xquery.Parse(`FOR $p IN document("auction.xml")//person
+		FOR $o IN document("auction.xml")//open_auction
+		WHERE $p/@id = $o/bidder//@person
+		  AND $p/@id = $o/bidder/personref/@person
+		RETURN <x>{$p/name/text()}</x>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Translate(ast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(algebra.Explain(res.Plan), "FilterCompare") {
+		t.Errorf("second predicate not compiled to FilterCompare:\n%s", algebra.Explain(res.Plan))
+	}
+}
+
+func TestUncorrelatedLetNestAll(t *testing.T) {
+	s := loadStore(t)
+	out := run(t, s, `FOR $p IN document("auction.xml")//person
+		LET $a := FOR $o IN document("auction.xml")//open_auction
+		          WHERE count($o/bidder) > 5
+		          RETURN $o/@id
+		WHERE $p/age > 35
+		RETURN <r name={$p/name/text()}><n>{count($a)}</n></r>`)
+	// Carol only; the uncorrelated LET nests the single busy auction.
+	if len(out) != 1 || !strings.Contains(out.XML(s), "<n>1</n>") {
+		t.Fatalf("got: %s", out.XML(s))
+	}
+}
+
+func TestSortStability(t *testing.T) {
+	s := loadStore(t)
+	// Equal ages (none here — all distinct) but exercise multiple keys.
+	out := run(t, s, `FOR $p IN document("auction.xml")//person
+		WHERE $p/age > 0
+		ORDER BY $p/age ASCENDING
+		RETURN <a>{$p/age/text()}</a>`)
+	if len(out) != 3 {
+		t.Fatalf("%d trees", len(out))
+	}
+	if !strings.HasPrefix(out[0].XML(s), "<a>20") {
+		t.Errorf("first = %s", out[0].XML(s))
+	}
+}
+
+func TestTagOfMetadata(t *testing.T) {
+	ast, err := xquery.Parse(q1Text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Translate(ast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	foundPerson, foundBidder := false, false
+	for _, tag := range res.TagOf {
+		if tag == "person" {
+			foundPerson = true
+		}
+		if tag == "bidder" {
+			foundBidder = true
+		}
+	}
+	if !foundPerson || !foundBidder {
+		t.Errorf("TagOf incomplete: %v", res.TagOf)
+	}
+	if len(res.VarLCLs) != 2 {
+		t.Errorf("VarLCLs = %v, want 2 entries", res.VarLCLs)
+	}
+	if len(res.DocNames) != 1 || res.DocNames[0] != "auction.xml" {
+		t.Errorf("DocNames = %v", res.DocNames)
+	}
+}

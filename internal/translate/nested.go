@@ -1,0 +1,67 @@
+package translate
+
+import (
+	"fmt"
+
+	"tlc/internal/algebra"
+	"tlc/internal/pattern"
+	"tlc/internal/xquery"
+)
+
+// bindNested handles FOR/LET over a nested FLWOR (the NestedQuery
+// procedure of Figure 6): the inner block is translated recursively with
+// this block as its parent scope; correlated value joins recorded by the
+// inner block become the predicate of a Join between the outer plan and
+// the inner plan. FOR uses a "-" join edge (one output per inner tree) and
+// LET a "*" edge (the whole inner result nested under each binding tuple).
+func (t *translator) bindNested(b xquery.Binding) error {
+	child := &translator{parent: t, lclCounter: t.lclCounter, tagOf: t.tagOf, shared: t.shared}
+	res, err := child.block(b.Sub)
+	if err != nil {
+		return fmt.Errorf("translate: nested query for %s: %w", b.Var, err)
+	}
+	spec := pattern.ZeroOrMore
+	if b.Kind == xquery.BindFor {
+		spec = pattern.One
+	}
+	rootLCL := t.newLCL("join_root")
+	var join *algebra.Join
+	if len(child.deferred) > 0 {
+		d := child.deferred[0]
+		join = algebra.NewValueJoin(t.root, res.plan,
+			algebra.JoinPred{LeftLCL: d.outerLCL, Op: d.op, RightLCL: d.innerLCL},
+			spec, rootLCL)
+	} else {
+		join = algebra.NewCartesianJoin(t.root, res.plan, rootLCL)
+		join.RightSpec = spec
+	}
+	t.joins = append(t.joins, joinInfo{
+		op:        join,
+		leftVars:  t.allBoundVars(),
+		rightVars: map[string]bool{b.Var: true},
+	})
+	t.root = join
+	// Additional correlated predicates become post-join comparisons.
+	for _, d := range child.deferred[min(1, len(child.deferred)):] {
+		t.root = algebra.NewFilterCompare(t.root, d.outerLCL, d.op, d.innerLCL)
+	}
+	// The exported join-value copies have served their purpose; strip them
+	// from the inner construct results so they do not leak into output.
+	if len(child.exports) > 0 {
+		t.root = algebra.NewPrune(t.root, child.exports...)
+	}
+	t.setVar(b.Var, &binding{
+		kind:      bindConstruct,
+		construct: res.pat,
+		rootLCL:   res.rootLCL,
+		isFor:     b.Kind == xquery.BindFor,
+	})
+	return nil
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,340 @@
+package translate
+
+import (
+	"strings"
+	"testing"
+
+	"tlc/internal/algebra"
+	"tlc/internal/seq"
+	"tlc/internal/store"
+	"tlc/internal/xquery"
+)
+
+// testAuction is a hand-checkable auction document:
+//   - Alice (p0, 30), Bob (p1, 20), Carol (p2, 40), Dave (p3, no age)
+//   - a0: 6 bidders referencing p0,p2,p0,p2,p0,p2 with increases 3..8, qty 2
+//   - a1: 1 bidder referencing p2, increase 1, qty 5
+//   - a2: no bidders, qty 1
+const testAuction = `<site>
+  <people>
+    <person id="p0"><name>Alice</name><age>30</age></person>
+    <person id="p1"><name>Bob</name><age>20</age></person>
+    <person id="p2"><name>Carol</name><age>40</age></person>
+    <person id="p3"><name>Dave</name></person>
+  </people>
+  <open_auctions>
+    <open_auction id="a0">
+      <bidder><personref person="p0"/><increase>3</increase></bidder>
+      <bidder><personref person="p2"/><increase>4</increase></bidder>
+      <bidder><personref person="p0"/><increase>5</increase></bidder>
+      <bidder><personref person="p2"/><increase>6</increase></bidder>
+      <bidder><personref person="p0"/><increase>7</increase></bidder>
+      <bidder><personref person="p2"/><increase>8</increase></bidder>
+      <quantity>2</quantity>
+    </open_auction>
+    <open_auction id="a1">
+      <bidder><personref person="p2"/><increase>1</increase></bidder>
+      <quantity>5</quantity>
+    </open_auction>
+    <open_auction id="a2">
+      <quantity>1</quantity>
+    </open_auction>
+  </open_auctions>
+</site>`
+
+const q1Text = `
+FOR $p IN document("auction.xml")//person
+FOR $o IN document("auction.xml")//open_auction
+WHERE count($o/bidder) > 5 AND $p/age > 25
+  AND $p/@id = $o/bidder//@person
+RETURN
+<person name={$p/name/text()}> $o/bidder </person>`
+
+const q2Text = `
+FOR $p IN document("auction.xml")//person
+LET $a := FOR $o IN document("auction.xml")//open_auction
+          WHERE count($o/bidder) > 5
+            AND $p/@id = $o/bidder//@person
+          RETURN <myauction> {$o/bidder}
+                   <myquan>{$o/quantity/text()}</myquan>
+                 </myauction>
+WHERE $p/age > 25
+  AND EVERY $i IN $a/myquan SATISFIES $i > 1
+RETURN
+<person name={$p/name/text()}>{$a/bidder}</person>`
+
+func loadStore(t *testing.T) *store.Store {
+	t.Helper()
+	s := store.New()
+	if _, err := s.LoadXML("auction.xml", strings.NewReader(testAuction)); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func run(t *testing.T, s *store.Store, query string) seq.Seq {
+	t.Helper()
+	ast, err := xquery.Parse(query)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	res, err := Translate(ast)
+	if err != nil {
+		t.Fatalf("translate: %v", err)
+	}
+	out, err := algebra.Run(s, res.Plan)
+	if err != nil {
+		t.Fatalf("eval: %v\nplan:\n%s", err, algebra.Explain(res.Plan))
+	}
+	return out
+}
+
+func TestQ1EndToEnd(t *testing.T) {
+	s := loadStore(t)
+	out := run(t, s, q1Text)
+	// Only a0 has >5 bidders; its bidders reference p0 and p2; both Alice
+	// (30) and Carol (40) pass age>25.
+	if len(out) != 2 {
+		t.Fatalf("Q1 produced %d trees, want 2:\n%s", len(out), out.XML(s))
+	}
+	xml := out.XML(s)
+	if !strings.Contains(xml, `<person name="Alice">`) || !strings.Contains(xml, `<person name="Carol">`) {
+		t.Errorf("Q1 output missing persons:\n%s", xml)
+	}
+	// Every result carries all six bidder subtrees of a0.
+	for _, w := range out {
+		if got := strings.Count(w.XML(s), "<bidder>"); got != 6 {
+			t.Errorf("result has %d bidders, want 6:\n%s", got, w.XML(s))
+		}
+	}
+}
+
+func TestQ1PlanShape(t *testing.T) {
+	ast, err := xquery.Parse(q1Text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Translate(ast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := algebra.Explain(res.Plan)
+	// The Figure 7 plan shape: Construct on top of extension Selects on
+	// NodeIDDE on Project on a value Join of two document Selects, with an
+	// Aggregate/Filter pair spliced above the auction Select.
+	for _, want := range []string{
+		"Construct", "NodeIDDE", "Project", "Join: (", "Aggregate: count",
+		"Filter: ALO", "doc_root(auction.xml)", "class(",
+	} {
+		if !strings.Contains(plan, want) {
+			t.Errorf("plan missing %q:\n%s", want, plan)
+		}
+	}
+	// Two document selects (person, open_auction) and two extension
+	// selects (name, bidder).
+	if got := strings.Count(plan, "Select"); got != 4 {
+		t.Errorf("plan has %d Selects, want 4:\n%s", got, plan)
+	}
+}
+
+func TestQ2EndToEnd(t *testing.T) {
+	s := loadStore(t)
+	out := run(t, s, q2Text)
+	// Same survivors as Q1 (myquan = 2 > 1 passes EVERY).
+	if len(out) != 2 {
+		t.Fatalf("Q2 produced %d trees, want 2:\n%s", len(out), out.XML(s))
+	}
+	xml := out.XML(s)
+	if !strings.Contains(xml, `<person name="Alice">`) || !strings.Contains(xml, `<person name="Carol">`) {
+		t.Errorf("Q2 output missing persons:\n%s", xml)
+	}
+	for _, w := range out {
+		if got := strings.Count(w.XML(s), "<bidder>"); got != 6 {
+			t.Errorf("Q2 result has %d bidders, want 6:\n%s", got, w.XML(s))
+		}
+	}
+}
+
+func TestQ2EveryFiltersAll(t *testing.T) {
+	s := loadStore(t)
+	// Tighten the EVERY condition so myquan=2 fails: no results.
+	q := strings.Replace(q2Text, "SATISFIES $i > 1", "SATISFIES $i > 3", 1)
+	out := run(t, s, q)
+	if len(out) != 0 {
+		t.Fatalf("strict EVERY produced %d trees, want 0:\n%s", len(out), out.XML(s))
+	}
+}
+
+func TestSimpleFor(t *testing.T) {
+	s := loadStore(t)
+	out := run(t, s, `FOR $p IN document("auction.xml")//person RETURN $p/name`)
+	if len(out) != 4 {
+		t.Fatalf("%d trees, want 4", len(out))
+	}
+	xml := out.XML(s)
+	for _, name := range []string{"Alice", "Bob", "Carol", "Dave"} {
+		if !strings.Contains(xml, "<name>"+name+"</name>") {
+			t.Errorf("missing %s:\n%s", name, xml)
+		}
+	}
+}
+
+func TestSimplePredicate(t *testing.T) {
+	s := loadStore(t)
+	out := run(t, s, `FOR $p IN document("auction.xml")//person
+		WHERE $p/age > 25
+		RETURN $p/name/text()`)
+	if len(out) != 2 {
+		t.Fatalf("%d trees, want 2 (Alice, Carol)", len(out))
+	}
+}
+
+func TestEqualityPredicate(t *testing.T) {
+	s := loadStore(t)
+	out := run(t, s, `FOR $p IN document("auction.xml")//person
+		WHERE $p/@id = "p1"
+		RETURN <hit>{$p/name/text()}</hit>`)
+	if len(out) != 1 || !strings.Contains(out.XML(s), "<hit>Bob</hit>") {
+		t.Fatalf("got: %s", out.XML(s))
+	}
+}
+
+func TestCountInReturn(t *testing.T) {
+	s := loadStore(t)
+	out := run(t, s, `FOR $o IN document("auction.xml")//open_auction
+		RETURN <n>{count($o/bidder)}</n>`)
+	if len(out) != 3 {
+		t.Fatalf("%d trees", len(out))
+	}
+	if got := out.XML(s); !strings.Contains(got, "<n>6</n>") || !strings.Contains(got, "<n>1</n>") || !strings.Contains(got, "<n>0</n>") {
+		t.Errorf("counts: %s", got)
+	}
+}
+
+func TestOrderByDescending(t *testing.T) {
+	s := loadStore(t)
+	out := run(t, s, `FOR $p IN document("auction.xml")//person
+		WHERE $p/age > 0
+		ORDER BY $p/age DESCENDING
+		RETURN $p/age/text()`)
+	var ages []string
+	for _, w := range out {
+		ages = append(ages, w.XML(s))
+	}
+	joined := strings.Join(ages, "|")
+	if !strings.Contains(joined, "40") || strings.Index(joined, "40") > strings.Index(joined, "30") {
+		t.Errorf("order = %v", ages)
+	}
+}
+
+func TestOrTranslation(t *testing.T) {
+	s := loadStore(t)
+	out := run(t, s, `FOR $p IN document("auction.xml")//person
+		WHERE $p/age > 35 OR $p/age < 25
+		RETURN $p/name/text()`)
+	// Carol (40) and Bob (20).
+	if len(out) != 2 {
+		t.Fatalf("%d trees, want 2: %s", len(out), out.XML(s))
+	}
+}
+
+func TestSomeQuantifier(t *testing.T) {
+	s := loadStore(t)
+	out := run(t, s, `FOR $o IN document("auction.xml")//open_auction
+		WHERE SOME $b IN $o/bidder SATISFIES $b/increase > 7
+		RETURN $o/@id`)
+	// Only a0 has increase 8.
+	if len(out) != 1 {
+		t.Fatalf("%d trees, want 1: %s", len(out), out.XML(s))
+	}
+}
+
+func TestEveryQuantifierVacuous(t *testing.T) {
+	s := loadStore(t)
+	out := run(t, s, `FOR $o IN document("auction.xml")//open_auction
+		WHERE EVERY $b IN $o/bidder SATISFIES $b/increase > 0
+		RETURN $o/@id`)
+	// All three auctions pass (a2 vacuously: no bidders).
+	if len(out) != 3 {
+		t.Fatalf("%d trees, want 3: %s", len(out), out.XML(s))
+	}
+}
+
+func TestVariableRootedFor(t *testing.T) {
+	s := loadStore(t)
+	out := run(t, s, `FOR $o IN document("auction.xml")//open_auction
+		FOR $b IN $o/bidder
+		WHERE $b/increase > 6
+		RETURN $b/increase/text()`)
+	// increases 7 and 8.
+	if len(out) != 2 {
+		t.Fatalf("%d trees, want 2: %s", len(out), out.XML(s))
+	}
+}
+
+func TestLetClusters(t *testing.T) {
+	s := loadStore(t)
+	out := run(t, s, `FOR $o IN document("auction.xml")//open_auction
+		LET $b := $o/bidder
+		RETURN <auction><cnt>{count($b)}</cnt></auction>`)
+	if len(out) != 3 {
+		t.Fatalf("%d trees, want 3 (LET must not multiply)", len(out))
+	}
+	xml := out.XML(s)
+	for _, want := range []string{"<cnt>6</cnt>", "<cnt>1</cnt>", "<cnt>0</cnt>"} {
+		if !strings.Contains(xml, want) {
+			t.Errorf("missing %s in %s", want, xml)
+		}
+	}
+}
+
+func TestAggregateFunctions(t *testing.T) {
+	s := loadStore(t)
+	out := run(t, s, `FOR $o IN document("auction.xml")//open_auction
+		WHERE avg($o/bidder/increase) >= 5
+		RETURN $o/@id`)
+	// a0 has avg (3+4+5+6+7+8)/6 = 5.5; a1 avg 1; a2 empty (fails).
+	if len(out) != 1 {
+		t.Fatalf("%d trees, want 1: %s", len(out), out.XML(s))
+	}
+}
+
+func TestTranslateErrors(t *testing.T) {
+	bad := []string{
+		`FOR $p IN document("auction.xml")//person WHERE $q/age > 5 RETURN $p`, // unbound in where
+		`FOR $p IN document("auction.xml")//person RETURN $q/name`,             // unbound in return
+		`FOR $p IN $q/person RETURN $p`,                                        // unbound source
+		`FOR $p IN document("auction.xml")//person FOR $p IN $p/x RETURN $p`,   // double binding
+	}
+	for _, src := range bad {
+		ast, err := xquery.Parse(src)
+		if err != nil {
+			t.Errorf("parse(%q): %v", src, err)
+			continue
+		}
+		if _, err := Translate(ast); err == nil {
+			t.Errorf("Translate(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestDeferredJoinThreadsExports(t *testing.T) {
+	ast, err := xquery.Parse(q2Text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Translate(ast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := algebra.Explain(res.Plan)
+	// The deferred correlated predicate must show up as the outer Join's
+	// condition with a "*" right edge, as in Figure 8's Join 9.
+	if !strings.Contains(plan, "{*}") {
+		t.Errorf("no nested join edge in plan:\n%s", plan)
+	}
+	joins := strings.Count(plan, "Join: (")
+	if joins != 1 {
+		t.Errorf("plan has %d value joins, want 1:\n%s", joins, plan)
+	}
+}

@@ -1,0 +1,193 @@
+package xmark
+
+// Query is one benchmark query of Figure 15.
+type Query struct {
+	// ID is the Figure 15 row name: x1…x20, Q1, Q2, 10a.
+	ID string
+	// Text is the query in the Figure 5 XQuery fragment.
+	Text string
+	// Comment mirrors the Figure 15 comment column (A/R = arguments per
+	// RETURN, OT = output trees, J = value join).
+	Comment string
+	// Rewritable marks the queries the Section 4 rewrites apply to
+	// (Figure 16 runs x3, x5, Q1 and Q2).
+	Rewritable bool
+}
+
+// Queries returns the Figure 15 workload in table order. The queries are
+// faithful adaptations of the XMark queries to the supported fragment:
+// each keeps its original profile — the heterogeneity instigators
+// (aggregates, LETs, multiple RETURN arguments, nesting), selectivity,
+// '//' usage and output volume — which is what the Figure 15 comparisons
+// exercise.
+func Queries() []Query {
+	return []Query{
+		{ID: "x1", Comment: "1 A/R, single OT", Text: `
+FOR $p IN document("auction.xml")//person
+WHERE $p/@id = "person0"
+RETURN <out>{$p/name/text()}</out>`},
+
+		{ID: "x2", Comment: "1 A/R, lots OT", Text: `
+FOR $b IN document("auction.xml")//open_auction/bidder
+RETURN <increase>{$b/increase/text()}</increase>`},
+
+		{ID: "x3", Comment: "J, 2 A/R, avg OT", Rewritable: true, Text: `
+FOR $p IN document("auction.xml")//person
+FOR $o IN document("auction.xml")//open_auction
+WHERE $p/@id = $o/bidder//@person AND $p/age > 50
+RETURN <auction name={$p/name/text()}> $o/bidder </auction>`},
+
+		{ID: "x4", Comment: "1 A/R, two OT", Text: `
+FOR $a IN document("auction.xml")//closed_auction
+WHERE $a/buyer//@person = "person1"
+RETURN <history>{$a/price/text()}</history>`},
+
+		{ID: "x5", Comment: "small count, 1 A/R", Rewritable: true, Text: `
+FOR $o IN document("auction.xml")//open_auction
+WHERE count($o/bidder) > 5
+  AND EVERY $b IN $o/bidder SATISFIES $b/increase > 0
+RETURN <bids>{count($o/bidder)}</bids>`},
+
+		{ID: "x6", Comment: "big count, '//'", Text: `
+FOR $r IN document("auction.xml")/regions
+RETURN <n>{count($r//item)}</n>`},
+
+		{ID: "x7", Comment: "3 big counts, '//'", Text: `
+FOR $s IN document("auction.xml")/regions
+RETURN <counts>
+  <descriptions>{count($s//description)}</descriptions>
+  <mails>{count($s//mail)}</mails>
+  <names>{count($s//name)}</names>
+</counts>`},
+
+		{ID: "x8", Comment: "J, LET, 2 A/R", Text: `
+FOR $p IN document("auction.xml")//person
+LET $a := FOR $t IN document("auction.xml")//closed_auction
+          WHERE $t/buyer//@person = $p/@id
+          RETURN $t/price
+RETURN <item person={$p/name/text()}><bought>{count($a/price)}</bought></item>`},
+
+		{ID: "x9", Comment: "2J, LETs, 2 A/R", Text: `
+FOR $p IN document("auction.xml")//person
+LET $a := FOR $t IN document("auction.xml")//closed_auction
+          FOR $i IN document("auction.xml")//item
+          WHERE $t/buyer//@person = $p/@id
+            AND $t/itemref//@item = $i/@id
+          RETURN <history>{$i/name/text()}</history>
+RETURN <person name={$p/name/text()}>{$a}</person>`},
+
+		{ID: "x10", Comment: "LET, 12 A/R, lots OT", Text: x10Body("")},
+
+		{ID: "x11", Comment: "count, LET, lots OT", Text: `
+FOR $p IN document("auction.xml")//person
+LET $a := FOR $i IN document("auction.xml")//item
+          WHERE $i/quantity < $p/profile/@income
+          RETURN $i/name
+WHERE $p/profile/@income > 90000
+RETURN <items name={$p/name/text()}><n>{count($a/name)}</n></items>`},
+
+		{ID: "x12", Comment: "count, LET, avg OT", Text: `
+FOR $p IN document("auction.xml")//person
+LET $a := FOR $i IN document("auction.xml")//item
+          WHERE $i/quantity < $p/profile/@income
+          RETURN $i/name
+WHERE $p/profile/@income > 98000
+RETURN <items name={$p/name/text()}><n>{count($a/name)}</n></items>`},
+
+		{ID: "x13", Comment: "2 A/R, avg OT", Text: `
+FOR $i IN document("auction.xml")/regions/australia/item
+RETURN <item name={$i/name/text()}>{$i/description}</item>`},
+
+		{ID: "x14", Comment: "'//', value cond on desc", Text: `
+FOR $i IN document("auction.xml")//item
+WHERE $i//payment = "Creditcard"
+RETURN <item>{$i/name/text()}</item>`},
+
+		{ID: "x15", Comment: "long path, return $var", Text: `
+FOR $q IN document("auction.xml")/open_auctions/open_auction/annotation/description/text
+RETURN $q`},
+
+		{ID: "x16", Comment: "long path, 1 A/R", Text: `
+FOR $a IN document("auction.xml")/open_auctions/open_auction/annotation
+RETURN <who>{$a/author/@person}</who>`},
+
+		{ID: "x17", Comment: "1 A/R, lots OT", Text: `
+FOR $p IN document("auction.xml")//person
+WHERE $p/age > 20
+RETURN <person>{$p/name/text()}</person>`},
+
+		{ID: "x18", Comment: "1 A/R, lots OT", Text: `
+FOR $o IN document("auction.xml")//open_auction
+RETURN <amount>{$o/current/text()}</amount>`},
+
+		{ID: "x19", Comment: "'//', 2 A/R, sort, lots OT", Text: `
+FOR $i IN document("auction.xml")//item
+ORDER BY $i/location ASCENDING
+RETURN <item name={$i/name/text()}>{$i/location/text()}</item>`},
+
+		{ID: "x20", Comment: "4 counts", Text: `
+FOR $c IN document("auction.xml")/people
+RETURN <result>
+  <persons>{count($c/person)}</persons>
+  <withage>{count($c/person/age)}</withage>
+  <withphone>{count($c/person/phone)}</withphone>
+  <withaddress>{count($c/person/address)}</withaddress>
+</result>`},
+
+		{ID: "Q1", Comment: "'//', J, count, 2 A/R", Rewritable: true, Text: `
+FOR $p IN document("auction.xml")//person
+FOR $o IN document("auction.xml")//open_auction
+WHERE count($o/bidder) > 5 AND $p/age > 25
+  AND $p/@id = $o/bidder//@person
+RETURN <person name={$p/name/text()}> $o/bidder </person>`},
+
+		{ID: "Q2", Comment: "'//', J, count, 2 A/R, LET", Rewritable: true, Text: `
+FOR $p IN document("auction.xml")//person
+LET $a := FOR $o IN document("auction.xml")//open_auction
+          WHERE count($o/bidder) > 5
+            AND $p/@id = $o/bidder//@person
+          RETURN <myauction> {$o/bidder}
+            <myquan>{$o/quantity/text()}</myquan>
+          </myauction>
+WHERE $p/age > 25
+  AND EVERY $i IN $a/myquan SATISFIES $i > 0
+RETURN <person name={$p/name/text()}>{$a/bidder}</person>`},
+
+		{ID: "10a", Comment: "LET, 12 A/R, few OT", Text: x10Body(`WHERE $p/@id = "person3"` + "\n")},
+	}
+}
+
+// QueryByID returns the query with the given Figure 15 row name.
+func QueryByID(id string) (Query, bool) {
+	for _, q := range Queries() {
+		if q.ID == id {
+			return q, true
+		}
+	}
+	return Query{}, false
+}
+
+// x10Body builds x10 (and its selective variant 10a): a nested LET whose
+// inner RETURN carries twelve arguments — the worst case for grouping-based
+// engines, which must split, group and merge every one of them.
+func x10Body(filter string) string {
+	return `
+FOR $p IN document("auction.xml")//person
+LET $a := FOR $o IN document("auction.xml")//open_auction
+          WHERE $o/seller//@person = $p/@id
+          RETURN <listing>
+            <aid>{$o/@id}</aid>
+            <first>{$o/initial/text()}</first>
+            <cur>{$o/current/text()}</cur>
+            <qty>{$o/quantity/text()}</qty>
+            <kind>{$o/type/text()}</kind>
+            <begin>{$o/interval/start/text()}</begin>
+            <finish>{$o/interval/end/text()}</finish>
+            <itm>{$o/itemref/@item}</itm>
+            <bids>{count($o/bidder)}</bids>
+            <raised>{$o/bidder/increase/text()}</raised>
+            <when>{$o/bidder/date/text()}</when>
+            <note>{$o/annotation/description/text}</note>
+          </listing>
+` + filter + `RETURN <person name={$p/name/text()}>{$a}</person>`
+}

@@ -1,0 +1,286 @@
+package xmark
+
+import (
+	"sort"
+	"strings"
+	"testing"
+
+	"tlc/internal/algebra"
+	"tlc/internal/baselines/gtp"
+	"tlc/internal/baselines/nav"
+	"tlc/internal/baselines/tax"
+	"tlc/internal/rewrite"
+	"tlc/internal/seq"
+	"tlc/internal/store"
+	"tlc/internal/translate"
+	"tlc/internal/xquery"
+)
+
+func smallStore(t *testing.T) *store.Store {
+	t.Helper()
+	s := store.New()
+	doc := GenerateSized("auction.xml", Sizes{
+		Persons: 60, OpenAuctions: 40, ClosedAuctions: 30, Items: 48, Categories: 8,
+	}, 7)
+	if _, err := s.Load(doc); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestGenerateIsValidAndDeterministic(t *testing.T) {
+	d1 := Generate("a.xml", 0.02)
+	d2 := Generate("a.xml", 0.02)
+	if err := d1.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if d1.Len() != d2.Len() {
+		t.Fatalf("non-deterministic: %d vs %d nodes", d1.Len(), d2.Len())
+	}
+	for i := range d1.Nodes {
+		if d1.Nodes[i].Tag != d2.Nodes[i].Tag || d1.Nodes[i].Value != d2.Nodes[i].Value {
+			t.Fatalf("non-deterministic at node %d", i)
+		}
+	}
+}
+
+func TestGenerateScalesLinearly(t *testing.T) {
+	small := Generate("a.xml", 0.02)
+	big := Generate("b.xml", 0.08)
+	ratio := float64(big.Len()) / float64(small.Len())
+	if ratio < 3.0 || ratio > 5.0 {
+		t.Errorf("4x factor gave %.1fx nodes", ratio)
+	}
+}
+
+func TestGeneratePopulations(t *testing.T) {
+	s := smallStore(t)
+	id, _ := s.Lookup("auction.xml")
+	for tag, want := range map[string]int{
+		"person": 60, "open_auction": 40, "closed_auction": 30,
+		"item": 48, "category": 8,
+	} {
+		if got := len(s.Tag(id, tag)); got != want {
+			t.Errorf("%s count = %d, want %d", tag, got, want)
+		}
+	}
+	// Skewed bidders: some auction exceeds 5 bidders, some has none.
+	doc := s.Doc(id)
+	over5, zero := false, false
+	for _, a := range s.Tag(id, "open_auction") {
+		n := 0
+		for _, c := range doc.Children(a) {
+			if doc.Node(c).Tag == "bidder" {
+				n++
+			}
+		}
+		if n > 5 {
+			over5 = true
+		}
+		if n == 0 {
+			zero = true
+		}
+	}
+	if !over5 || !zero {
+		t.Errorf("bidder skew missing: over5=%v zero=%v", over5, zero)
+	}
+	// Optional age: present and absent persons both exist.
+	withAge := len(s.Tag(id, "age"))
+	if withAge == 0 || withAge == 60 {
+		t.Errorf("age count = %d of 60, want a strict subset", withAge)
+	}
+}
+
+func TestQueriesAllParseAndTranslate(t *testing.T) {
+	for _, q := range Queries() {
+		ast, err := xquery.Parse(q.Text)
+		if err != nil {
+			t.Errorf("%s: parse: %v", q.ID, err)
+			continue
+		}
+		if _, err := translate.Translate(ast); err != nil {
+			t.Errorf("%s: translate: %v", q.ID, err)
+		}
+	}
+	if len(Queries()) != 23 {
+		t.Errorf("workload has %d queries, want 23 (x1..x20, Q1, Q2, 10a)", len(Queries()))
+	}
+}
+
+func TestQueryByID(t *testing.T) {
+	if q, ok := QueryByID("Q1"); !ok || !q.Rewritable {
+		t.Errorf("QueryByID(Q1) = %+v, %v", q, ok)
+	}
+	if _, ok := QueryByID("nope"); ok {
+		t.Error("QueryByID(nope) found something")
+	}
+}
+
+func canonical(s *store.Store, out seq.Seq) string {
+	xs := make([]string, len(out))
+	for i, w := range out {
+		xs[i] = w.XML(s)
+	}
+	sort.Strings(xs)
+	return strings.Join(xs, "\n")
+}
+
+// TestAllEnginesAgreeOnWorkload is the central correctness check of the
+// benchmark: every engine (TLC, TLC+rewrites, GTP, TAX, NAV) must produce
+// identical result sets for all 23 workload queries on generated data.
+func TestAllEnginesAgreeOnWorkload(t *testing.T) {
+	s := smallStore(t)
+	for _, q := range Queries() {
+		q := q
+		t.Run(q.ID, func(t *testing.T) {
+			ast, err := xquery.Parse(q.Text)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tlcRes, err := translate.Translate(ast)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := algebra.Run(s, tlcRes.Plan)
+			if err != nil {
+				t.Fatalf("tlc: %v", err)
+			}
+			wantC := canonical(s, want)
+
+			optRes, err := translate.Translate(ast)
+			if err != nil {
+				t.Fatal(err)
+			}
+			optPlan, n := rewrite.Optimize(optRes.Plan)
+			if q.Rewritable && n == 0 {
+				t.Errorf("%s marked rewritable but no rewrite fired", q.ID)
+			}
+			optOut, err := algebra.Run(s, optPlan)
+			if err != nil {
+				t.Fatalf("opt: %v\n%s", err, algebra.Explain(optPlan))
+			}
+			if got := canonical(s, optOut); got != wantC {
+				t.Errorf("OPT differs on %s\nplan:\n%s", q.ID, algebra.Explain(optPlan))
+			}
+
+			gtpRes, err := gtp.Translate(ast)
+			if err != nil {
+				t.Fatal(err)
+			}
+			gtpOut, err := algebra.Run(s, gtpRes.Plan)
+			if err != nil {
+				t.Fatalf("gtp: %v\n%s", err, algebra.Explain(gtpRes.Plan))
+			}
+			if got := canonical(s, gtpOut); got != wantC {
+				t.Errorf("GTP differs on %s", q.ID)
+			}
+
+			taxRes, err := tax.Translate(ast)
+			if err != nil {
+				t.Fatal(err)
+			}
+			taxOut, err := algebra.Run(s, taxRes.Plan)
+			if err != nil {
+				t.Fatalf("tax: %v\n%s", err, algebra.Explain(taxRes.Plan))
+			}
+			if got := canonical(s, taxOut); got != wantC {
+				t.Errorf("TAX differs on %s", q.ID)
+			}
+
+			navOut, err := nav.Run(s, ast)
+			if err != nil {
+				t.Fatalf("nav: %v", err)
+			}
+			if got := canonical(s, navOut); got != wantC {
+				t.Errorf("NAV differs on %s\nTLC:\n%.400s\nNAV:\n%.400s", q.ID, wantC, canonical(s, navOut))
+			}
+		})
+	}
+}
+
+// TestOrderByAgreesInOrder cross-validates ORDER BY output *order* (the
+// canonical comparison above is order-insensitive) between the algebraic
+// engines and the navigational interpreter.
+func TestOrderByAgreesInOrder(t *testing.T) {
+	s := smallStore(t)
+	q, ok := QueryByID("x19")
+	if !ok {
+		t.Fatal("x19 missing")
+	}
+	ast, err := xquery.Parse(q.Text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tlcRes, err := translate.Translate(ast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := algebra.Run(s, tlcRes.Plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantXML := want.XML(s)
+	navOut, err := nav.Run(s, ast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sort keys may tie; compare the key sequence, not full trees.
+	keyOf := func(x string) string {
+		i := strings.LastIndex(x, ">")
+		_ = i
+		return x[strings.Index(x, ">")+1:]
+	}
+	wantLines := strings.Split(wantXML, "\n")
+	gotLines := strings.Split(navOut.XML(s), "\n")
+	if len(wantLines) != len(gotLines) {
+		t.Fatalf("lengths differ: %d vs %d", len(wantLines), len(gotLines))
+	}
+	for i := range wantLines {
+		if keyOf(wantLines[i]) != keyOf(gotLines[i]) {
+			t.Fatalf("order differs at %d:\n%s\nvs\n%s", i, wantLines[i], gotLines[i])
+		}
+	}
+}
+
+// TestWorkloadResultCountsStable pins the result cardinalities of the
+// workload on the deterministic small store — a regression tripwire for
+// engine, translator and generator changes alike.
+func TestWorkloadResultCountsStable(t *testing.T) {
+	s := smallStore(t)
+	counts := map[string]int{}
+	for _, q := range Queries() {
+		ast, err := xquery.Parse(q.Text)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := translate.Translate(ast)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := algebra.Run(s, res.Plan)
+		if err != nil {
+			t.Fatalf("%s: %v", q.ID, err)
+		}
+		counts[q.ID] = len(out)
+	}
+	// Structural sanity rather than exact pinning for every row: the
+	// highly selective rows must be small, the full-scan rows large.
+	if counts["x1"] != 1 {
+		t.Errorf("x1 = %d, want 1", counts["x1"])
+	}
+	if counts["x17"] < 20 || counts["x17"] > 60 {
+		t.Errorf("x17 = %d, want most persons", counts["x17"])
+	}
+	if counts["x18"] != 40 {
+		t.Errorf("x18 = %d, want all 40 auctions", counts["x18"])
+	}
+	if counts["x20"] != 1 {
+		t.Errorf("x20 = %d, want 1", counts["x20"])
+	}
+	if counts["10a"] >= counts["x10"] {
+		t.Errorf("10a (%d) must be more selective than x10 (%d)", counts["10a"], counts["x10"])
+	}
+	if counts["Q1"] == 0 || counts["Q2"] == 0 {
+		t.Errorf("Q1/Q2 empty: %d/%d", counts["Q1"], counts["Q2"])
+	}
+}

@@ -1,0 +1,139 @@
+package xmltree
+
+import (
+	"encoding/xml"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Parse reads an XML document from r and returns it as a Document named
+// name. Comments, processing instructions and directives are skipped;
+// whitespace-only character data between elements is dropped, matching the
+// data model used by the paper's experiments.
+func Parse(name string, r io.Reader) (*Document, error) {
+	dec := xml.NewDecoder(r)
+	b := NewBuilder(name)
+	depth := 0
+	for {
+		tok, err := dec.Token()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("xmltree: parse %s: %w", name, err)
+		}
+		switch t := tok.(type) {
+		case xml.StartElement:
+			b.OpenElement(t.Name.Local)
+			for _, a := range t.Attr {
+				if a.Name.Space == "xmlns" || a.Name.Local == "xmlns" {
+					continue
+				}
+				b.Attr(a.Name.Local, a.Value)
+			}
+			depth++
+		case xml.EndElement:
+			b.CloseElement()
+			depth--
+		case xml.CharData:
+			if depth == 0 {
+				continue
+			}
+			s := string(t)
+			if strings.TrimSpace(s) == "" {
+				continue
+			}
+			b.TextNode(strings.TrimSpace(s))
+		}
+	}
+	if depth != 0 {
+		return nil, fmt.Errorf("xmltree: parse %s: unbalanced document", name)
+	}
+	doc := b.Done()
+	if doc.Len() == 0 {
+		return nil, fmt.Errorf("xmltree: parse %s: empty document", name)
+	}
+	return doc, nil
+}
+
+// ParseString is a convenience wrapper around Parse for string input.
+func ParseString(name, s string) (*Document, error) {
+	return Parse(name, strings.NewReader(s))
+}
+
+// WriteXML serializes the subtree rooted at ordinal to w as XML text.
+// Attributes are emitted on the start tag; text content is escaped.
+func (d *Document) WriteXML(w io.Writer, ordinal int32) error {
+	var sb strings.Builder
+	d.appendXML(&sb, ordinal)
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+// XML returns the subtree rooted at ordinal as XML text.
+func (d *Document) XML(ordinal int32) string {
+	var sb strings.Builder
+	d.appendXML(&sb, ordinal)
+	return sb.String()
+}
+
+func (d *Document) appendXML(sb *strings.Builder, ordinal int32) {
+	n := &d.Nodes[ordinal]
+	switch n.Kind {
+	case Text:
+		xmlEscape(sb, n.Value)
+		return
+	case Attribute:
+		// A bare attribute serializes as name="value"; this only happens
+		// when an attribute node is itself the requested root.
+		sb.WriteString(n.Tag[1:])
+		sb.WriteString(`="`)
+		xmlEscape(sb, n.Value)
+		sb.WriteString(`"`)
+		return
+	}
+	sb.WriteByte('<')
+	sb.WriteString(n.Tag)
+	kids := d.Children(ordinal)
+	body := kids[:0:0]
+	for _, c := range kids {
+		if d.Nodes[c].Kind == Attribute {
+			sb.WriteByte(' ')
+			sb.WriteString(d.Nodes[c].Tag[1:])
+			sb.WriteString(`="`)
+			xmlEscape(sb, d.Nodes[c].Value)
+			sb.WriteString(`"`)
+		} else {
+			body = append(body, c)
+		}
+	}
+	if len(body) == 0 {
+		sb.WriteString("/>")
+		return
+	}
+	sb.WriteByte('>')
+	for _, c := range body {
+		d.appendXML(sb, c)
+	}
+	sb.WriteString("</")
+	sb.WriteString(n.Tag)
+	sb.WriteByte('>')
+}
+
+func xmlEscape(sb *strings.Builder, s string) {
+	for _, r := range s {
+		switch r {
+		case '<':
+			sb.WriteString("&lt;")
+		case '>':
+			sb.WriteString("&gt;")
+		case '&':
+			sb.WriteString("&amp;")
+		case '"':
+			sb.WriteString("&quot;")
+		default:
+			sb.WriteRune(r)
+		}
+	}
+}

@@ -1,0 +1,219 @@
+// Package xquery implements a lexer, AST and recursive-descent parser for
+// the XQuery fragment of Figure 5 of the TLC paper: FLWOR expressions with
+// FOR/LET clauses over simple paths or nested FLWORs, WHERE expressions
+// built from simple predicates, aggregate predicates, value joins,
+// EVERY/SOME quantifiers and AND/OR, an optional ORDER BY, and RETURN
+// expressions combining paths, aggregates, nested FLWORs and element
+// constructors.
+package xquery
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokenKind classifies lexer tokens.
+type tokenKind uint8
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokVariable // $name
+	tokString   // "..." or '...'
+	tokNumber
+	tokSlash      // /
+	tokSlashSlash // //
+	tokAt         // @
+	tokLParen     // (
+	tokRParen     // )
+	tokLBrace     // {
+	tokRBrace     // }
+	tokLT         // <
+	tokGT         // >
+	tokLE         // <=
+	tokGE         // >=
+	tokEQ         // =
+	tokNE         // !=
+	tokComma      // ,
+	tokAssign     // :=
+	tokLTSlash    // </
+	tokSlashGT    // />
+	tokDot        // .
+	tokStar       // *
+)
+
+func (k tokenKind) String() string {
+	names := map[tokenKind]string{
+		tokEOF: "end of input", tokIdent: "identifier", tokVariable: "variable",
+		tokString: "string", tokNumber: "number", tokSlash: "/", tokSlashSlash: "//",
+		tokAt: "@", tokLParen: "(", tokRParen: ")", tokLBrace: "{", tokRBrace: "}",
+		tokLT: "<", tokGT: ">", tokLE: "<=", tokGE: ">=", tokEQ: "=", tokNE: "!=",
+		tokComma: ",", tokAssign: ":=", tokLTSlash: "</", tokSlashGT: "/>",
+		tokDot: ".", tokStar: "*",
+	}
+	if n, ok := names[k]; ok {
+		return n
+	}
+	return fmt.Sprintf("token(%d)", k)
+}
+
+type token struct {
+	kind tokenKind
+	text string
+	pos  int // byte offset in the input, for error messages
+}
+
+// lex tokenizes the query text. It is context-free; the parser resolves
+// the "<" comparison-vs-constructor ambiguity.
+func lex(src string) ([]token, error) {
+	var toks []token
+	i := 0
+	n := len(src)
+	emit := func(k tokenKind, text string, pos int) {
+		toks = append(toks, token{kind: k, text: text, pos: pos})
+	}
+	for i < n {
+		c := src[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '(' && i+1 < n && src[i+1] == ':':
+			// XQuery comment (: ... :), possibly nested.
+			depth := 1
+			j := i + 2
+			for j+1 < n && depth > 0 {
+				if src[j] == '(' && src[j+1] == ':' {
+					depth++
+					j += 2
+				} else if src[j] == ':' && src[j+1] == ')' {
+					depth--
+					j += 2
+				} else {
+					j++
+				}
+			}
+			if depth != 0 {
+				return nil, fmt.Errorf("xquery: unterminated comment at offset %d", i)
+			}
+			i = j
+		case c == '$':
+			j := i + 1
+			for j < n && isNameByte(src[j]) {
+				j++
+			}
+			if j == i+1 {
+				return nil, fmt.Errorf("xquery: bare $ at offset %d", i)
+			}
+			emit(tokVariable, src[i:j], i)
+			i = j
+		case c == '"' || c == '\'':
+			q := c
+			j := i + 1
+			for j < n && src[j] != q {
+				j++
+			}
+			if j >= n {
+				return nil, fmt.Errorf("xquery: unterminated string at offset %d", i)
+			}
+			emit(tokString, src[i+1:j], i)
+			i = j + 1
+		case c >= '0' && c <= '9':
+			j := i
+			for j < n && (src[j] >= '0' && src[j] <= '9' || src[j] == '.') {
+				j++
+			}
+			emit(tokNumber, src[i:j], i)
+			i = j
+		case isNameStart(rune(c)):
+			j := i
+			for j < n && isNameByte(src[j]) {
+				j++
+			}
+			emit(tokIdent, src[i:j], i)
+			i = j
+		default:
+			two := ""
+			if i+1 < n {
+				two = src[i : i+2]
+			}
+			switch two {
+			case "//":
+				emit(tokSlashSlash, two, i)
+				i += 2
+				continue
+			case "<=":
+				emit(tokLE, two, i)
+				i += 2
+				continue
+			case ">=":
+				emit(tokGE, two, i)
+				i += 2
+				continue
+			case "!=":
+				emit(tokNE, two, i)
+				i += 2
+				continue
+			case ":=":
+				emit(tokAssign, two, i)
+				i += 2
+				continue
+			case "</":
+				emit(tokLTSlash, two, i)
+				i += 2
+				continue
+			case "/>":
+				emit(tokSlashGT, two, i)
+				i += 2
+				continue
+			}
+			switch c {
+			case '/':
+				emit(tokSlash, "/", i)
+			case '@':
+				emit(tokAt, "@", i)
+			case '(':
+				emit(tokLParen, "(", i)
+			case ')':
+				emit(tokRParen, ")", i)
+			case '{':
+				emit(tokLBrace, "{", i)
+			case '}':
+				emit(tokRBrace, "}", i)
+			case '<':
+				emit(tokLT, "<", i)
+			case '>':
+				emit(tokGT, ">", i)
+			case '=':
+				emit(tokEQ, "=", i)
+			case ',':
+				emit(tokComma, ",", i)
+			case '.':
+				emit(tokDot, ".", i)
+			case '*':
+				emit(tokStar, "*", i)
+			default:
+				return nil, fmt.Errorf("xquery: unexpected character %q at offset %d", c, i)
+			}
+			i++
+		}
+	}
+	emit(tokEOF, "", n)
+	return toks, nil
+}
+
+func isNameStart(r rune) bool {
+	return unicode.IsLetter(r) || r == '_'
+}
+
+func isNameByte(b byte) bool {
+	return b == '_' || b == '-' || b >= '0' && b <= '9' ||
+		b >= 'a' && b <= 'z' || b >= 'A' && b <= 'Z'
+}
+
+// keyword reports whether an identifier token equals the given keyword,
+// case-insensitively (the paper writes keywords in upper case, common
+// XQuery style is lower case).
+func keyword(t token, kw string) bool {
+	return t.kind == tokIdent && strings.EqualFold(t.text, kw)
+}

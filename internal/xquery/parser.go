@@ -1,0 +1,525 @@
+package xquery
+
+import (
+	"fmt"
+	"strings"
+
+	"tlc/internal/pattern"
+)
+
+// Parse parses a query in the Figure 5 fragment and returns its AST.
+func Parse(src string) (*FLWOR, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{src: src, toks: toks}
+	f, err := p.parseFLWOR()
+	if err != nil {
+		return nil, err
+	}
+	if p.peek().kind != tokEOF {
+		return nil, p.errf("trailing input starting with %s", p.peek().kind)
+	}
+	return f, nil
+}
+
+type parser struct {
+	src  string
+	toks []token
+	pos  int
+}
+
+func (p *parser) peek() token  { return p.toks[p.pos] }
+func (p *parser) peek2() token { return p.toks[min(p.pos+1, len(p.toks)-1)] }
+func (p *parser) next() token {
+	t := p.toks[p.pos]
+	if p.pos < len(p.toks)-1 {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	t := p.peek()
+	line := 1 + strings.Count(p.src[:t.pos], "\n")
+	return fmt.Errorf("xquery: line %d (offset %d): %s", line, t.pos, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) expect(k tokenKind) (token, error) {
+	if p.peek().kind != k {
+		return token{}, p.errf("expected %s, found %s %q", k, p.peek().kind, p.peek().text)
+	}
+	return p.next(), nil
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	if !keyword(p.peek(), kw) {
+		return p.errf("expected %s, found %q", strings.ToUpper(kw), p.peek().text)
+	}
+	p.next()
+	return nil
+}
+
+// aggregate function names of the fragment.
+var aggFuncs = map[string]bool{"count": true, "avg": true, "sum": true, "min": true, "max": true}
+
+func (p *parser) parseFLWOR() (*FLWOR, error) {
+	f := &FLWOR{}
+	for {
+		switch {
+		case keyword(p.peek(), "for"):
+			p.next()
+			b, err := p.parseBinding(BindFor)
+			if err != nil {
+				return nil, err
+			}
+			f.Bindings = append(f.Bindings, b)
+		case keyword(p.peek(), "let"):
+			p.next()
+			b, err := p.parseBinding(BindLet)
+			if err != nil {
+				return nil, err
+			}
+			f.Bindings = append(f.Bindings, b)
+		default:
+			if len(f.Bindings) == 0 {
+				return nil, p.errf("expected FOR or LET, found %q", p.peek().text)
+			}
+			goto clauses
+		}
+	}
+clauses:
+	if keyword(p.peek(), "where") {
+		p.next()
+		w, err := p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+		f.Where = w
+	}
+	if keyword(p.peek(), "order") {
+		p.next()
+		if err := p.expectKeyword("by"); err != nil {
+			return nil, err
+		}
+		for {
+			path, err := p.parsePath()
+			if err != nil {
+				return nil, err
+			}
+			f.OrderBy = append(f.OrderBy, OrderKey{Path: path})
+			if p.peek().kind == tokComma {
+				p.next()
+				continue
+			}
+			break
+		}
+		switch {
+		case keyword(p.peek(), "ascending"):
+			p.next()
+		case keyword(p.peek(), "descending"):
+			p.next()
+			for i := range f.OrderBy {
+				f.OrderBy[i].Descending = true
+			}
+		}
+	}
+	if err := p.expectKeyword("return"); err != nil {
+		return nil, err
+	}
+	ret, err := p.parseReturnExpr()
+	if err != nil {
+		return nil, err
+	}
+	f.Return = ret
+	return f, nil
+}
+
+func (p *parser) parseBinding(kind BindKind) (Binding, error) {
+	v, err := p.expect(tokVariable)
+	if err != nil {
+		return Binding{}, err
+	}
+	if kind == BindFor {
+		if err := p.expectKeyword("in"); err != nil {
+			return Binding{}, err
+		}
+	} else {
+		if _, err := p.expect(tokAssign); err != nil {
+			return Binding{}, err
+		}
+	}
+	b := Binding{Kind: kind, Var: v.text}
+	// Nested FLWOR source, optionally parenthesized.
+	if keyword(p.peek(), "for") || keyword(p.peek(), "let") {
+		sub, err := p.parseFLWOR()
+		if err != nil {
+			return Binding{}, err
+		}
+		b.Sub = sub
+		return b, nil
+	}
+	if p.peek().kind == tokLParen && (keyword(p.peek2(), "for") || keyword(p.peek2(), "let")) {
+		p.next()
+		sub, err := p.parseFLWOR()
+		if err != nil {
+			return Binding{}, err
+		}
+		if _, err := p.expect(tokRParen); err != nil {
+			return Binding{}, err
+		}
+		b.Sub = sub
+		return b, nil
+	}
+	path, err := p.parsePath()
+	if err != nil {
+		return Binding{}, err
+	}
+	b.Path = path
+	return b, nil
+}
+
+// parsePath parses a Simple Path.
+func (p *parser) parsePath() (*Path, error) {
+	path := &Path{}
+	switch {
+	case keyword(p.peek(), "document") || keyword(p.peek(), "doc"):
+		p.next()
+		if _, err := p.expect(tokLParen); err != nil {
+			return nil, err
+		}
+		name, err := p.expect(tokString)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokRParen); err != nil {
+			return nil, err
+		}
+		path.Root = RootDocument
+		path.Doc = name.text
+	case p.peek().kind == tokVariable:
+		path.Root = RootVariable
+		path.Var = p.next().text
+	default:
+		return nil, p.errf("expected document(...) or a variable, found %q", p.peek().text)
+	}
+	for {
+		var axis pattern.Axis
+		switch p.peek().kind {
+		case tokSlash:
+			axis = pattern.Child
+		case tokSlashSlash:
+			axis = pattern.Descendant
+		default:
+			return path, nil
+		}
+		p.next()
+		switch {
+		case p.peek().kind == tokAt:
+			p.next()
+			name, err := p.expect(tokIdent)
+			if err != nil {
+				return nil, err
+			}
+			path.Steps = append(path.Steps, Step{Axis: axis, Name: "@" + name.text})
+		case p.peek().kind == tokIdent && p.peek().text == "text" && p.peek2().kind == tokLParen:
+			p.next()
+			p.next()
+			if _, err := p.expect(tokRParen); err != nil {
+				return nil, err
+			}
+			if axis != pattern.Child {
+				return nil, p.errf("text() requires the / axis")
+			}
+			path.Text = true
+			return path, nil
+		case p.peek().kind == tokIdent:
+			path.Steps = append(path.Steps, Step{Axis: axis, Name: p.next().text})
+		default:
+			return nil, p.errf("expected a step name after %s", axis)
+		}
+	}
+}
+
+// parseOr parses WhereExpr with OR as the lowest-precedence connective.
+func (p *parser) parseOr() (Expr, error) {
+	l, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for keyword(p.peek(), "or") {
+		p.next()
+		r, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		l = &Or{L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseAnd() (Expr, error) {
+	l, err := p.parseWhereAtom()
+	if err != nil {
+		return nil, err
+	}
+	for keyword(p.peek(), "and") {
+		p.next()
+		r, err := p.parseWhereAtom()
+		if err != nil {
+			return nil, err
+		}
+		l = &And{L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseWhereAtom() (Expr, error) {
+	t := p.peek()
+	switch {
+	case t.kind == tokLParen:
+		p.next()
+		e, err := p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokRParen); err != nil {
+			return nil, err
+		}
+		return e, nil
+	case keyword(t, "every") || keyword(t, "some"):
+		return p.parseQuantified()
+	case t.kind == tokIdent && aggFuncs[strings.ToLower(t.text)]:
+		fn := strings.ToLower(p.next().text)
+		if _, err := p.expect(tokLParen); err != nil {
+			return nil, err
+		}
+		path, err := p.parsePath()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokRParen); err != nil {
+			return nil, err
+		}
+		op, err := p.parseCmp()
+		if err != nil {
+			return nil, err
+		}
+		val, err := p.parseLiteral()
+		if err != nil {
+			return nil, err
+		}
+		return &AggrPred{Fn: fn, Path: path, Op: op, Value: val}, nil
+	default:
+		left, err := p.parsePath()
+		if err != nil {
+			return nil, err
+		}
+		op, err := p.parseCmp()
+		if err != nil {
+			return nil, err
+		}
+		// Value join or simple predicate?
+		if p.peek().kind == tokVariable || keyword(p.peek(), "document") || keyword(p.peek(), "doc") {
+			right, err := p.parsePath()
+			if err != nil {
+				return nil, err
+			}
+			return &Comparison{Left: left, Op: op, RightPath: right}, nil
+		}
+		val, err := p.parseLiteral()
+		if err != nil {
+			return nil, err
+		}
+		return &Comparison{Left: left, Op: op, RightVal: val}, nil
+	}
+}
+
+func (p *parser) parseQuantified() (Expr, error) {
+	every := keyword(p.peek(), "every")
+	p.next()
+	v, err := p.expect(tokVariable)
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("in"); err != nil {
+		return nil, err
+	}
+	path, err := p.parsePath()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("satisfies"); err != nil {
+		return nil, err
+	}
+	left, err := p.parsePath()
+	if err != nil {
+		return nil, err
+	}
+	op, err := p.parseCmp()
+	if err != nil {
+		return nil, err
+	}
+	val, err := p.parseLiteral()
+	if err != nil {
+		return nil, err
+	}
+	return &Quantified{
+		Every: every,
+		Var:   v.text,
+		Path:  path,
+		Cond:  &Comparison{Left: left, Op: op, RightVal: val},
+	}, nil
+}
+
+func (p *parser) parseCmp() (pattern.Cmp, error) {
+	switch p.peek().kind {
+	case tokEQ:
+		p.next()
+		return pattern.EQ, nil
+	case tokNE:
+		p.next()
+		return pattern.NE, nil
+	case tokLT:
+		p.next()
+		return pattern.LT, nil
+	case tokLE:
+		p.next()
+		return pattern.LE, nil
+	case tokGT:
+		p.next()
+		return pattern.GT, nil
+	case tokGE:
+		p.next()
+		return pattern.GE, nil
+	default:
+		return 0, p.errf("expected a comparison operator, found %q", p.peek().text)
+	}
+}
+
+func (p *parser) parseLiteral() (string, error) {
+	t := p.peek()
+	if t.kind == tokString || t.kind == tokNumber {
+		p.next()
+		return t.text, nil
+	}
+	return "", p.errf("expected a string or number literal, found %q", t.text)
+}
+
+// parseReturnExpr parses one RETURN expression.
+func (p *parser) parseReturnExpr() (*RetNode, error) {
+	t := p.peek()
+	switch {
+	case t.kind == tokLT:
+		return p.parseElementConstructor()
+	case t.kind == tokLBrace:
+		p.next()
+		inner, err := p.parseReturnExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokRBrace); err != nil {
+			return nil, err
+		}
+		return inner, nil
+	case keyword(t, "for") || keyword(t, "let"):
+		sub, err := p.parseFLWOR()
+		if err != nil {
+			return nil, err
+		}
+		return &RetNode{Kind: RetSub, Sub: sub}, nil
+	case t.kind == tokIdent && aggFuncs[strings.ToLower(t.text)]:
+		fn := strings.ToLower(p.next().text)
+		if _, err := p.expect(tokLParen); err != nil {
+			return nil, err
+		}
+		path, err := p.parsePath()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokRParen); err != nil {
+			return nil, err
+		}
+		return &RetNode{Kind: RetAggr, Fn: fn, Path: path}, nil
+	case t.kind == tokString:
+		p.next()
+		return &RetNode{Kind: RetLiteral, Literal: t.text}, nil
+	default:
+		path, err := p.parsePath()
+		if err != nil {
+			return nil, err
+		}
+		return &RetNode{Kind: RetPath, Path: path}, nil
+	}
+}
+
+// parseElementConstructor parses <tag attr={path}...> children </tag>.
+func (p *parser) parseElementConstructor() (*RetNode, error) {
+	if _, err := p.expect(tokLT); err != nil {
+		return nil, err
+	}
+	tag, err := p.expect(tokIdent)
+	if err != nil {
+		return nil, err
+	}
+	el := &RetNode{Kind: RetElement, Tag: tag.text}
+	for p.peek().kind == tokIdent {
+		name := p.next()
+		if _, err := p.expect(tokEQ); err != nil {
+			return nil, err
+		}
+		switch p.peek().kind {
+		case tokLBrace:
+			p.next()
+			path, err := p.parsePath()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tokRBrace); err != nil {
+				return nil, err
+			}
+			el.Attrs = append(el.Attrs, RetAttr{Name: name.text, Path: path})
+		case tokString:
+			el.Attrs = append(el.Attrs, RetAttr{Name: name.text, Literal: p.next().text})
+		default:
+			return nil, p.errf("expected {path} or a string as attribute value")
+		}
+	}
+	if p.peek().kind == tokSlashGT {
+		p.next()
+		return el, nil
+	}
+	if _, err := p.expect(tokGT); err != nil {
+		return nil, err
+	}
+	for p.peek().kind != tokLTSlash {
+		if p.peek().kind == tokEOF {
+			return nil, p.errf("unterminated element constructor <%s>", el.Tag)
+		}
+		child, err := p.parseReturnExpr()
+		if err != nil {
+			return nil, err
+		}
+		el.Children = append(el.Children, child)
+	}
+	p.next() // consume </
+	closeTag, err := p.expect(tokIdent)
+	if err != nil {
+		return nil, err
+	}
+	if closeTag.text != el.Tag {
+		return nil, p.errf("mismatched closing tag </%s> for <%s>", closeTag.text, el.Tag)
+	}
+	if _, err := p.expect(tokGT); err != nil {
+		return nil, err
+	}
+	return el, nil
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

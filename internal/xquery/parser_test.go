@@ -1,0 +1,289 @@
+package xquery
+
+import (
+	"strings"
+	"testing"
+
+	"tlc/internal/pattern"
+)
+
+// q1Text is Query Q1 from the paper (Figure 1).
+const q1Text = `
+FOR $p IN document("auction.xml")//person
+FOR $o IN document("auction.xml")//open_auction
+WHERE count($o/bidder) > 5 AND $p/age > 25
+  AND $p/@id = $o/bidder//@person
+RETURN
+<person name={$p/name/text()}> $o/bidder </person>`
+
+// q2Text is Query Q2 from the paper (Figure 3).
+const q2Text = `
+FOR $p IN document("auction.xml")//person
+LET $a := FOR $o IN document("auction.xml")//open_auction
+          WHERE count($o/bidder) > 5
+            AND $p/@id = $o/bidder//@person
+          RETURN <myauction> {$o/bidder}
+                   <myquan>{$o/quantity/text()}</myquan>
+                 </myauction>
+WHERE $p/age > 25
+  AND EVERY $i IN $a/myquan SATISFIES $i > 2
+RETURN
+<person name={$p/name/text()}>{$a/bidder}</person>`
+
+func mustParse(t *testing.T, src string) *FLWOR {
+	t.Helper()
+	f, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	return f
+}
+
+func TestParseQ1(t *testing.T) {
+	f := mustParse(t, q1Text)
+	if len(f.Bindings) != 2 {
+		t.Fatalf("bindings = %d, want 2", len(f.Bindings))
+	}
+	if f.Bindings[0].Var != "$p" || f.Bindings[0].Kind != BindFor {
+		t.Errorf("binding 0 = %+v", f.Bindings[0])
+	}
+	p := f.Bindings[0].Path
+	if p.Root != RootDocument || p.Doc != "auction.xml" {
+		t.Errorf("path root = %+v", p)
+	}
+	if len(p.Steps) != 1 || p.Steps[0].Name != "person" || p.Steps[0].Axis != pattern.Descendant {
+		t.Errorf("steps = %+v", p.Steps)
+	}
+	// WHERE: ((count(...) > 5 AND age > 25) AND @id = @person)
+	and, ok := f.Where.(*And)
+	if !ok {
+		t.Fatalf("where = %T", f.Where)
+	}
+	join, ok := and.R.(*Comparison)
+	if !ok || join.RightPath == nil {
+		t.Fatalf("value join = %+v", and.R)
+	}
+	if join.Left.String() != "$p/@id" {
+		t.Errorf("join left = %s", join.Left)
+	}
+	if join.RightPath.String() != "$o/bidder//@person" {
+		t.Errorf("join right = %s", join.RightPath)
+	}
+	inner, ok := and.L.(*And)
+	if !ok {
+		t.Fatalf("inner = %T", and.L)
+	}
+	agg, ok := inner.L.(*AggrPred)
+	if !ok || agg.Fn != "count" || agg.Op != pattern.GT || agg.Value != "5" {
+		t.Fatalf("aggregate predicate = %+v", inner.L)
+	}
+	simple, ok := inner.R.(*Comparison)
+	if !ok || simple.RightVal != "25" || simple.Left.String() != "$p/age" {
+		t.Fatalf("simple predicate = %+v", inner.R)
+	}
+	// RETURN element.
+	r := f.Return
+	if r.Kind != RetElement || r.Tag != "person" {
+		t.Fatalf("return = %+v", r)
+	}
+	if len(r.Attrs) != 1 || r.Attrs[0].Name != "name" || !r.Attrs[0].Path.Text {
+		t.Errorf("return attrs = %+v", r.Attrs)
+	}
+	if len(r.Children) != 1 || r.Children[0].Kind != RetPath || r.Children[0].Path.String() != "$o/bidder" {
+		t.Errorf("return children = %+v", r.Children[0])
+	}
+}
+
+func TestParseQ2Nested(t *testing.T) {
+	f := mustParse(t, q2Text)
+	if len(f.Bindings) != 2 {
+		t.Fatalf("bindings = %d", len(f.Bindings))
+	}
+	let := f.Bindings[1]
+	if let.Kind != BindLet || let.Var != "$a" || let.Sub == nil {
+		t.Fatalf("let binding = %+v", let)
+	}
+	inner := let.Sub
+	if len(inner.Bindings) != 1 || inner.Bindings[0].Var != "$o" {
+		t.Errorf("inner bindings = %+v", inner.Bindings)
+	}
+	if inner.Return.Kind != RetElement || inner.Return.Tag != "myauction" {
+		t.Errorf("inner return = %+v", inner.Return)
+	}
+	if len(inner.Return.Children) != 2 {
+		t.Fatalf("inner return children = %d", len(inner.Return.Children))
+	}
+	if inner.Return.Children[1].Tag != "myquan" {
+		t.Errorf("second child = %+v", inner.Return.Children[1])
+	}
+	// Outer WHERE has the EVERY quantifier.
+	and, ok := f.Where.(*And)
+	if !ok {
+		t.Fatalf("outer where = %T", f.Where)
+	}
+	q, ok := and.R.(*Quantified)
+	if !ok || !q.Every || q.Var != "$i" {
+		t.Fatalf("quantifier = %+v", and.R)
+	}
+	if q.Path.String() != "$a/myquan" || q.Cond.Left.String() != "$i" {
+		t.Errorf("quantifier paths: %s, %s", q.Path, q.Cond.Left)
+	}
+}
+
+func TestParseOrderBy(t *testing.T) {
+	f := mustParse(t, `FOR $p IN document("a.xml")//person
+		ORDER BY $p/name DESCENDING
+		RETURN $p/name`)
+	if len(f.OrderBy) != 1 || !f.OrderBy[0].Descending {
+		t.Fatalf("order by = %+v", f.OrderBy)
+	}
+	if f.Return.Kind != RetPath {
+		t.Errorf("return kind = %v", f.Return.Kind)
+	}
+}
+
+func TestParseOrExpression(t *testing.T) {
+	f := mustParse(t, `FOR $p IN document("a.xml")//person
+		WHERE $p/age > 60 OR $p/age < 18
+		RETURN $p/name`)
+	if _, ok := f.Where.(*Or); !ok {
+		t.Fatalf("where = %T", f.Where)
+	}
+}
+
+func TestParseAggregateReturn(t *testing.T) {
+	f := mustParse(t, `FOR $p IN document("a.xml")//site
+		RETURN count($p/person)`)
+	if f.Return.Kind != RetAggr || f.Return.Fn != "count" {
+		t.Fatalf("return = %+v", f.Return)
+	}
+}
+
+func TestParseEmptyElementAndLiteral(t *testing.T) {
+	f := mustParse(t, `FOR $p IN document("a.xml")//x
+		RETURN <out note="hi"><empty/>"lit"</out>`)
+	r := f.Return
+	if len(r.Attrs) != 1 || r.Attrs[0].Literal != "hi" {
+		t.Errorf("attrs = %+v", r.Attrs)
+	}
+	if len(r.Children) != 2 || r.Children[0].Tag != "empty" || r.Children[1].Kind != RetLiteral {
+		t.Errorf("children = %+v", r.Children)
+	}
+}
+
+func TestParseSomeQuantifier(t *testing.T) {
+	f := mustParse(t, `FOR $p IN document("a.xml")//person
+		WHERE SOME $w IN $p/watch SATISFIES $w/price > 10
+		RETURN $p`)
+	q, ok := f.Where.(*Quantified)
+	if !ok || q.Every {
+		t.Fatalf("where = %+v", f.Where)
+	}
+}
+
+func TestParseForOverNestedFLWOR(t *testing.T) {
+	f := mustParse(t, `FOR $x IN (FOR $y IN document("a.xml")//b RETURN $y/c)
+		RETURN $x`)
+	if f.Bindings[0].Sub == nil {
+		t.Fatal("nested FOR source not parsed")
+	}
+}
+
+func TestParseComments(t *testing.T) {
+	f := mustParse(t, `(: find people :) FOR $p IN document("a.xml")//person (: nested (: ok :) :)
+		RETURN $p/name`)
+	if len(f.Bindings) != 1 {
+		t.Fatal("comment handling broke parse")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		``,
+		`WHERE $p/a > 1 RETURN $p`,   // no FOR
+		`FOR $p IN RETURN $p`,        // missing path
+		`FOR $p IN document("a")//x`, // missing RETURN
+		`FOR $p IN document("a")//x RETURN <a></b>`,             // tag mismatch
+		`FOR $p IN document("a")//x WHERE $p/a RETURN $p`,       // no comparison
+		`FOR $p IN document("a")//x WHERE count $p RETURN $p`,   // malformed count
+		`FOR $p IN document("a")//x RETURN <a`,                  // unterminated
+		`FOR $p IN document("a")//x[1] RETURN $p`,               // branching predicate
+		`FOR $p IN document("a")//x RETURN $p/text()/more`,      // steps after text()
+		`FOR $p IN document("a")//x RETURN $p "extra" trailing`, // trailing junk
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestPathString(t *testing.T) {
+	f := mustParse(t, `FOR $p IN document("auction.xml")//open_auction/bidder RETURN $p/@id`)
+	if got := f.Bindings[0].Path.String(); got != `document("auction.xml")//open_auction/bidder` {
+		t.Errorf("path string = %s", got)
+	}
+	if got := f.Return.Path.String(); got != "$p/@id" {
+		t.Errorf("return path = %s", got)
+	}
+}
+
+func TestExprStrings(t *testing.T) {
+	f := mustParse(t, q2Text)
+	s := f.Where.String()
+	for _, want := range []string{"$p/age > 25", "EVERY $i IN $a/myquan", "AND"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("where string missing %q: %s", want, s)
+		}
+	}
+}
+
+func TestLexerTokens(t *testing.T) {
+	toks, err := lex(`$v <= 5.5 != 'str' () {} </ /> . * , :=`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kinds := []tokenKind{tokVariable, tokLE, tokNumber, tokNE, tokString,
+		tokLParen, tokRParen, tokLBrace, tokRBrace, tokLTSlash, tokSlashGT,
+		tokDot, tokStar, tokComma, tokAssign, tokEOF}
+	if len(toks) != len(kinds) {
+		t.Fatalf("got %d tokens, want %d: %v", len(toks), len(kinds), toks)
+	}
+	for i, k := range kinds {
+		if toks[i].kind != k {
+			t.Errorf("token %d = %v, want %v", i, toks[i].kind, k)
+		}
+	}
+}
+
+func TestLexerErrors(t *testing.T) {
+	for _, bad := range []string{`"unterminated`, `$`, `(: open comment`, "\x01"} {
+		if _, err := lex(bad); err == nil {
+			t.Errorf("lex(%q) succeeded", bad)
+		}
+	}
+}
+
+func TestTokenKindStrings(t *testing.T) {
+	if tokEOF.String() != "end of input" || tokLE.String() != "<=" {
+		t.Error("token kind strings wrong")
+	}
+	if tokenKind(200).String() == "" {
+		t.Error("unknown kind has empty string")
+	}
+}
+
+func TestCaseInsensitiveKeywords(t *testing.T) {
+	f := mustParse(t, `for $p in document("a.xml")//person where $p/age > 1 return $p/name`)
+	if len(f.Bindings) != 1 || f.Where == nil {
+		t.Error("lower-case keywords rejected")
+	}
+}
+
+func TestSingleQuoteStrings(t *testing.T) {
+	f := mustParse(t, `FOR $p IN document('a.xml')//x WHERE $p/@k = 'v' RETURN $p`)
+	c := f.Where.(*Comparison)
+	if c.RightVal != "v" {
+		t.Errorf("single-quoted literal = %q", c.RightVal)
+	}
+}

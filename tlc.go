@@ -1,0 +1,304 @@
+// Package tlc is a native XML query engine implementing the TLC algebra
+// ("Tree Logical Classes for Efficient Evaluation of XQuery", SIGMOD 2004)
+// — the algebra used in the TIMBER system. It evaluates a substantial
+// FLWOR fragment of XQuery over in-memory XML documents by compiling
+// queries to annotated-pattern-tree plans executed with structural joins,
+// nest-joins and logical-class bookkeeping.
+//
+// Besides the TLC engine (with and without the Section 4 redundancy
+// rewrites), the package ships three reference engines used by the paper's
+// evaluation — TAX-style plans, GTP-style plans, and a navigational
+// interpreter — all running against the same store, which makes the
+// paper's Figure 15/16/17 comparisons reproducible.
+//
+// Basic usage:
+//
+//	db := tlc.Open()
+//	db.LoadXMLString("auction.xml", xmlText)
+//	res, err := db.Query(`FOR $p IN document("auction.xml")//person
+//	                      WHERE $p/age > 25 RETURN $p/name`)
+//	fmt.Println(res.XML())
+package tlc
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"tlc/internal/algebra"
+	"tlc/internal/baselines/gtp"
+	"tlc/internal/baselines/nav"
+	"tlc/internal/baselines/tax"
+	"tlc/internal/rewrite"
+	"tlc/internal/seq"
+	"tlc/internal/store"
+	"tlc/internal/translate"
+	"tlc/internal/xmark"
+	"tlc/internal/xquery"
+)
+
+// Engine selects the evaluation strategy.
+type Engine int
+
+// Available engines.
+const (
+	// TLC compiles to TLC algebra plans (annotated pattern trees,
+	// nest-joins, logical classes). This is the default.
+	TLC Engine = iota
+	// TLCOpt is TLC plus the Section 4 rewrites (pattern tree reuse,
+	// Flatten, Shadow/Illuminate) — the paper's "OPT" configuration.
+	TLCOpt
+	// GTP evaluates generalized-tree-pattern plans: pattern reuse but flat
+	// matches plus a grouping procedure instead of nest-joins.
+	GTP
+	// TAX evaluates TAX-style plans: flat matches, grouping, early
+	// materialization of bound variables, no pattern reuse, and an
+	// identity join stitching the RETURN paths back on.
+	TAX
+	// Nav is the navigational interpreter: no indexes, no joins, pure
+	// tree walking.
+	Nav
+)
+
+// String returns the engine name used in benchmark tables.
+func (e Engine) String() string {
+	switch e {
+	case TLC:
+		return "TLC"
+	case TLCOpt:
+		return "OPT"
+	case GTP:
+		return "GTP"
+	case TAX:
+		return "TAX"
+	case Nav:
+		return "NAV"
+	default:
+		return fmt.Sprintf("Engine(%d)", int(e))
+	}
+}
+
+// Engines lists every engine in the order of the Figure 15 columns.
+func Engines() []Engine { return []Engine{TLC, GTP, TAX, Nav} }
+
+// Database is a collection of loaded XML documents with the indexes the
+// engines use (element tag index and content value index). It is safe for
+// concurrent queries only when statistics collection is disabled; the
+// benchmark harness runs queries sequentially, as the paper did.
+type Database struct {
+	st *store.Store
+}
+
+// Open returns an empty database.
+func Open() *Database { return &Database{st: store.New()} }
+
+// LoadXML parses and indexes an XML document under the given name (the
+// name used in document("...") references).
+func (db *Database) LoadXML(name string, r io.Reader) error {
+	_, err := db.st.LoadXML(name, r)
+	return err
+}
+
+// LoadXMLString is LoadXML over a string.
+func (db *Database) LoadXMLString(name, xml string) error {
+	return db.LoadXML(name, strings.NewReader(xml))
+}
+
+// LoadXMark generates and loads an XMark-like auction document at the
+// given scale factor (see the xmark package for the populations).
+func (db *Database) LoadXMark(name string, factor float64) error {
+	_, err := db.st.Load(xmark.Generate(name, factor))
+	return err
+}
+
+// Documents returns the loaded document names.
+func (db *Database) Documents() []string { return db.st.Names() }
+
+// Stats returns the store access counters accumulated since the last
+// ResetStats.
+func (db *Database) Stats() store.Stats { return db.st.Snapshot() }
+
+// ResetStats zeroes the store access counters.
+func (db *Database) ResetStats() { db.st.ResetStats() }
+
+// dbStore exposes the underlying store to same-package benchmarks.
+func dbStore(db *Database) *store.Store { return db.st }
+
+// Option configures a query.
+type Option func(*queryConfig)
+
+type queryConfig struct {
+	engine Engine
+}
+
+// WithEngine selects the evaluation engine for a query.
+func WithEngine(e Engine) Option {
+	return func(c *queryConfig) { c.engine = e }
+}
+
+// Prepared is a compiled query, reusable across executions (the benchmark
+// harness compiles once and measures evaluation only, like the paper).
+type Prepared struct {
+	engine Engine
+	plan   algebra.Op // nil for Nav
+	ast    *xquery.FLWOR
+}
+
+// Compile parses and translates a query for the selected engine.
+func (db *Database) Compile(text string, opts ...Option) (*Prepared, error) {
+	cfg := queryConfig{engine: TLC}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	ast, err := xquery.Parse(text)
+	if err != nil {
+		return nil, err
+	}
+	p := &Prepared{engine: cfg.engine, ast: ast}
+	switch cfg.engine {
+	case Nav:
+		return p, nil
+	case TLC:
+		res, err := translate.Translate(ast)
+		if err != nil {
+			return nil, err
+		}
+		p.plan = res.Plan
+	case TLCOpt:
+		res, err := translate.Translate(ast)
+		if err != nil {
+			return nil, err
+		}
+		p.plan, _ = rewrite.Optimize(res.Plan)
+		// Selectivity-based pattern-match edge ordering — the join-order
+		// optimization Section 5.2 defers to an optimizer.
+		rewrite.OrderEdges(p.plan, db.st)
+	case GTP:
+		res, err := gtp.Translate(ast)
+		if err != nil {
+			return nil, err
+		}
+		p.plan = res.Plan
+	case TAX:
+		res, err := tax.Translate(ast)
+		if err != nil {
+			return nil, err
+		}
+		p.plan = res.Plan
+	default:
+		return nil, fmt.Errorf("tlc: unknown engine %v", cfg.engine)
+	}
+	return p, nil
+}
+
+// Run evaluates the prepared query.
+func (db *Database) Run(p *Prepared) (*Result, error) {
+	var out seq.Seq
+	var err error
+	if p.engine == Nav {
+		out, err = nav.Run(db.st, p.ast)
+	} else {
+		out, err = algebra.Run(db.st, p.plan)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return &Result{db: db, trees: out}, nil
+}
+
+// Query compiles and evaluates in one step.
+func (db *Database) Query(text string, opts ...Option) (*Result, error) {
+	p, err := db.Compile(text, opts...)
+	if err != nil {
+		return nil, err
+	}
+	return db.Run(p)
+}
+
+// Explain returns the evaluation plan of a query as an indented operator
+// tree (empty for the navigational engine, which interprets the AST).
+func (db *Database) Explain(text string, opts ...Option) (string, error) {
+	p, err := db.Compile(text, opts...)
+	if err != nil {
+		return "", err
+	}
+	if p.plan == nil {
+		return "(navigational interpretation of the query AST)\n", nil
+	}
+	return algebra.Explain(p.plan), nil
+}
+
+// Profile evaluates a query while recording per-operator output
+// cardinality, wall-clock time and store accesses, and returns the
+// annotated plan tree — an EXPLAIN ANALYZE. The navigational engine has no
+// plan and reports an error.
+func (db *Database) Profile(text string, opts ...Option) (string, error) {
+	p, err := db.Compile(text, opts...)
+	if err != nil {
+		return "", err
+	}
+	if p.plan == nil {
+		return "", fmt.Errorf("tlc: the navigational engine has no plan to profile")
+	}
+	pr, err := algebra.Profile(algebra.NewContext(db.st), p.plan)
+	if err != nil {
+		return "", err
+	}
+	return pr.String(), nil
+}
+
+// Result is an evaluated query result: a sequence of XML trees.
+type Result struct {
+	db    *Database
+	trees seq.Seq
+}
+
+// Len returns the number of result trees.
+func (r *Result) Len() int { return len(r.trees) }
+
+// XML serializes the whole result, one tree per line.
+func (r *Result) XML() string { return r.trees.XML(r.db.st) }
+
+// TreeXML serializes the i-th result tree.
+func (r *Result) TreeXML(i int) string {
+	var sb strings.Builder
+	seq.AppendXML(&sb, r.db.st, r.trees[i].Root)
+	return sb.String()
+}
+
+// SortedXML returns the serialized trees sorted lexicographically — an
+// order-insensitive form used to compare engine outputs.
+func (r *Result) SortedXML() []string {
+	out := make([]string, len(r.trees))
+	for i := range r.trees {
+		out[i] = r.TreeXML(i)
+	}
+	sortStrings(out)
+	return out
+}
+
+func sortStrings(xs []string) { sort.Strings(xs) }
+
+// WorkloadQuery is one query of the paper's Figure 15 benchmark workload.
+type WorkloadQuery struct {
+	// ID is the Figure 15 row name (x1…x20, Q1, Q2, 10a).
+	ID string
+	// Text is the query in the supported XQuery fragment.
+	Text string
+	// Comment mirrors the Figure 15 comment column.
+	Comment string
+	// Rewritable marks the queries the Section 4 rewrites apply to
+	// (the Figure 16 set).
+	Rewritable bool
+}
+
+// Workload returns the 23 benchmark queries of Figure 15 in table order.
+func Workload() []WorkloadQuery {
+	qs := xmark.Queries()
+	out := make([]WorkloadQuery, len(qs))
+	for i, q := range qs {
+		out[i] = WorkloadQuery{ID: q.ID, Text: q.Text, Comment: q.Comment, Rewritable: q.Rewritable}
+	}
+	return out
+}

@@ -1,0 +1,173 @@
+package tlc
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleXML = `<site>
+  <person id="p0"><name>Alice</name><age>30</age></person>
+  <person id="p1"><name>Bob</name><age>20</age></person>
+</site>`
+
+func openSample(t *testing.T) *Database {
+	t.Helper()
+	db := Open()
+	if err := db.LoadXMLString("auction.xml", sampleXML); err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func TestQueryBasic(t *testing.T) {
+	db := openSample(t)
+	res, err := db.Query(`FOR $p IN document("auction.xml")//person
+		WHERE $p/age > 25 RETURN $p/name`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 1 || !strings.Contains(res.XML(), "Alice") {
+		t.Errorf("result = %q", res.XML())
+	}
+	if res.TreeXML(0) != "<name>Alice</name>" {
+		t.Errorf("TreeXML = %q", res.TreeXML(0))
+	}
+}
+
+func TestAllEnginesViaAPI(t *testing.T) {
+	db := openSample(t)
+	q := `FOR $p IN document("auction.xml")//person RETURN <n>{$p/name/text()}</n>`
+	var want []string
+	for _, e := range []Engine{TLC, TLCOpt, GTP, TAX, Nav} {
+		res, err := db.Query(q, WithEngine(e))
+		if err != nil {
+			t.Fatalf("%v: %v", e, err)
+		}
+		got := res.SortedXML()
+		if want == nil {
+			want = got
+			continue
+		}
+		if strings.Join(got, "|") != strings.Join(want, "|") {
+			t.Errorf("%v disagrees: %v vs %v", e, got, want)
+		}
+	}
+}
+
+func TestPreparedReuse(t *testing.T) {
+	db := openSample(t)
+	p, err := db.Compile(`FOR $p IN document("auction.xml")//person RETURN $p/@id`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		res, err := db.Run(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Len() != 2 {
+			t.Fatalf("run %d: %d results", i, res.Len())
+		}
+	}
+}
+
+func TestExplain(t *testing.T) {
+	db := openSample(t)
+	plan, err := db.Explain(`FOR $p IN document("auction.xml")//person RETURN $p/name`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Construct", "Select", "doc_root(auction.xml)"} {
+		if !strings.Contains(plan, want) {
+			t.Errorf("explain missing %q:\n%s", want, plan)
+		}
+	}
+	navPlan, err := db.Explain(`FOR $p IN document("auction.xml")//person RETURN $p/name`, WithEngine(Nav))
+	if err != nil || !strings.Contains(navPlan, "navigational") {
+		t.Errorf("nav explain = %q, %v", navPlan, err)
+	}
+}
+
+func TestLoadXMarkAndWorkload(t *testing.T) {
+	db := Open()
+	if err := db.LoadXMark("auction.xml", 0.01); err != nil {
+		t.Fatal(err)
+	}
+	if got := db.Documents(); len(got) != 1 || got[0] != "auction.xml" {
+		t.Errorf("documents = %v", got)
+	}
+	qs := Workload()
+	if len(qs) != 23 {
+		t.Fatalf("workload = %d queries", len(qs))
+	}
+	// A smoke pass: x1 must run on generated data under every engine.
+	q, _ := qs[0], qs[0]
+	for _, e := range []Engine{TLC, TLCOpt, GTP, TAX, Nav} {
+		if _, err := db.Query(q.Text, WithEngine(e)); err != nil {
+			t.Errorf("%s under %v: %v", q.ID, e, err)
+		}
+	}
+}
+
+func TestStatsAccounting(t *testing.T) {
+	db := openSample(t)
+	db.ResetStats()
+	if _, err := db.Query(`FOR $p IN document("auction.xml")//person RETURN $p/name`); err != nil {
+		t.Fatal(err)
+	}
+	if db.Stats().TagLookups == 0 {
+		t.Error("no tag lookups recorded")
+	}
+	db.ResetStats()
+	if db.Stats().TagLookups != 0 {
+		t.Error("ResetStats did not clear")
+	}
+}
+
+func TestErrors(t *testing.T) {
+	db := openSample(t)
+	if _, err := db.Query(`not a query`); err == nil {
+		t.Error("parse error not surfaced")
+	}
+	if _, err := db.Query(`FOR $p IN document("missing.xml")//a RETURN $p`); err == nil {
+		t.Error("missing document not surfaced")
+	}
+	if err := db.LoadXMLString("auction.xml", "<a/>"); err == nil {
+		t.Error("duplicate load not surfaced")
+	}
+	if _, err := db.Query(`FOR $p IN document("auction.xml")//person RETURN $p`, WithEngine(Engine(99))); err == nil {
+		t.Error("unknown engine not surfaced")
+	}
+}
+
+func TestEngineStrings(t *testing.T) {
+	names := map[Engine]string{TLC: "TLC", TLCOpt: "OPT", GTP: "GTP", TAX: "TAX", Nav: "NAV"}
+	for e, want := range names {
+		if e.String() != want {
+			t.Errorf("%d.String() = %q", e, e.String())
+		}
+	}
+	if len(Engines()) != 4 {
+		t.Errorf("Engines() = %v", Engines())
+	}
+}
+
+func TestProfile(t *testing.T) {
+	db := openSample(t)
+	out, err := db.Profile(`FOR $p IN document("auction.xml")//person
+		WHERE $p/age > 25 RETURN $p/name`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Construct", "trees", "ms", "Select"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("profile missing %q:\n%s", want, out)
+		}
+	}
+	if _, err := db.Profile("x", WithEngine(Nav)); err == nil {
+		t.Error("profiling a parse error succeeded")
+	}
+	if _, err := db.Profile(`FOR $p IN document("auction.xml")//person RETURN $p`, WithEngine(Nav)); err == nil {
+		t.Error("profiling NAV succeeded")
+	}
+}
