@@ -21,6 +21,7 @@ package tlc
 import (
 	"fmt"
 	"os"
+	"runtime"
 	"strconv"
 	"testing"
 	"tlc/internal/algebra"
@@ -53,10 +54,16 @@ func benchDB(b *testing.B, factor float64) *Database {
 
 func runQuery(b *testing.B, db *Database, text string, e Engine) {
 	b.Helper()
-	p, err := db.Compile(text, WithEngine(e))
+	runQueryParallel(b, db, text, e, 1)
+}
+
+func runQueryParallel(b *testing.B, db *Database, text string, e Engine, parallelism int) {
+	b.Helper()
+	p, err := db.Compile(text, WithEngine(e), WithParallelism(parallelism))
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := db.Run(p); err != nil {
@@ -156,6 +163,7 @@ func BenchmarkAblationValueJoin(b *testing.B) {
 			b.Fatal(err)
 		}
 		forceNestedLoopJoins(p)
+		b.ReportAllocs()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			if _, err := db.Run(p); err != nil {
@@ -192,6 +200,31 @@ func BenchmarkLoad(b *testing.B) {
 	}
 }
 
+// BenchmarkParallelSpeedup is the intra-query parallelism ablation: the
+// same workload query evaluated serially (parallelism 1, the paper's
+// methodology) and with a GOMAXPROCS worker budget. The chosen queries
+// stress the parallel paths differently: x5 and x13 are chunked per-tree
+// pipelines over many trees, x20 carries a multi-branch DisjFilter, Q1 adds
+// a value join whose independent sides fan out, and Q2 is nest-heavy. On a
+// single-core runner the two columns should be within noise of each other
+// (the parallel path degrades to chunk-at-a-time on one worker).
+func BenchmarkParallelSpeedup(b *testing.B) {
+	db := benchDB(b, benchFactor())
+	workers := runtime.GOMAXPROCS(0)
+	for _, id := range []string{"x5", "x13", "x20", "Q1", "Q2"} {
+		q, ok := workloadByID(id)
+		if !ok {
+			b.Fatalf("unknown query %s", id)
+		}
+		b.Run(id+"/serial", func(b *testing.B) {
+			runQueryParallel(b, db, q.Text, TLC, 1)
+		})
+		b.Run(fmt.Sprintf("%s/parallel-%d", id, workers), func(b *testing.B) {
+			runQueryParallel(b, db, q.Text, TLC, workers)
+		})
+	}
+}
+
 // forceNestedLoopJoins flips every value join in a compiled plan to the
 // nested-loop strategy.
 func forceNestedLoopJoins(p *Prepared) {
@@ -216,6 +249,7 @@ func BenchmarkAblationJoinOrder(b *testing.B) {
 			b.Fatal(err)
 		}
 		rewrite.OrderEdges(p.plan, dbStore(db))
+		b.ReportAllocs()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			if _, err := db.Run(p); err != nil {

@@ -7,7 +7,9 @@
 //
 // Times are wall-clock seconds (trimmed mean of -reps runs). -queries
 // restricts Figure 15 to a comma-separated list of query IDs; -engines
-// restricts the engine columns (e.g. -engines TLC,GTP).
+// restricts the engine columns (e.g. -engines TLC,GTP). -parallel sets the
+// intra-query worker budget (default 1, the paper's serial methodology;
+// 0 means GOMAXPROCS).
 package main
 
 import (
@@ -30,9 +32,13 @@ func main() {
 	queries := flag.String("queries", "", "comma-separated query IDs (figure 15 only)")
 	engines := flag.String("engines", "", "comma-separated engines: TLC,OPT,GTP,TAX,NAV")
 	factors := flag.String("factors", "0.1,0.5,1,2,5", "scale factors for figure 17")
+	parallel := flag.Int("parallel", 1, "intra-query parallelism: 1 = serial (paper methodology), 0 = GOMAXPROCS")
 	flag.Parse()
 
-	cfg := harness.Config{Factor: *factor, Reps: *reps, Deadline: *deadline}
+	cfg := harness.Config{Factor: *factor, Reps: *reps, Deadline: *deadline, Parallelism: *parallel}
+	if *parallel == 0 {
+		cfg.Parallelism = -1 // harness treats 0 as "default to 1"; -1 forces GOMAXPROCS
+	}
 	if *engines != "" {
 		cfg.Engines = parseEngines(*engines)
 	}

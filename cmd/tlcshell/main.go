@@ -27,7 +27,11 @@ func main() {
 	engineName := flag.String("engine", "TLC", "engine: TLC, OPT, GTP, TAX, NAV")
 	query := flag.String("query", "", "evaluate one query and exit")
 	explain := flag.Bool("explain", false, "print the evaluation plan before results")
+	parallel := flag.Int("parallel", 1, "intra-query parallelism: 1 = serial, 0 = GOMAXPROCS")
 	flag.Parse()
+	if *parallel == 0 {
+		*parallel = -1 // explicit "use GOMAXPROCS"
+	}
 
 	db := tlc.Open()
 	if *xmarkFactor > 0 {
@@ -64,7 +68,7 @@ func main() {
 	}
 
 	if *query != "" {
-		if err := evalOne(db, *query, engine, *explain); err != nil {
+		if err := evalOne(db, *query, engine, *explain, *parallel); err != nil {
 			fatal(err)
 		}
 		return
@@ -109,7 +113,7 @@ func main() {
 			continue
 		}
 		if strings.TrimSpace(line) == ";" {
-			if err := evalOne(db, buf.String(), engine, *explain); err != nil {
+			if err := evalOne(db, buf.String(), engine, *explain, *parallel); err != nil {
 				fmt.Fprintln(os.Stderr, "error:", err)
 			}
 			buf.Reset()
@@ -120,7 +124,7 @@ func main() {
 	}
 }
 
-func evalOne(db *tlc.Database, text string, engine tlc.Engine, explain bool) error {
+func evalOne(db *tlc.Database, text string, engine tlc.Engine, explain bool, parallel int) error {
 	if explain {
 		plan, err := db.Explain(text, tlc.WithEngine(engine))
 		if err != nil {
@@ -132,7 +136,7 @@ func evalOne(db *tlc.Database, text string, engine tlc.Engine, explain bool) err
 	}
 	db.ResetStats()
 	start := time.Now()
-	res, err := db.Query(text, tlc.WithEngine(engine))
+	res, err := db.Query(text, tlc.WithEngine(engine), tlc.WithParallelism(parallel))
 	if err != nil {
 		return err
 	}

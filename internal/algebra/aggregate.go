@@ -46,23 +46,26 @@ func (a *Aggregate) Label() string {
 
 func (a *Aggregate) eval(ctx *Context, in []seq.Seq) (seq.Seq, error) {
 	// Aggregate only adds one node per tree; under the evaluator's
-	// single-consumer ownership it mutates its input in place.
-	for _, t := range in[0] {
-		members := t.Class(a.LCL)
-		val, err := applyAgg(ctx.Store, a.Fn, members)
-		if err != nil {
-			return nil, err
+	// single-consumer ownership it mutates its input in place. The result
+	// nodes are temporaries, so the chunked path renumbers after gathering.
+	return chunkMap(ctx, in[0], true, func(chunk seq.Seq) (seq.Seq, error) {
+		for _, t := range chunk {
+			members := t.Class(a.LCL)
+			val, err := applyAgg(ctx.Store, a.Fn, members)
+			if err != nil {
+				return nil, err
+			}
+			res := seq.NewTempElement(string(a.Fn))
+			seq.Attach(res, seq.NewTempText(val))
+			parent := t.Root
+			if len(members) > 0 && members[0].Parent != nil {
+				parent = members[0].Parent
+			}
+			seq.Attach(parent, res)
+			t.AddToClass(a.NewLCL, res)
 		}
-		res := seq.NewTempElement(string(a.Fn))
-		seq.Attach(res, seq.NewTempText(val))
-		parent := t.Root
-		if len(members) > 0 && members[0].Parent != nil {
-			parent = members[0].Parent
-		}
-		seq.Attach(parent, res)
-		t.AddToClass(a.NewLCL, res)
-	}
-	return in[0], nil
+		return chunk, nil
+	})
 }
 
 // applyAgg computes the aggregate over the member contents.

@@ -16,7 +16,10 @@ package algebra
 
 import (
 	"fmt"
+	"runtime"
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	"tlc/internal/physical"
 	"tlc/internal/seq"
@@ -38,14 +41,79 @@ type Context struct {
 	Store   *store.Store
 	Matcher *physical.Matcher
 	// memo caches operator results so DAG-shaped plans evaluate shared
-	// subplans once (pattern tree reuse across operators).
+	// subplans once (pattern tree reuse across operators). Used by the
+	// serial evaluator and Profile; the parallel evaluator memoizes
+	// through futures instead.
 	memo map[Op]seq.Seq
+	// parallelism is the worker budget for this evaluation: 1 evaluates
+	// exactly like the original serial executor; n>1 evaluates independent
+	// DAG branches concurrently and scatters per-tree operators over
+	// chunks of their input sequence.
+	parallelism int
+	// sem holds parallelism-1 tokens: the calling goroutine always works,
+	// extra goroutines are spawned only while a token is available. Workers
+	// acquire non-blockingly and fall back to running in the caller, so the
+	// pool can never deadlock on nested fan-out.
+	sem chan struct{}
+	// futures memoizes operator evaluations in the parallel executor: the
+	// first consumer to claim an operator evaluates it, later consumers
+	// block on done and share (clone) the result. This keeps DAG-shaped
+	// plans evaluating shared subplans exactly once even when two
+	// consumers race — required for temporary-node identity (NodeIDDE,
+	// identity joins) to keep working across branches.
+	futures map[Op]*opFuture
+	mu      sync.Mutex
 }
 
-// NewContext returns a fresh evaluation context over st.
-func NewContext(st *store.Store) *Context {
-	return &Context{Store: st, Matcher: physical.NewMatcher(st), memo: make(map[Op]seq.Seq)}
+type opFuture struct {
+	done chan struct{}
+	out  seq.Seq
+	err  error
 }
+
+// NewContext returns a fresh serial evaluation context over st.
+func NewContext(st *store.Store) *Context {
+	return &Context{Store: st, Matcher: physical.NewMatcher(st), memo: make(map[Op]seq.Seq), parallelism: 1}
+}
+
+// NewParallelContext returns an evaluation context with the given worker
+// budget. Parallelism below 1 defaults to GOMAXPROCS; 1 yields the plain
+// serial context (bit-for-bit identical behavior, including store
+// counters). For n > 1 the matcher runs in shared mode so worker
+// goroutines can match patterns concurrently.
+func NewParallelContext(st *store.Store, parallelism int) *Context {
+	if parallelism < 1 {
+		parallelism = runtime.GOMAXPROCS(0)
+	}
+	if parallelism <= 1 {
+		return NewContext(st)
+	}
+	return &Context{
+		Store:       st,
+		Matcher:     physical.NewSharedMatcher(st),
+		memo:        make(map[Op]seq.Seq),
+		parallelism: parallelism,
+		sem:         make(chan struct{}, parallelism-1),
+		futures:     make(map[Op]*opFuture),
+	}
+}
+
+// Parallelism returns the context's worker budget.
+func (ctx *Context) Parallelism() int { return ctx.parallelism }
+
+func (ctx *Context) parallel() bool { return ctx.parallelism > 1 }
+
+// tryAcquire takes a worker token without blocking.
+func (ctx *Context) tryAcquire() bool {
+	select {
+	case ctx.sem <- struct{}{}:
+		return true
+	default:
+		return false
+	}
+}
+
+func (ctx *Context) release() { <-ctx.sem }
 
 // Eval evaluates the plan rooted at op and returns its result sequence.
 // Plans may be DAGs: operators feeding several consumers are evaluated once
@@ -57,6 +125,9 @@ func Eval(ctx *Context, op Op) (seq.Seq, error) {
 		for _, in := range o.Inputs() {
 			fanout[in]++
 		}
+	}
+	if ctx.parallel() {
+		return evalNodeParallel(ctx, op, fanout)
 	}
 	return evalNode(ctx, op, fanout)
 }
@@ -85,9 +156,167 @@ func evalNode(ctx *Context, op Op, fanout map[Op]int) (seq.Seq, error) {
 	return out, nil
 }
 
+// evalNodeParallel is the concurrent evaluator: independent input branches
+// of an operator are evaluated on worker goroutines (bounded by the
+// context's token pool), and DAG-shaped plans synchronize on per-operator
+// futures so a shared subplan is evaluated exactly once no matter which
+// consumer reaches it first. Like the serial evaluator, results consumed
+// by several operators are cloned per consumer.
+func evalNodeParallel(ctx *Context, op Op, fanout map[Op]int) (seq.Seq, error) {
+	ctx.mu.Lock()
+	if f, ok := ctx.futures[op]; ok {
+		ctx.mu.Unlock()
+		<-f.done
+		if f.err != nil {
+			return nil, f.err
+		}
+		return f.out.Clone(), nil
+	}
+	f := &opFuture{done: make(chan struct{})}
+	ctx.futures[op] = f
+	ctx.mu.Unlock()
+
+	f.out, f.err = evalInputsParallel(ctx, op, fanout)
+	close(f.done)
+	if f.err != nil {
+		return nil, f.err
+	}
+	if fanout[op] > 1 {
+		// The future keeps the original; every consumer (this one included)
+		// works on its own clone, so downstream in-place restructuring
+		// cannot corrupt the shared result.
+		return f.out.Clone(), nil
+	}
+	return f.out, nil
+}
+
+func evalInputsParallel(ctx *Context, op Op, fanout map[Op]int) (seq.Seq, error) {
+	ins := op.Inputs()
+	res := make([]seq.Seq, len(ins))
+	errs := make([]error, len(ins))
+	if len(ins) > 1 {
+		var wg sync.WaitGroup
+		var inline []int
+		for i := 1; i < len(ins); i++ {
+			if ctx.tryAcquire() {
+				wg.Add(1)
+				go func(i int) {
+					defer wg.Done()
+					defer ctx.release()
+					res[i], errs[i] = evalNodeParallel(ctx, ins[i], fanout)
+				}(i)
+			} else {
+				inline = append(inline, i)
+			}
+		}
+		res[0], errs[0] = evalNodeParallel(ctx, ins[0], fanout)
+		for _, i := range inline {
+			res[i], errs[i] = evalNodeParallel(ctx, ins[i], fanout)
+		}
+		wg.Wait()
+		// Report the leftmost failure for deterministic error messages.
+		for _, e := range errs {
+			if e != nil {
+				return nil, e
+			}
+		}
+	} else if len(ins) == 1 {
+		r, err := evalNodeParallel(ctx, ins[0], fanout)
+		if err != nil {
+			return nil, err
+		}
+		res[0] = r
+	}
+	out, err := op.eval(ctx, res)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", op.Label(), err)
+	}
+	return out, nil
+}
+
+// minChunk is the smallest per-worker slice of a sequence worth scattering:
+// below it, goroutine handoff costs more than the per-tree work saved.
+const minChunk = 16
+
+// chunkMap is the scatter–gather path for per-tree operators: fn maps a
+// contiguous chunk of the input sequence to its output subsequence, chunks
+// are claimed by workers off an atomic counter, and the outputs are
+// concatenated in chunk order — so the gathered sequence is exactly the
+// sequence a serial left-to-right loop would produce. Operators that create
+// temporary nodes pass renumber=true: after the gather, identifiers issued
+// by the workers (all above the watermark taken here, before scattering)
+// are re-issued in sequence order, restoring node-ID property 4. On a
+// serial context, or when the input is too small to be worth scattering,
+// fn runs once over the whole sequence.
+func chunkMap(ctx *Context, in seq.Seq, renumber bool, fn func(seq.Seq) (seq.Seq, error)) (seq.Seq, error) {
+	if !ctx.parallel() || len(in) < 2*minChunk {
+		return fn(in)
+	}
+	watermark := seq.TempWatermark()
+	size := (len(in) + 4*ctx.parallelism - 1) / (4 * ctx.parallelism)
+	if size < minChunk {
+		size = minChunk
+	}
+	numChunks := (len(in) + size - 1) / size
+	outs := make([]seq.Seq, numChunks)
+	errs := make([]error, numChunks)
+	var next atomic.Int64
+	worker := func() {
+		for {
+			c := int(next.Add(1)) - 1
+			if c >= numChunks {
+				return
+			}
+			lo := c * size
+			hi := lo + size
+			if hi > len(in) {
+				hi = len(in)
+			}
+			outs[c], errs[c] = fn(in[lo:hi])
+		}
+	}
+	var wg sync.WaitGroup
+	for i := 1; i < numChunks; i++ {
+		if !ctx.tryAcquire() {
+			break
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer ctx.release()
+			worker()
+		}()
+	}
+	worker() // the caller is always a worker too
+	wg.Wait()
+	for _, e := range errs {
+		if e != nil {
+			return nil, e // leftmost chunk's error, deterministically
+		}
+	}
+	n := 0
+	for _, o := range outs {
+		n += len(o)
+	}
+	out := make(seq.Seq, 0, n)
+	for _, o := range outs {
+		out = append(out, o...)
+	}
+	if renumber {
+		seq.RenumberTemps(out, watermark)
+	}
+	return out, nil
+}
+
 // Run is a convenience wrapper: build a context, evaluate, return result.
 func Run(st *store.Store, op Op) (seq.Seq, error) {
 	return Eval(NewContext(st), op)
+}
+
+// RunParallel evaluates the plan with the given worker budget (see
+// NewParallelContext for the parallelism convention).
+func RunParallel(st *store.Store, op Op, parallelism int) (seq.Seq, error) {
+	return Eval(NewParallelContext(st, parallelism), op)
 }
 
 // Explain renders the plan as an indented operator tree, children below

@@ -34,12 +34,14 @@ func (p *Project) Label() string {
 	return "Project: keep " + strings.Join(parts, ", ")
 }
 
-func (p *Project) eval(_ *Context, in []seq.Seq) (seq.Seq, error) {
-	out := make(seq.Seq, 0, len(in[0]))
-	for _, t := range in[0] {
-		out = append(out, projectTree(t, p.Keep))
-	}
-	return out, nil
+func (p *Project) eval(ctx *Context, in []seq.Seq) (seq.Seq, error) {
+	return chunkMap(ctx, in[0], false, func(chunk seq.Seq) (seq.Seq, error) {
+		out := make(seq.Seq, 0, len(chunk))
+		for _, t := range chunk {
+			out = append(out, projectTree(t, p.Keep))
+		}
+		return out, nil
+	})
 }
 
 // projectTree restructures the tree in place (the operator owns its

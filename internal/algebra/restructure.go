@@ -26,16 +26,18 @@ func NewFlatten(in Op, pLCL, cLCL int) *Flatten {
 // Label implements Op.
 func (f *Flatten) Label() string { return fmt.Sprintf("Flatten (%d, %d)", f.PLCL, f.CLCL) }
 
-func (f *Flatten) eval(_ *Context, in []seq.Seq) (seq.Seq, error) {
-	var out seq.Seq
-	for _, t := range in[0] {
-		trees, err := breakApart(t, f.PLCL, f.CLCL, false)
-		if err != nil {
-			return nil, err
+func (f *Flatten) eval(ctx *Context, in []seq.Seq) (seq.Seq, error) {
+	return chunkMap(ctx, in[0], false, func(chunk seq.Seq) (seq.Seq, error) {
+		var out seq.Seq
+		for _, t := range chunk {
+			trees, err := breakApart(t, f.PLCL, f.CLCL, false)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, trees...)
 		}
-		out = append(out, trees...)
-	}
-	return out, nil
+		return out, nil
+	})
 }
 
 // Shadow behaves like Flatten but retains the suppressed members as
@@ -56,16 +58,18 @@ func NewShadow(in Op, pLCL, cLCL int) *Shadow {
 // Label implements Op.
 func (s *Shadow) Label() string { return fmt.Sprintf("Shadow (%d, %d)", s.PLCL, s.CLCL) }
 
-func (s *Shadow) eval(_ *Context, in []seq.Seq) (seq.Seq, error) {
-	var out seq.Seq
-	for _, t := range in[0] {
-		trees, err := breakApart(t, s.PLCL, s.CLCL, true)
-		if err != nil {
-			return nil, err
+func (s *Shadow) eval(ctx *Context, in []seq.Seq) (seq.Seq, error) {
+	return chunkMap(ctx, in[0], false, func(chunk seq.Seq) (seq.Seq, error) {
+		var out seq.Seq
+		for _, t := range chunk {
+			trees, err := breakApart(t, s.PLCL, s.CLCL, true)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, trees...)
 		}
-		out = append(out, trees...)
-	}
-	return out, nil
+		return out, nil
+	})
 }
 
 // breakApart implements the common mechanics of Flatten and Shadow.

@@ -45,7 +45,11 @@ func (s *Select) eval(ctx *Context, in []seq.Seq) (seq.Seq, error) {
 		if len(in) != 1 {
 			return nil, fmt.Errorf("extension select needs exactly one input, has %d", len(in))
 		}
-		return ctx.Matcher.MatchExtend(in[0], s.APT)
+		// Extension matching is per-tree; scatter over chunks (the shared
+		// matcher's caches make concurrent matching safe).
+		return chunkMap(ctx, in[0], false, func(chunk seq.Seq) (seq.Seq, error) {
+			return ctx.Matcher.MatchExtend(chunk, s.APT)
+		})
 	}
 	if len(in) != 0 {
 		return nil, fmt.Errorf("document select takes no input, has %d", len(in))
@@ -103,27 +107,29 @@ func (f *Filter) Label() string {
 }
 
 func (f *Filter) eval(ctx *Context, in []seq.Seq) (seq.Seq, error) {
-	var out seq.Seq
-	for _, t := range in[0] {
-		hold := 0
-		members := t.Class(f.LCL)
-		for _, n := range members {
-			if f.Pred.Eval(seq.Content(ctx.Store, n)) {
-				hold++
+	return chunkMap(ctx, in[0], false, func(chunk seq.Seq) (seq.Seq, error) {
+		var out seq.Seq
+		for _, t := range chunk {
+			hold := 0
+			members := t.Class(f.LCL)
+			for _, n := range members {
+				if f.Pred.Eval(seq.Content(ctx.Store, n)) {
+					hold++
+				}
+			}
+			keep := false
+			switch f.Mode {
+			case Every:
+				keep = hold == len(members)
+			case AtLeastOne:
+				keep = hold >= 1
+			case ExactlyOne:
+				keep = hold == 1
+			}
+			if keep {
+				out = append(out, t)
 			}
 		}
-		keep := false
-		switch f.Mode {
-		case Every:
-			keep = hold == len(members)
-		case AtLeastOne:
-			keep = hold >= 1
-		case ExactlyOne:
-			keep = hold == 1
-		}
-		if keep {
-			out = append(out, t)
-		}
-	}
-	return out, nil
+		return out, nil
+	})
 }

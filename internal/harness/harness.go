@@ -29,6 +29,11 @@ type Config struct {
 	Deadline time.Duration
 	// Engines to run, in column order; defaults to TLC, GTP, TAX, NAV.
 	Engines []tlc.Engine
+	// Parallelism is the intra-query worker budget passed to the engines.
+	// It defaults to 1 — the paper measured strictly serial evaluation, so
+	// the figures stay comparable unless parallelism is requested
+	// explicitly (the -parallel flag of cmd/tlcbench).
+	Parallelism int
 }
 
 func (c Config) withDefaults() Config {
@@ -43,6 +48,9 @@ func (c Config) withDefaults() Config {
 	}
 	if len(c.Engines) == 0 {
 		c.Engines = tlc.Engines()
+	}
+	if c.Parallelism == 0 {
+		c.Parallelism = 1
 	}
 	return c
 }
@@ -77,7 +85,7 @@ func OpenDatabase(factor float64) (*tlc.Database, error) {
 // repetitions and returns the trimmed-mean measurement.
 func Measure(db *tlc.Database, text string, engine tlc.Engine, cfg Config) Measurement {
 	cfg = cfg.withDefaults()
-	prep, err := db.Compile(text, tlc.WithEngine(engine))
+	prep, err := db.Compile(text, tlc.WithEngine(engine), tlc.WithParallelism(cfg.Parallelism))
 	if err != nil {
 		return Measurement{Err: err}
 	}
@@ -93,11 +101,15 @@ func Measure(db *tlc.Database, text string, engine tlc.Engine, cfg Config) Measu
 		}
 		m.Results = res.Len()
 		m.Stats = db.Stats()
-		times = append(times, elapsed)
 		if elapsed > cfg.Deadline {
+			// The over-deadline run is excluded from the trimmed mean: a DNF
+			// cell reports the mean of the samples collected before the
+			// deadline hit (zero when the very first run blew it), not a
+			// mean skewed by the partial overlong sample.
 			m.DNF = true
 			break
 		}
+		times = append(times, elapsed)
 	}
 	m.Time = trimmedMean(times)
 	return m

@@ -41,6 +41,44 @@ func TestMeasure(t *testing.T) {
 	}
 }
 
+func TestMeasureDeadlineExcluded(t *testing.T) {
+	db, err := OpenDatabase(0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, _ := findQuery("x1")
+	cfg := tinyConfig()
+	cfg.Reps = 5
+	cfg.Deadline = time.Nanosecond // every run blows the deadline
+	m := Measure(db, q.Text, tlc.TLC, cfg)
+	if !m.DNF {
+		t.Fatalf("expected DNF, got %+v", m)
+	}
+	// The over-deadline sample must not leak into the trimmed mean: the
+	// very first run hit the deadline, so no valid samples exist.
+	if m.Time != 0 {
+		t.Errorf("DNF time = %v, want 0 (over-deadline sample excluded)", m.Time)
+	}
+}
+
+func TestMeasureParallelism(t *testing.T) {
+	db, err := OpenDatabase(0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, _ := findQuery("x5")
+	serial := Measure(db, q.Text, tlc.TLC, tinyConfig())
+	cfg := tinyConfig()
+	cfg.Parallelism = 4
+	par := Measure(db, q.Text, tlc.TLC, cfg)
+	if serial.Err != nil || par.Err != nil {
+		t.Fatalf("errs: %v / %v", serial.Err, par.Err)
+	}
+	if par.Results != serial.Results {
+		t.Errorf("parallel results = %d, serial = %d", par.Results, serial.Results)
+	}
+}
+
 func TestTrimmedMean(t *testing.T) {
 	times := []time.Duration{100, 1, 5, 3, 1000} // drop 1 and 1000
 	if got := trimmedMean(times); got != (100+5+3)/3 {

@@ -8,6 +8,12 @@ import (
 	"tlc/internal/xmltree"
 )
 
+// maxAlternatives bounds the number of witness trees a single input tree
+// may expand into during an extension match. Exceeding it indicates a
+// runaway "-" edge combination and is reported as an error rather than
+// allowed to exhaust memory.
+const maxAlternatives = 65536
+
 // attachment is one branch to add under an anchor node: either a fresh
 // partial matched in the store (branch) or an existing in-memory node of
 // the input tree that merely gets classified (existing).
@@ -95,7 +101,7 @@ func (m *Matcher) extendTree(t *seq.Tree, anchor *pattern.Node) (seq.Seq, error)
 					}
 					continue
 				}
-				b := att.branch.take()
+				b := m.take(att.branch)
 				seq.Attach(a, b.root)
 				for _, c := range b.classes {
 					t.AddToClass(c.lcl, c.node)
@@ -123,7 +129,7 @@ func (m *Matcher) extendTree(t *seq.Tree, anchor *pattern.Node) (seq.Seq, error)
 					}
 					continue
 				}
-				b := att.branch.take()
+				b := m.take(att.branch)
 				seq.Attach(target, b.root)
 				for _, c := range b.classes {
 					nt.AddToClass(c.lcl, c.node)

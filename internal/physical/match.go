@@ -15,18 +15,13 @@ package physical
 
 import (
 	"fmt"
+	"sync"
 
 	"tlc/internal/pattern"
 	"tlc/internal/seq"
 	"tlc/internal/store"
 	"tlc/internal/xmltree"
 )
-
-// maxAlternatives bounds the number of witness trees a single input tree
-// may expand into during an extension match. Exceeding it indicates a
-// runaway "-" edge combination and is reported as an error rather than
-// allowed to exhaust memory.
-const maxAlternatives = 65536
 
 type classEntry struct {
 	lcl  int
@@ -90,6 +85,12 @@ type Matcher struct {
 	// its candidate matches once; take() hands out the original on first
 	// use and clones afterwards, keeping cached instances reusable.
 	partials map[candKey][]*partial
+	// shared marks a matcher used from concurrent worker goroutines: cache
+	// access goes through mu, and cached partials are handed out as clones
+	// only (never the mutable original), so the cache stays immutable and
+	// race-free. Serial matchers keep the cheaper take-the-original path.
+	shared bool
+	mu     sync.Mutex
 }
 
 type candKey struct {
@@ -97,13 +98,32 @@ type candKey struct {
 	node *pattern.Node
 }
 
-// NewMatcher returns a matcher over st.
+// NewMatcher returns a matcher over st for single-goroutine use.
 func NewMatcher(st *store.Store) *Matcher {
 	return &Matcher{
 		st:       st,
 		cands:    make(map[candKey][]int32),
 		partials: make(map[candKey][]*partial),
 	}
+}
+
+// NewSharedMatcher returns a matcher safe for use from concurrent
+// goroutines (the parallel executor's DAG-branch and chunk workers).
+func NewSharedMatcher(st *store.Store) *Matcher {
+	m := NewMatcher(st)
+	m.shared = true
+	return m
+}
+
+// take hands out a matched instance: serial matchers give the original on
+// first use (the cheap path — most instances are consumed exactly once),
+// shared matchers always clone so the cached instance is never mutated by
+// a worker while another worker reads or clones it.
+func (m *Matcher) take(p *partial) *partial {
+	if m.shared {
+		return p.clone()
+	}
+	return p.take()
 }
 
 // MatchDocument evaluates an APT rooted at a document-root test and returns
@@ -125,7 +145,7 @@ func (m *Matcher) MatchDocument(apt *pattern.Tree) (seq.Seq, error) {
 	}
 	out := make(seq.Seq, 0, len(parts))
 	for _, p := range parts {
-		p := p.take() // the witness trees own these instances
+		p := m.take(p) // the witness trees own these instances
 		t := seq.NewTree(p.root)
 		for _, c := range p.classes {
 			t.AddToClass(c.lcl, c.node)
@@ -141,15 +161,37 @@ func (m *Matcher) MatchDocument(apt *pattern.Tree) (seq.Seq, error) {
 // matching) reuse the matched instances through take().
 func (m *Matcher) matchNode(doc store.DocID, p *pattern.Node) ([]*partial, error) {
 	key := candKey{doc: doc, node: p}
-	if parts, ok := m.partials[key]; ok {
+	if parts, ok := m.loadPartials(key); ok {
 		return parts, nil
 	}
 	parts, err := m.buildPartials(doc, p)
 	if err != nil {
 		return nil, err
 	}
-	m.partials[key] = parts
+	m.storePartials(key, parts)
 	return parts, nil
+}
+
+// loadPartials and storePartials guard the partial cache in shared mode.
+// Two workers racing on a miss both build the same (immutable, always-
+// cloned) instance set and the last store wins — duplicated work on a cold
+// cache, never a correctness issue. A single mutex around the whole build
+// would deadlock: buildPartials recurses into matchNode for child patterns.
+func (m *Matcher) loadPartials(key candKey) ([]*partial, bool) {
+	if m.shared {
+		m.mu.Lock()
+		defer m.mu.Unlock()
+	}
+	parts, ok := m.partials[key]
+	return parts, ok
+}
+
+func (m *Matcher) storePartials(key candKey, parts []*partial) {
+	if m.shared {
+		m.mu.Lock()
+		defer m.mu.Unlock()
+	}
+	m.partials[key] = parts
 }
 
 func (m *Matcher) buildPartials(doc store.DocID, p *pattern.Node) ([]*partial, error) {
@@ -193,7 +235,7 @@ func (m *Matcher) expandEdge(doc store.DocID, parents []*partial, e pattern.Edge
 				continue // "+" requires at least one match
 			}
 			for _, C := range ms {
-				P.attach(C.take())
+				P.attach(m.take(C))
 			}
 			out = append(out, P)
 		default: // "-" or "?"
@@ -208,7 +250,7 @@ func (m *Matcher) expandEdge(doc store.DocID, parents []*partial, e pattern.Edge
 				if i < len(ms)-1 {
 					target = P.clone()
 				}
-				target.attach(C.take())
+				target.attach(m.take(C))
 				out = append(out, target)
 			}
 		}
@@ -260,7 +302,7 @@ func searchPartials(parts []*partial, ord int32) int {
 // sequence hits each index once.
 func (m *Matcher) candidates(doc store.DocID, p *pattern.Node) ([]int32, error) {
 	key := candKey{doc: doc, node: p}
-	if c, ok := m.cands[key]; ok {
+	if c, ok := m.loadCands(key); ok {
 		return c, nil
 	}
 	var ords []int32
@@ -292,6 +334,23 @@ func (m *Matcher) candidates(doc store.DocID, p *pattern.Node) ([]int32, error) 
 	default:
 		return nil, fmt.Errorf("physical: unknown node test kind %d", p.Kind)
 	}
-	m.cands[key] = ords
+	m.storeCands(key, ords)
 	return ords, nil
+}
+
+func (m *Matcher) loadCands(key candKey) ([]int32, bool) {
+	if m.shared {
+		m.mu.Lock()
+		defer m.mu.Unlock()
+	}
+	c, ok := m.cands[key]
+	return c, ok
+}
+
+func (m *Matcher) storeCands(key candKey, ords []int32) {
+	if m.shared {
+		m.mu.Lock()
+		defer m.mu.Unlock()
+	}
+	m.cands[key] = ords
 }

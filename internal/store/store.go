@@ -7,15 +7,18 @@
 // counters make the relative cost of the competing plans observable.
 //
 // A Store is immutable after loading and safe for concurrent readers,
-// except for the statistics counters, which are maintained without
-// synchronization: query evaluation in this system is single-goroutine,
-// matching the paper's single-query-at-a-time measurements.
+// including the statistics counters, which are maintained with sync/atomic
+// so the parallel executor's worker goroutines can probe indexes and fetch
+// nodes without coordination. Serial evaluation (parallelism 1) produces
+// exactly the counter values the paper's single-query-at-a-time
+// measurements would.
 package store
 
 import (
 	"fmt"
 	"io"
 	"sort"
+	"sync/atomic"
 
 	"tlc/internal/xmltree"
 )
@@ -57,6 +60,35 @@ func (s Stats) String() string {
 		s.TagLookups, s.TagRefs, s.ValueLookups, s.NodesRead, s.NodesMaterialized)
 }
 
+// counters is the mutable, atomically-maintained form of Stats. Keeping
+// the exported Stats a plain value type preserves the snapshot/Add/String
+// API while making the live counters safe for concurrent writers.
+type counters struct {
+	tagLookups        atomic.Int64
+	tagRefs           atomic.Int64
+	valueLookups      atomic.Int64
+	nodesRead         atomic.Int64
+	nodesMaterialized atomic.Int64
+}
+
+func (c *counters) snapshot() Stats {
+	return Stats{
+		TagLookups:        c.tagLookups.Load(),
+		TagRefs:           c.tagRefs.Load(),
+		ValueLookups:      c.valueLookups.Load(),
+		NodesRead:         c.nodesRead.Load(),
+		NodesMaterialized: c.nodesMaterialized.Load(),
+	}
+}
+
+func (c *counters) reset() {
+	c.tagLookups.Store(0)
+	c.tagRefs.Store(0)
+	c.valueLookups.Store(0)
+	c.nodesRead.Store(0)
+	c.nodesMaterialized.Store(0)
+}
+
 type docEntry struct {
 	doc *xmltree.Document
 	// tags maps a tag name (elements plain, attributes with "@", text as
@@ -71,7 +103,7 @@ type docEntry struct {
 type Store struct {
 	docs    []docEntry
 	byName  map[string]DocID
-	stats   Stats
+	stats   counters
 	noStats bool
 }
 
@@ -143,10 +175,10 @@ func (s *Store) Doc(id DocID) *xmltree.Document { return s.docs[id].doc }
 func (s *Store) NumDocs() int { return len(s.docs) }
 
 // ResetStats zeroes the access counters.
-func (s *Store) ResetStats() { s.stats = Stats{} }
+func (s *Store) ResetStats() { s.stats.reset() }
 
 // Snapshot returns a copy of the current access counters.
-func (s *Store) Snapshot() Stats { return s.stats }
+func (s *Store) Snapshot() Stats { return s.stats.snapshot() }
 
 // DisableStats turns off counter maintenance; used by throughput-focused
 // benchmarks where even the counter writes are unwanted.
@@ -165,8 +197,8 @@ func (s *Store) TagCount(id DocID, tag string) int {
 func (s *Store) Tag(id DocID, tag string) []int32 {
 	refs := s.docs[id].tags[tag]
 	if !s.noStats {
-		s.stats.TagLookups++
-		s.stats.TagRefs += int64(len(refs))
+		s.stats.tagLookups.Add(1)
+		s.stats.tagRefs.Add(int64(len(refs)))
 	}
 	return refs
 }
@@ -180,8 +212,8 @@ func (s *Store) TagWithin(id DocID, tag string, ancestor int32) []int32 {
 	lo := sort.Search(len(refs), func(i int) bool { return refs[i] > anc.Start })
 	hi := sort.Search(len(refs), func(i int) bool { return refs[i] > anc.End })
 	if !s.noStats {
-		s.stats.TagLookups++
-		s.stats.TagRefs += int64(hi - lo)
+		s.stats.tagLookups.Add(1)
+		s.stats.tagRefs.Add(int64(hi - lo))
 	}
 	return refs[lo:hi]
 }
@@ -191,8 +223,8 @@ func (s *Store) TagWithin(id DocID, tag string, ancestor int32) []int32 {
 func (s *Store) Value(id DocID, v string) []int32 {
 	refs := s.docs[id].values[v]
 	if !s.noStats {
-		s.stats.ValueLookups++
-		s.stats.TagRefs += int64(len(refs))
+		s.stats.valueLookups.Add(1)
+		s.stats.tagRefs.Add(int64(len(refs)))
 	}
 	return refs
 }
@@ -204,8 +236,8 @@ func (s *Store) TagValue(id DocID, tag, v string) []int32 {
 	tagRefs := s.docs[id].tags[tag]
 	valRefs := s.docs[id].values[v]
 	if !s.noStats {
-		s.stats.TagLookups++
-		s.stats.ValueLookups++
+		s.stats.tagLookups.Add(1)
+		s.stats.valueLookups.Add(1)
 	}
 	var out []int32
 	i, j := 0, 0
@@ -222,7 +254,7 @@ func (s *Store) TagValue(id DocID, tag, v string) []int32 {
 		}
 	}
 	if !s.noStats {
-		s.stats.TagRefs += int64(len(out))
+		s.stats.tagRefs.Add(int64(len(out)))
 	}
 	return out
 }
@@ -230,7 +262,7 @@ func (s *Store) TagValue(id DocID, tag, v string) []int32 {
 // Node fetches a node record, counting the access.
 func (s *Store) Node(id DocID, ord int32) *xmltree.Node {
 	if !s.noStats {
-		s.stats.NodesRead++
+		s.stats.nodesRead.Add(1)
 	}
 	return s.docs[id].doc.Node(ord)
 }
@@ -239,7 +271,7 @@ func (s *Store) Node(id DocID, ord int32) *xmltree.Node {
 // counting the access.
 func (s *Store) Content(id DocID, ord int32) string {
 	if !s.noStats {
-		s.stats.NodesRead++
+		s.stats.nodesRead.Add(1)
 	}
 	return s.docs[id].doc.Content(ord)
 }
@@ -249,7 +281,7 @@ func (s *Store) Content(id DocID, ord int32) string {
 func (s *Store) Children(id DocID, ord int32) []int32 {
 	kids := s.docs[id].doc.Children(ord)
 	if !s.noStats {
-		s.stats.NodesRead += int64(len(kids)) + 1
+		s.stats.nodesRead.Add(int64(len(kids)) + 1)
 	}
 	return kids
 }
@@ -258,6 +290,6 @@ func (s *Store) Children(id DocID, ord int32) []int32 {
 // an intermediate result.
 func (s *Store) CountMaterialized(n int) {
 	if !s.noStats {
-		s.stats.NodesMaterialized += int64(n)
+		s.stats.nodesMaterialized.Add(int64(n))
 	}
 }

@@ -1,0 +1,162 @@
+package tlc
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// parityFactor keeps the XMark document small enough that the full
+// workload × engines sweep stays fast under -race, while still producing
+// multi-tree sequences that exercise the chunked operator paths.
+const parityFactor = 0.02
+
+func openXMark(t *testing.T) *Database {
+	t.Helper()
+	db := Open()
+	if err := db.LoadXMark("auction.xml", parityFactor); err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+// TestParallelismParity asserts the two halves of the parallel executor's
+// contract: WithParallelism(1) is byte-identical to the serial executor in
+// both results and store counters, and WithParallelism(n>1) produces
+// byte-identical results — including document order — for every engine and
+// every workload query.
+func TestParallelismParity(t *testing.T) {
+	db := openXMark(t)
+	for _, q := range Workload() {
+		for _, e := range []Engine{TLC, TLCOpt, GTP, TAX} {
+			t.Run(fmt.Sprintf("%s/%s", q.ID, e), func(t *testing.T) {
+				db.ResetStats()
+				serial, err := db.Query(q.Text, WithEngine(e), WithParallelism(1))
+				if err != nil {
+					t.Fatal(err)
+				}
+				serialStats := db.Stats()
+
+				// A second serial run must reproduce the counters exactly:
+				// parallelism 1 is the deterministic, paper-faithful path.
+				db.ResetStats()
+				again, err := db.Query(q.Text, WithEngine(e), WithParallelism(1))
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got := db.Stats(); got != serialStats {
+					t.Errorf("serial stats not reproducible:\n  first:  %v\n  second: %v", serialStats, got)
+				}
+				if again.XML() != serial.XML() {
+					t.Error("serial run not deterministic")
+				}
+
+				for _, n := range []int{2, 8} {
+					par, err := db.Query(q.Text, WithEngine(e), WithParallelism(n))
+					if err != nil {
+						t.Fatalf("parallelism %d: %v", n, err)
+					}
+					if par.XML() != serial.XML() {
+						t.Errorf("parallelism %d result differs from serial\nserial:   %.200s\nparallel: %.200s",
+							n, serial.XML(), par.XML())
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestConcurrentRuns is the regression test for the atomic store counters
+// and the shared matcher caches: many goroutines issue Run calls against
+// one Database — mixed engines, statistics enabled, both serial and
+// parallel per-query budgets — and every result must match the serial
+// baseline. Run it under -race to check the synchronization, not just the
+// outcomes.
+func TestConcurrentRuns(t *testing.T) {
+	db := openXMark(t)
+	queries := []string{
+		`FOR $p IN document("auction.xml")//person WHERE $p/age > 25 RETURN $p/name`,
+		`FOR $o IN document("auction.xml")//open_auction RETURN <bids>{count($o/bidder)}</bids>`,
+		`FOR $i IN document("auction.xml")//item RETURN <loc>{$i/location/text()}</loc>`,
+	}
+	engines := []Engine{TLC, TLCOpt, GTP, TAX, Nav}
+
+	type job struct {
+		prep *Prepared
+		want string
+	}
+	var jobs []job
+	for qi, q := range queries {
+		for _, e := range engines {
+			for _, par := range []int{1, 4} {
+				prep, err := db.Compile(q, WithEngine(e), WithParallelism(par))
+				if err != nil {
+					t.Fatalf("query %d engine %v: %v", qi, e, err)
+				}
+				res, err := db.Run(prep)
+				if err != nil {
+					t.Fatalf("query %d engine %v: %v", qi, e, err)
+				}
+				jobs = append(jobs, job{prep: prep, want: res.XML()})
+			}
+		}
+	}
+
+	db.ResetStats()
+	const goroutines = 8
+	const repsPerGoroutine = 3
+	var wg sync.WaitGroup
+	errc := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for r := 0; r < repsPerGoroutine; r++ {
+				j := jobs[(g+r)%len(jobs)]
+				res, err := db.Run(j.prep)
+				if err != nil {
+					errc <- err
+					return
+				}
+				if got := res.XML(); got != j.want {
+					errc <- fmt.Errorf("goroutine %d rep %d: result differs from serial baseline", g, r)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Error(err)
+	}
+	if db.Stats().TagLookups == 0 {
+		t.Error("stats were enabled but no tag lookups were counted")
+	}
+}
+
+// TestWithParallelismDefaults pins the option's conventions: unset and
+// n < 1 mean GOMAXPROCS, and every budget agrees on the result.
+func TestWithParallelismDefaults(t *testing.T) {
+	db := openSample(t)
+	q := `FOR $p IN document("auction.xml")//person RETURN $p/name`
+	want := ""
+	for i, opts := range [][]Option{
+		{},                    // default: GOMAXPROCS
+		{WithParallelism(-1)}, // explicit GOMAXPROCS
+		{WithParallelism(1)},  // exactly serial
+		{WithParallelism(3)},  // fixed budget
+	} {
+		res, err := db.Query(q, opts...)
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		if i == 0 {
+			want = res.XML()
+			continue
+		}
+		if res.XML() != want {
+			t.Errorf("case %d: result differs: %q vs %q", i, res.XML(), want)
+		}
+	}
+}

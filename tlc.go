@@ -83,9 +83,11 @@ func (e Engine) String() string {
 func Engines() []Engine { return []Engine{TLC, GTP, TAX, Nav} }
 
 // Database is a collection of loaded XML documents with the indexes the
-// engines use (element tag index and content value index). It is safe for
-// concurrent queries only when statistics collection is disabled; the
-// benchmark harness runs queries sequentially, as the paper did.
+// engines use (element tag index and content value index). Once loaded it
+// is immutable and safe for concurrent queries — the store's statistics
+// counters are atomic, so concurrent Run calls interleave counter updates
+// rather than corrupt them. The benchmark harness still runs queries
+// sequentially with intra-query parallelism 1, as the paper did.
 type Database struct {
 	st *store.Store
 }
@@ -129,7 +131,8 @@ func dbStore(db *Database) *store.Store { return db.st }
 type Option func(*queryConfig)
 
 type queryConfig struct {
-	engine Engine
+	engine      Engine
+	parallelism int
 }
 
 // WithEngine selects the evaluation engine for a query.
@@ -137,12 +140,26 @@ func WithEngine(e Engine) Option {
 	return func(c *queryConfig) { c.engine = e }
 }
 
+// WithParallelism sets the intra-query worker budget, which defaults to
+// GOMAXPROCS (n < 1 selects the default explicitly). n = 1 evaluates the
+// plan exactly like the original serial executor — byte-identical results
+// and store counters, the paper-faithful configuration, which the benchmark
+// harness uses unless told otherwise. n > 1 evaluates independent plan
+// branches concurrently and scatters per-tree operators over chunks of
+// their input; results (including document order) are identical to serial
+// evaluation. The navigational engine ignores the option (it interprets
+// the AST, there is no plan to parallelize).
+func WithParallelism(n int) Option {
+	return func(c *queryConfig) { c.parallelism = n }
+}
+
 // Prepared is a compiled query, reusable across executions (the benchmark
 // harness compiles once and measures evaluation only, like the paper).
 type Prepared struct {
-	engine Engine
-	plan   algebra.Op // nil for Nav
-	ast    *xquery.FLWOR
+	engine      Engine
+	plan        algebra.Op // nil for Nav
+	ast         *xquery.FLWOR
+	parallelism int
 }
 
 // Compile parses and translates a query for the selected engine.
@@ -155,7 +172,7 @@ func (db *Database) Compile(text string, opts ...Option) (*Prepared, error) {
 	if err != nil {
 		return nil, err
 	}
-	p := &Prepared{engine: cfg.engine, ast: ast}
+	p := &Prepared{engine: cfg.engine, ast: ast, parallelism: cfg.parallelism}
 	switch cfg.engine {
 	case Nav:
 		return p, nil
@@ -199,7 +216,7 @@ func (db *Database) Run(p *Prepared) (*Result, error) {
 	if p.engine == Nav {
 		out, err = nav.Run(db.st, p.ast)
 	} else {
-		out, err = algebra.Run(db.st, p.plan)
+		out, err = algebra.RunParallel(db.st, p.plan, p.parallelism)
 	}
 	if err != nil {
 		return nil, err
