@@ -25,7 +25,6 @@ import (
 	"strconv"
 	"testing"
 	"tlc/internal/algebra"
-	"tlc/internal/rewrite"
 )
 
 func benchFactor() float64 {
@@ -151,14 +150,26 @@ WHERE $p/@id = $o/bidder//@person
 RETURN <hit>{$p/name/text()}</hit>`
 
 // BenchmarkAblationValueJoin compares the sort–merge–sort equality join of
-// Section 5.1 against a nested-loop join, via the physical layer knob.
+// Section 5.1 against a nested-loop join, via the physical layer knob. Both
+// arms compile with the planner off so the comparison pins the algorithm
+// rather than measuring the planner's own (costed) choice.
 func BenchmarkAblationValueJoin(b *testing.B) {
 	db := benchDB(b, benchFactor())
 	b.Run("sort-merge-sort", func(b *testing.B) {
-		runQuery(b, db, qJoin, TLC)
+		p, err := db.Compile(qJoin, WithEngine(TLC), WithPlanner(false))
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := db.Run(p); err != nil {
+				b.Fatal(err)
+			}
+		}
 	})
 	b.Run("nested-loop", func(b *testing.B) {
-		p, err := db.Compile(qJoin, WithEngine(TLC))
+		p, err := db.Compile(qJoin, WithEngine(TLC), WithPlanner(false))
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -237,18 +248,16 @@ func forceNestedLoopJoins(p *Prepared) {
 
 // BenchmarkAblationJoinOrder measures the selectivity-based edge ordering
 // of the pattern matcher (the optimizer Section 5.2 defers to): the Q1
-// auction pattern with its nested bidder cluster matched before vs after
-// the multiplying join branch.
+// auction pattern as translated (planner off, query-order edges) vs as
+// planned (the nested bidder cluster matched after the pruning branches).
 func BenchmarkAblationJoinOrder(b *testing.B) {
 	db := benchDB(b, benchFactor())
 	q, _ := workloadByID("Q1")
-	b.Run("translated-order", func(b *testing.B) { runQuery(b, db, q.Text, TLC) })
-	b.Run("selectivity-order", func(b *testing.B) {
-		p, err := db.Compile(q.Text, WithEngine(TLC))
+	b.Run("translated-order", func(b *testing.B) {
+		p, err := db.Compile(q.Text, WithEngine(TLC), WithPlanner(false))
 		if err != nil {
 			b.Fatal(err)
 		}
-		rewrite.OrderEdges(p.plan, dbStore(db))
 		b.ReportAllocs()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
@@ -257,4 +266,5 @@ func BenchmarkAblationJoinOrder(b *testing.B) {
 			}
 		}
 	})
+	b.Run("selectivity-order", func(b *testing.B) { runQuery(b, db, q.Text, TLC) })
 }

@@ -9,7 +9,8 @@
 // restricts Figure 15 to a comma-separated list of query IDs; -engines
 // restricts the engine columns (e.g. -engines TLC,GTP). -parallel sets the
 // intra-query worker budget (default 1, the paper's serial methodology;
-// 0 means GOMAXPROCS).
+// 0 means GOMAXPROCS). -planner=off disables the cost-based planner and
+// runs the plans exactly as translated, for ablating the planner itself.
 package main
 
 import (
@@ -33,11 +34,20 @@ func main() {
 	engines := flag.String("engines", "", "comma-separated engines: TLC,OPT,GTP,TAX,NAV")
 	factors := flag.String("factors", "0.1,0.5,1,2,5", "scale factors for figure 17")
 	parallel := flag.Int("parallel", 1, "intra-query parallelism: 1 = serial (paper methodology), 0 = GOMAXPROCS")
+	planner := flag.String("planner", "on", "cost-based planner: on (default) or off (run plans as translated)")
 	flag.Parse()
 
 	cfg := harness.Config{Factor: *factor, Reps: *reps, Deadline: *deadline, Parallelism: *parallel}
 	if *parallel == 0 {
 		cfg.Parallelism = -1 // harness treats 0 as "default to 1"; -1 forces GOMAXPROCS
+	}
+	switch *planner {
+	case "on":
+	case "off":
+		cfg.PlannerOff = true
+	default:
+		fmt.Fprintf(os.Stderr, "tlcbench: bad -planner %q, want on or off\n", *planner)
+		os.Exit(2)
 	}
 	if *engines != "" {
 		cfg.Engines = parseEngines(*engines)

@@ -7,7 +7,8 @@
 //
 // Without -query the shell reads queries from stdin, terminated by a line
 // containing only ";". The special commands ".explain on|off", ".engine
-// <name>" and ".stats" adjust the session.
+// <name>", ".plan <query>", ".profile <query>" and ".stats" adjust or
+// inspect the session.
 package main
 
 import (
@@ -83,7 +84,7 @@ func main() {
 		if buf.Len() == 0 && strings.HasPrefix(line, ".") {
 			switch {
 			case line == ".help":
-				fmt.Println(".engine TLC|OPT|GTP|TAX|NAV   switch engine\n.explain on|off               toggle plan printing\n.profile <query>              EXPLAIN ANALYZE a one-line query\n.stats                        show store access counters\n.quit                         exit")
+				fmt.Println(".engine TLC|OPT|GTP|TAX|NAV   switch engine\n.explain on|off               toggle plan printing\n.plan <query>                 print the planned operator tree (est= cardinalities)\n.profile <query>              EXPLAIN ANALYZE a one-line query (est vs actual, Q-error)\n.stats                        show store access counters\n.quit                         exit")
 			case strings.HasPrefix(line, ".engine "):
 				if e, ok := engineByName(strings.TrimSpace(line[8:])); ok {
 					engine = e
@@ -97,6 +98,15 @@ func main() {
 				*explain = false
 			case line == ".stats":
 				fmt.Println(db.Stats())
+			case strings.HasPrefix(line, ".plan "):
+				// .plan <query...> on one line: the planned operator tree
+				// with the planner's cardinality estimates (est=N).
+				out, err := db.Explain(strings.TrimSpace(line[6:]), tlc.WithEngine(engine))
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "error:", err)
+				} else {
+					fmt.Print(out)
+				}
 			case strings.HasPrefix(line, ".profile "):
 				// .profile <query...> on one line
 				out, err := db.Profile(strings.TrimSpace(line[9:]), tlc.WithEngine(engine))

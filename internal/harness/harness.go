@@ -34,6 +34,10 @@ type Config struct {
 	// the figures stay comparable unless parallelism is requested
 	// explicitly (the -parallel flag of cmd/tlcbench).
 	Parallelism int
+	// PlannerOff disables the cost-based planner, running the plans exactly
+	// as translated (the -planner=off ablation of cmd/tlcbench). The zero
+	// value keeps the planner on.
+	PlannerOff bool
 }
 
 func (c Config) withDefaults() Config {
@@ -85,7 +89,8 @@ func OpenDatabase(factor float64) (*tlc.Database, error) {
 // repetitions and returns the trimmed-mean measurement.
 func Measure(db *tlc.Database, text string, engine tlc.Engine, cfg Config) Measurement {
 	cfg = cfg.withDefaults()
-	prep, err := db.Compile(text, tlc.WithEngine(engine), tlc.WithParallelism(cfg.Parallelism))
+	prep, err := db.Compile(text, tlc.WithEngine(engine),
+		tlc.WithParallelism(cfg.Parallelism), tlc.WithPlanner(!cfg.PlannerOff))
 	if err != nil {
 		return Measurement{Err: err}
 	}

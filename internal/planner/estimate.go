@@ -1,0 +1,412 @@
+package planner
+
+import (
+	"math"
+
+	"tlc/internal/algebra"
+	"tlc/internal/pattern"
+	"tlc/internal/store"
+)
+
+// estMax caps estimates so products of large inputs stay finite and
+// comparable; estimates are ordinal quantities, not predictions.
+const estMax = 1e15
+
+func clamp(v float64) float64 {
+	if math.IsNaN(v) || v < 0 {
+		return 0
+	}
+	if v > estMax {
+		return estMax
+	}
+	return v
+}
+
+// lclInfo is what the estimator knows about one logical class: the tag of
+// the nodes it binds and the documents those nodes can come from (nil =
+// any loaded document, the conservative scope).
+type lclInfo struct {
+	tag  string
+	docs []store.DocID
+}
+
+// estimator computes bottom-up output-cardinality estimates for the
+// operators of one plan, from the statistics catalog.
+type estimator struct {
+	st   *store.Store
+	cat  store.Catalog
+	lcls map[int]lclInfo
+	memo map[algebra.Op]float64
+}
+
+func newEstimator(st *store.Store, root algebra.Op) *estimator {
+	e := &estimator{
+		st:   st,
+		cat:  st.Catalog(),
+		lcls: make(map[int]lclInfo),
+		memo: make(map[algebra.Op]float64),
+	}
+	// Collect class → (tag, doc scope) from the Selects, inputs before
+	// consumers so extension anchors see their producer's classes.
+	seen := make(map[algebra.Op]bool)
+	var walk func(op algebra.Op)
+	walk = func(op algebra.Op) {
+		if seen[op] {
+			return
+		}
+		seen[op] = true
+		for _, in := range op.Inputs() {
+			walk(in)
+		}
+		switch o := op.(type) {
+		case *algebra.Select:
+			if o.APT == nil || o.APT.Root == nil {
+				return
+			}
+			docs := e.selectDocs(o)
+			for _, n := range o.APT.Nodes() {
+				if n.LCL <= 0 {
+					continue
+				}
+				e.lcls[n.LCL] = lclInfo{tag: e.tagOfNode(docs, n), docs: docs}
+			}
+		case *algebra.Join:
+			if o.RootLCL > 0 {
+				e.lcls[o.RootLCL] = lclInfo{} // synthetic root, no stats
+			}
+		}
+	}
+	walk(root)
+	return e
+}
+
+// selectDocs resolves the document scope a Select's pattern reads: the
+// named document for a doc-rooted pattern, the anchor class's scope for an
+// extension pattern, and all documents otherwise.
+func (e *estimator) selectDocs(sel *algebra.Select) []store.DocID {
+	root := sel.APT.Root
+	switch root.Kind {
+	case pattern.TestDocRoot:
+		if id, ok := e.st.Lookup(root.Doc); ok {
+			return []store.DocID{id}
+		}
+	case pattern.TestLC:
+		return e.lcls[root.InClass].docs
+	}
+	return nil
+}
+
+// tagOfNode resolves a pattern node to the tag its matches carry, "" when
+// statically unknown.
+func (e *estimator) tagOfNode(docs []store.DocID, n *pattern.Node) string {
+	switch n.Kind {
+	case pattern.TestTag:
+		return n.Tag
+	case pattern.TestDocRoot:
+		if id, ok := e.st.Lookup(n.Doc); ok {
+			return e.cat.RootTag(id)
+		}
+	case pattern.TestLC:
+		return e.lcls[n.InClass].tag
+	}
+	return ""
+}
+
+// candCount is the raw candidate count of a pattern node in scope.
+func (e *estimator) candCount(docs []store.DocID, n *pattern.Node) float64 {
+	switch n.Kind {
+	case pattern.TestTag:
+		return float64(e.cat.TagCount(docs, n.Tag))
+	case pattern.TestDocRoot:
+		return 1
+	case pattern.TestWildcard:
+		return float64(e.cat.NodeCount(docs))
+	default:
+		return 1
+	}
+}
+
+// predSel estimates the fraction of tag-carrying nodes passing pred, from
+// the distinct-value count: an equality hits 1 value in D, an inequality
+// misses 1 in D, ranges default to the classic 1/3.
+func (e *estimator) predSel(docs []store.DocID, tag string, pred *pattern.Predicate) float64 {
+	if pred == nil {
+		return 1
+	}
+	d := 0
+	if tag != "" {
+		d = e.cat.DistinctValues(docs, tag)
+	}
+	switch pred.Op {
+	case pattern.EQ:
+		if d > 0 {
+			return 1 / float64(d)
+		}
+		return 0.1
+	case pattern.NE:
+		if d > 0 {
+			return 1 - 1/float64(d)
+		}
+		return 0.9
+	default:
+		return 1.0 / 3
+	}
+}
+
+// structExp is the expected number of raw edge.To matches per match of the
+// parent node: exact pair-count averages when both tags are known, a
+// uniform spread of the child candidates over the parent candidates
+// otherwise.
+func (e *estimator) structExp(docs []store.DocID, parentTag string, parentCand float64, edge pattern.Edge) float64 {
+	childTag := e.tagOfNode(docs, edge.To)
+	if parentTag != "" && childTag != "" {
+		if edge.Axis == pattern.Child {
+			return e.cat.ChildPerParent(docs, parentTag, childTag)
+		}
+		return e.cat.DescPerAncestor(docs, parentTag, childTag)
+	}
+	if parentCand < 1 {
+		parentCand = 1
+	}
+	return e.candCount(docs, edge.To) / parentCand
+}
+
+// expTo is the expected number of surviving edge.To matches per parent
+// match: the structural expectation thinned by the child's own predicate
+// and required-subtree constraints.
+func (e *estimator) expTo(docs []store.DocID, parentTag string, parentCand float64, edge pattern.Edge) float64 {
+	return e.structExp(docs, parentTag, parentCand, edge) * e.survive(docs, edge.To)
+}
+
+// survive is the probability that a candidate match of n satisfies its
+// content predicate and its non-optional subtree constraints.
+func (e *estimator) survive(docs []store.DocID, n *pattern.Node) float64 {
+	p := e.predSel(docs, e.tagOfNode(docs, n), n.Pred)
+	tag := e.tagOfNode(docs, n)
+	cand := e.candCount(docs, n)
+	for _, edge := range n.Edges {
+		if edge.Spec.Optional() {
+			continue
+		}
+		p *= math.Min(1, e.expTo(docs, tag, cand, edge))
+	}
+	return p
+}
+
+// wit is the expected number of witness trees per surviving match of n:
+// nested edges cluster into one witness; flat edges multiply by the
+// (conditional, hence at least 1) expected child count.
+func (e *estimator) wit(docs []store.DocID, n *pattern.Node) float64 {
+	w := 1.0
+	tag := e.tagOfNode(docs, n)
+	cand := e.candCount(docs, n)
+	for _, edge := range n.Edges {
+		if edge.Spec.Nested() {
+			continue
+		}
+		w *= math.Max(1, e.expTo(docs, tag, cand, edge)*e.wit(docs, edge.To))
+	}
+	return clamp(w)
+}
+
+// branchCard is the edge-ordering cost key: a conjunctive branch cannot
+// match more often than its rarest tag, summed over the pattern's document
+// scope (the multi-document fix over the former per-doc heuristic).
+func (e *estimator) branchCard(docs []store.DocID, n *pattern.Node) float64 {
+	min := math.Inf(1)
+	var walkNode func(p *pattern.Node)
+	walkNode = func(p *pattern.Node) {
+		if p.Kind == pattern.TestTag {
+			if c := float64(e.cat.TagCount(docs, p.Tag)); c < min {
+				min = c
+			}
+		}
+		for _, edge := range p.Edges {
+			walkNode(edge.To)
+		}
+	}
+	walkNode(n)
+	if math.IsInf(min, 1) {
+		return estMax
+	}
+	return min
+}
+
+// estimate returns the estimated output cardinality of op, memoized.
+func (e *estimator) estimate(op algebra.Op) float64 {
+	if v, ok := e.memo[op]; ok {
+		return v
+	}
+	// Seed the memo to break cycles defensively (plans are DAGs).
+	e.memo[op] = 0
+	v := clamp(e.compute(op))
+	e.memo[op] = v
+	return v
+}
+
+func (e *estimator) compute(op algebra.Op) float64 {
+	ins := op.Inputs()
+	in := make([]float64, len(ins))
+	for i := range ins {
+		in[i] = e.estimate(ins[i])
+	}
+
+	switch o := op.(type) {
+	case *algebra.Select:
+		if o.APT == nil || o.APT.Root == nil {
+			return 0
+		}
+		docs := e.selectDocs(o)
+		perAnchor := e.survive(docs, o.APT.Root) * e.wit(docs, o.APT.Root)
+		if o.APT.Root.Kind == pattern.TestLC {
+			// Extension select: one anchor per input tree.
+			return in[0] * perAnchor
+		}
+		return e.candCount(docs, o.APT.Root) * perAnchor
+
+	case *algebra.Filter:
+		li := e.lcls[o.LCL]
+		return in[0] * e.predSel(li.docs, li.tag, &o.Pred)
+
+	case *algebra.DisjFilter:
+		fail := 1.0
+		for i := range o.Branches {
+			fail *= 1 - e.branchSel(&o.Branches[i])
+		}
+		return in[0] * (1 - fail)
+
+	case *algebra.FilterCompare:
+		return in[0] * e.compareSel(o.LLCL, o.Op, o.RLCL)
+
+	case *algebra.Join:
+		if o.Pred == nil {
+			if o.RightSpec.Nested() {
+				return in[0] // nest-all: one output per left tree
+			}
+			return in[0] * in[1]
+		}
+		p := e.compareSel(o.Pred.LeftLCL, o.Pred.Op, o.Pred.RightLCL)
+		switch {
+		case o.RightSpec.Nested():
+			if o.RightSpec.Optional() {
+				return in[0] // "*": every left kept, matches clustered
+			}
+			return in[0] * math.Min(1, in[1]*p) // "+": left filtered
+		case o.RightSpec.Optional():
+			return in[0] * math.Max(1, in[1]*p) // "?": left kept or multiplied
+		default:
+			return in[0] * in[1] * p // "-": pair enumeration
+		}
+
+	case *algebra.Union:
+		sum := 0.0
+		for _, v := range in {
+			sum += v
+		}
+		return sum
+
+	case *algebra.DupElim:
+		limit := 1.0
+		for _, lcl := range o.On {
+			li := e.lcls[lcl]
+			if li.tag == "" {
+				return in[0]
+			}
+			var k int
+			if o.ByContent {
+				k = e.cat.DistinctValues(li.docs, li.tag)
+			} else {
+				k = e.cat.TagCount(li.docs, li.tag)
+			}
+			if k <= 0 {
+				return in[0]
+			}
+			limit *= float64(k)
+		}
+		return math.Min(in[0], limit)
+
+	case *algebra.Flatten:
+		return in[0] * math.Max(1, e.memberExp(o.PLCL, o.CLCL))
+
+	case *algebra.Shadow:
+		return in[0] * math.Max(1, e.memberExp(o.PLCL, o.CLCL))
+
+	case *algebra.GroupByOp:
+		li := e.lcls[o.BasisLCL]
+		if li.tag != "" {
+			if k := e.cat.TagCount(li.docs, li.tag); k > 0 {
+				return math.Min(in[0], float64(k))
+			}
+		}
+		return in[0]
+
+	case *algebra.MergeOp:
+		return math.Min(in[0], in[1])
+
+	case *algebra.IdentityJoinOp:
+		return math.Min(in[0], in[1])
+
+	case *algebra.StructuralJoinOp:
+		return in[0]
+	}
+
+	// Per-tree operators (Project, Sort, SortDocOrder, Aggregate,
+	// Construct, Materialize, Illuminate) and anything unknown: cardinality
+	// passes through; multi-input unknowns report their widest input.
+	switch len(in) {
+	case 0:
+		return 1
+	case 1:
+		return in[0]
+	default:
+		max := in[0]
+		for _, v := range in[1:] {
+			if v > max {
+				max = v
+			}
+		}
+		return max
+	}
+}
+
+// branchSel is the pass probability of one DisjFilter disjunct.
+func (e *estimator) branchSel(b *algebra.FilterBranch) float64 {
+	li := e.lcls[b.LCL]
+	return e.predSel(li.docs, li.tag, &b.Pred)
+}
+
+// compareSel estimates a class-to-class comparison: equality hits 1 value
+// in the larger distinct count, other comparisons default to 1/3.
+func (e *estimator) compareSel(llcl int, op pattern.Cmp, rlcl int) float64 {
+	if op != pattern.EQ && op != pattern.NE {
+		return 1.0 / 3
+	}
+	l, r := e.lcls[llcl], e.lcls[rlcl]
+	d := 0
+	if l.tag != "" {
+		d = e.cat.DistinctValues(l.docs, l.tag)
+	}
+	if r.tag != "" {
+		if rd := e.cat.DistinctValues(r.docs, r.tag); rd > d {
+			d = rd
+		}
+	}
+	eq := 0.05
+	if d > 0 {
+		eq = 1 / float64(d)
+	}
+	if op == pattern.NE {
+		return 1 - eq
+	}
+	return eq
+}
+
+// memberExp estimates the member count of a clustered class per tree, for
+// Flatten/Shadow fan-out.
+func (e *estimator) memberExp(plcl, clcl int) float64 {
+	p, c := e.lcls[plcl], e.lcls[clcl]
+	if p.tag == "" || c.tag == "" {
+		return 2
+	}
+	return e.cat.DescPerAncestor(p.docs, p.tag, c.tag)
+}

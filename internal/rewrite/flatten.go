@@ -1,6 +1,8 @@
 package rewrite
 
 import (
+	"sort"
+
 	"tlc/internal/algebra"
 	"tlc/internal/pattern"
 )
@@ -180,9 +182,13 @@ func finishIlluminate(p *plan, origin, es *algebra.Select, bLCL int, bSet map[in
 				break
 			}
 			if pr, isP := op.(*algebra.Project); isP {
+				// Sorted for a deterministic plan rendering (bSet is a map).
+				lcls := make([]int, 0, len(bSet))
 				for lcl := range bSet {
-					pr.Keep = append(pr.Keep, lcl)
+					lcls = append(lcls, lcl)
 				}
+				sort.Ints(lcls)
+				pr.Keep = append(pr.Keep, lcls...)
 			}
 		}
 	}

@@ -1,121 +1,19 @@
 package rewrite
 
 import (
-	"sort"
-
 	"tlc/internal/algebra"
-	"tlc/internal/pattern"
+	"tlc/internal/planner"
 	"tlc/internal/store"
 )
 
-// OrderEdges implements the pattern-match join ordering the paper defers
-// to an optimizer (Section 5.2: "Join order should be considered by an
-// optimizer ... For our implementation we used a simple bottom-up
-// approach"). The matcher evaluates a pattern node's edges left to right,
-// and a "-" edge multiplies the partial witnesses — every later edge then
-// pays per multiplied partial. Ordering the edges cheapest-first therefore
-// matters: this pass sorts each pattern node's edges by
-//
-//  1. selectivity class: predicated flat edges first (they prune parents
-//     early and multiply least), then unpredicated flat edges, then nested
-//     edges (clusters are attached once, but cloning a partial that
-//     already carries a cluster is what makes late "-" edges expensive —
-//     so nested branches go last only among non-multiplying choices);
-//  2. within a class, ascending estimated candidate count from the store
-//     catalog (tag counts).
-//
-// Correctness is unaffected — edge order only changes evaluation order and
-// the order of matched kids, never the witness set (the matcher's output
-// order is parent-major regardless).
+// OrderEdges applies selectivity-based pattern-match edge ordering — the
+// join-order optimization Section 5.2 defers to an optimizer. The
+// implementation lives in internal/planner (where all physical decisions
+// are made); this wrapper survives so the rewrite API keeps covering the
+// full Section 4/5 optimization surface. Unlike the original heuristic
+// here, which pinned its cardinality estimates to a single statically-known
+// document and silently degraded to class-only ordering otherwise, the
+// planner estimates across every document the pattern can read.
 func OrderEdges(root algebra.Op, st *store.Store) int {
-	reordered := 0
-	for _, op := range algebra.Ops(root) {
-		sel, ok := op.(*algebra.Select)
-		if !ok || sel.APT == nil || sel.APT.Root == nil {
-			continue
-		}
-		doc, haveDoc := docOf(sel.APT.Root, st)
-		for _, n := range sel.APT.Nodes() {
-			if len(n.Edges) < 2 {
-				continue
-			}
-			before := edgeOrderKey(n.Edges)
-			sort.SliceStable(n.Edges, func(i, j int) bool {
-				ci, cj := edgeClass(n.Edges[i]), edgeClass(n.Edges[j])
-				if ci != cj {
-					return ci < cj
-				}
-				if !haveDoc {
-					return false
-				}
-				return subtreeCardinality(st, doc, n.Edges[i].To) <
-					subtreeCardinality(st, doc, n.Edges[j].To)
-			})
-			if edgeOrderKey(n.Edges) != before {
-				reordered++
-			}
-		}
-	}
-	return reordered
-}
-
-// edgeClass ranks edges: 0 = flat with a predicate somewhere in the
-// branch, 1 = flat, 2 = nested.
-func edgeClass(e pattern.Edge) int {
-	if e.Spec.Nested() {
-		return 2
-	}
-	if branchHasPredicate(e.To) {
-		return 0
-	}
-	return 1
-}
-
-func branchHasPredicate(n *pattern.Node) bool {
-	if n.Pred != nil {
-		return true
-	}
-	for _, e := range n.Edges {
-		if branchHasPredicate(e.To) {
-			return true
-		}
-	}
-	return false
-}
-
-// subtreeCardinality estimates a branch's match count as the minimum tag
-// count along the branch (a conjunctive pattern cannot match more often
-// than its rarest tag).
-func subtreeCardinality(st *store.Store, doc store.DocID, n *pattern.Node) int {
-	min := 1 << 30
-	var walk func(p *pattern.Node)
-	walk = func(p *pattern.Node) {
-		if p.Kind == pattern.TestTag {
-			if c := st.TagCount(doc, p.Tag); c < min {
-				min = c
-			}
-		}
-		for _, e := range p.Edges {
-			walk(e.To)
-		}
-	}
-	walk(n)
-	return min
-}
-
-// docOf resolves the document a pattern reads, when statically known.
-func docOf(root *pattern.Node, st *store.Store) (store.DocID, bool) {
-	if root.Kind != pattern.TestDocRoot {
-		return 0, false
-	}
-	id, ok := st.Lookup(root.Doc)
-	return id, ok
-}
-
-func edgeOrderKey(edges []pattern.Edge) string {
-	key := ""
-	for _, e := range edges {
-		key += e.To.Tag + e.Spec.String() + "|"
-	}
-	return key
+	return planner.OrderEdges(root, st)
 }

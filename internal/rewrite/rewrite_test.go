@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"tlc/internal/algebra"
+	"tlc/internal/pattern"
 	"tlc/internal/seq"
 	"tlc/internal/store"
 	"tlc/internal/translate"
@@ -304,5 +305,76 @@ func TestOrderEdgesPredicatesFirst(t *testing.T) {
 				lastClass = c
 			}
 		}
+	}
+}
+
+// edgeClass mirrors the planner's selectivity classes for the ordering
+// assertions: 0 = flat with a predicate in the branch, 1 = flat, 2 = nested.
+func edgeClass(e pattern.Edge) int {
+	if e.Spec.Nested() {
+		return 2
+	}
+	var hasPred func(n *pattern.Node) bool
+	hasPred = func(n *pattern.Node) bool {
+		if n.Pred != nil {
+			return true
+		}
+		for _, ne := range n.Edges {
+			if hasPred(ne.To) {
+				return true
+			}
+		}
+		return false
+	}
+	if hasPred(e.To) {
+		return 0
+	}
+	return 1
+}
+
+// TestOrderEdgesMultiDoc is the regression test for multi-document edge
+// ordering. The original heuristic pinned its cardinality estimates to a
+// single statically-known document and silently degraded to class-only
+// ordering when the pattern root was not a doc-root test — on multi-doc
+// stores, same-class edges then kept query order. The planner-backed
+// implementation estimates across every document the pattern can read: a
+// class-anchored pattern with unknown provenance orders by the summed tag
+// counts, while a doc-rooted pattern still uses only its own document.
+func TestOrderEdgesMultiDoc(t *testing.T) {
+	s := store.New()
+	if _, err := s.LoadXML("one.xml", strings.NewReader(
+		`<r><common/><common/><common/><common/><common/><rare/><x/><y/><y/><y/><y/><y/></r>`)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.LoadXML("two.xml", strings.NewReader(
+		`<r><common/><common/><common/><common/><common/><common/><rare/><rare/><x/><x/><x/><x/><x/><x/><x/><x/><y/></r>`)); err != nil {
+		t.Fatal(err)
+	}
+
+	// A class-anchored pattern (no statically-known document): the summed
+	// counts are common=11 vs rare=3, so rare must move first. The old
+	// heuristic left this in query order.
+	anchored := &pattern.Tree{Root: pattern.NewLCAnchor(10, 1)}
+	anchored.Root.Add(pattern.NewTagNode(11, "common"), pattern.Descendant, pattern.One)
+	anchored.Root.Add(pattern.NewTagNode(12, "rare"), pattern.Descendant, pattern.One)
+	base := algebra.NewSelect(&pattern.Tree{Root: pattern.NewDocRoot(1, "one.xml")})
+	plan := algebra.NewExtendSelect(base, anchored)
+	if n := OrderEdges(plan, s); n == 0 {
+		t.Fatalf("no edges reordered on the multi-doc store:\n%s", algebra.Explain(plan))
+	}
+	if got := anchored.Root.Edges[0].To.Tag; got != "rare" {
+		t.Errorf("first edge = %q, want rare (summed across documents)", got)
+	}
+
+	// A doc-rooted pattern pins to its own document: in one.xml, x=1 < y=5,
+	// so x stays first even though the cross-document totals (x=9 > y=6)
+	// would flip the order.
+	rooted := &pattern.Tree{Root: pattern.NewDocRoot(1, "one.xml")}
+	rooted.Root.Add(pattern.NewTagNode(2, "x"), pattern.Descendant, pattern.One)
+	rooted.Root.Add(pattern.NewTagNode(3, "y"), pattern.Descendant, pattern.One)
+	rootedPlan := algebra.NewSelect(rooted)
+	OrderEdges(rootedPlan, s)
+	if got := rooted.Root.Edges[0].To.Tag; got != "x" {
+		t.Errorf("first edge = %q, want x (doc-rooted patterns use their own document)", got)
 	}
 }

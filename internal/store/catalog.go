@@ -1,0 +1,275 @@
+package store
+
+import "tlc/internal/xmltree"
+
+// This file implements the statistics catalog: per-document, per-tag
+// summaries computed once at load time and served to the cost-based
+// planner (internal/planner). Catalog probes are free — no access
+// counters are touched — because a real system keeps these numbers in
+// its catalog, not in the data pages.
+//
+// The collected statistics are:
+//
+//   - tag cardinality: number of nodes per tag class (elements plain,
+//     attributes with "@", text as "#text");
+//   - distinct-value counts: number of distinct content values per tag
+//     class, the basis of equality-predicate and value-join selectivity;
+//   - child fanout: per (parentTag, childTag) pair, the number of
+//     childTag nodes whose parent carries parentTag — which makes
+//     E[children per parent] an exact figure, not a guess;
+//   - tag co-occurrence depth: per (ancestorTag, descendantTag) pair,
+//     the number of descendantTag nodes with at least one ancestorTag
+//     ancestor — the "//" analogue of the child-fanout pair counts;
+//   - per-tag level bounds and total children (average fanout).
+
+// TagStats summarizes one tag class within one document.
+type TagStats struct {
+	// Count is the number of nodes carrying the tag.
+	Count int
+	// Distinct is the number of distinct content values over those nodes
+	// (attribute values, text content, element text concatenations).
+	Distinct int
+	// Children is the total number of child nodes under nodes of this
+	// tag; Children/Count is the average fanout.
+	Children int
+	// MinLevel and MaxLevel bound the depth at which the tag occurs.
+	MinLevel, MaxLevel int32
+}
+
+// tagPair keys the structural co-occurrence maps.
+type tagPair struct{ up, down string }
+
+// docStats holds the per-document catalog, built once in Load.
+type docStats struct {
+	rootTag string
+	nodes   int
+	depth   int32
+	tags    map[string]TagStats
+	// child counts childTag nodes per parentTag.
+	child map[tagPair]int
+	// desc counts descTag nodes having at least one ancTag ancestor.
+	desc map[tagPair]int
+}
+
+// docStatsBuilder accumulates docStats during the single load pass over
+// the arena (document order, so the ancestor chain is a stack).
+type docStatsBuilder struct {
+	st *docStats
+	// stack is the ancestor chain of the node being visited: ordinals
+	// paired with tags, root first.
+	stack []stackEntry
+	// distinct collects the per-tag value sets; discarded after finish.
+	distinct map[string]map[string]struct{}
+}
+
+type stackEntry struct {
+	ord int32
+	tag string
+}
+
+func newDocStatsBuilder(doc *xmltree.Document) *docStatsBuilder {
+	return &docStatsBuilder{
+		st: &docStats{
+			rootTag: doc.Nodes[0].Tag,
+			nodes:   len(doc.Nodes),
+			tags:    make(map[string]TagStats),
+			child:   make(map[tagPair]int),
+			desc:    make(map[tagPair]int),
+		},
+		distinct: make(map[string]map[string]struct{}),
+	}
+}
+
+// visit records one node. Nodes must arrive in document (arena) order;
+// content carries the node's textual content when it has one.
+func (b *docStatsBuilder) visit(ord int32, n *xmltree.Node, content string, hasContent bool) {
+	// Restore the ancestor stack for this node: pop until the top is the
+	// node's parent (document order guarantees the parent is on it).
+	for len(b.stack) > 0 && b.stack[len(b.stack)-1].ord != n.Parent {
+		b.stack = b.stack[:len(b.stack)-1]
+	}
+
+	ts := b.st.tags[n.Tag]
+	if ts.Count == 0 {
+		ts.MinLevel = n.ID.Level
+	}
+	ts.Count++
+	if n.ID.Level < ts.MinLevel {
+		ts.MinLevel = n.ID.Level
+	}
+	if n.ID.Level > ts.MaxLevel {
+		ts.MaxLevel = n.ID.Level
+	}
+	b.st.tags[n.Tag] = ts
+	if n.ID.Level > b.st.depth {
+		b.st.depth = n.ID.Level
+	}
+
+	if hasContent {
+		set := b.distinct[n.Tag]
+		if set == nil {
+			set = make(map[string]struct{})
+			b.distinct[n.Tag] = set
+		}
+		set[content] = struct{}{}
+	}
+
+	if len(b.stack) > 0 {
+		parentTag := b.stack[len(b.stack)-1].tag
+		b.st.child[tagPair{parentTag, n.Tag}]++
+		pts := b.st.tags[parentTag]
+		pts.Children++
+		b.st.tags[parentTag] = pts
+		// Distinct ancestor tags: the stack is short (document depth), so
+		// a linear dedup beats a map.
+		seen := make([]string, 0, len(b.stack))
+		for _, a := range b.stack {
+			dup := false
+			for _, s := range seen {
+				if s == a.tag {
+					dup = true
+					break
+				}
+			}
+			if dup {
+				continue
+			}
+			seen = append(seen, a.tag)
+			b.st.desc[tagPair{a.tag, n.Tag}]++
+		}
+	}
+	b.stack = append(b.stack, stackEntry{ord: ord, tag: n.Tag})
+}
+
+func (b *docStatsBuilder) finish() *docStats {
+	for tag, set := range b.distinct {
+		ts := b.st.tags[tag]
+		ts.Distinct = len(set)
+		b.st.tags[tag] = ts
+	}
+	return b.st
+}
+
+// Catalog is a read-only view of the load-time statistics of a store.
+// Every query method takes a document scope: nil means "all loaded
+// documents", the conservative scope for patterns whose document is not
+// statically known (extension selects anchored at a logical class).
+type Catalog struct {
+	s *Store
+}
+
+// Catalog returns the statistics catalog of the store. The view is
+// immutable once the documents are loaded and safe for concurrent use.
+func (s *Store) Catalog() Catalog { return Catalog{s: s} }
+
+// Docs returns the IDs of all loaded documents.
+func (c Catalog) Docs() []DocID {
+	out := make([]DocID, len(c.s.docs))
+	for i := range c.s.docs {
+		out[i] = DocID(i)
+	}
+	return out
+}
+
+// scope resolves nil to all documents.
+func (c Catalog) scope(docs []DocID) []DocID {
+	if docs == nil {
+		return c.Docs()
+	}
+	return docs
+}
+
+// RootTag returns the tag of the document's root element.
+func (c Catalog) RootTag(id DocID) string { return c.s.docs[id].stats.rootTag }
+
+// NodeCount returns the total number of stored nodes in scope.
+func (c Catalog) NodeCount(docs []DocID) int {
+	n := 0
+	for _, id := range c.scope(docs) {
+		n += c.s.docs[id].stats.nodes
+	}
+	return n
+}
+
+// Depth returns the maximum node level in scope.
+func (c Catalog) Depth(docs []DocID) int {
+	d := int32(0)
+	for _, id := range c.scope(docs) {
+		if s := c.s.docs[id].stats.depth; s > d {
+			d = s
+		}
+	}
+	return int(d)
+}
+
+// TagCount returns the number of nodes carrying tag in scope.
+func (c Catalog) TagCount(docs []DocID, tag string) int {
+	n := 0
+	for _, id := range c.scope(docs) {
+		n += c.s.docs[id].stats.tags[tag].Count
+	}
+	return n
+}
+
+// DistinctValues returns the number of distinct content values among
+// nodes carrying tag in scope (summed across documents — values are not
+// deduplicated across document boundaries).
+func (c Catalog) DistinctValues(docs []DocID, tag string) int {
+	n := 0
+	for _, id := range c.scope(docs) {
+		n += c.s.docs[id].stats.tags[tag].Distinct
+	}
+	return n
+}
+
+// AvgFanout returns the average number of children per node of tag in
+// scope, 0 when the tag does not occur.
+func (c Catalog) AvgFanout(docs []DocID, tag string) float64 {
+	count, children := 0, 0
+	for _, id := range c.scope(docs) {
+		ts := c.s.docs[id].stats.tags[tag]
+		count += ts.Count
+		children += ts.Children
+	}
+	if count == 0 {
+		return 0
+	}
+	return float64(children) / float64(count)
+}
+
+// ChildPerParent returns E[number of childTag children per parentTag
+// node] in scope — exact, from the load-time pair counts.
+func (c Catalog) ChildPerParent(docs []DocID, parentTag, childTag string) float64 {
+	parents, pairs := 0, 0
+	for _, id := range c.scope(docs) {
+		st := c.s.docs[id].stats
+		parents += st.tags[parentTag].Count
+		pairs += st.child[tagPair{parentTag, childTag}]
+	}
+	if parents == 0 {
+		return 0
+	}
+	return float64(pairs) / float64(parents)
+}
+
+// DescPerAncestor returns E[number of descTag descendants per ancTag
+// node] in scope, from the load-time co-occurrence counts. (Each descTag
+// node is counted once per distinct ancestor tag, so for recursive tags
+// the figure is a lower bound on the pair count and still the right
+// per-ancestor average under uniformity.)
+func (c Catalog) DescPerAncestor(docs []DocID, ancTag, descTag string) float64 {
+	ancs, pairs := 0, 0
+	for _, id := range c.scope(docs) {
+		st := c.s.docs[id].stats
+		ancs += st.tags[ancTag].Count
+		pairs += st.desc[tagPair{ancTag, descTag}]
+	}
+	if ancs == 0 {
+		return 0
+	}
+	return float64(pairs) / float64(ancs)
+}
+
+// Tag returns the full per-tag summary for one document (zero value when
+// the tag does not occur). Exposed for tests and tooling.
+func (c Catalog) Tag(id DocID, tag string) TagStats { return c.s.docs[id].stats.tags[tag] }

@@ -1,0 +1,103 @@
+package store
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCatalogSingleDoc(t *testing.T) {
+	s, id := load(t)
+	c := s.Catalog()
+
+	if got := c.RootTag(id); got != "site" {
+		t.Errorf("RootTag = %q, want site", got)
+	}
+	if got, want := c.NodeCount(nil), len(s.Doc(id).Nodes); got != want {
+		t.Errorf("NodeCount = %d, want %d", got, want)
+	}
+
+	// Per-tag counts must agree with the tag index.
+	for _, tag := range []string{"person", "bidder", "@person", "age", "#text", "missing"} {
+		if got, want := c.TagCount(nil, tag), s.TagCount(id, tag); got != want {
+			t.Errorf("TagCount(%s) = %d, want %d", tag, got, want)
+		}
+	}
+
+	// Both <age> elements carry "30": one distinct value. The two @person
+	// attributes are p0 and p1: two distinct values.
+	if got := c.DistinctValues(nil, "age"); got != 1 {
+		t.Errorf("DistinctValues(age) = %d, want 1", got)
+	}
+	if got := c.DistinctValues(nil, "@person"); got != 2 {
+		t.Errorf("DistinctValues(@person) = %d, want 2", got)
+	}
+
+	// Each person has @id, name, age children.
+	if got := c.AvgFanout(nil, "person"); got != 3 {
+		t.Errorf("AvgFanout(person) = %g, want 3", got)
+	}
+	if got := c.ChildPerParent(nil, "person", "name"); got != 1 {
+		t.Errorf("ChildPerParent(person,name) = %g, want 1", got)
+	}
+	if got := c.ChildPerParent(nil, "person", "bidder"); got != 0 {
+		t.Errorf("ChildPerParent(person,bidder) = %g, want 0", got)
+	}
+
+	// Two person descendants under the single site root; one personref per
+	// bidder.
+	if got := c.DescPerAncestor(nil, "site", "person"); got != 2 {
+		t.Errorf("DescPerAncestor(site,person) = %g, want 2", got)
+	}
+	if got := c.DescPerAncestor(nil, "bidder", "personref"); got != 1 {
+		t.Errorf("DescPerAncestor(bidder,personref) = %g, want 1", got)
+	}
+	if got := c.DescPerAncestor(nil, "person", "bidder"); got != 0 {
+		t.Errorf("DescPerAncestor(person,bidder) = %g, want 0", got)
+	}
+
+	// Depth must match the deepest tag's level bound.
+	text := c.Tag(id, "#text")
+	if got := c.Depth(nil); int32(got) != text.MaxLevel {
+		t.Errorf("Depth = %d, want %d (#text MaxLevel)", got, text.MaxLevel)
+	}
+	person := c.Tag(id, "person")
+	if person.MinLevel != person.MaxLevel {
+		t.Errorf("person levels = [%d,%d], want a single level", person.MinLevel, person.MaxLevel)
+	}
+}
+
+func TestCatalogMultiDoc(t *testing.T) {
+	s, id1 := load(t)
+	id2, err := s.LoadXML("second.xml", strings.NewReader(
+		`<site><people><person id="p9"><name>Eve</name></person></people></site>`))
+	if err != nil {
+		t.Fatalf("LoadXML: %v", err)
+	}
+	c := s.Catalog()
+
+	// nil scope sums across both documents; explicit scopes isolate them.
+	if got := c.TagCount(nil, "person"); got != 3 {
+		t.Errorf("TagCount(all, person) = %d, want 3", got)
+	}
+	if got := c.TagCount([]DocID{id1}, "person"); got != 2 {
+		t.Errorf("TagCount(doc1, person) = %d, want 2", got)
+	}
+	if got := c.TagCount([]DocID{id2}, "person"); got != 1 {
+		t.Errorf("TagCount(doc2, person) = %d, want 1", got)
+	}
+
+	// doc2 persons have two children (@id, name): pooled fanout (6+2)/3.
+	if got, want := c.AvgFanout(nil, "person"), float64(8)/3; got != want {
+		t.Errorf("AvgFanout(all, person) = %g, want %g", got, want)
+	}
+	if got := c.AvgFanout([]DocID{id2}, "person"); got != 2 {
+		t.Errorf("AvgFanout(doc2, person) = %g, want 2", got)
+	}
+	if got := c.ChildPerParent([]DocID{id2}, "person", "age"); got != 0 {
+		t.Errorf("ChildPerParent(doc2, person, age) = %g, want 0", got)
+	}
+
+	if got := len(c.Docs()); got != 2 {
+		t.Errorf("Docs = %d entries, want 2", got)
+	}
+}

@@ -97,6 +97,8 @@ type docEntry struct {
 	// values maps textual content to the ordinals of nodes (elements with
 	// text content, attributes, text nodes) having exactly that content.
 	values map[string][]int32
+	// stats is the load-time statistics summary served through Catalog.
+	stats *docStats
 }
 
 // Store is a collection of indexed XML documents.
@@ -126,18 +128,24 @@ func (s *Store) Load(doc *xmltree.Document) (DocID, error) {
 		tags:   make(map[string][]int32),
 		values: make(map[string][]int32),
 	}
+	stats := newDocStatsBuilder(doc)
 	for i := range doc.Nodes {
 		n := &doc.Nodes[i]
 		e.tags[n.Tag] = append(e.tags[n.Tag], int32(i))
+		content, hasContent := "", false
 		switch n.Kind {
 		case xmltree.Attribute, xmltree.Text:
+			content, hasContent = n.Value, true
 			e.values[n.Value] = append(e.values[n.Value], int32(i))
 		case xmltree.Element:
 			if c := doc.Content(int32(i)); c != "" {
+				content, hasContent = c, true
 				e.values[c] = append(e.values[c], int32(i))
 			}
 		}
+		stats.visit(int32(i), n, content, hasContent)
 	}
+	e.stats = stats.finish()
 	id := DocID(len(s.docs))
 	s.docs = append(s.docs, e)
 	s.byName[doc.Name] = id

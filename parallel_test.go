@@ -66,6 +66,51 @@ func TestParallelismParity(t *testing.T) {
 	}
 }
 
+// TestPlannerParity asserts the cost-based planner's contract: for every
+// workload query and every algebra engine, the planned plan produces
+// exactly the tree multiset of the unplanned one (compared as SortedXML —
+// the planner's filter and edge reordering may permute sequence order but
+// never the result set), and the planned plan stays parallelism-safe
+// (worker budget 1 vs an oversubscribed budget, identical results).
+func TestPlannerParity(t *testing.T) {
+	db := openXMark(t)
+	for _, q := range Workload() {
+		for _, e := range []Engine{TLC, TLCOpt, GTP, TAX} {
+			t.Run(fmt.Sprintf("%s/%s", q.ID, e), func(t *testing.T) {
+				off, err := db.Query(q.Text, WithEngine(e), WithPlanner(false), WithParallelism(1))
+				if err != nil {
+					t.Fatal(err)
+				}
+				on, err := db.Query(q.Text, WithEngine(e), WithParallelism(1))
+				if err != nil {
+					t.Fatal(err)
+				}
+				wantSorted := off.SortedXML()
+				gotSorted := on.SortedXML()
+				if len(gotSorted) != len(wantSorted) {
+					t.Fatalf("planner on returns %d trees, off returns %d", len(gotSorted), len(wantSorted))
+				}
+				for i := range wantSorted {
+					if gotSorted[i] != wantSorted[i] {
+						t.Fatalf("planner on/off results differ at sorted tree %d:\noff: %.200s\non:  %.200s",
+							i, wantSorted[i], gotSorted[i])
+					}
+				}
+
+				// The planned plan must keep the parallel executor's
+				// byte-identical guarantee.
+				par, err := db.Query(q.Text, WithEngine(e), WithParallelism(8))
+				if err != nil {
+					t.Fatal(err)
+				}
+				if par.XML() != on.XML() {
+					t.Errorf("planned plan: parallel result differs from serial")
+				}
+			})
+		}
+	}
+}
+
 // TestConcurrentRuns is the regression test for the atomic store counters
 // and the shared matcher caches: many goroutines issue Run calls against
 // one Database — mixed engines, statistics enabled, both serial and

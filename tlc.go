@@ -30,6 +30,7 @@ import (
 	"tlc/internal/baselines/gtp"
 	"tlc/internal/baselines/nav"
 	"tlc/internal/baselines/tax"
+	"tlc/internal/planner"
 	"tlc/internal/rewrite"
 	"tlc/internal/seq"
 	"tlc/internal/store"
@@ -133,11 +134,20 @@ type Option func(*queryConfig)
 type queryConfig struct {
 	engine      Engine
 	parallelism int
+	plannerOff  bool
 }
 
 // WithEngine selects the evaluation engine for a query.
 func WithEngine(e Engine) Option {
 	return func(c *queryConfig) { c.engine = e }
+}
+
+// WithPlanner enables or disables the cost-based planner (default on).
+// With the planner off, plans are executed exactly as translated: query
+// order for pattern edges and predicates, sort–merge–sort for every
+// equality value join — the ablation baseline.
+func WithPlanner(on bool) Option {
+	return func(c *queryConfig) { c.plannerOff = !on }
 }
 
 // WithParallelism sets the intra-query worker budget, which defaults to
@@ -160,6 +170,9 @@ type Prepared struct {
 	plan        algebra.Op // nil for Nav
 	ast         *xquery.FLWOR
 	parallelism int
+	// PlanInfo records what the cost-based planner did and estimated; nil
+	// when the planner was disabled or the engine has no plan (Nav).
+	PlanInfo *planner.Info
 }
 
 // Compile parses and translates a query for the selected engine.
@@ -188,9 +201,6 @@ func (db *Database) Compile(text string, opts ...Option) (*Prepared, error) {
 			return nil, err
 		}
 		p.plan, _ = rewrite.Optimize(res.Plan)
-		// Selectivity-based pattern-match edge ordering — the join-order
-		// optimization Section 5.2 defers to an optimizer.
-		rewrite.OrderEdges(p.plan, db.st)
 	case GTP:
 		res, err := gtp.Translate(ast)
 		if err != nil {
@@ -205,6 +215,13 @@ func (db *Database) Compile(text string, opts ...Option) (*Prepared, error) {
 		p.plan = res.Plan
 	default:
 		return nil, fmt.Errorf("tlc: unknown engine %v", cfg.engine)
+	}
+	if !cfg.plannerOff {
+		// The cost-based planner makes every physical decision — pattern
+		// edge order, filter/disjunct predicate order, value-join algorithm
+		// — for all algebra engines, and records per-operator cardinality
+		// estimates for EXPLAIN/PROFILE.
+		p.plan, p.PlanInfo = planner.Plan(p.plan, db.st, planner.Options{})
 	}
 	return p, nil
 }
@@ -235,6 +252,8 @@ func (db *Database) Query(text string, opts ...Option) (*Result, error) {
 
 // Explain returns the evaluation plan of a query as an indented operator
 // tree (empty for the navigational engine, which interprets the AST).
+// When the planner is on, each operator carries its estimated output
+// cardinality as an est=N annotation.
 func (db *Database) Explain(text string, opts ...Option) (string, error) {
 	p, err := db.Compile(text, opts...)
 	if err != nil {
@@ -243,7 +262,10 @@ func (db *Database) Explain(text string, opts ...Option) (string, error) {
 	if p.plan == nil {
 		return "(navigational interpretation of the query AST)\n", nil
 	}
-	return algebra.Explain(p.plan), nil
+	if p.PlanInfo == nil {
+		return algebra.Explain(p.plan), nil
+	}
+	return algebra.ExplainFunc(p.plan, p.PlanInfo.Annotate), nil
 }
 
 // Profile evaluates a query while recording per-operator output
@@ -262,7 +284,10 @@ func (db *Database) Profile(text string, opts ...Option) (string, error) {
 	if err != nil {
 		return "", err
 	}
-	return pr.String(), nil
+	if p.PlanInfo == nil {
+		return pr.String(), nil
+	}
+	return pr.StringWithEstimates(p.PlanInfo.Estimate), nil
 }
 
 // Result is an evaluated query result: a sequence of XML trees.
