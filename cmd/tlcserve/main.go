@@ -1,0 +1,115 @@
+// Command tlcserve serves XQuery over HTTP/JSON (see internal/service
+// for the endpoints and their wire format):
+//
+//	tlcserve -addr :8080 -xmark 0.5
+//	tlcserve -addr :8080 -load auction.xml=path/to/file.xml
+//
+//	curl -s localhost:8080/query -d '{"query": "FOR $p IN document(\"auction.xml\")//person RETURN $p/name"}'
+//
+// The server prints its listening address on stderr once it accepts
+// connections and shuts down gracefully on SIGINT/SIGTERM, letting
+// in-flight queries finish (they still respect their own deadlines).
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"tlc"
+	"tlc/internal/service"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	load := flag.String("load", "", "load a document at startup: name=path (comma separated for several)")
+	xmarkFactor := flag.Float64("xmark", 0, "generate and load an XMark document at this factor as auction.xml")
+	maxConcurrent := flag.Int("max-concurrent", 0, "max concurrently evaluating queries (0 = GOMAXPROCS)")
+	queueDepth := flag.Int("queue-depth", 0, "max queries waiting for an evaluation slot (0 = 2*max-concurrent)")
+	timeout := flag.Duration("timeout", 30*time.Second, "default per-query evaluation deadline")
+	maxTimeout := flag.Duration("max-timeout", 5*time.Minute, "cap on request-supplied deadlines")
+	cacheSize := flag.Int("cache-size", 128, "plan cache capacity in plans")
+	parallel := flag.Int("parallel", 1, "default intra-query parallelism: 1 = serial, 0 = GOMAXPROCS")
+	flag.Parse()
+	if *parallel == 0 {
+		*parallel = -1 // explicit "use GOMAXPROCS"
+	}
+
+	db := tlc.Open()
+	if *xmarkFactor > 0 {
+		if err := db.LoadXMark("auction.xml", *xmarkFactor); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "tlcserve: loaded XMark factor %g as auction.xml\n", *xmarkFactor)
+	}
+	if *load != "" {
+		for _, spec := range strings.Split(*load, ",") {
+			name, path, ok := strings.Cut(spec, "=")
+			if !ok {
+				fatal(fmt.Errorf("bad -load spec %q, want name=path", spec))
+			}
+			f, err := os.Open(path)
+			if err != nil {
+				fatal(err)
+			}
+			err = db.LoadXML(name, f)
+			f.Close()
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Fprintf(os.Stderr, "tlcserve: loaded %s\n", name)
+		}
+	}
+
+	srv, err := service.New(service.Config{
+		DB:             db,
+		MaxConcurrent:  *maxConcurrent,
+		QueueDepth:     *queueDepth,
+		DefaultTimeout: *timeout,
+		MaxTimeout:     *maxTimeout,
+		CacheSize:      *cacheSize,
+		Parallelism:    *parallel,
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fatal(err)
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	fmt.Fprintf(os.Stderr, "tlcserve: listening on %s\n", ln.Addr())
+
+	done := make(chan error, 1)
+	go func() { done <- hs.Serve(ln) }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-done:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fatal(err)
+		}
+	case s := <-sig:
+		fmt.Fprintf(os.Stderr, "tlcserve: %v, draining\n", s)
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := hs.Shutdown(ctx); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tlcserve:", err)
+	os.Exit(1)
+}

@@ -13,6 +13,7 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -20,6 +21,7 @@ import (
 	"time"
 
 	"tlc"
+	"tlc/internal/plancache"
 )
 
 func main() {
@@ -63,13 +65,18 @@ func main() {
 		fatal(fmt.Errorf("no documents loaded; use -load or -xmark"))
 	}
 
-	engine, ok := engineByName(*engineName)
+	engine, ok := tlc.ParseEngine(*engineName)
 	if !ok {
 		fatal(fmt.Errorf("unknown engine %q", *engineName))
 	}
 
+	// The shell caches compiled plans like the query service does: re-running
+	// a query (or tweaking only its WHERE constant back and forth) skips
+	// recompilation, and .stats shows the hit/miss counters.
+	cache := plancache.New(64)
+
 	if *query != "" {
-		if err := evalOne(db, *query, engine, *explain, *parallel); err != nil {
+		if err := evalOne(db, cache, *query, engine, *explain, *parallel); err != nil {
 			fatal(err)
 		}
 		return
@@ -86,7 +93,7 @@ func main() {
 			case line == ".help":
 				fmt.Println(".engine TLC|OPT|GTP|TAX|NAV   switch engine\n.explain on|off               toggle plan printing\n.plan <query>                 print the planned operator tree (est= cardinalities)\n.profile <query>              EXPLAIN ANALYZE a one-line query (est vs actual, Q-error)\n.stats                        show store access counters\n.quit                         exit")
 			case strings.HasPrefix(line, ".engine "):
-				if e, ok := engineByName(strings.TrimSpace(line[8:])); ok {
+				if e, ok := tlc.ParseEngine(strings.TrimSpace(line[8:])); ok {
 					engine = e
 					fmt.Fprintf(os.Stderr, "engine = %v\n", engine)
 				} else {
@@ -98,6 +105,9 @@ func main() {
 				*explain = false
 			case line == ".stats":
 				fmt.Println(db.Stats())
+				cs := cache.Stats()
+				fmt.Printf("plan cache: %d/%d entries, %d hits, %d misses, %d evictions, %d invalidations\n",
+					cs.Size, cs.Capacity, cs.Hits, cs.Misses, cs.Evictions, cs.Invalidations)
 			case strings.HasPrefix(line, ".plan "):
 				// .plan <query...> on one line: the planned operator tree
 				// with the planner's cardinality estimates (est=N).
@@ -123,7 +133,7 @@ func main() {
 			continue
 		}
 		if strings.TrimSpace(line) == ";" {
-			if err := evalOne(db, buf.String(), engine, *explain, *parallel); err != nil {
+			if err := evalOne(db, cache, buf.String(), engine, *explain, *parallel); err != nil {
 				fmt.Fprintln(os.Stderr, "error:", err)
 			}
 			buf.Reset()
@@ -134,7 +144,7 @@ func main() {
 	}
 }
 
-func evalOne(db *tlc.Database, text string, engine tlc.Engine, explain bool, parallel int) error {
+func evalOne(db *tlc.Database, cache *plancache.Cache, text string, engine tlc.Engine, explain bool, parallel int) error {
 	if explain {
 		plan, err := db.Explain(text, tlc.WithEngine(engine))
 		if err != nil {
@@ -146,32 +156,25 @@ func evalOne(db *tlc.Database, text string, engine tlc.Engine, explain bool, par
 	}
 	db.ResetStats()
 	start := time.Now()
-	res, err := db.Query(text, tlc.WithEngine(engine), tlc.WithParallelism(parallel))
+	prep, hit, err := cache.Load(context.Background(), db, plancache.Key{
+		Query: text, Engine: engine, Parallelism: parallel,
+	})
+	if err != nil {
+		return err
+	}
+	res, err := db.Run(prep)
 	if err != nil {
 		return err
 	}
 	elapsed := time.Since(start)
 	fmt.Println(res.XML())
-	fmt.Fprintf(os.Stderr, "%d trees in %.3fs under %v [%s]\n",
-		res.Len(), elapsed.Seconds(), engine, db.Stats())
-	return nil
-}
-
-func engineByName(s string) (tlc.Engine, bool) {
-	switch strings.ToUpper(s) {
-	case "TLC":
-		return tlc.TLC, true
-	case "OPT", "TLCOPT":
-		return tlc.TLCOpt, true
-	case "GTP":
-		return tlc.GTP, true
-	case "TAX":
-		return tlc.TAX, true
-	case "NAV":
-		return tlc.Nav, true
-	default:
-		return 0, false
+	plan := "compiled"
+	if hit {
+		plan = "cached plan"
 	}
+	fmt.Fprintf(os.Stderr, "%d trees in %.3fs under %v (%s) [%s]\n",
+		res.Len(), elapsed.Seconds(), engine, plan, db.Stats())
+	return nil
 }
 
 func fatal(err error) {

@@ -72,7 +72,7 @@ func (g *GroupByOp) Label() string {
 }
 
 func (g *GroupByOp) eval(ctx *Context, in []seq.Seq) (seq.Seq, error) {
-	return physical.GroupBy(ctx.Store, in[0], g.BasisLCL, g.MemberLCL, g.Exclude)
+	return physical.GroupBy(ctx.GoContext(), ctx.Store, in[0], g.BasisLCL, g.MemberLCL, g.Exclude)
 }
 
 // MergeOp merges two sequences of trees rooted at the same stored nodes —
@@ -93,7 +93,7 @@ func NewMerge(left, right Op) *MergeOp {
 func (m *MergeOp) Label() string { return "Merge on root" }
 
 func (m *MergeOp) eval(ctx *Context, in []seq.Seq) (seq.Seq, error) {
-	return physical.MergeOnRoot(ctx.Store, in[0], in[1])
+	return physical.MergeOnRoot(ctx.GoContext(), ctx.Store, in[0], in[1])
 }
 
 var _ Op = (*Materialize)(nil)

@@ -28,7 +28,7 @@ func (j *IdentityJoinOp) Label() string {
 }
 
 func (j *IdentityJoinOp) eval(ctx *Context, in []seq.Seq) (seq.Seq, error) {
-	return physical.IdentityMergeJoin(ctx.Store, in[0], in[1], j.LeftLCL, j.RightLCL)
+	return physical.IdentityMergeJoin(ctx.GoContext(), ctx.Store, in[0], in[1], j.LeftLCL, j.RightLCL)
 }
 
 // ClassRefs implements ClassUser.

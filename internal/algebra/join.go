@@ -62,11 +62,11 @@ func (j *Join) Label() string {
 func (j *Join) eval(ctx *Context, in []seq.Seq) (seq.Seq, error) {
 	if j.Pred == nil {
 		if j.RightSpec.Nested() {
-			return physical.NestAllJoin(j.RootTag, j.RootLCL, in[0], in[1]), nil
+			return physical.NestAllJoin(ctx.GoContext(), j.RootTag, j.RootLCL, in[0], in[1])
 		}
-		return physical.CartesianJoin(j.RootTag, j.RootLCL, in[0], in[1]), nil
+		return physical.CartesianJoin(ctx.GoContext(), j.RootTag, j.RootLCL, in[0], in[1])
 	}
-	return physical.ValueJoin(ctx.Store, in[0], in[1], physical.JoinSpec{
+	return physical.ValueJoin(ctx.GoContext(), ctx.Store, in[0], in[1], physical.JoinSpec{
 		LeftLCL:         j.Pred.LeftLCL,
 		RightLCL:        j.Pred.RightLCL,
 		Op:              j.Pred.Op,
@@ -140,7 +140,7 @@ func (s *StructuralJoinOp) Label() string {
 }
 
 func (s *StructuralJoinOp) eval(ctx *Context, in []seq.Seq) (seq.Seq, error) {
-	return physical.StructuralJoin(ctx.Store, in[0], in[1], s.LeftLCL, s.Axis, s.Spec)
+	return physical.StructuralJoin(ctx.GoContext(), ctx.Store, in[0], in[1], s.LeftLCL, s.Axis, s.Spec)
 }
 
 var _ Op = (*StructuralJoinOp)(nil)

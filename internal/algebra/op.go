@@ -15,6 +15,7 @@
 package algebra
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"strings"
@@ -40,6 +41,12 @@ type Op interface {
 type Context struct {
 	Store   *store.Store
 	Matcher *physical.Matcher
+	// goCtx is the context.Context governing this evaluation: the evaluator
+	// checks it between operators, chunkMap checks it between chunks, and
+	// the physical operators poll it inside their per-tree and join loops,
+	// so a deadline or a client disconnect stops work mid-plan instead of
+	// after the current operator finishes.
+	goCtx context.Context
 	// memo caches operator results so DAG-shaped plans evaluate shared
 	// subplans once (pattern tree reuse across operators). Used by the
 	// serial evaluator and Profile; the parallel evaluator memoizes
@@ -73,29 +80,61 @@ type opFuture struct {
 
 // NewContext returns a fresh serial evaluation context over st.
 func NewContext(st *store.Store) *Context {
-	return &Context{Store: st, Matcher: physical.NewMatcher(st), memo: make(map[Op]seq.Seq), parallelism: 1}
+	return NewContextFor(context.Background(), st, 1)
 }
 
 // NewParallelContext returns an evaluation context with the given worker
-// budget. Parallelism below 1 defaults to GOMAXPROCS; 1 yields the plain
-// serial context (bit-for-bit identical behavior, including store
-// counters). For n > 1 the matcher runs in shared mode so worker
-// goroutines can match patterns concurrently.
+// budget (see NewContextFor for the parallelism convention).
 func NewParallelContext(st *store.Store, parallelism int) *Context {
+	return NewContextFor(context.Background(), st, parallelism)
+}
+
+// NewContextFor returns an evaluation context bound to goCtx: cancelling
+// goCtx (or exceeding its deadline) makes the evaluation return goCtx.Err()
+// promptly, cooperatively checked between operators, between chunks and
+// inside the physical operators' loops. Parallelism below 1 defaults to
+// GOMAXPROCS; 1 yields the plain serial context (bit-for-bit identical
+// behavior, including store counters). For n > 1 the matcher runs in
+// shared mode so worker goroutines can match patterns concurrently.
+func NewContextFor(goCtx context.Context, st *store.Store, parallelism int) *Context {
+	if goCtx == nil {
+		goCtx = context.Background()
+	}
 	if parallelism < 1 {
 		parallelism = runtime.GOMAXPROCS(0)
 	}
 	if parallelism <= 1 {
-		return NewContext(st)
+		return &Context{Store: st, Matcher: physical.NewMatcher(st), goCtx: goCtx, memo: make(map[Op]seq.Seq), parallelism: 1}
 	}
 	return &Context{
 		Store:       st,
 		Matcher:     physical.NewSharedMatcher(st),
+		goCtx:       goCtx,
 		memo:        make(map[Op]seq.Seq),
 		parallelism: parallelism,
 		sem:         make(chan struct{}, parallelism-1),
 		futures:     make(map[Op]*opFuture),
 	}
+}
+
+// GoContext returns the context.Context governing this evaluation; it is
+// never nil. Operators pass it down to the physical layer.
+func (ctx *Context) GoContext() context.Context {
+	if ctx.goCtx == nil {
+		return context.Background()
+	}
+	return ctx.goCtx
+}
+
+// Cancelled returns the evaluation's cancellation error (nil while the
+// evaluation may continue). The returned error is the governing context's
+// own Err(), so errors.Is(err, context.DeadlineExceeded) and
+// errors.Is(err, context.Canceled) work on evaluation results.
+func (ctx *Context) Cancelled() error {
+	if ctx.goCtx == nil {
+		return nil
+	}
+	return ctx.goCtx.Err()
 }
 
 // Parallelism returns the context's worker budget.
@@ -133,6 +172,9 @@ func Eval(ctx *Context, op Op) (seq.Seq, error) {
 }
 
 func evalNode(ctx *Context, op Op, fanout map[Op]int) (seq.Seq, error) {
+	if err := ctx.Cancelled(); err != nil {
+		return nil, err
+	}
 	if res, ok := ctx.memo[op]; ok {
 		return res.Clone(), nil
 	}
@@ -163,6 +205,11 @@ func evalNode(ctx *Context, op Op, fanout map[Op]int) (seq.Seq, error) {
 // consumer reaches it first. Like the serial evaluator, results consumed
 // by several operators are cloned per consumer.
 func evalNodeParallel(ctx *Context, op Op, fanout map[Op]int) (seq.Seq, error) {
+	// Checked before claiming a future so a cancelled evaluation never
+	// leaves an unclosed future behind for other consumers to block on.
+	if err := ctx.Cancelled(); err != nil {
+		return nil, err
+	}
 	ctx.mu.Lock()
 	if f, ok := ctx.futures[op]; ok {
 		ctx.mu.Unlock()
@@ -267,6 +314,10 @@ func chunkMap(ctx *Context, in seq.Seq, renumber bool, fn func(seq.Seq) (seq.Seq
 			if c >= numChunks {
 				return
 			}
+			if err := ctx.Cancelled(); err != nil {
+				errs[c] = err
+				return
+			}
 			lo := c * size
 			hi := lo + size
 			if hi > len(in) {
@@ -317,6 +368,13 @@ func Run(st *store.Store, op Op) (seq.Seq, error) {
 // NewParallelContext for the parallelism convention).
 func RunParallel(st *store.Store, op Op, parallelism int) (seq.Seq, error) {
 	return Eval(NewParallelContext(st, parallelism), op)
+}
+
+// RunContext evaluates the plan under goCtx with the given worker budget;
+// cancellation and deadline expiry surface as goCtx.Err() (see
+// NewContextFor).
+func RunContext(goCtx context.Context, st *store.Store, op Op, parallelism int) (seq.Seq, error) {
+	return Eval(NewContextFor(goCtx, st, parallelism), op)
 }
 
 // Explain renders the plan as an indented operator tree, children below

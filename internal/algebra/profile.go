@@ -52,6 +52,9 @@ func Profile(ctx *Context, root Op) (*ProfileResult, error) {
 }
 
 func profileNode(ctx *Context, op Op, fanout map[Op]int, pr *ProfileResult) (seq.Seq, error) {
+	if err := ctx.Cancelled(); err != nil {
+		return nil, err
+	}
 	if res, ok := ctx.memo[op]; ok {
 		return res.Clone(), nil
 	}

@@ -48,13 +48,13 @@ func (s *Select) eval(ctx *Context, in []seq.Seq) (seq.Seq, error) {
 		// Extension matching is per-tree; scatter over chunks (the shared
 		// matcher's caches make concurrent matching safe).
 		return chunkMap(ctx, in[0], false, func(chunk seq.Seq) (seq.Seq, error) {
-			return ctx.Matcher.MatchExtend(chunk, s.APT)
+			return ctx.Matcher.MatchExtend(ctx.GoContext(), chunk, s.APT)
 		})
 	}
 	if len(in) != 0 {
 		return nil, fmt.Errorf("document select takes no input, has %d", len(in))
 	}
-	return ctx.Matcher.MatchDocument(s.APT)
+	return ctx.Matcher.MatchDocument(ctx.GoContext(), s.APT)
 }
 
 // Filter restricts a sequence to the trees whose logical class LCL

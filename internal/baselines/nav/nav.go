@@ -10,6 +10,7 @@
 package nav
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strconv"
@@ -24,12 +25,46 @@ import (
 // result sequence (one tree per binding tuple, as for the algebraic
 // engines).
 func Run(st *store.Store, f *xquery.FLWOR) (seq.Seq, error) {
-	ev := &evaluator{st: st}
+	return RunContext(context.Background(), st, f)
+}
+
+// RunContext evaluates like Run under goCtx: the interpreter polls the
+// context every pollStride visited nodes and per binding tuple, so a
+// deadline or client disconnect stops a long navigation mid-walk and
+// surfaces as goCtx.Err().
+func RunContext(goCtx context.Context, st *store.Store, f *xquery.FLWOR) (seq.Seq, error) {
+	if err := goCtx.Err(); err != nil {
+		return nil, err
+	}
+	ev := &evaluator{st: st, goCtx: goCtx}
 	return ev.flwor(f, env{})
 }
 
+// pollStride is the visit stride of the cooperative cancellation check.
+const pollStride = 1024
+
 type evaluator struct {
-	st *store.Store
+	st    *store.Store
+	goCtx context.Context
+	// steps counts poll sites passed; every pollStride-th one reads the
+	// context. cancelErr latches the first cancellation so walks that
+	// cannot return an error themselves (descendantsNamed) abort early and
+	// the nearest error-returning frame reports it.
+	steps     int
+	cancelErr error
+}
+
+// poll advances the visit counter and returns the latched or freshly
+// observed cancellation error, if any.
+func (ev *evaluator) poll() error {
+	if ev.cancelErr != nil {
+		return ev.cancelErr
+	}
+	ev.steps++
+	if ev.steps%pollStride == 0 && ev.goCtx != nil {
+		ev.cancelErr = ev.goCtx.Err()
+	}
+	return ev.cancelErr
 }
 
 // env is the variable environment: each variable binds to one node (FOR)
@@ -82,6 +117,9 @@ func (ev *evaluator) flwor(f *xquery.FLWOR, e env) (seq.Seq, error) {
 			}
 			rows = append(rows, row{tree: tree, keys: keys})
 			return nil
+		}
+		if err := ev.poll(); err != nil {
+			return err
 		}
 		b := f.Bindings[i]
 		var nodes []*seq.Node
@@ -179,6 +217,9 @@ func (ev *evaluator) path(p *xquery.Path, e env) ([]*seq.Node, error) {
 	for _, s := range p.Steps {
 		var next []*seq.Node
 		for _, n := range cur {
+			if err := ev.poll(); err != nil {
+				return nil, err
+			}
 			if s.Axis == pattern.Child {
 				next = append(next, ev.childrenNamed(n, s.Name)...)
 			} else {
@@ -186,6 +227,9 @@ func (ev *evaluator) path(p *xquery.Path, e env) ([]*seq.Node, error) {
 			}
 		}
 		cur = next
+	}
+	if ev.cancelErr != nil {
+		return nil, ev.cancelErr
 	}
 	return cur, nil
 }
@@ -206,6 +250,12 @@ func (ev *evaluator) descendantsNamed(n *seq.Node, tag string) []*seq.Node {
 	var out []*seq.Node
 	var walk func(x *seq.Node)
 	walk = func(x *seq.Node) {
+		// A deep '//' walk is the navigational engine's dominant cost;
+		// abort it as soon as a poll observes cancellation (the caller
+		// reports the latched error).
+		if ev.poll() != nil {
+			return
+		}
 		for _, k := range ev.children(x) {
 			if k.Tag == tag {
 				out = append(out, k)

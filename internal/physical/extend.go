@@ -1,6 +1,7 @@
 package physical
 
 import (
+	"context"
 	"fmt"
 
 	"tlc/internal/pattern"
@@ -41,7 +42,7 @@ type alternative struct {
 // tree). Anchors that are temporary nodes — constructed intermediate
 // results — are matched against their in-memory children instead, and
 // matching nodes are classified in place.
-func (m *Matcher) MatchExtend(input seq.Seq, apt *pattern.Tree) (seq.Seq, error) {
+func (m *Matcher) MatchExtend(ctx context.Context, input seq.Seq, apt *pattern.Tree) (seq.Seq, error) {
 	if err := apt.Validate(); err != nil {
 		return nil, err
 	}
@@ -50,8 +51,11 @@ func (m *Matcher) MatchExtend(input seq.Seq, apt *pattern.Tree) (seq.Seq, error)
 		return nil, fmt.Errorf("physical: MatchExtend needs a logical-class anchor, got kind %d", anchor.Kind)
 	}
 	out := make(seq.Seq, 0, len(input))
-	for _, t := range input {
-		trees, err := m.extendTree(t, anchor)
+	for i, t := range input {
+		if err := poll(ctx, i); err != nil {
+			return nil, err
+		}
+		trees, err := m.extendTree(ctx, t, anchor)
 		if err != nil {
 			return nil, err
 		}
@@ -60,7 +64,7 @@ func (m *Matcher) MatchExtend(input seq.Seq, apt *pattern.Tree) (seq.Seq, error)
 	return out, nil
 }
 
-func (m *Matcher) extendTree(t *seq.Tree, anchor *pattern.Node) (seq.Seq, error) {
+func (m *Matcher) extendTree(ctx context.Context, t *seq.Tree, anchor *pattern.Node) (seq.Seq, error) {
 	anchors := t.Class(anchor.InClass)
 	if len(anchors) == 0 {
 		// Nothing to anchor at: the pattern is vacuously satisfied and the
@@ -72,7 +76,7 @@ func (m *Matcher) extendTree(t *seq.Tree, anchor *pattern.Node) (seq.Seq, error)
 	perAnchor := make([][]alternative, len(anchors))
 	total := 1
 	for i, a := range anchors {
-		alts, err := m.anchorAlternatives(a, anchor)
+		alts, err := m.anchorAlternatives(ctx, a, anchor)
 		if err != nil {
 			return nil, err
 		}
@@ -114,6 +118,9 @@ func (m *Matcher) extendTree(t *seq.Tree, anchor *pattern.Node) (seq.Seq, error)
 	combo := make([]int, len(anchors))
 	var out seq.Seq
 	for {
+		if err := poll(ctx, len(out)); err != nil {
+			return nil, err
+		}
 		nt, mapping := t.CloneWithMapping()
 		for i, a := range anchors {
 			alt := perAnchor[i][combo[i]]
@@ -156,13 +163,13 @@ func (m *Matcher) extendTree(t *seq.Tree, anchor *pattern.Node) (seq.Seq, error)
 // anchorAlternatives computes the ways the anchor pattern's edges can be
 // satisfied at one concrete anchor node. An empty result means a required
 // edge has no match.
-func (m *Matcher) anchorAlternatives(a *seq.Node, anchor *pattern.Node) ([]alternative, error) {
+func (m *Matcher) anchorAlternatives(ctx context.Context, a *seq.Node, anchor *pattern.Node) ([]alternative, error) {
 	alts := []alternative{{}}
 	for _, e := range anchor.Edges {
 		var edgeAlts []alternative
 		var err error
 		if a.IsStore() {
-			edgeAlts, err = m.storeEdgeAlternatives(a, e)
+			edgeAlts, err = m.storeEdgeAlternatives(ctx, a, e)
 		} else {
 			edgeAlts, err = m.memoryEdgeAlternatives(a, e)
 		}
@@ -190,8 +197,8 @@ func (m *Matcher) anchorAlternatives(a *seq.Node, anchor *pattern.Node) ([]alter
 
 // storeEdgeAlternatives matches one pattern edge below a stored anchor by
 // probing the store within the anchor's interval.
-func (m *Matcher) storeEdgeAlternatives(a *seq.Node, e pattern.Edge) ([]alternative, error) {
-	children, err := m.matchNode(a.Doc, e.To)
+func (m *Matcher) storeEdgeAlternatives(ctx context.Context, a *seq.Node, e pattern.Edge) ([]alternative, error) {
+	children, err := m.matchNode(ctx, a.Doc, e.To)
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,7 @@
 package physical
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -11,7 +12,7 @@ import (
 // matchAs returns the witness trees of doc_root/a with classes 1=a.
 func matchAs(t *testing.T, m *Matcher) seq.Seq {
 	t.Helper()
-	res, err := m.MatchDocument(aTree())
+	res, err := m.MatchDocument(context.Background(), aTree())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -25,7 +26,7 @@ func TestExtendAddsBranches(t *testing.T) {
 	// class(1) -> b{*}[5]
 	anchor := pattern.NewLCAnchor(0, 1)
 	anchor.Add(pattern.NewTagNode(5, "b"), pattern.Child, pattern.ZeroOrMore)
-	out, err := m.MatchExtend(in, &pattern.Tree{Root: anchor})
+	out, err := m.MatchExtend(context.Background(), in, &pattern.Tree{Root: anchor})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -55,7 +56,7 @@ func TestExtendDashMultipliesAndDrops(t *testing.T) {
 	in := matchAs(t, m)
 	anchor := pattern.NewLCAnchor(0, 1)
 	anchor.Add(pattern.NewTagNode(5, "b"), pattern.Child, pattern.One)
-	out, err := m.MatchExtend(in, &pattern.Tree{Root: anchor})
+	out, err := m.MatchExtend(context.Background(), in, &pattern.Tree{Root: anchor})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -82,7 +83,7 @@ func TestExtendPlusDropsAnchorlessTree(t *testing.T) {
 	in := matchAs(t, m)
 	anchor := pattern.NewLCAnchor(0, 1)
 	anchor.Add(pattern.NewTagNode(5, "c"), pattern.Child, pattern.OneOrMore)
-	out, err := m.MatchExtend(in, &pattern.Tree{Root: anchor})
+	out, err := m.MatchExtend(context.Background(), in, &pattern.Tree{Root: anchor})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -101,7 +102,7 @@ func TestExtendEmptyAnchorClassPassesThrough(t *testing.T) {
 	in := matchAs(t, m)
 	anchor := pattern.NewLCAnchor(0, 42) // class 42 empty everywhere
 	anchor.Add(pattern.NewTagNode(5, "b"), pattern.Child, pattern.One)
-	out, err := m.MatchExtend(in, &pattern.Tree{Root: anchor})
+	out, err := m.MatchExtend(context.Background(), in, &pattern.Tree{Root: anchor})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -115,7 +116,7 @@ func TestExtendRelabelsAnchor(t *testing.T) {
 	m := NewMatcher(s)
 	in := matchAs(t, m)
 	anchor := pattern.NewLCAnchor(9, 1) // anchor additionally labelled 9
-	out, err := m.MatchExtend(in, &pattern.Tree{Root: anchor})
+	out, err := m.MatchExtend(context.Background(), in, &pattern.Tree{Root: anchor})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -136,7 +137,7 @@ func TestExtendDeepPath(t *testing.T) {
 	anchor := pattern.NewLCAnchor(0, 1)
 	mn := anchor.Add(pattern.NewTagNode(5, "m"), pattern.Child, pattern.ZeroOrMore)
 	mn.Add(pattern.NewTagNode(6, "n"), pattern.Child, pattern.One)
-	out, err := m.MatchExtend(in, &pattern.Tree{Root: anchor})
+	out, err := m.MatchExtend(context.Background(), in, &pattern.Tree{Root: anchor})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -167,7 +168,7 @@ func TestExtendTemporaryAnchorClassifiesInPlace(t *testing.T) {
 	}
 	anchor := pattern.NewLCAnchor(0, 1)
 	anchor.Add(pattern.NewTagNode(5, "b"), pattern.Child, pattern.ZeroOrMore)
-	out, err := m.MatchExtend(seq.Seq{tr}, &pattern.Tree{Root: anchor})
+	out, err := m.MatchExtend(context.Background(), seq.Seq{tr}, &pattern.Tree{Root: anchor})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -196,7 +197,7 @@ func TestExtendTemporaryAnchorDescendant(t *testing.T) {
 	tr.AddToClass(1, root)
 	anchor := pattern.NewLCAnchor(0, 1)
 	anchor.Add(pattern.NewTagNode(5, "leaf"), pattern.Descendant, pattern.OneOrMore)
-	out, err := m.MatchExtend(seq.Seq{tr}, &pattern.Tree{Root: anchor})
+	out, err := m.MatchExtend(context.Background(), seq.Seq{tr}, &pattern.Tree{Root: anchor})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -208,7 +209,7 @@ func TestExtendTemporaryAnchorDescendant(t *testing.T) {
 func TestExtendRequiresLCAnchor(t *testing.T) {
 	s, _ := loadFixture(t, fixtureXML)
 	m := NewMatcher(s)
-	if _, err := m.MatchExtend(nil, aTree()); err == nil {
+	if _, err := m.MatchExtend(context.Background(), nil, aTree()); err == nil {
 		t.Error("doc-rooted pattern accepted by MatchExtend")
 	}
 }

@@ -1,6 +1,7 @@
 package physical
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -21,7 +22,7 @@ import (
 // tree over all its bindings, clones member subtrees across trees, and —
 // unlike the nest-join — runs *after* a flat match has already multiplied
 // the intermediate result.
-func GroupBy(st *store.Store, input seq.Seq, basisLCL, memberLCL int, exclude []int) (seq.Seq, error) {
+func GroupBy(ctx context.Context, st *store.Store, input seq.Seq, basisLCL, memberLCL int, exclude []int) (seq.Seq, error) {
 	excluded := make(map[int]bool, len(exclude)+2)
 	for _, lcl := range exclude {
 		excluded[lcl] = true
@@ -35,7 +36,10 @@ func GroupBy(st *store.Store, input seq.Seq, basisLCL, memberLCL int, exclude []
 	groups := make(map[string]*group)
 	var order []string
 	passKey := 0
-	for _, t := range input {
+	for i, t := range input {
+		if err := poll(ctx, i); err != nil {
+			return nil, err
+		}
 		members := t.Class(basisLCL)
 		if len(members) == 0 {
 			// No basis to group on: the tree forms its own group.
@@ -127,13 +131,16 @@ func groupKey(t *seq.Tree, basis *seq.Node, excluded map[int]bool) string {
 // branches and classes are grafted onto the left tree. Trees without a
 // partner on the other side are dropped (inner merge). This is the "merge"
 // step of the split/group/merge DAG procedure used by the GTP baseline.
-func MergeOnRoot(st *store.Store, left, right seq.Seq) (seq.Seq, error) {
+func MergeOnRoot(ctx context.Context, st *store.Store, left, right seq.Seq) (seq.Seq, error) {
 	byRoot := make(map[string][]*seq.Tree, len(right))
 	for _, r := range right {
 		byRoot[r.Root.Identity()] = append(byRoot[r.Root.Identity()], r)
 	}
 	var out seq.Seq
-	for _, l := range left {
+	for i, l := range left {
+		if err := poll(ctx, i); err != nil {
+			return nil, err
+		}
 		partners := byRoot[l.Root.Identity()]
 		if len(partners) == 0 {
 			continue

@@ -1,6 +1,7 @@
 package physical
 
 import (
+	"context"
 	"fmt"
 
 	"tlc/internal/seq"
@@ -20,7 +21,7 @@ import (
 // unchanged (the re-matched path may be optional); identifiers are already
 // in memory, so the join itself is cheap — the cost TAX pays is the fresh
 // pattern match producing the right side.
-func IdentityMergeJoin(st *store.Store, left, right seq.Seq, leftLCL, rightLCL int) (seq.Seq, error) {
+func IdentityMergeJoin(ctx context.Context, st *store.Store, left, right seq.Seq, leftLCL, rightLCL int) (seq.Seq, error) {
 	byID := make(map[string][]*seq.Tree, len(right))
 	for _, r := range right {
 		a, err := r.Singleton(rightLCL)
@@ -30,7 +31,10 @@ func IdentityMergeJoin(st *store.Store, left, right seq.Seq, leftLCL, rightLCL i
 		byID[a.Identity()] = append(byID[a.Identity()], r)
 	}
 	var out seq.Seq
-	for _, l := range left {
+	for i, l := range left {
+		if err := poll(ctx, i); err != nil {
+			return nil, err
+		}
 		members := l.Class(leftLCL)
 		if len(members) != 1 {
 			// No (or ambiguous) anchor: nothing to merge onto.

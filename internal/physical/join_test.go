@@ -1,6 +1,7 @@
 package physical
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -26,7 +27,7 @@ func joinInputs(t *testing.T, s *store.Store, m *Matcher) (seq.Seq, seq.Seq) {
 	pRoot := pattern.NewDocRoot(0, "fixture.xml")
 	p := pRoot.Add(pattern.NewTagNode(1, "person"), pattern.Descendant, pattern.One)
 	p.Add(pattern.NewTagNode(2, "@id"), pattern.Child, pattern.One)
-	left, err := m.MatchDocument(&pattern.Tree{Root: pRoot})
+	left, err := m.MatchDocument(context.Background(), &pattern.Tree{Root: pRoot})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -34,7 +35,7 @@ func joinInputs(t *testing.T, s *store.Store, m *Matcher) (seq.Seq, seq.Seq) {
 	a := aRoot.Add(pattern.NewTagNode(3, "open_auction"), pattern.Descendant, pattern.One)
 	r := a.Add(pattern.NewTagNode(0, "ref"), pattern.Child, pattern.One)
 	r.Add(pattern.NewTagNode(4, "@person"), pattern.Child, pattern.One)
-	right, err := m.MatchDocument(&pattern.Tree{Root: aRoot})
+	right, err := m.MatchDocument(context.Background(), &pattern.Tree{Root: aRoot})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -45,7 +46,7 @@ func TestValueJoinPairs(t *testing.T) {
 	s, _ := loadFixture(t, joinXML)
 	m := NewMatcher(s)
 	left, right := joinInputs(t, s, m)
-	out, err := ValueJoin(s, left, right, JoinSpec{
+	out, err := ValueJoin(context.Background(), s, left, right, JoinSpec{
 		LeftLCL: 2, RightLCL: 4, Op: pattern.EQ, RightSpec: pattern.One, RootLCL: 9,
 	})
 	if err != nil {
@@ -92,7 +93,7 @@ func TestValueJoinNest(t *testing.T) {
 	s, _ := loadFixture(t, joinXML)
 	m := NewMatcher(s)
 	left, right := joinInputs(t, s, m)
-	out, err := ValueJoin(s, left, right, JoinSpec{
+	out, err := ValueJoin(context.Background(), s, left, right, JoinSpec{
 		LeftLCL: 2, RightLCL: 4, Op: pattern.EQ, RightSpec: pattern.OneOrMore,
 	})
 	if err != nil {
@@ -114,7 +115,7 @@ func TestValueJoinOuterNest(t *testing.T) {
 	s, _ := loadFixture(t, joinXML)
 	m := NewMatcher(s)
 	left, right := joinInputs(t, s, m)
-	out, err := ValueJoin(s, left, right, JoinSpec{
+	out, err := ValueJoin(context.Background(), s, left, right, JoinSpec{
 		LeftLCL: 2, RightLCL: 4, Op: pattern.EQ, RightSpec: pattern.ZeroOrMore,
 	})
 	if err != nil {
@@ -133,7 +134,7 @@ func TestValueJoinOuterPairs(t *testing.T) {
 	s, _ := loadFixture(t, joinXML)
 	m := NewMatcher(s)
 	left, right := joinInputs(t, s, m)
-	out, err := ValueJoin(s, left, right, JoinSpec{
+	out, err := ValueJoin(context.Background(), s, left, right, JoinSpec{
 		LeftLCL: 2, RightLCL: 4, Op: pattern.EQ, RightSpec: pattern.ZeroOrOne,
 	})
 	if err != nil {
@@ -151,18 +152,18 @@ func TestValueJoinNonEquality(t *testing.T) {
 	lt := pattern.NewDocRoot(0, "fixture.xml")
 	lt.Add(pattern.NewTagNode(1, "l"), pattern.Child, pattern.One).
 		Add(pattern.NewTagNode(2, "v"), pattern.Child, pattern.One)
-	left, err := m.MatchDocument(&pattern.Tree{Root: lt})
+	left, err := m.MatchDocument(context.Background(), &pattern.Tree{Root: lt})
 	if err != nil {
 		t.Fatal(err)
 	}
 	rt := pattern.NewDocRoot(0, "fixture.xml")
 	rt.Add(pattern.NewTagNode(3, "rr"), pattern.Child, pattern.One).
 		Add(pattern.NewTagNode(4, "w"), pattern.Child, pattern.One)
-	right, err := m.MatchDocument(&pattern.Tree{Root: rt})
+	right, err := m.MatchDocument(context.Background(), &pattern.Tree{Root: rt})
 	if err != nil {
 		t.Fatal(err)
 	}
-	out, err := ValueJoin(s, left, right, JoinSpec{LeftLCL: 2, RightLCL: 4, Op: pattern.GT, RightSpec: pattern.One})
+	out, err := ValueJoin(context.Background(), s, left, right, JoinSpec{LeftLCL: 2, RightLCL: 4, Op: pattern.GT, RightSpec: pattern.One})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -178,7 +179,7 @@ func TestValueJoinMissingKeySkipsTree(t *testing.T) {
 	left, right := joinInputs(t, s, m)
 	// Join on a class that exists on the right but is empty on the left
 	// trees: every left tree is skipped.
-	out, err := ValueJoin(s, left, right, JoinSpec{LeftLCL: 77, RightLCL: 4, Op: pattern.EQ, RightSpec: pattern.One})
+	out, err := ValueJoin(context.Background(), s, left, right, JoinSpec{LeftLCL: 77, RightLCL: 4, Op: pattern.EQ, RightSpec: pattern.One})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -191,18 +192,18 @@ func TestValueJoinExistentialOverClusters(t *testing.T) {
 	s, _ := loadFixture(t, fixtureXML)
 	m := NewMatcher(s)
 	// Clustered b values per a: {1,2} and {3} (third a has no b).
-	res, err := m.MatchDocument(aTree(edge("b", 2, pattern.Child, pattern.OneOrMore)))
+	res, err := m.MatchDocument(context.Background(), aTree(edge("b", 2, pattern.Child, pattern.OneOrMore)))
 	if err != nil {
 		t.Fatal(err)
 	}
 	// Left side: single b per witness (flat): values 1, 2, 3.
-	flat, err := m.MatchDocument(aTree(edge("b", 2, pattern.Child, pattern.One)))
+	flat, err := m.MatchDocument(context.Background(), aTree(edge("b", 2, pattern.Child, pattern.One)))
 	if err != nil {
 		t.Fatal(err)
 	}
 	// Existential equality: flat values 1 and 2 match the {1,2} cluster,
 	// 3 matches {3}: one pair per (left tree, matching right tree).
-	out, err := ValueJoin(s, flat, res, JoinSpec{LeftLCL: 2, RightLCL: 2, Op: pattern.EQ, RightSpec: pattern.One})
+	out, err := ValueJoin(context.Background(), s, flat, res, JoinSpec{LeftLCL: 2, RightLCL: 2, Op: pattern.EQ, RightSpec: pattern.One})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -210,7 +211,7 @@ func TestValueJoinExistentialOverClusters(t *testing.T) {
 		t.Errorf("existential cluster join: %d pairs, want 3", len(out))
 	}
 	// A cluster matching via two values still pairs once.
-	out, err = ValueJoin(s, res, res, JoinSpec{LeftLCL: 2, RightLCL: 2, Op: pattern.EQ, RightSpec: pattern.One})
+	out, err = ValueJoin(context.Background(), s, res, res, JoinSpec{LeftLCL: 2, RightLCL: 2, Op: pattern.EQ, RightSpec: pattern.One})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -223,7 +224,10 @@ func TestCartesianJoin(t *testing.T) {
 	s, _ := loadFixture(t, joinXML)
 	m := NewMatcher(s)
 	left, right := joinInputs(t, s, m)
-	out := CartesianJoin("join_root", 1, left, right)
+	out, err := CartesianJoin(context.Background(), "join_root", 1, left, right)
+	if err != nil {
+		t.Fatalf("CartesianJoin: %v", err)
+	}
 	if len(out) != len(left)*len(right) {
 		t.Fatalf("got %d, want %d", len(out), len(left)*len(right))
 	}
@@ -239,13 +243,13 @@ func TestStructuralJoinFigure14(t *testing.T) {
 	m := NewMatcher(s)
 	aPat := &pattern.Tree{Root: pattern.NewDocRoot(0, "fixture.xml")}
 	aPat.Root.LCL = 1
-	left, err := m.MatchDocument(aPat)
+	left, err := m.MatchDocument(context.Background(), aPat)
 	if err != nil {
 		t.Fatal(err)
 	}
 	dRoot := pattern.NewDocRoot(0, "fixture.xml")
 	dRoot.Add(pattern.NewTagNode(2, "D"), pattern.Descendant, pattern.One)
-	dsel, err := m.MatchDocument(&pattern.Tree{Root: dRoot})
+	dsel, err := m.MatchDocument(context.Background(), &pattern.Tree{Root: dRoot})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -262,7 +266,7 @@ func TestStructuralJoinFigure14(t *testing.T) {
 	}
 
 	// Regular structural join: one output tree per (A, D) pair.
-	pairs, err := StructuralJoin(s, left.Clone(), right.Clone(), 1, pattern.Descendant, pattern.One)
+	pairs, err := StructuralJoin(context.Background(), s, left.Clone(), right.Clone(), 1, pattern.Descendant, pattern.One)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -276,7 +280,7 @@ func TestStructuralJoinFigure14(t *testing.T) {
 	}
 
 	// Nest structural join: a single output with both Ds clustered.
-	nested, err := StructuralJoin(s, left.Clone(), right.Clone(), 1, pattern.Descendant, pattern.OneOrMore)
+	nested, err := StructuralJoin(context.Background(), s, left.Clone(), right.Clone(), 1, pattern.Descendant, pattern.OneOrMore)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -293,13 +297,13 @@ func TestStructuralJoinOuterAndChildAxis(t *testing.T) {
 	m := NewMatcher(s)
 	aRoot := pattern.NewDocRoot(0, "fixture.xml")
 	aRoot.Add(pattern.NewTagNode(1, "A"), pattern.Child, pattern.One)
-	left, err := m.MatchDocument(&pattern.Tree{Root: aRoot})
+	left, err := m.MatchDocument(context.Background(), &pattern.Tree{Root: aRoot})
 	if err != nil {
 		t.Fatal(err)
 	}
 	dRoot := pattern.NewDocRoot(0, "fixture.xml")
 	dRoot.Add(pattern.NewTagNode(2, "D"), pattern.Descendant, pattern.One)
-	dsel, err := m.MatchDocument(&pattern.Tree{Root: dRoot})
+	dsel, err := m.MatchDocument(context.Background(), &pattern.Tree{Root: dRoot})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -311,7 +315,7 @@ func TestStructuralJoinOuterAndChildAxis(t *testing.T) {
 		right = append(right, nt)
 	}
 	// Child axis: only the first A has a D child.
-	out, err := StructuralJoin(s, left.Clone(), right.Clone(), 1, pattern.Child, pattern.ZeroOrMore)
+	out, err := StructuralJoin(context.Background(), s, left.Clone(), right.Clone(), 1, pattern.Child, pattern.ZeroOrMore)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -333,14 +337,14 @@ func TestGroupByCollapsesPairs(t *testing.T) {
 	root := pattern.NewDocRoot(0, "fixture.xml")
 	root.LCL = 1
 	root.Add(pattern.NewTagNode(2, "D"), pattern.Child, pattern.One)
-	pairs, err := m.MatchDocument(&pattern.Tree{Root: root})
+	pairs, err := m.MatchDocument(context.Background(), &pattern.Tree{Root: root})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(pairs) != 2 {
 		t.Fatalf("flat match: %d pairs", len(pairs))
 	}
-	grouped, err := GroupBy(s, pairs, 1, 2, nil)
+	grouped, err := GroupBy(context.Background(), s, pairs, 1, 2, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -359,7 +363,7 @@ func TestMergeOnRoot(t *testing.T) {
 		root := pattern.NewDocRoot(0, "fixture.xml")
 		a := root.Add(pattern.NewTagNode(1, "A"), pattern.Child, pattern.One)
 		a.Add(pattern.NewTagNode(lcl, childTag), pattern.Child, pattern.One)
-		res, err := m.MatchDocument(&pattern.Tree{Root: root})
+		res, err := m.MatchDocument(context.Background(), &pattern.Tree{Root: root})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -379,7 +383,7 @@ func TestMergeOnRoot(t *testing.T) {
 	}
 	withB := mk("B", 2)
 	withC := mk("C", 3)
-	merged, err := MergeOnRoot(s, withB, withC)
+	merged, err := MergeOnRoot(context.Background(), s, withB, withC)
 	if err != nil {
 		t.Fatal(err)
 	}

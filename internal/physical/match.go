@@ -14,6 +14,7 @@
 package physical
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -127,8 +128,10 @@ func (m *Matcher) take(p *partial) *partial {
 }
 
 // MatchDocument evaluates an APT rooted at a document-root test and returns
-// the full set of witness trees in document order of their roots.
-func (m *Matcher) MatchDocument(apt *pattern.Tree) (seq.Seq, error) {
+// the full set of witness trees in document order of their roots. The
+// context is polled inside the matching loops, so cancellation stops a
+// large match mid-way.
+func (m *Matcher) MatchDocument(ctx context.Context, apt *pattern.Tree) (seq.Seq, error) {
 	if err := apt.Validate(); err != nil {
 		return nil, err
 	}
@@ -139,12 +142,15 @@ func (m *Matcher) MatchDocument(apt *pattern.Tree) (seq.Seq, error) {
 	if !ok {
 		return nil, fmt.Errorf("physical: document %q not loaded", apt.Root.Doc)
 	}
-	parts, err := m.matchNode(doc, apt.Root)
+	parts, err := m.matchNode(ctx, doc, apt.Root)
 	if err != nil {
 		return nil, err
 	}
 	out := make(seq.Seq, 0, len(parts))
-	for _, p := range parts {
+	for i, p := range parts {
+		if err := poll(ctx, i); err != nil {
+			return nil, err
+		}
 		p := m.take(p) // the witness trees own these instances
 		t := seq.NewTree(p.root)
 		for _, c := range p.classes {
@@ -159,12 +165,12 @@ func (m *Matcher) MatchDocument(apt *pattern.Tree) (seq.Seq, error) {
 // the resulting partials sorted by root ordinal. Results are cached per
 // pattern node: repeated evaluations (one per input tree in extension
 // matching) reuse the matched instances through take().
-func (m *Matcher) matchNode(doc store.DocID, p *pattern.Node) ([]*partial, error) {
+func (m *Matcher) matchNode(ctx context.Context, doc store.DocID, p *pattern.Node) ([]*partial, error) {
 	key := candKey{doc: doc, node: p}
 	if parts, ok := m.loadPartials(key); ok {
 		return parts, nil
 	}
-	parts, err := m.buildPartials(doc, p)
+	parts, err := m.buildPartials(ctx, doc, p)
 	if err != nil {
 		return nil, err
 	}
@@ -194,14 +200,17 @@ func (m *Matcher) storePartials(key candKey, parts []*partial) {
 	m.partials[key] = parts
 }
 
-func (m *Matcher) buildPartials(doc store.DocID, p *pattern.Node) ([]*partial, error) {
+func (m *Matcher) buildPartials(ctx context.Context, doc store.DocID, p *pattern.Node) ([]*partial, error) {
 	ords, err := m.candidates(doc, p)
 	if err != nil {
 		return nil, err
 	}
 	d := m.st.Doc(doc)
 	parts := make([]*partial, 0, len(ords))
-	for _, o := range ords {
+	for i, o := range ords {
+		if err := poll(ctx, i); err != nil {
+			return nil, err
+		}
 		n := seq.NewStoreNode(doc, o, d.Node(o))
 		pt := &partial{root: n}
 		if p.LCL > 0 {
@@ -210,7 +219,7 @@ func (m *Matcher) buildPartials(doc store.DocID, p *pattern.Node) ([]*partial, e
 		parts = append(parts, pt)
 	}
 	for _, e := range p.Edges {
-		parts, err = m.expandEdge(doc, parts, e)
+		parts, err = m.expandEdge(ctx, doc, parts, e)
 		if err != nil {
 			return nil, err
 		}
@@ -220,14 +229,17 @@ func (m *Matcher) buildPartials(doc store.DocID, p *pattern.Node) ([]*partial, e
 
 // expandEdge joins the parent partials with the matches of one pattern
 // edge, implementing the mSpec → join-variant mapping of Section 5.2.
-func (m *Matcher) expandEdge(doc store.DocID, parents []*partial, e pattern.Edge) ([]*partial, error) {
-	children, err := m.matchNode(doc, e.To)
+func (m *Matcher) expandEdge(ctx context.Context, doc store.DocID, parents []*partial, e pattern.Edge) ([]*partial, error) {
+	children, err := m.matchNode(ctx, doc, e.To)
 	if err != nil {
 		return nil, err
 	}
 	d := m.st.Doc(doc)
 	var out []*partial
-	for _, P := range parents {
+	for i, P := range parents {
+		if err := poll(ctx, i); err != nil {
+			return nil, err
+		}
 		ms := structuralMatches(d, P.root.Ord, children, e.Axis)
 		switch {
 		case e.Spec.Nested():

@@ -1,6 +1,7 @@
 package physical
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -53,7 +54,7 @@ func TestMatchClusteredPlusOptional(t *testing.T) {
 	s, _ := loadFixture(t, fixtureXML)
 	m := NewMatcher(s)
 	// a[1] with b{+}[2] and c{?}[3] — the Figure 4 shape.
-	res, err := m.MatchDocument(aTree(
+	res, err := m.MatchDocument(context.Background(), aTree(
 		edge("b", 2, pattern.Child, pattern.OneOrMore),
 		edge("c", 3, pattern.Child, pattern.ZeroOrOne),
 	))
@@ -87,7 +88,7 @@ func TestMatchClusteredPlusOptional(t *testing.T) {
 func TestMatchDashMultiplies(t *testing.T) {
 	s, _ := loadFixture(t, fixtureXML)
 	m := NewMatcher(s)
-	res, err := m.MatchDocument(aTree(edge("b", 2, pattern.Child, pattern.One)))
+	res, err := m.MatchDocument(context.Background(), aTree(edge("b", 2, pattern.Child, pattern.One)))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -111,7 +112,7 @@ func TestMatchDashMultiplies(t *testing.T) {
 func TestMatchStarLetsEmptyThrough(t *testing.T) {
 	s, _ := loadFixture(t, fixtureXML)
 	m := NewMatcher(s)
-	res, err := m.MatchDocument(aTree(edge("b", 2, pattern.Child, pattern.ZeroOrMore)))
+	res, err := m.MatchDocument(context.Background(), aTree(edge("b", 2, pattern.Child, pattern.ZeroOrMore)))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -128,7 +129,7 @@ func TestMatchDescendantAxis(t *testing.T) {
 	m := NewMatcher(s)
 	root := pattern.NewDocRoot(0, "fixture.xml")
 	root.Add(pattern.NewTagNode(1, "b"), pattern.Descendant, pattern.One)
-	res, err := m.MatchDocument(&pattern.Tree{Root: root})
+	res, err := m.MatchDocument(context.Background(), &pattern.Tree{Root: root})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -142,7 +143,7 @@ func TestMatchContentPredicate(t *testing.T) {
 	m := NewMatcher(s)
 	b := pattern.NewTagNode(2, "b")
 	b.Pred = &pattern.Predicate{Op: pattern.GT, Value: "1"}
-	res, err := m.MatchDocument(aTree(pattern.Edge{Axis: pattern.Child, Spec: pattern.One, To: b}))
+	res, err := m.MatchDocument(context.Background(), aTree(pattern.Edge{Axis: pattern.Child, Spec: pattern.One, To: b}))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -157,7 +158,7 @@ func TestMatchEqualityPredicateUsesValueIndex(t *testing.T) {
 	m := NewMatcher(s)
 	c := pattern.NewTagNode(2, "c")
 	c.Pred = &pattern.Predicate{Op: pattern.EQ, Value: "y"}
-	res, err := m.MatchDocument(aTree(pattern.Edge{Axis: pattern.Child, Spec: pattern.One, To: c}))
+	res, err := m.MatchDocument(context.Background(), aTree(pattern.Edge{Axis: pattern.Child, Spec: pattern.One, To: c}))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -176,7 +177,7 @@ func TestMatchParentChildVsDescendant(t *testing.T) {
 	root := pattern.NewDocRoot(0, "fixture.xml")
 	x := root.Add(pattern.NewTagNode(1, "x"), pattern.Descendant, pattern.One)
 	x.Add(pattern.NewTagNode(2, "z"), pattern.Child, pattern.One)
-	res, err := m.MatchDocument(&pattern.Tree{Root: root})
+	res, err := m.MatchDocument(context.Background(), &pattern.Tree{Root: root})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -187,7 +188,7 @@ func TestMatchParentChildVsDescendant(t *testing.T) {
 	root2 := pattern.NewDocRoot(0, "fixture.xml")
 	x2 := root2.Add(pattern.NewTagNode(1, "x"), pattern.Descendant, pattern.One)
 	x2.Add(pattern.NewTagNode(2, "z"), pattern.Descendant, pattern.One)
-	res, err = m.MatchDocument(&pattern.Tree{Root: root2})
+	res, err = m.MatchDocument(context.Background(), &pattern.Tree{Root: root2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -206,7 +207,7 @@ func TestMatchDeepPattern(t *testing.T) {
 	p := root.Add(pattern.NewTagNode(1, "p"), pattern.Child, pattern.One)
 	q := p.Add(pattern.NewTagNode(2, "q"), pattern.Child, pattern.OneOrMore)
 	q.Add(pattern.NewTagNode(3, "b"), pattern.Child, pattern.One)
-	res, err := m.MatchDocument(&pattern.Tree{Root: root})
+	res, err := m.MatchDocument(context.Background(), &pattern.Tree{Root: root})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -228,15 +229,15 @@ func TestMatchDocumentErrors(t *testing.T) {
 	m := NewMatcher(s)
 	// Pattern rooted at a tag test.
 	bad := &pattern.Tree{Root: pattern.NewTagNode(1, "a")}
-	if _, err := m.MatchDocument(bad); err == nil {
+	if _, err := m.MatchDocument(context.Background(), bad); err == nil {
 		t.Error("tag-rooted MatchDocument succeeded")
 	}
 	// Unknown document.
-	if _, err := m.MatchDocument(&pattern.Tree{Root: pattern.NewDocRoot(0, "nope.xml")}); err == nil {
+	if _, err := m.MatchDocument(context.Background(), &pattern.Tree{Root: pattern.NewDocRoot(0, "nope.xml")}); err == nil {
 		t.Error("unknown document succeeded")
 	}
 	// Invalid pattern.
-	if _, err := m.MatchDocument(&pattern.Tree{}); err == nil {
+	if _, err := m.MatchDocument(context.Background(), &pattern.Tree{}); err == nil {
 		t.Error("nil-root pattern succeeded")
 	}
 }
@@ -246,12 +247,12 @@ func TestCandidateCachingProbesIndexOnce(t *testing.T) {
 	m := NewMatcher(s)
 	apt := aTree(edge("b", 2, pattern.Child, pattern.One))
 	s.ResetStats()
-	if _, err := m.MatchDocument(apt); err != nil {
+	if _, err := m.MatchDocument(context.Background(), apt); err != nil {
 		t.Fatal(err)
 	}
 	first := s.Snapshot().TagLookups
 	s.ResetStats()
-	if _, err := m.MatchDocument(apt); err != nil {
+	if _, err := m.MatchDocument(context.Background(), apt); err != nil {
 		t.Fatal(err)
 	}
 	if again := s.Snapshot().TagLookups; again != 0 {

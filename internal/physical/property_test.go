@@ -1,6 +1,7 @@
 package physical
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -218,7 +219,7 @@ func TestPropertyMatchAgainstReference(t *testing.T) {
 		}
 		apt := genPattern(rng)
 		m := NewMatcher(st)
-		res, err := m.MatchDocument(apt)
+		res, err := m.MatchDocument(context.Background(), apt)
 		if err != nil {
 			t.Fatalf("case %d: match: %v\npattern:\n%s", i, err, apt)
 		}

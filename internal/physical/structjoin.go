@@ -1,6 +1,7 @@
 package physical
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -24,7 +25,7 @@ import (
 // Both the left class node and the right roots must reference stored nodes
 // of the same document; structural predicates are undefined on temporary
 // nodes (Section 5.1, property 2 is not required of temporaries).
-func StructuralJoin(st *store.Store, left, right seq.Seq, leftLCL int, axis pattern.Axis, spec pattern.MSpec) (seq.Seq, error) {
+func StructuralJoin(ctx context.Context, st *store.Store, left, right seq.Seq, leftLCL int, axis pattern.Axis, spec pattern.MSpec) (seq.Seq, error) {
 	// Index right trees by root ordinal; right sequences are in document
 	// order, so containment is a binary-search range scan.
 	type rentry struct {
@@ -55,7 +56,10 @@ func StructuralJoin(st *store.Store, left, right seq.Seq, leftLCL int, axis patt
 		return e.tree.Clone()
 	}
 	var out seq.Seq
-	for _, l := range left {
+	for i, l := range left {
+		if err := poll(ctx, i); err != nil {
+			return nil, err
+		}
 		anchor, err := l.Singleton(leftLCL)
 		if err != nil {
 			return nil, fmt.Errorf("physical: structural join left side: %w", err)

@@ -1,6 +1,7 @@
 package physical
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -41,7 +42,7 @@ type JoinSpec struct {
 // class does not bind to exactly one active node are skipped for "-"/"+"
 // joins — a missing join value cannot satisfy the predicate — matching the
 // semantics of value predicates over optional paths.
-func ValueJoin(st *store.Store, left, right seq.Seq, spec JoinSpec) (seq.Seq, error) {
+func ValueJoin(ctx context.Context, st *store.Store, left, right seq.Seq, spec JoinSpec) (seq.Seq, error) {
 	if spec.RootTag == "" {
 		spec.RootTag = "join_root"
 	}
@@ -72,6 +73,9 @@ func ValueJoin(st *store.Store, left, right seq.Seq, spec JoinSpec) (seq.Seq, er
 	}
 	var out seq.Seq
 	for i := range left {
+		if err := poll(ctx, i); err != nil {
+			return nil, err
+		}
 		if lk[i].missing {
 			continue
 		}
@@ -117,37 +121,47 @@ func ValueJoin(st *store.Store, left, right seq.Seq, spec JoinSpec) (seq.Seq, er
 
 // CartesianJoin stitches every pair of left and right trees under a fresh
 // root — the join created for multiple FOR clauses before any predicate is
-// known (Join 5 of Figure 7 at creation time).
-func CartesianJoin(rootTag string, rootLCL int, left, right seq.Seq) seq.Seq {
+// known (Join 5 of Figure 7 at creation time). The output is quadratic, so
+// the context is polled per emitted pair: a Cartesian product under a
+// deadline stops almost immediately.
+func CartesianJoin(ctx context.Context, rootTag string, rootLCL int, left, right seq.Seq) (seq.Seq, error) {
 	if rootTag == "" {
 		rootTag = "join_root"
 	}
 	out := make(seq.Seq, 0, len(left)*len(right))
 	for _, l := range left {
 		for _, r := range right {
+			if err := poll(ctx, len(out)); err != nil {
+				return nil, err
+			}
 			out = append(out, stitchTrees(rootTag, rootLCL, l.Clone(), []*seq.Tree{r.Clone()}))
 		}
 	}
-	return out
+	return out, nil
 }
 
 // NestAllJoin stitches, for every left tree, all right trees under one
 // fresh root — the unconditional nest join used for uncorrelated LET
 // bindings over a nested FLWOR (every binding tuple sees the whole inner
 // result, clustered).
-func NestAllJoin(rootTag string, rootLCL int, left, right seq.Seq) seq.Seq {
+func NestAllJoin(ctx context.Context, rootTag string, rootLCL int, left, right seq.Seq) (seq.Seq, error) {
 	if rootTag == "" {
 		rootTag = "join_root"
 	}
+	cloned := 0
 	out := make(seq.Seq, 0, len(left))
 	for _, l := range left {
 		rights := make([]*seq.Tree, 0, len(right))
 		for _, r := range right {
+			if err := poll(ctx, cloned); err != nil {
+				return nil, err
+			}
+			cloned++
 			rights = append(rights, r.Clone())
 		}
 		out = append(out, stitchTrees(rootTag, rootLCL, l.Clone(), rights))
 	}
-	return out
+	return out, nil
 }
 
 // stitchTrees builds one output tree: a fresh root with the left tree's

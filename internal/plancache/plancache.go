@@ -1,0 +1,167 @@
+// Package plancache caches compiled query plans (tlc.Prepared) behind an
+// LRU keyed on everything that determines compilation output: the query
+// text, the engine, and the planner and parallelism options. Because a
+// Prepared is safe for concurrent Run calls (the plan DAG is immutable
+// after compile; per-run state lives in the evaluation context), one
+// cached entry can serve many concurrent requests — the cache is what
+// turns the service's per-request compile cost into a one-time cost per
+// distinct query.
+//
+// Invalidation is by database generation: every successful document load
+// bumps tlc.Database.Generation(), and the first lookup that observes a
+// new generation flushes the whole cache. Plans embed document references
+// and the cost-based planner's decisions embed the statistics catalog, so
+// any load can invalidate any plan; flushing everything is both correct
+// and cheap at the load rates a query service sees.
+package plancache
+
+import (
+	"container/list"
+	"context"
+	"sync"
+
+	"tlc"
+)
+
+// Key identifies a compilation: two requests with equal keys get the same
+// Prepared back.
+type Key struct {
+	// Query is the exact query text (no normalization: whitespace-different
+	// queries compile separately, which keeps the key cheap and exact).
+	Query string
+	// Engine is the evaluation engine.
+	Engine tlc.Engine
+	// PlannerOff mirrors tlc.WithPlanner(false).
+	PlannerOff bool
+	// Parallelism mirrors tlc.WithParallelism; it is baked into the
+	// Prepared at compile time, so it must be part of the key.
+	Parallelism int
+}
+
+// Stats is a point-in-time snapshot of the cache counters.
+type Stats struct {
+	// Hits counts lookups served from the cache.
+	Hits uint64 `json:"hits"`
+	// Misses counts lookups that had to compile.
+	Misses uint64 `json:"misses"`
+	// Evictions counts entries dropped to capacity pressure.
+	Evictions uint64 `json:"evictions"`
+	// Invalidations counts entries flushed by a generation change.
+	Invalidations uint64 `json:"invalidations"`
+	// Size and Capacity describe the current occupancy.
+	Size     int `json:"size"`
+	Capacity int `json:"capacity"`
+}
+
+type entry struct {
+	key  Key
+	prep *tlc.Prepared
+}
+
+// Cache is a fixed-capacity LRU of compiled plans. The zero value is not
+// usable; call New.
+type Cache struct {
+	mu       sync.Mutex
+	capacity int
+	gen      uint64 // database generation the cached plans were compiled at
+	byKey    map[Key]*list.Element
+	order    *list.List // front = most recently used
+
+	hits, misses, evictions, invalidations uint64
+}
+
+// New returns an empty cache holding at most capacity plans (minimum 1).
+func New(capacity int) *Cache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Cache{
+		capacity: capacity,
+		byKey:    make(map[Key]*list.Element, capacity),
+		order:    list.New(),
+	}
+}
+
+// Load returns the cached Prepared for key, compiling it on a miss. The
+// bool reports whether the lookup was a hit. Compilation runs outside the
+// cache lock, so a slow compile never blocks hits for other keys;
+// concurrent misses for the same key may compile twice, and the last
+// finisher's plan stays cached (both plans are valid, so either may be
+// handed out).
+func (c *Cache) Load(ctx context.Context, db *tlc.Database, key Key) (*tlc.Prepared, bool, error) {
+	gen := db.Generation()
+
+	c.mu.Lock()
+	c.flushIfStale(gen)
+	if el, ok := c.byKey[key]; ok {
+		c.hits++
+		c.order.MoveToFront(el)
+		prep := el.Value.(*entry).prep
+		c.mu.Unlock()
+		return prep, true, nil
+	}
+	c.misses++
+	c.mu.Unlock()
+
+	opts := []tlc.Option{
+		tlc.WithEngine(key.Engine),
+		tlc.WithPlanner(!key.PlannerOff),
+		tlc.WithParallelism(key.Parallelism),
+	}
+	prep, err := db.CompileContext(ctx, key.Query, opts...)
+	if err != nil {
+		return nil, false, err
+	}
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	// A load may have landed while we compiled; a plan compiled against the
+	// old store must not enter the cache (it is still returned — the caller
+	// observed the old generation, which is the best a racing request can
+	// claim anyway).
+	if db.Generation() != gen {
+		return prep, false, nil
+	}
+	c.flushIfStale(gen)
+	if el, ok := c.byKey[key]; ok {
+		// A concurrent miss beat us here; keep the incumbent entry hot and
+		// hand out our own compile.
+		c.order.MoveToFront(el)
+		return prep, false, nil
+	}
+	el := c.order.PushFront(&entry{key: key, prep: prep})
+	c.byKey[key] = el
+	for c.order.Len() > c.capacity {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.byKey, oldest.Value.(*entry).key)
+		c.evictions++
+	}
+	return prep, false, nil
+}
+
+// flushIfStale drops every entry if gen differs from the generation the
+// cached plans were compiled at. Caller holds c.mu.
+func (c *Cache) flushIfStale(gen uint64) {
+	if gen == c.gen {
+		return
+	}
+	c.invalidations += uint64(c.order.Len())
+	c.order.Init()
+	c.byKey = make(map[Key]*list.Element, c.capacity)
+	c.gen = gen
+}
+
+// Stats returns a snapshot of the counters.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return Stats{
+		Hits:          c.hits,
+		Misses:        c.misses,
+		Evictions:     c.evictions,
+		Invalidations: c.invalidations,
+		Size:          c.order.Len(),
+		Capacity:      c.capacity,
+	}
+}

@@ -1,0 +1,199 @@
+package plancache
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+
+	"tlc"
+)
+
+const testXML = `<site>
+  <person id="p0"><name>Alice</name><age>30</age></person>
+  <person id="p1"><name>Bob</name><age>20</age></person>
+  <person id="p2"><name>Carol</name><age>40</age></person>
+</site>`
+
+const testQuery = `FOR $p IN document("a.xml")//person WHERE $p/age > 25 RETURN $p/name`
+
+func newDB(t *testing.T) *tlc.Database {
+	t.Helper()
+	db := tlc.Open()
+	if err := db.LoadXMLString("a.xml", testXML); err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func TestHitMiss(t *testing.T) {
+	db := newDB(t)
+	c := New(4)
+	key := Key{Query: testQuery}
+
+	p1, hit, err := c.Load(context.Background(), db, key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hit {
+		t.Error("first load reported a hit")
+	}
+	p2, hit, err := c.Load(context.Background(), db, key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hit {
+		t.Error("second load missed")
+	}
+	if p1 != p2 {
+		t.Error("hit returned a different Prepared")
+	}
+	// The cached plan actually runs.
+	res, err := db.Run(p2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 2 {
+		t.Errorf("got %d results, want 2", res.Len())
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Size != 1 {
+		t.Errorf("stats = %+v, want 1 hit / 1 miss / size 1", st)
+	}
+}
+
+func TestKeyDistinguishesOptions(t *testing.T) {
+	db := newDB(t)
+	c := New(8)
+	ctx := context.Background()
+	keys := []Key{
+		{Query: testQuery},
+		{Query: testQuery, Engine: tlc.TLCOpt},
+		{Query: testQuery, PlannerOff: true},
+		{Query: testQuery, Parallelism: 2},
+	}
+	for _, k := range keys {
+		if _, hit, err := c.Load(ctx, db, k); err != nil || hit {
+			t.Fatalf("key %+v: hit=%v err=%v, want fresh compile", k, hit, err)
+		}
+	}
+	if st := c.Stats(); st.Misses != 4 || st.Size != 4 {
+		t.Errorf("stats = %+v, want 4 distinct entries", st)
+	}
+}
+
+func TestEviction(t *testing.T) {
+	db := newDB(t)
+	c := New(2)
+	ctx := context.Background()
+	q := func(i int) Key {
+		return Key{Query: fmt.Sprintf(`FOR $p IN document("a.xml")//person WHERE $p/age > %d RETURN $p/name`, i)}
+	}
+	for i := 0; i < 3; i++ {
+		if _, _, err := c.Load(ctx, db, q(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := c.Stats()
+	if st.Evictions != 1 || st.Size != 2 {
+		t.Errorf("stats = %+v, want 1 eviction at size 2", st)
+	}
+	// q(0) was evicted (LRU); q(2) is still cached.
+	if _, hit, _ := c.Load(ctx, db, q(2)); !hit {
+		t.Error("most recent entry was evicted")
+	}
+	if _, hit, _ := c.Load(ctx, db, q(0)); hit {
+		t.Error("least recent entry survived eviction")
+	}
+}
+
+func TestLRUOrderOnHit(t *testing.T) {
+	db := newDB(t)
+	c := New(2)
+	ctx := context.Background()
+	q := func(i int) Key {
+		return Key{Query: fmt.Sprintf(`FOR $p IN document("a.xml")//person WHERE $p/age > %d RETURN $p/name`, i)}
+	}
+	c.Load(ctx, db, q(0))
+	c.Load(ctx, db, q(1))
+	c.Load(ctx, db, q(0)) // refresh q(0): q(1) becomes LRU
+	c.Load(ctx, db, q(2)) // evicts q(1)
+	if _, hit, _ := c.Load(ctx, db, q(0)); !hit {
+		t.Error("refreshed entry was evicted")
+	}
+	if _, hit, _ := c.Load(ctx, db, q(1)); hit {
+		t.Error("stale entry survived")
+	}
+}
+
+func TestGenerationInvalidation(t *testing.T) {
+	db := newDB(t)
+	c := New(4)
+	ctx := context.Background()
+	key := Key{Query: testQuery}
+	c.Load(ctx, db, key)
+
+	if err := db.LoadXMLString("b.xml", `<r><x>1</x></r>`); err != nil {
+		t.Fatal(err)
+	}
+	_, hit, err := c.Load(ctx, db, key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hit {
+		t.Error("lookup after a load hit a stale plan")
+	}
+	st := c.Stats()
+	if st.Invalidations != 1 {
+		t.Errorf("invalidations = %d, want 1", st.Invalidations)
+	}
+	// The recompiled plan is cached at the new generation.
+	if _, hit, _ := c.Load(ctx, db, key); !hit {
+		t.Error("recompiled plan was not cached")
+	}
+}
+
+func TestCompileErrorNotCached(t *testing.T) {
+	db := newDB(t)
+	c := New(4)
+	key := Key{Query: "THIS IS NOT XQUERY ((("}
+	for i := 0; i < 2; i++ {
+		if _, hit, err := c.Load(context.Background(), db, key); err == nil || hit {
+			t.Fatalf("attempt %d: hit=%v err=%v, want compile error miss", i, hit, err)
+		}
+	}
+	if st := c.Stats(); st.Size != 0 || st.Misses != 2 {
+		t.Errorf("stats = %+v, want 2 misses and nothing cached", st)
+	}
+}
+
+func TestConcurrentLoad(t *testing.T) {
+	db := newDB(t)
+	c := New(4)
+	key := Key{Query: testQuery}
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			p, _, err := c.Load(context.Background(), db, key)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			res, err := db.Run(p)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if res.Len() != 2 {
+				t.Errorf("got %d results, want 2", res.Len())
+			}
+		}()
+	}
+	wg.Wait()
+	st := c.Stats()
+	if st.Hits+st.Misses != 16 || st.Size != 1 {
+		t.Errorf("stats = %+v, want 16 lookups collapsing to one entry", st)
+	}
+}

@@ -1,0 +1,70 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+)
+
+// ErrQueueFull reports that a request was shed because the admission
+// queue was already at capacity. The server maps it to 429.
+var ErrQueueFull = errors.New("service: admission queue full")
+
+// Limiter bounds the number of concurrently evaluating requests and the
+// number of requests allowed to wait for a slot. Beyond both bounds,
+// requests are shed immediately — under overload the cheapest work is
+// the work you refuse before doing any of it.
+type Limiter struct {
+	slots  chan struct{}
+	queued atomic.Int64
+	// maxQueue is the number of requests allowed to wait for a slot.
+	maxQueue int64
+}
+
+// NewLimiter returns a limiter admitting maxConcurrent requests at once
+// with up to maxQueue more waiting (minimums 1 and 0).
+func NewLimiter(maxConcurrent, maxQueue int) *Limiter {
+	if maxConcurrent < 1 {
+		maxConcurrent = 1
+	}
+	if maxQueue < 0 {
+		maxQueue = 0
+	}
+	return &Limiter{
+		slots:    make(chan struct{}, maxConcurrent),
+		maxQueue: int64(maxQueue),
+	}
+}
+
+// Acquire blocks until a slot is free, the queue is full, or ctx is done.
+// It returns nil when a slot was acquired (the caller must Release),
+// ErrQueueFull when shed, or ctx.Err() when the caller's deadline expired
+// while queued.
+func (l *Limiter) Acquire(ctx context.Context) error {
+	// Fast path: free slot, no queueing.
+	select {
+	case l.slots <- struct{}{}:
+		return nil
+	default:
+	}
+	if l.queued.Add(1) > l.maxQueue {
+		l.queued.Add(-1)
+		return ErrQueueFull
+	}
+	defer l.queued.Add(-1)
+	select {
+	case l.slots <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Release frees a slot acquired by Acquire.
+func (l *Limiter) Release() { <-l.slots }
+
+// InFlight returns the number of requests currently holding a slot.
+func (l *Limiter) InFlight() int { return len(l.slots) }
+
+// Queued returns the number of requests waiting for a slot.
+func (l *Limiter) Queued() int { return int(l.queued.Load()) }

@@ -1,0 +1,101 @@
+package service
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// latencyWindow is the size of the sliding latency window the quantiles
+// are computed over. A fixed ring keeps the quantiles recent (old
+// latencies age out) without unbounded memory or a random-eviction
+// reservoir.
+const latencyWindow = 1024
+
+// Metrics accumulates the request counters exported on /varz. All methods
+// are safe for concurrent use.
+type Metrics struct {
+	mu       sync.Mutex
+	requests uint64
+	errors   uint64
+	byStatus map[int]uint64
+
+	ring  [latencyWindow]float64 // milliseconds
+	count uint64                 // total observations (ring index = count % window)
+}
+
+// NewMetrics returns zeroed metrics.
+func NewMetrics() *Metrics {
+	return &Metrics{byStatus: make(map[int]uint64)}
+}
+
+// Observe records one finished request with its response status and
+// latency.
+func (m *Metrics) Observe(status int, d time.Duration) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.requests++
+	m.byStatus[status]++
+	if status >= 400 {
+		m.errors++
+	}
+	m.ring[m.count%latencyWindow] = float64(d) / float64(time.Millisecond)
+	m.count++
+}
+
+// LatencyStats summarizes the sliding latency window in milliseconds.
+type LatencyStats struct {
+	Count uint64  `json:"count"`
+	P50   float64 `json:"p50_ms"`
+	P90   float64 `json:"p90_ms"`
+	P99   float64 `json:"p99_ms"`
+	Max   float64 `json:"max_ms"`
+}
+
+// Snapshot is a point-in-time view of the metrics.
+type Snapshot struct {
+	Requests uint64
+	Errors   uint64
+	ByStatus map[int]uint64
+	Latency  LatencyStats
+}
+
+// Snapshot copies out the counters and computes quantiles over the
+// current window.
+func (m *Metrics) Snapshot() Snapshot {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s := Snapshot{
+		Requests: m.requests,
+		Errors:   m.errors,
+		ByStatus: make(map[int]uint64, len(m.byStatus)),
+		Latency:  LatencyStats{Count: m.count},
+	}
+	for k, v := range m.byStatus {
+		s.ByStatus[k] = v
+	}
+	n := int(m.count)
+	if n > latencyWindow {
+		n = latencyWindow
+	}
+	if n == 0 {
+		return s
+	}
+	window := make([]float64, n)
+	copy(window, m.ring[:n])
+	sort.Float64s(window)
+	s.Latency.P50 = quantile(window, 0.50)
+	s.Latency.P90 = quantile(window, 0.90)
+	s.Latency.P99 = quantile(window, 0.99)
+	s.Latency.Max = window[n-1]
+	return s
+}
+
+// quantile returns the q-quantile of sorted (nearest-rank).
+func quantile(sorted []float64, q float64) float64 {
+	idx := int(q * float64(len(sorted)))
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}

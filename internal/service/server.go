@@ -1,0 +1,464 @@
+// Package service exposes a tlc.Database as a concurrent HTTP/JSON query
+// service. The server composes four pieces the engine was extended for:
+// context cancellation threaded through plan evaluation (request
+// deadlines stop operator loops, not just handler returns), a
+// prepared-plan LRU cache (see plancache) shared by concurrent requests,
+// admission control with a bounded wait queue (429/503 shedding under
+// overload), and /varz metrics with latency quantiles.
+//
+// Endpoints:
+//
+//	POST /query     {"query": "...", "engine": "TLC", ...} -> results
+//	POST /explain   same body -> plan text
+//	POST /profile   same body -> per-operator profile text
+//	POST /load      ?name=doc.xml with an XML body, or ?name=&xmark=1
+//	GET  /documents loaded document names
+//	GET  /healthz   liveness
+//	GET  /varz      metrics JSON
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"runtime"
+	"strconv"
+	"sync"
+	"time"
+
+	"tlc"
+	"tlc/internal/plancache"
+)
+
+// Config configures a Server. The zero value of every field selects a
+// sensible default.
+type Config struct {
+	// DB is the database to serve. Required.
+	DB *tlc.Database
+	// MaxConcurrent bounds concurrently evaluating requests
+	// (default GOMAXPROCS).
+	MaxConcurrent int
+	// QueueDepth bounds requests waiting for an evaluation slot
+	// (default 2*MaxConcurrent). Beyond it requests get 429.
+	QueueDepth int
+	// DefaultTimeout is the per-request evaluation deadline when the
+	// request does not set one (default 30s).
+	DefaultTimeout time.Duration
+	// MaxTimeout caps request-supplied deadlines (default 5m).
+	MaxTimeout time.Duration
+	// CacheSize is the plan cache capacity in plans (default 128).
+	CacheSize int
+	// Parallelism is the default intra-query parallelism for requests
+	// that do not set one (default 1, the serial evaluator).
+	Parallelism int
+}
+
+func (c *Config) fillDefaults() {
+	if c.MaxConcurrent <= 0 {
+		c.MaxConcurrent = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 2 * c.MaxConcurrent
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 30 * time.Second
+	}
+	if c.MaxTimeout <= 0 {
+		c.MaxTimeout = 5 * time.Minute
+	}
+	if c.CacheSize <= 0 {
+		c.CacheSize = 128
+	}
+	if c.Parallelism <= 0 {
+		c.Parallelism = 1
+	}
+}
+
+// Server handles the HTTP endpoints. Create with New, mount with Handler.
+type Server struct {
+	cfg     Config
+	db      *tlc.Database
+	cache   *plancache.Cache
+	limiter *Limiter
+	metrics *Metrics
+	start   time.Time
+
+	// loadMu serializes document loads against in-flight queries: the
+	// store is immutable only between loads, so a load takes the write
+	// half while every query evaluation holds the read half.
+	loadMu sync.RWMutex
+
+	// preEval, when set by tests, runs after admission and plan lookup,
+	// immediately before evaluation — it lets overload tests hold all
+	// evaluation slots deterministically.
+	preEval func()
+}
+
+// New returns a Server for cfg.
+func New(cfg Config) (*Server, error) {
+	if cfg.DB == nil {
+		return nil, errors.New("service: Config.DB is required")
+	}
+	cfg.fillDefaults()
+	return &Server{
+		cfg:     cfg,
+		db:      cfg.DB,
+		cache:   plancache.New(cfg.CacheSize),
+		limiter: NewLimiter(cfg.MaxConcurrent, cfg.QueueDepth),
+		metrics: NewMetrics(),
+		start:   time.Now(),
+	}, nil
+}
+
+// Handler returns the HTTP handler serving all endpoints.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/query", s.instrument(s.handleQuery))
+	mux.HandleFunc("/explain", s.instrument(s.handleExplain))
+	mux.HandleFunc("/profile", s.instrument(s.handleProfile))
+	mux.HandleFunc("/load", s.instrument(s.handleLoad))
+	mux.HandleFunc("/documents", s.instrument(s.handleDocuments))
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/varz", s.handleVarz)
+	return mux
+}
+
+// statusWriter remembers the status code for metrics.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (s *Server) instrument(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		begin := time.Now()
+		h(sw, r)
+		s.metrics.Observe(sw.status, time.Since(begin))
+	}
+}
+
+// queryRequest is the JSON body of /query, /explain and /profile.
+type queryRequest struct {
+	// Query is the XQuery text. Required.
+	Query string `json:"query"`
+	// Engine selects the evaluation engine by name (TLC, OPT, GTP, TAX,
+	// NAV); empty means TLC.
+	Engine string `json:"engine,omitempty"`
+	// Parallelism overrides the server's default intra-query parallelism.
+	Parallelism int `json:"parallelism,omitempty"`
+	// NoPlanner disables the cost-based planner (ablation runs).
+	NoPlanner bool `json:"no_planner,omitempty"`
+	// TimeoutMS overrides the server's default evaluation deadline,
+	// capped at Config.MaxTimeout.
+	TimeoutMS int `json:"timeout_ms,omitempty"`
+}
+
+type queryResponse struct {
+	Engine    string   `json:"engine"`
+	Count     int      `json:"count"`
+	Results   []string `json:"results"`
+	CacheHit  bool     `json:"cache_hit"`
+	ElapsedMS float64  `json:"elapsed_ms"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, errorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+// decodeQueryRequest parses and validates the shared request body.
+func decodeQueryRequest(w http.ResponseWriter, r *http.Request) (*queryRequest, bool) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST required")
+		return nil, false
+	}
+	var req queryRequest
+	dec := json.NewDecoder(io.LimitReader(r.Body, 1<<20))
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return nil, false
+	}
+	if req.Query == "" {
+		writeError(w, http.StatusBadRequest, "missing \"query\"")
+		return nil, false
+	}
+	if _, ok := tlc.ParseEngine(req.Engine); !ok {
+		writeError(w, http.StatusBadRequest, "unknown engine %q", req.Engine)
+		return nil, false
+	}
+	return &req, true
+}
+
+// admit applies the deadline and admission control shared by the three
+// evaluation endpoints. On success the returned release func must be
+// called when evaluation finishes; it is nil when admission failed (the
+// error response has been written already).
+func (s *Server) admit(w http.ResponseWriter, r *http.Request, req *queryRequest) (context.Context, context.CancelFunc, func(), bool) {
+	timeout := s.cfg.DefaultTimeout
+	if req.TimeoutMS > 0 {
+		timeout = time.Duration(req.TimeoutMS) * time.Millisecond
+	}
+	if timeout > s.cfg.MaxTimeout {
+		timeout = s.cfg.MaxTimeout
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	if err := s.limiter.Acquire(ctx); err != nil {
+		cancel()
+		switch {
+		case errors.Is(err, ErrQueueFull):
+			writeError(w, http.StatusTooManyRequests, "overloaded: admission queue full")
+		default:
+			writeError(w, http.StatusServiceUnavailable, "overloaded: timed out waiting for an evaluation slot")
+		}
+		return nil, nil, nil, false
+	}
+	return ctx, cancel, s.limiter.Release, true
+}
+
+// evalStatus maps an evaluation error to an HTTP status.
+func evalStatus(err error) int {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		// The client went away; the exact code is for the access log only.
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusUnprocessableEntity
+	}
+}
+
+// plan looks the request's plan up in the cache (compiling on a miss).
+func (s *Server) plan(ctx context.Context, req *queryRequest) (*tlc.Prepared, bool, error) {
+	engine, _ := tlc.ParseEngine(req.Engine)
+	par := req.Parallelism
+	if par <= 0 {
+		par = s.cfg.Parallelism
+	}
+	return s.cache.Load(ctx, s.db, plancache.Key{
+		Query:       req.Query,
+		Engine:      engine,
+		PlannerOff:  req.NoPlanner,
+		Parallelism: par,
+	})
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	req, ok := decodeQueryRequest(w, r)
+	if !ok {
+		return
+	}
+	ctx, cancel, release, ok := s.admit(w, r, req)
+	if !ok {
+		return
+	}
+	defer cancel()
+	defer release()
+
+	s.loadMu.RLock()
+	defer s.loadMu.RUnlock()
+
+	begin := time.Now()
+	prep, hit, err := s.plan(ctx, req)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "compile: %v", err)
+		return
+	}
+	if s.preEval != nil {
+		s.preEval()
+	}
+	res, err := s.db.RunContext(ctx, prep)
+	if err != nil {
+		writeError(w, evalStatus(err), "evaluate: %v", err)
+		return
+	}
+	out := queryResponse{
+		Engine:    prep.Engine().String(),
+		Count:     res.Len(),
+		Results:   make([]string, res.Len()),
+		CacheHit:  hit,
+		ElapsedMS: float64(time.Since(begin)) / float64(time.Millisecond),
+	}
+	for i := range out.Results {
+		out.Results[i] = res.TreeXML(i)
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
+	req, ok := decodeQueryRequest(w, r)
+	if !ok {
+		return
+	}
+	ctx, cancel, release, ok := s.admit(w, r, req)
+	if !ok {
+		return
+	}
+	defer cancel()
+	defer release()
+
+	s.loadMu.RLock()
+	defer s.loadMu.RUnlock()
+
+	engine, _ := tlc.ParseEngine(req.Engine)
+	opts := []tlc.Option{tlc.WithEngine(engine), tlc.WithPlanner(!req.NoPlanner)}
+	plan, err := s.db.ExplainContext(ctx, req.Query, opts...)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "explain: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"engine": engine.String(), "plan": plan})
+}
+
+func (s *Server) handleProfile(w http.ResponseWriter, r *http.Request) {
+	req, ok := decodeQueryRequest(w, r)
+	if !ok {
+		return
+	}
+	ctx, cancel, release, ok := s.admit(w, r, req)
+	if !ok {
+		return
+	}
+	defer cancel()
+	defer release()
+
+	s.loadMu.RLock()
+	defer s.loadMu.RUnlock()
+
+	engine, _ := tlc.ParseEngine(req.Engine)
+	opts := []tlc.Option{tlc.WithEngine(engine), tlc.WithPlanner(!req.NoPlanner)}
+	if s.preEval != nil {
+		s.preEval()
+	}
+	prof, err := s.db.ProfileContext(ctx, req.Query, opts...)
+	if err != nil {
+		status := http.StatusBadRequest
+		if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+			status = evalStatus(err)
+		}
+		writeError(w, status, "profile: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"engine": engine.String(), "profile": prof})
+}
+
+// handleLoad loads a document: an XML body under ?name=doc.xml, or a
+// generated XMark document with ?name=doc.xml&xmark=<factor> and an empty
+// body. Loads take the write half of loadMu, draining in-flight queries
+// first and blocking new ones for the duration.
+func (s *Server) handleLoad(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	name := r.URL.Query().Get("name")
+	if name == "" {
+		writeError(w, http.StatusBadRequest, "missing ?name=")
+		return
+	}
+	var factor float64
+	if f := r.URL.Query().Get("xmark"); f != "" {
+		var err error
+		factor, err = strconv.ParseFloat(f, 64)
+		if err != nil || factor <= 0 {
+			writeError(w, http.StatusBadRequest, "bad ?xmark= factor %q", f)
+			return
+		}
+	}
+
+	s.loadMu.Lock()
+	defer s.loadMu.Unlock()
+	var err error
+	if factor > 0 {
+		err = s.db.LoadXMark(name, factor)
+	} else {
+		err = s.db.LoadXML(name, io.LimitReader(r.Body, 1<<28))
+	}
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "load: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"documents":  s.db.Documents(),
+		"generation": s.db.Generation(),
+	})
+}
+
+func (s *Server) handleDocuments(w http.ResponseWriter, r *http.Request) {
+	s.loadMu.RLock()
+	docs := s.db.Documents()
+	s.loadMu.RUnlock()
+	if docs == nil {
+		docs = []string{}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"documents": docs})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain")
+	fmt.Fprintln(w, "ok")
+}
+
+// varz is the /varz metrics document.
+type varz struct {
+	UptimeSeconds float64           `json:"uptime_seconds"`
+	Requests      uint64            `json:"requests_total"`
+	Errors        uint64            `json:"errors_total"`
+	ByStatus      map[string]uint64 `json:"responses_by_status"`
+	InFlight      int               `json:"in_flight"`
+	Queued        int               `json:"queued"`
+	Latency       LatencyStats      `json:"latency"`
+	PlanCache     plancache.Stats   `json:"plan_cache"`
+	Store         map[string]int64  `json:"store"`
+	Documents     int               `json:"documents"`
+	Generation    uint64            `json:"generation"`
+}
+
+func (s *Server) handleVarz(w http.ResponseWriter, r *http.Request) {
+	snap := s.metrics.Snapshot()
+	cs := s.cache.Stats()
+	st := s.db.Stats()
+	v := varz{
+		UptimeSeconds: time.Since(s.start).Seconds(),
+		Requests:      snap.Requests,
+		Errors:        snap.Errors,
+		ByStatus:      make(map[string]uint64, len(snap.ByStatus)),
+		InFlight:      s.limiter.InFlight(),
+		Queued:        s.limiter.Queued(),
+		Latency:       snap.Latency,
+		PlanCache:     cs,
+		Store: map[string]int64{
+			"tag_lookups":        st.TagLookups,
+			"tag_refs":           st.TagRefs,
+			"value_lookups":      st.ValueLookups,
+			"nodes_read":         st.NodesRead,
+			"nodes_materialized": st.NodesMaterialized,
+		},
+		Documents:  len(s.db.Documents()),
+		Generation: s.db.Generation(),
+	}
+	for code, n := range snap.ByStatus {
+		v.ByStatus[strconv.Itoa(code)] = n
+	}
+	writeJSON(w, http.StatusOK, v)
+}

@@ -1,0 +1,49 @@
+package xquery
+
+import (
+	"strings"
+	"testing"
+
+	"tlc/internal/xmark"
+)
+
+// FuzzParse feeds arbitrary input to the parser. Parse must either return
+// an AST or an error — never panic, hang, or blow the stack — because the
+// query service hands it attacker-controlled request bodies. The corpus
+// seeds with the 23 workload queries (real accepted syntax), their
+// mutations below, and a handful of inputs aimed at the parser's
+// recursive structure.
+func FuzzParse(f *testing.F) {
+	for _, q := range xmark.Queries() {
+		f.Add(q.Text)
+		// Truncations exercise unexpected-EOF paths at every token edge.
+		f.Add(q.Text[:len(q.Text)/2])
+		// Doubling exercises trailing-garbage handling.
+		f.Add(q.Text + " " + q.Text)
+	}
+	f.Add("")
+	f.Add(";")
+	f.Add(`FOR $p IN document("a.xml")//person RETURN $p`)
+	f.Add(`FOR $p IN document("a.xml")//person RETURN <x>{$p/name}</x>`)
+	f.Add(`LET $a := FOR $b IN document("x")//y RETURN $b RETURN $a`)
+	f.Add(strings.Repeat(`FOR $x IN document("a")//b `, 40) + "RETURN $x")
+	f.Add("FOR $x IN document(\"a\")//b WHERE " + strings.Repeat("$x/y = 1 AND ", 40) + "$x/z = 2 RETURN $x")
+	f.Add("RETURN " + strings.Repeat("<a>", 100))
+	f.Add(`FOR $p IN document("a.xml")/` + strings.Repeat("x/", 200) + "y RETURN $p")
+	f.Add("\x00\xff\xfe")
+	f.Add(`FOR $p IN document("unterminated`)
+	f.Add(`FOR $p IN document("a")//b ORDER BY $p/x DESCENDING RETURN $p`)
+
+	f.Fuzz(func(t *testing.T, src string) {
+		// Deep recursion on pathological nesting is the realistic failure
+		// mode; cap input size the same way the service caps request
+		// bodies, so the fuzzer explores syntax rather than sheer length.
+		if len(src) > 1<<16 {
+			t.Skip()
+		}
+		ast, err := Parse(src)
+		if err == nil && ast == nil {
+			t.Fatal("Parse returned nil AST and nil error")
+		}
+	})
+}

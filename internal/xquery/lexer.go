@@ -202,8 +202,13 @@ func lex(src string) ([]token, error) {
 	return toks, nil
 }
 
+// isNameStart holds for bytes that may begin a name. The lexer scans
+// bytes, so a byte >= 0x80 must not qualify even though casting it to a
+// rune can name a Unicode letter (U+00FF etc.): such a byte would start a
+// name that isNameByte immediately ends, emitting empty tokens without
+// consuming input. Non-ASCII input is rejected as an unexpected character.
 func isNameStart(r rune) bool {
-	return unicode.IsLetter(r) || r == '_'
+	return r < 0x80 && (unicode.IsLetter(r) || r == '_')
 }
 
 func isNameByte(b byte) bool {

@@ -21,10 +21,12 @@
 package tlc
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
 	"strings"
+	"sync/atomic"
 
 	"tlc/internal/algebra"
 	"tlc/internal/baselines/gtp"
@@ -83,6 +85,26 @@ func (e Engine) String() string {
 // Engines lists every engine in the order of the Figure 15 columns.
 func Engines() []Engine { return []Engine{TLC, GTP, TAX, Nav} }
 
+// ParseEngine maps an engine name (as printed by Engine.String, case
+// insensitive; "TLCOPT" is accepted for OPT) back to the engine. The shell
+// and the query service share this mapping.
+func ParseEngine(s string) (Engine, bool) {
+	switch strings.ToUpper(strings.TrimSpace(s)) {
+	case "TLC", "":
+		return TLC, true
+	case "OPT", "TLCOPT":
+		return TLCOpt, true
+	case "GTP":
+		return GTP, true
+	case "TAX":
+		return TAX, true
+	case "NAV":
+		return Nav, true
+	default:
+		return 0, false
+	}
+}
+
 // Database is a collection of loaded XML documents with the indexes the
 // engines use (element tag index and content value index). Once loaded it
 // is immutable and safe for concurrent queries — the store's statistics
@@ -91,15 +113,26 @@ func Engines() []Engine { return []Engine{TLC, GTP, TAX, Nav} }
 // sequentially with intra-query parallelism 1, as the paper did.
 type Database struct {
 	st *store.Store
+	// gen counts successful document loads. Plan caches key their validity
+	// on it: a cached Prepared compiled at generation g is stale once
+	// Generation() != g, because plans embed document references and the
+	// cost-based planner's choices embed the catalog statistics.
+	gen atomic.Uint64
 }
 
 // Open returns an empty database.
 func Open() *Database { return &Database{st: store.New()} }
 
 // LoadXML parses and indexes an XML document under the given name (the
-// name used in document("...") references).
+// name used in document("...") references). Loads must not run
+// concurrently with queries or other loads: the store is immutable only
+// *after* loading. The query service serializes loads against in-flight
+// queries with a lock; embedders doing runtime loads must do the same.
 func (db *Database) LoadXML(name string, r io.Reader) error {
 	_, err := db.st.LoadXML(name, r)
+	if err == nil {
+		db.gen.Add(1)
+	}
 	return err
 }
 
@@ -112,11 +145,20 @@ func (db *Database) LoadXMLString(name, xml string) error {
 // given scale factor (see the xmark package for the populations).
 func (db *Database) LoadXMark(name string, factor float64) error {
 	_, err := db.st.Load(xmark.Generate(name, factor))
+	if err == nil {
+		db.gen.Add(1)
+	}
 	return err
 }
 
 // Documents returns the loaded document names.
 func (db *Database) Documents() []string { return db.st.Names() }
+
+// Generation returns the number of successful loads so far. It increases
+// exactly when previously compiled plans may have become stale (new
+// documents change both name resolution and the statistics catalog), which
+// makes it the invalidation key for prepared-plan caches.
+func (db *Database) Generation() uint64 { return db.gen.Load() }
 
 // Stats returns the store access counters accumulated since the last
 // ResetStats.
@@ -165,6 +207,14 @@ func WithParallelism(n int) Option {
 
 // Prepared is a compiled query, reusable across executions (the benchmark
 // harness compiles once and measures evaluation only, like the paper).
+//
+// A single Prepared is safe for concurrent Run/RunContext calls: the plan
+// DAG is immutable after Compile (every rewrite and planner decision
+// mutates operators at compile time only; eval methods read operator
+// fields and own their per-run input sequences), and all per-run state —
+// matcher caches, memoization, partial results — lives in the evaluation
+// context created per call. This is what lets a prepared-plan cache hand
+// one Prepared to many concurrent requests.
 type Prepared struct {
 	engine      Engine
 	plan        algebra.Op // nil for Nav
@@ -175,14 +225,32 @@ type Prepared struct {
 	PlanInfo *planner.Info
 }
 
+// Engine returns the engine the query was compiled for.
+func (p *Prepared) Engine() Engine { return p.engine }
+
 // Compile parses and translates a query for the selected engine.
 func (db *Database) Compile(text string, opts ...Option) (*Prepared, error) {
+	return db.CompileContext(context.Background(), text, opts...)
+}
+
+// CompileContext is Compile under a context.Context: compilation phases
+// (parse, translate, rewrite, plan) are separated by cancellation checks,
+// so a disconnecting client does not pay for planning a query nobody will
+// run. Compilation itself is CPU-bounded per phase; the fine-grained
+// cooperative checks live in evaluation.
+func (db *Database) CompileContext(ctx context.Context, text string, opts ...Option) (*Prepared, error) {
 	cfg := queryConfig{engine: TLC}
 	for _, o := range opts {
 		o(&cfg)
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	ast, err := xquery.Parse(text)
 	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	p := &Prepared{engine: cfg.engine, ast: ast, parallelism: cfg.parallelism}
@@ -216,6 +284,9 @@ func (db *Database) Compile(text string, opts ...Option) (*Prepared, error) {
 	default:
 		return nil, fmt.Errorf("tlc: unknown engine %v", cfg.engine)
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if !cfg.plannerOff {
 		// The cost-based planner makes every physical decision — pattern
 		// edge order, filter/disjunct predicate order, value-join algorithm
@@ -228,12 +299,22 @@ func (db *Database) Compile(text string, opts ...Option) (*Prepared, error) {
 
 // Run evaluates the prepared query.
 func (db *Database) Run(p *Prepared) (*Result, error) {
+	return db.RunContext(context.Background(), p)
+}
+
+// RunContext evaluates the prepared query under ctx. Cancelling ctx (or
+// exceeding its deadline) stops the evaluation cooperatively — the
+// evaluator checks between operators and chunks, and the physical
+// operators poll inside their per-tree and join loops — and returns an
+// error satisfying errors.Is(err, ctx.Err()). A Prepared may be shared by
+// concurrent RunContext calls (see Prepared).
+func (db *Database) RunContext(ctx context.Context, p *Prepared) (*Result, error) {
 	var out seq.Seq
 	var err error
 	if p.engine == Nav {
-		out, err = nav.Run(db.st, p.ast)
+		out, err = nav.RunContext(ctx, db.st, p.ast)
 	} else {
-		out, err = algebra.RunParallel(db.st, p.plan, p.parallelism)
+		out, err = algebra.RunContext(ctx, db.st, p.plan, p.parallelism)
 	}
 	if err != nil {
 		return nil, err
@@ -243,11 +324,17 @@ func (db *Database) Run(p *Prepared) (*Result, error) {
 
 // Query compiles and evaluates in one step.
 func (db *Database) Query(text string, opts ...Option) (*Result, error) {
-	p, err := db.Compile(text, opts...)
+	return db.QueryContext(context.Background(), text, opts...)
+}
+
+// QueryContext compiles and evaluates in one step under ctx (see
+// RunContext for the cancellation contract).
+func (db *Database) QueryContext(ctx context.Context, text string, opts ...Option) (*Result, error) {
+	p, err := db.CompileContext(ctx, text, opts...)
 	if err != nil {
 		return nil, err
 	}
-	return db.Run(p)
+	return db.RunContext(ctx, p)
 }
 
 // Explain returns the evaluation plan of a query as an indented operator
@@ -255,7 +342,12 @@ func (db *Database) Query(text string, opts ...Option) (*Result, error) {
 // When the planner is on, each operator carries its estimated output
 // cardinality as an est=N annotation.
 func (db *Database) Explain(text string, opts ...Option) (string, error) {
-	p, err := db.Compile(text, opts...)
+	return db.ExplainContext(context.Background(), text, opts...)
+}
+
+// ExplainContext is Explain under a context.Context.
+func (db *Database) ExplainContext(ctx context.Context, text string, opts ...Option) (string, error) {
+	p, err := db.CompileContext(ctx, text, opts...)
 	if err != nil {
 		return "", err
 	}
@@ -273,14 +365,20 @@ func (db *Database) Explain(text string, opts ...Option) (string, error) {
 // annotated plan tree — an EXPLAIN ANALYZE. The navigational engine has no
 // plan and reports an error.
 func (db *Database) Profile(text string, opts ...Option) (string, error) {
-	p, err := db.Compile(text, opts...)
+	return db.ProfileContext(context.Background(), text, opts...)
+}
+
+// ProfileContext is Profile under a context.Context; the profiled
+// evaluation honors the same cancellation contract as RunContext.
+func (db *Database) ProfileContext(ctx context.Context, text string, opts ...Option) (string, error) {
+	p, err := db.CompileContext(ctx, text, opts...)
 	if err != nil {
 		return "", err
 	}
 	if p.plan == nil {
 		return "", fmt.Errorf("tlc: the navigational engine has no plan to profile")
 	}
-	pr, err := algebra.Profile(algebra.NewContext(db.st), p.plan)
+	pr, err := algebra.Profile(algebra.NewContextFor(ctx, db.st, 1), p.plan)
 	if err != nil {
 		return "", err
 	}
