@@ -11,6 +11,12 @@
 // intra-query worker budget (default 1, the paper's serial methodology;
 // 0 means GOMAXPROCS). -planner=off disables the cost-based planner and
 // runs the plans exactly as translated, for ablating the planner itself.
+//
+// -json FILE writes the Figure 15 measurements as machine-readable
+// ns/op, bytes/op and allocs/op per (query, engine); -baseline FILE
+// compares the run's allocs/op against such a committed report and warns
+// on regressions beyond 10% (allocation counts are machine-independent
+// enough to track in CI, wall-clock times are not).
 package main
 
 import (
@@ -35,6 +41,8 @@ func main() {
 	factors := flag.String("factors", "0.1,0.5,1,2,5", "scale factors for figure 17")
 	parallel := flag.Int("parallel", 1, "intra-query parallelism: 1 = serial (paper methodology), 0 = GOMAXPROCS")
 	planner := flag.String("planner", "on", "cost-based planner: on (default) or off (run plans as translated)")
+	jsonOut := flag.String("json", "", "write the figure 15 measurements (ns/op, bytes/op, allocs/op per query and engine) to this file")
+	baseline := flag.String("baseline", "", "compare the figure 15 allocs/op against this committed -json report; regressions beyond 10% print warnings (the exit code stays 0)")
 	flag.Parse()
 
 	cfg := harness.Config{Factor: *factor, Reps: *reps, Deadline: *deadline, Parallelism: *parallel}
@@ -75,6 +83,28 @@ func main() {
 			rows := runFig15(db, cfg, *queries)
 			fmt.Print(harness.FormatFigure15(rows, cfg.Engines))
 			fmt.Println()
+			if *jsonOut != "" || *baseline != "" {
+				rep := harness.Report(rows, cfg.Engines, cfg)
+				if *jsonOut != "" {
+					if err := rep.WriteFile(*jsonOut); err != nil {
+						fatal(err)
+					}
+					fmt.Printf("wrote %s\n", *jsonOut)
+				}
+				if *baseline != "" {
+					base, err := harness.ReadReport(*baseline)
+					if err != nil {
+						fatal(err)
+					}
+					warns := harness.CompareAllocs(rep, base, 0.10)
+					if len(warns) == 0 {
+						fmt.Printf("allocs/op within 10%% of baseline %s\n", *baseline)
+					}
+					for _, w := range warns {
+						fmt.Printf("WARNING: %s\n", w)
+					}
+				}
+			}
 		}
 		if *fig == "16" || *fig == "all" {
 			fmt.Printf("=== Figure 16: TLC vs OPT (Flatten and Shadow/Illuminate rewrites) ===\n")

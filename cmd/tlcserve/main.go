@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -38,6 +39,7 @@ func main() {
 	maxTimeout := flag.Duration("max-timeout", 5*time.Minute, "cap on request-supplied deadlines")
 	cacheSize := flag.Int("cache-size", 128, "plan cache capacity in plans")
 	parallel := flag.Int("parallel", 1, "default intra-query parallelism: 1 = serial, 0 = GOMAXPROCS")
+	pprofOn := flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ (heap, cpu, goroutine profiles)")
 	flag.Parse()
 	if *parallel == 0 {
 		*parallel = -1 // explicit "use GOMAXPROCS"
@@ -86,7 +88,22 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	hs := &http.Server{Handler: srv.Handler()}
+	handler := srv.Handler()
+	if *pprofOn {
+		// Mount the profiler next to the service endpoints rather than
+		// blank-importing net/http/pprof, which would register on
+		// http.DefaultServeMux and expose profiles unconditionally.
+		mux := http.NewServeMux()
+		mux.Handle("/", handler)
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		handler = mux
+		fmt.Fprintln(os.Stderr, "tlcserve: pprof enabled on /debug/pprof/")
+	}
+	hs := &http.Server{Handler: handler}
 	fmt.Fprintf(os.Stderr, "tlcserve: listening on %s\n", ln.Addr())
 
 	done := make(chan error, 1)

@@ -37,16 +37,30 @@ func (m *Materialize) Label() string {
 
 func (m *Materialize) eval(ctx *Context, in []seq.Seq) (seq.Seq, error) {
 	// In-place expansion keeps the already-matched witness kids (and their
-	// class memberships) while pulling in the rest of the stored subtree;
-	// operators own their single-consumer inputs.
-	for _, t := range in[0] {
+	// class memberships) while pulling in the rest of the stored subtree.
+	// Trees this operator owns expand in place; frozen shared trees are
+	// copied first, and only when they bind one of the listed classes.
+	out := in[0]
+	for i, t := range out {
+		needs := false
 		for _, lcl := range m.Classes {
-			for _, n := range t.Class(lcl) {
-				seq.ExpandInPlace(ctx.Store, n)
+			if len(t.Class(lcl)) > 0 {
+				needs = true
+				break
+			}
+		}
+		if !needs {
+			continue
+		}
+		mt := t.Mutable()
+		out[i] = mt
+		for _, lcl := range m.Classes {
+			for _, n := range mt.Class(lcl) {
+				seq.ExpandInPlaceIn(ctx.arena, ctx.Store, n)
 			}
 		}
 	}
-	return in[0], nil
+	return out, nil
 }
 
 // GroupByOp exposes the grouping procedure (flat match + group-by) that

@@ -40,8 +40,8 @@ func (c *Construct) eval(ctx *Context, in []seq.Seq) (seq.Seq, error) {
 	return chunkMap(ctx, in[0], true, func(chunk seq.Seq) (seq.Seq, error) {
 		out := make(seq.Seq, 0, len(chunk))
 		for _, t := range chunk {
-			nt := seq.NewTree(nil)
-			roots, err := buildConstruct(ctx.Store, t, nt, c.Pattern)
+			nt := ctx.arena.NewTree(nil)
+			roots, err := buildConstruct(ctx.arena, ctx.Store, t, nt, c.Pattern)
 			if err != nil {
 				return nil, err
 			}
@@ -52,7 +52,7 @@ func (c *Construct) eval(ctx *Context, in []seq.Seq) (seq.Seq, error) {
 				// A pattern whose top level expands to zero or several nodes
 				// (e.g. a bare subtree reference) is wrapped in a result root,
 				// keeping the output a tree.
-				root := seq.NewTempElement("result")
+				root := ctx.arena.TempElement("result")
 				for _, r := range roots {
 					seq.Attach(root, r)
 				}
@@ -65,24 +65,26 @@ func (c *Construct) eval(ctx *Context, in []seq.Seq) (seq.Seq, error) {
 }
 
 // buildConstruct evaluates one construct node against input tree t,
-// returning the nodes it produces and registering classes in nt.
-func buildConstruct(st *store.Store, t *seq.Tree, nt *seq.Tree, c *pattern.ConstructNode) ([]*seq.Node, error) {
+// returning the nodes it produces and registering classes in nt. Fresh
+// nodes come out of the arena a — construction is where TLC pays its
+// deferred materialization cost, so it is the allocation-heaviest spot.
+func buildConstruct(a *seq.Arena, st *store.Store, t *seq.Tree, nt *seq.Tree, c *pattern.ConstructNode) ([]*seq.Node, error) {
 	switch c.Kind {
 	case pattern.ConstructElement:
-		el := seq.NewTempElement(c.Tag)
-		for _, a := range c.Attrs {
-			val := a.Literal
-			if a.FromLCL > 0 {
-				members := t.Class(a.FromLCL)
+		el := a.TempElement(c.Tag)
+		for _, at := range c.Attrs {
+			val := at.Literal
+			if at.FromLCL > 0 {
+				members := t.Class(at.FromLCL)
 				if len(members) == 0 {
 					continue // no value: attribute omitted
 				}
 				val = seq.Content(st, members[0])
 			}
-			seq.Attach(el, seq.NewTempAttr(a.Name, val))
+			seq.Attach(el, a.TempAttr(at.Name, val))
 		}
 		for _, ch := range c.Children {
-			kids, err := buildConstruct(st, t, nt, ch)
+			kids, err := buildConstruct(a, st, t, nt, ch)
 			if err != nil {
 				return nil, err
 			}
@@ -99,7 +101,7 @@ func buildConstruct(st *store.Store, t *seq.Tree, nt *seq.Tree, c *pattern.Const
 		members := t.Class(c.FromLCL)
 		outs := make([]*seq.Node, 0, len(members))
 		for _, m := range members {
-			cp := copyForOutput(st, t, nt, m)
+			cp := copyForOutput(a, st, t, nt, m)
 			if c.NewLCL > 0 {
 				nt.AddToClass(c.NewLCL, cp)
 			}
@@ -111,7 +113,7 @@ func buildConstruct(st *store.Store, t *seq.Tree, nt *seq.Tree, c *pattern.Const
 		members := t.Class(c.FromLCL)
 		outs := make([]*seq.Node, 0, len(members))
 		for _, m := range members {
-			txt := seq.NewTempText(seq.Content(st, m))
+			txt := a.TempText(seq.Content(st, m))
 			if c.NewLCL > 0 {
 				nt.AddToClass(c.NewLCL, txt)
 			}
@@ -120,7 +122,7 @@ func buildConstruct(st *store.Store, t *seq.Tree, nt *seq.Tree, c *pattern.Const
 		return outs, nil
 
 	case pattern.ConstructLiteral:
-		return []*seq.Node{seq.NewTempText(c.Literal)}, nil
+		return []*seq.Node{a.TempText(c.Literal)}, nil
 
 	default:
 		return nil, fmt.Errorf("unknown construct kind %d", c.Kind)
@@ -131,9 +133,9 @@ func buildConstruct(st *store.Store, t *seq.Tree, nt *seq.Tree, c *pattern.Const
 // output tree: store references are materialized from the store, temporary
 // nodes (earlier construct results) are deep-copied, carrying their class
 // labels along so outer blocks can keep referencing them.
-func copyForOutput(st *store.Store, t *seq.Tree, nt *seq.Tree, n *seq.Node) *seq.Node {
+func copyForOutput(a *seq.Arena, st *store.Store, t *seq.Tree, nt *seq.Tree, n *seq.Node) *seq.Node {
 	if n.IsStore() && !n.Full {
-		return seq.Materialize(st, n.Doc, n.Ord)
+		return seq.MaterializeIn(a, st, n.Doc, n.Ord)
 	}
 	// Reverse class lookup for carried labels.
 	classOf := make(map[*seq.Node][]int)
@@ -142,22 +144,16 @@ func copyForOutput(st *store.Store, t *seq.Tree, nt *seq.Tree, n *seq.Node) *seq
 			classOf[m] = append(classOf[m], lcl)
 		}
 	}
-	var cp func(x, parent *seq.Node) *seq.Node
-	cp = func(x, parent *seq.Node) *seq.Node {
-		m := *x
-		m.Parent = parent
-		m.Kids = make([]*seq.Node, len(x.Kids))
-		for _, lcl := range classOf[x] {
-			if x != n { // the reference root's own class is set by the caller
-				nt.AddToClass(lcl, &m)
+	cp, nm := seq.CopySubtree(a, n)
+	n.Walk(func(x *seq.Node) bool {
+		if x != n { // the reference root's own class is set by the caller
+			for _, lcl := range classOf[x] {
+				nt.AddToClass(lcl, nm.Get(x))
 			}
 		}
-		for i, k := range x.Kids {
-			m.Kids[i] = cp(k, &m)
-		}
-		return &m
-	}
-	return cp(n, nil)
+		return true
+	})
+	return cp
 }
 
 var _ Op = (*Construct)(nil)

@@ -50,8 +50,15 @@ type Context struct {
 	// memo caches operator results so DAG-shaped plans evaluate shared
 	// subplans once (pattern tree reuse across operators). Used by the
 	// serial evaluator and Profile; the parallel evaluator memoizes
-	// through futures instead.
+	// through futures instead. Memoized sequences are frozen: consumers
+	// receive aliases and copy-on-write, never clones.
 	memo map[Op]seq.Seq
+	// arena backs witness-node allocation for this evaluation: operators
+	// and the matcher bump-allocate nodes from run-scoped slabs instead of
+	// paying one GC allocation each. The arena is race-safe, so parallel
+	// workers share it. Result trees keep their slabs alive after the run;
+	// the GC reclaims everything when the result is dropped.
+	arena *seq.Arena
 	// parallelism is the worker budget for this evaluation: 1 evaluates
 	// exactly like the original serial executor; n>1 evaluates independent
 	// DAG branches concurrently and scatters per-tree operators over
@@ -103,19 +110,25 @@ func NewContextFor(goCtx context.Context, st *store.Store, parallelism int) *Con
 	if parallelism < 1 {
 		parallelism = runtime.GOMAXPROCS(0)
 	}
+	arena := seq.NewArena()
 	if parallelism <= 1 {
-		return &Context{Store: st, Matcher: physical.NewMatcher(st), goCtx: goCtx, memo: make(map[Op]seq.Seq), parallelism: 1}
+		return &Context{Store: st, Matcher: physical.NewMatcher(st).WithArena(arena), goCtx: goCtx, memo: make(map[Op]seq.Seq), parallelism: 1, arena: arena}
 	}
 	return &Context{
 		Store:       st,
-		Matcher:     physical.NewSharedMatcher(st),
+		Matcher:     physical.NewSharedMatcher(st).WithArena(arena),
 		goCtx:       goCtx,
 		memo:        make(map[Op]seq.Seq),
 		parallelism: parallelism,
 		sem:         make(chan struct{}, parallelism-1),
 		futures:     make(map[Op]*opFuture),
+		arena:       arena,
 	}
 }
+
+// Arena returns the evaluation's witness-node arena (never nil for
+// contexts built by NewContextFor).
+func (ctx *Context) Arena() *seq.Arena { return ctx.arena }
 
 // GoContext returns the context.Context governing this evaluation; it is
 // never nil. Operators pass it down to the physical layer.
@@ -155,9 +168,11 @@ func (ctx *Context) tryAcquire() bool {
 func (ctx *Context) release() { <-ctx.sem }
 
 // Eval evaluates the plan rooted at op and returns its result sequence.
-// Plans may be DAGs: operators feeding several consumers are evaluated once
-// and their results cloned per consumer, so downstream restructuring cannot
-// corrupt a shared subplan's output.
+// Plans may be DAGs: operators feeding several consumers are evaluated
+// once, their results frozen, and each consumer handed an alias — shared
+// trees are copied lazily, only by the operators that actually mutate
+// them (copy-on-write), so downstream restructuring cannot corrupt a
+// shared subplan's output.
 func Eval(ctx *Context, op Op) (seq.Seq, error) {
 	fanout := make(map[Op]int)
 	for _, o := range Ops(op) {
@@ -176,7 +191,7 @@ func evalNode(ctx *Context, op Op, fanout map[Op]int) (seq.Seq, error) {
 		return nil, err
 	}
 	if res, ok := ctx.memo[op]; ok {
-		return res.Clone(), nil
+		return res.Alias(), nil
 	}
 	ins := op.Inputs()
 	res := make([]seq.Seq, len(ins))
@@ -192,8 +207,11 @@ func evalNode(ctx *Context, op Op, fanout map[Op]int) (seq.Seq, error) {
 		return nil, fmt.Errorf("%s: %w", op.Label(), err)
 	}
 	if fanout[op] > 1 {
+		// Freeze once, alias per consumer: mutating consumers copy on
+		// write, reading consumers share the trees outright.
+		out.Freeze()
 		ctx.memo[op] = out
-		return out.Clone(), nil
+		return out.Alias(), nil
 	}
 	return out, nil
 }
@@ -203,7 +221,7 @@ func evalNode(ctx *Context, op Op, fanout map[Op]int) (seq.Seq, error) {
 // context's token pool), and DAG-shaped plans synchronize on per-operator
 // futures so a shared subplan is evaluated exactly once no matter which
 // consumer reaches it first. Like the serial evaluator, results consumed
-// by several operators are cloned per consumer.
+// by several operators are frozen and aliased per consumer.
 func evalNodeParallel(ctx *Context, op Op, fanout map[Op]int) (seq.Seq, error) {
 	// Checked before claiming a future so a cancelled evaluation never
 	// leaves an unclosed future behind for other consumers to block on.
@@ -217,22 +235,26 @@ func evalNodeParallel(ctx *Context, op Op, fanout map[Op]int) (seq.Seq, error) {
 		if f.err != nil {
 			return nil, f.err
 		}
-		return f.out.Clone(), nil
+		return f.out.Alias(), nil
 	}
 	f := &opFuture{done: make(chan struct{})}
 	ctx.futures[op] = f
 	ctx.mu.Unlock()
 
 	f.out, f.err = evalInputsParallel(ctx, op, fanout)
+	if f.err == nil && fanout[op] > 1 {
+		// Freeze before close(done): the channel close gives every waiting
+		// consumer a happens-before edge on the frozen bit, so concurrent
+		// consumers see immutable trees and copy on write — no goroutine
+		// ever mutates a tree another goroutine can reach.
+		f.out.Freeze()
+	}
 	close(f.done)
 	if f.err != nil {
 		return nil, f.err
 	}
 	if fanout[op] > 1 {
-		// The future keeps the original; every consumer (this one included)
-		// works on its own clone, so downstream in-place restructuring
-		// cannot corrupt the shared result.
-		return f.out.Clone(), nil
+		return f.out.Alias(), nil
 	}
 	return f.out, nil
 }

@@ -29,6 +29,9 @@ type ProfileResult struct {
 	// Stats holds one record per operator, in post-order (inputs before
 	// consumers), matching evaluation order.
 	Stats []OpStats
+	// Arena is the evaluation's witness-node allocation record: how many
+	// nodes the run drew from its slab arena and how many slabs that cost.
+	Arena seq.ArenaStats
 }
 
 // Profile evaluates the plan like Eval while recording, per operator, its
@@ -48,6 +51,7 @@ func Profile(ctx *Context, root Op) (*ProfileResult, error) {
 		return nil, err
 	}
 	pr.Out = out
+	pr.Arena = ctx.arena.Stats()
 	return pr, nil
 }
 
@@ -56,7 +60,7 @@ func profileNode(ctx *Context, op Op, fanout map[Op]int, pr *ProfileResult) (seq
 		return nil, err
 	}
 	if res, ok := ctx.memo[op]; ok {
-		return res.Clone(), nil
+		return res.Alias(), nil
 	}
 	ins := op.Inputs()
 	res := make([]seq.Seq, len(ins))
@@ -88,8 +92,9 @@ func profileNode(ctx *Context, op Op, fanout map[Op]int, pr *ProfileResult) (seq
 		},
 	})
 	if fanout[op] > 1 {
+		out.Freeze()
 		ctx.memo[op] = out
-		return out.Clone(), nil
+		return out.Alias(), nil
 	}
 	return out, nil
 }
@@ -139,6 +144,9 @@ func (pr *ProfileResult) StringWithEstimates(est func(Op) (float64, bool)) strin
 		}
 	}
 	walk(root, 0)
+	if pr.Arena != (seq.ArenaStats{}) {
+		fmt.Fprintf(&sb, "%s\n", pr.Arena)
+	}
 	return sb.String()
 }
 

@@ -44,14 +44,16 @@ func (p *Project) eval(ctx *Context, in []seq.Seq) (seq.Seq, error) {
 	})
 }
 
-// projectTree restructures the tree in place (the operator owns its
-// single-consumer input): kept nodes move — with their witness subtrees —
-// under their nearest kept ancestor (the original root when none), and a
-// fresh class map restricted to the kept labels replaces the old one.
-// Dropping the class bindings that are not listed matters even for nodes
-// that survive inside a kept subtree: only (12) survives inside (14) in
-// Figure 8 because it is listed in Project 11.
+// projectTree restructures the tree in place when the operator owns it
+// (unfrozen single-consumer input; frozen shared trees are copied first):
+// kept nodes move — with their witness subtrees — under their nearest kept
+// ancestor (the original root when none), and a fresh class map restricted
+// to the kept labels replaces the old one. Dropping the class bindings
+// that are not listed matters even for nodes that survive inside a kept
+// subtree: only (12) survives inside (14) in Figure 8 because it is listed
+// in Project 11.
 func projectTree(t *seq.Tree, rawKeep []int) *seq.Tree {
+	t = t.Mutable()
 	// Deduplicate the keep list: rewrites may append labels that are
 	// already kept, and double registration would corrupt class counts.
 	seen := make(map[int]bool, len(rawKeep))
@@ -84,7 +86,7 @@ func projectTree(t *seq.Tree, rawKeep []int) *seq.Tree {
 	root := t.Root
 	walk(root)
 	root.Kids = nil
-	nt := seq.NewTree(root)
+	nt := t.Arena().NewTree(root)
 	for _, n := range tops {
 		seq.Attach(root, n)
 	}

@@ -35,19 +35,33 @@ func (p *Prune) Label() string {
 }
 
 func (p *Prune) eval(_ *Context, in []seq.Seq) (seq.Seq, error) {
-	// Prune mutates in place; operators own their single-consumer inputs.
-	for _, t := range in[0] {
+	// Prune mutates trees it owns in place; frozen shared trees are copied
+	// first — and only when they actually bind one of the pruned classes.
+	out := in[0]
+	for i, t := range out {
+		needs := false
 		for _, lcl := range p.Classes {
-			for _, n := range append([]*seq.Node(nil), t.ClassAll(lcl)...) {
+			if len(t.ClassAll(lcl)) > 0 {
+				needs = true
+				break
+			}
+		}
+		if !needs {
+			continue
+		}
+		mt := t.Mutable()
+		out[i] = mt
+		for _, lcl := range p.Classes {
+			for _, n := range append([]*seq.Node(nil), mt.ClassAll(lcl)...) {
 				seq.Detach(n)
 				n.Walk(func(m *seq.Node) bool {
-					t.RemoveFromClasses(m)
+					mt.RemoveFromClasses(m)
 					return true
 				})
 			}
 		}
 	}
-	return in[0], nil
+	return out, nil
 }
 
 // ClassRefs implements ClassUser.

@@ -92,12 +92,18 @@ func breakApart(t *seq.Tree, pLCL, cLCL int, shadow bool) (seq.Seq, error) {
 	}
 	var out seq.Seq
 	for i := range members {
-		nt, mapping := t.CloneWithMapping()
+		// Each retained member gets its own copy of the tree; the last one
+		// consumes the original when this operator owns it (t is pristine
+		// until then).
+		nt, mapping := t, seq.NodeMap{}
+		if i < len(members)-1 || t.Frozen() {
+			nt, mapping = t.CloneWithMapping()
+		}
 		for j, c := range members {
 			if j == i {
 				continue
 			}
-			victim := mapping[c]
+			victim := mapping.Get(c)
 			if shadow {
 				victim.Walk(func(n *seq.Node) bool {
 					n.Shadowed = true
@@ -136,12 +142,26 @@ func NewIlluminate(in Op, lcl int) *Illuminate {
 func (i *Illuminate) Label() string { return fmt.Sprintf("Illuminate (%d)", i.LCL) }
 
 func (i *Illuminate) eval(_ *Context, in []seq.Seq) (seq.Seq, error) {
-	// Illuminate flips flags in place: operators own their single-consumer
-	// inputs (the evaluator clones results shared between consumers), so
-	// no copy is needed — which is precisely why replacing a re-matching
-	// Select with an Illuminate pays off (Section 4.3).
-	for _, t := range in[0] {
+	// Illuminate flips flags in place on trees this operator owns — which
+	// is precisely why replacing a re-matching Select with an Illuminate
+	// pays off (Section 4.3). A frozen tree (shared with another consumer)
+	// is copied first, and only when it actually has shadowed members to
+	// flip; the copied tree replaces the original in the output slice.
+	out := in[0]
+	for ti, t := range out {
+		needs := false
 		for _, n := range t.ClassAll(i.LCL) {
+			if n.Shadowed {
+				needs = true
+				break
+			}
+		}
+		if !needs {
+			continue
+		}
+		mt := t.Mutable()
+		out[ti] = mt
+		for _, n := range mt.ClassAll(i.LCL) {
 			if !n.Shadowed {
 				continue
 			}
@@ -151,7 +171,7 @@ func (i *Illuminate) eval(_ *Context, in []seq.Seq) (seq.Seq, error) {
 			})
 		}
 	}
-	return in[0], nil
+	return out, nil
 }
 
 var _ Op = (*Flatten)(nil)

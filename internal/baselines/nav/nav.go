@@ -16,6 +16,7 @@ import (
 	"strconv"
 
 	"tlc/internal/pattern"
+	"tlc/internal/physical"
 	"tlc/internal/seq"
 	"tlc/internal/store"
 	"tlc/internal/xquery"
@@ -29,27 +30,28 @@ func Run(st *store.Store, f *xquery.FLWOR) (seq.Seq, error) {
 }
 
 // RunContext evaluates like Run under goCtx: the interpreter polls the
-// context every pollStride visited nodes and per binding tuple, so a
-// deadline or client disconnect stops a long navigation mid-walk and
+// context every physical.PollStride visited nodes and per binding tuple,
+// so a deadline or client disconnect stops a long navigation mid-walk and
 // surfaces as goCtx.Err().
 func RunContext(goCtx context.Context, st *store.Store, f *xquery.FLWOR) (seq.Seq, error) {
 	if err := goCtx.Err(); err != nil {
 		return nil, err
 	}
-	ev := &evaluator{st: st, goCtx: goCtx}
+	ev := &evaluator{st: st, goCtx: goCtx, arena: seq.NewArena()}
 	return ev.flwor(f, env{})
 }
-
-// pollStride is the visit stride of the cooperative cancellation check.
-const pollStride = 1024
 
 type evaluator struct {
 	st    *store.Store
 	goCtx context.Context
-	// steps counts poll sites passed; every pollStride-th one reads the
-	// context. cancelErr latches the first cancellation so walks that
-	// cannot return an error themselves (descendantsNamed) abort early and
-	// the nearest error-returning frame reports it.
+	// arena slab-allocates the visited-node wrappers: navigation wraps
+	// every fetched child in a fresh seq.Node, which made it by far the
+	// allocation-heaviest engine.
+	arena *seq.Arena
+	// steps counts poll sites passed; every physical.PollStride-th one
+	// reads the context. cancelErr latches the first cancellation so walks
+	// that cannot return an error themselves (descendantsNamed) abort
+	// early and the nearest error-returning frame reports it.
 	steps     int
 	cancelErr error
 }
@@ -61,7 +63,7 @@ func (ev *evaluator) poll() error {
 		return ev.cancelErr
 	}
 	ev.steps++
-	if ev.steps%pollStride == 0 && ev.goCtx != nil {
+	if ev.steps%physical.PollStride == 0 && ev.goCtx != nil {
 		ev.cancelErr = ev.goCtx.Err()
 	}
 	return ev.cancelErr
@@ -206,7 +208,7 @@ func (ev *evaluator) path(p *xquery.Path, e env) ([]*seq.Node, error) {
 		if !ok {
 			return nil, fmt.Errorf("nav: document %q not loaded", p.Doc)
 		}
-		cur = []*seq.Node{seq.NewStoreNode(id, 0, ev.st.Node(id, 0))}
+		cur = []*seq.Node{ev.arena.StoreNode(id, 0, ev.st.Node(id, 0))}
 	default:
 		bound, ok := e[p.Var]
 		if !ok {
@@ -278,7 +280,7 @@ func (ev *evaluator) children(n *seq.Node) []*seq.Node {
 	out := make([]*seq.Node, 0, len(ords))
 	d := ev.st.Doc(n.Doc)
 	for _, o := range ords {
-		out = append(out, seq.NewStoreNode(n.Doc, o, d.Node(o)))
+		out = append(out, ev.arena.StoreNode(n.Doc, o, d.Node(o)))
 	}
 	return out
 }

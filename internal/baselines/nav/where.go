@@ -153,22 +153,22 @@ func (ev *evaluator) buildReturn(r *xquery.RetNode, e env) (*seq.Tree, error) {
 		return nil, err
 	}
 	if len(nodes) == 1 {
-		return seq.NewTree(nodes[0]), nil
+		return ev.arena.NewTree(nodes[0]), nil
 	}
-	root := seq.NewTempElement("result")
+	root := ev.arena.TempElement("result")
 	for _, n := range nodes {
 		seq.Attach(root, n)
 	}
-	return seq.NewTree(root), nil
+	return ev.arena.NewTree(root), nil
 }
 
 func (ev *evaluator) retNodes(r *xquery.RetNode, e env) ([]*seq.Node, error) {
 	switch r.Kind {
 	case xquery.RetElement:
-		el := seq.NewTempElement(r.Tag)
+		el := ev.arena.TempElement(r.Tag)
 		for _, a := range r.Attrs {
 			if a.Path == nil {
-				seq.Attach(el, seq.NewTempAttr(a.Name, a.Literal))
+				seq.Attach(el, ev.arena.TempAttr(a.Name, a.Literal))
 				continue
 			}
 			vs, err := ev.values(a.Path, e)
@@ -176,7 +176,7 @@ func (ev *evaluator) retNodes(r *xquery.RetNode, e env) ([]*seq.Node, error) {
 				return nil, err
 			}
 			if len(vs) > 0 {
-				seq.Attach(el, seq.NewTempAttr(a.Name, vs[0]))
+				seq.Attach(el, ev.arena.TempAttr(a.Name, vs[0]))
 			}
 		}
 		for _, ch := range r.Children {
@@ -197,7 +197,7 @@ func (ev *evaluator) retNodes(r *xquery.RetNode, e env) ([]*seq.Node, error) {
 		var out []*seq.Node
 		for _, n := range nodes {
 			if r.Path.Text {
-				out = append(out, seq.NewTempText(seq.Content(ev.st, n)))
+				out = append(out, ev.arena.TempText(seq.Content(ev.st, n)))
 				continue
 			}
 			out = append(out, ev.copyOut(n))
@@ -212,9 +212,9 @@ func (ev *evaluator) retNodes(r *xquery.RetNode, e env) ([]*seq.Node, error) {
 		if err != nil {
 			return nil, err
 		}
-		return []*seq.Node{seq.NewTempText(v)}, nil
+		return []*seq.Node{ev.arena.TempText(v)}, nil
 	case xquery.RetLiteral:
-		return []*seq.Node{seq.NewTempText(r.Literal)}, nil
+		return []*seq.Node{ev.arena.TempText(r.Literal)}, nil
 	case xquery.RetSub:
 		sub, err := ev.flwor(r.Sub, e)
 		if err != nil {
@@ -234,7 +234,7 @@ func (ev *evaluator) retNodes(r *xquery.RetNode, e env) ([]*seq.Node, error) {
 // from the store, temporary nodes (inner FLWOR results) are reused.
 func (ev *evaluator) copyOut(n *seq.Node) *seq.Node {
 	if n.IsStore() && !n.Full {
-		return seq.Materialize(ev.st, n.Doc, n.Ord)
+		return seq.MaterializeIn(ev.arena, ev.st, n.Doc, n.Ord)
 	}
 	return n
 }

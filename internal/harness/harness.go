@@ -9,6 +9,7 @@ package harness
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 	"strings"
 	"time"
@@ -66,6 +67,12 @@ type Measurement struct {
 	Err     error
 	Results int
 	Stats   store.Stats
+	// AllocBytes and Allocs are the mean heap bytes and heap objects
+	// allocated per evaluation (runtime.MemStats deltas averaged over the
+	// timed repetitions). The harness runs queries serially, so the deltas
+	// are attributable to the measured run.
+	AllocBytes uint64
+	Allocs     uint64
 }
 
 // Row is one Figure 15 table row.
@@ -96,14 +103,21 @@ func Measure(db *tlc.Database, text string, engine tlc.Engine, cfg Config) Measu
 	}
 	var times []time.Duration
 	var m Measurement
+	var allocBytes, allocs, samples uint64
+	var ms0, ms1 runtime.MemStats
 	for i := 0; i < cfg.Reps; i++ {
 		db.ResetStats()
+		runtime.ReadMemStats(&ms0)
 		start := time.Now()
 		res, err := db.Run(prep)
 		elapsed := time.Since(start)
+		runtime.ReadMemStats(&ms1)
 		if err != nil {
 			return Measurement{Err: err}
 		}
+		allocBytes += ms1.TotalAlloc - ms0.TotalAlloc
+		allocs += ms1.Mallocs - ms0.Mallocs
+		samples++
 		m.Results = res.Len()
 		m.Stats = db.Stats()
 		if elapsed > cfg.Deadline {
@@ -117,6 +131,10 @@ func Measure(db *tlc.Database, text string, engine tlc.Engine, cfg Config) Measu
 		times = append(times, elapsed)
 	}
 	m.Time = trimmedMean(times)
+	if samples > 0 {
+		m.AllocBytes = allocBytes / samples
+		m.Allocs = allocs / samples
+	}
 	return m
 }
 

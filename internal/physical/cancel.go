@@ -2,19 +2,25 @@ package physical
 
 import "context"
 
-// pollStride is the iteration stride of the cooperative cancellation checks
-// inside the per-tree and join loops: frequent enough that a deadline stops
-// a multi-second loop after a few microseconds of extra work, rare enough
-// that the context poll never shows up in profiles.
-const pollStride = 256
+// PollStride is the iteration stride of the cooperative cancellation checks
+// shared by every engine: the physical operators' per-tree and join loops
+// and the navigational baseline's node-visit counter all read the context
+// every PollStride-th step. The value trades cancellation latency against
+// poll overhead: context.Err() is an atomic load plus a branch (~ns), and a
+// loop iteration here is at minimum a store read (~100ns), so at 512 the
+// poll costs well under 1% of loop time while a cancelled multi-second scan
+// still stops within a few hundred iterations — microseconds. Halving it
+// buys nothing measurable; growing it past ~10k makes tight deadline tests
+// (TestDeadlineCancelsMidPlan) visibly laggy on small stores.
+const PollStride = 512
 
-// poll returns the context's cancellation error on every pollStride-th
+// poll returns the context's cancellation error on every PollStride-th
 // iteration (including iteration 0), nil otherwise. The error is the
 // context's own Err(), so errors.Is(err, context.DeadlineExceeded) and
 // errors.Is(err, context.Canceled) hold all the way up through the
 // evaluator's operator-label wrapping.
 func poll(ctx context.Context, i int) error {
-	if i%pollStride != 0 {
+	if i%PollStride != 0 {
 		return nil
 	}
 	return ctx.Err()

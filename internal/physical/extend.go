@@ -89,48 +89,66 @@ func (m *Matcher) extendTree(ctx context.Context, t *seq.Tree, anchor *pattern.N
 			return nil, fmt.Errorf("physical: extension match explodes past %d witness trees", maxAlternatives)
 		}
 	}
-	// Fast path: a single combination (all edges nested or unique) mutates
-	// the tree in place — operators own their single-consumer inputs, and
-	// extension selects over "*" edges are the common case (RETURN paths).
+	// Fast path: a single combination (all edges nested or unique) extends
+	// the tree in place when this operator owns it — extension selects over
+	// "*" edges are the common case (RETURN paths). A frozen tree is shared
+	// with another consumer, so MutableWithMapping copies it first and the
+	// anchors and existing-node targets are re-located through the mapping.
 	if total == 1 {
+		nt, nm := t.MutableWithMapping()
 		for i, a := range anchors {
 			alt := perAnchor[i][0]
+			target := nm.Get(a)
 			if anchor.LCL > 0 && anchor.LCL != anchor.InClass {
-				t.AddToClass(anchor.LCL, a)
+				nt.AddToClass(anchor.LCL, target)
 			}
 			for _, att := range alt.attachments {
 				if att.existing != nil {
+					ex := nm.Get(att.existing)
 					for _, c := range att.classes {
-						t.AddToClass(c.lcl, att.existing)
+						nt.AddToClass(c.lcl, ex)
 					}
 					continue
 				}
 				b := m.take(att.branch)
-				seq.Attach(a, b.root)
+				seq.Attach(target, b.root)
 				for _, c := range b.classes {
-					t.AddToClass(c.lcl, c.node)
+					nt.AddToClass(c.lcl, c.node)
 				}
 			}
 		}
-		return seq.Seq{t}, nil
+		return seq.Seq{nt}, nil
 	}
-	// Enumerate the cross product; each combination yields one witness.
+	// Enumerate the cross product; each combination yields one witness built
+	// on its own copy of the tree — except the last combination, which
+	// consumes the original when this operator owns it (t itself is never
+	// mutated before that point).
 	combo := make([]int, len(anchors))
 	var out seq.Seq
 	for {
 		if err := poll(ctx, len(out)); err != nil {
 			return nil, err
 		}
-		nt, mapping := t.CloneWithMapping()
+		last := true
+		for i := range combo {
+			if combo[i] < len(perAnchor[i])-1 {
+				last = false
+				break
+			}
+		}
+		nt, mapping := t, seq.NodeMap{}
+		if !last || t.Frozen() {
+			nt, mapping = t.CloneWithMapping()
+		}
 		for i, a := range anchors {
 			alt := perAnchor[i][combo[i]]
-			target := mapping[a]
+			target := mapping.Get(a)
 			if anchor.LCL > 0 && anchor.LCL != anchor.InClass {
 				nt.AddToClass(anchor.LCL, target)
 			}
 			for _, att := range alt.attachments {
 				if att.existing != nil {
-					ex := mapping[att.existing]
+					ex := mapping.Get(att.existing)
 					for _, c := range att.classes {
 						nt.AddToClass(c.lcl, ex)
 					}
@@ -164,7 +182,8 @@ func (m *Matcher) extendTree(ctx context.Context, t *seq.Tree, anchor *pattern.N
 // satisfied at one concrete anchor node. An empty result means a required
 // edge has no match.
 func (m *Matcher) anchorAlternatives(ctx context.Context, a *seq.Node, anchor *pattern.Node) ([]alternative, error) {
-	alts := []alternative{{}}
+	var alts []alternative
+	first := true
 	for _, e := range anchor.Edges {
 		var edgeAlts []alternative
 		var err error
@@ -179,7 +198,15 @@ func (m *Matcher) anchorAlternatives(ctx context.Context, a *seq.Node, anchor *p
 		if len(edgeAlts) == 0 {
 			return nil, nil
 		}
-		// Cross product with the alternatives accumulated so far.
+		// The first edge's alternatives are used as-is — the common anchor
+		// has exactly one edge, and copying its attachments per combination
+		// was a measurable share of the evaluator's allocations. Later
+		// edges take the cross product with what has accumulated.
+		if first {
+			alts = edgeAlts
+			first = false
+			continue
+		}
 		var next []alternative
 		for _, base := range alts {
 			for _, ea := range edgeAlts {
@@ -192,6 +219,10 @@ func (m *Matcher) anchorAlternatives(ctx context.Context, a *seq.Node, anchor *p
 		}
 		alts = next
 	}
+	if first {
+		// No edges at all: the anchor is vacuously satisfied once.
+		return []alternative{{}}, nil
+	}
 	return alts, nil
 }
 
@@ -203,7 +234,7 @@ func (m *Matcher) storeEdgeAlternatives(ctx context.Context, a *seq.Node, e patt
 		return nil, err
 	}
 	d := m.st.Doc(a.Doc)
-	ms := structuralMatches(d, a.Ord, children, e.Axis)
+	ms, _ := structuralMatches(d, a.Ord, children, e.Axis, nil)
 	return specAlternatives(ms, e.Spec), nil
 }
 
@@ -356,9 +387,15 @@ func specAlternatives(ms []*partial, spec pattern.MSpec) []alternative {
 			}
 			return nil
 		}
-		alts := make([]alternative, 0, len(ms))
-		for _, p := range ms {
-			alts = append(alts, alternative{attachments: []attachment{{branch: p}}})
+		// One attachment backing array for all alternatives; the full-slice
+		// caps keep an append on one alternative's attachments (the cross
+		// product in anchorAlternatives copies instead) from spilling into
+		// the next one's slot.
+		atts := make([]attachment, len(ms))
+		alts := make([]alternative, len(ms))
+		for i, p := range ms {
+			atts[i] = attachment{branch: p}
+			alts[i] = alternative{attachments: atts[i : i+1 : i+1]}
 		}
 		return alts
 	}

@@ -56,14 +56,20 @@ func GroupBy(ctx context.Context, st *store.Store, input seq.Seq, basisLCL, memb
 		key := groupKey(t, b, excluded)
 		g, ok := groups[key]
 		if !ok {
-			// The first tree of a group becomes the representative; the
-			// operator owns its single-consumer input, so no copy is made.
+			// The first tree of a group becomes the representative; it is
+			// adopted as-is and made mutable lazily, on the first merge.
 			groups[key] = &group{tree: t, basis: b}
 			order = append(order, key)
 			continue
 		}
-		// Move this tree's member nodes into the group representative
-		// (the source tree is consumed).
+		// Merge this tree's member nodes into the group representative. A
+		// frozen representative (shared with another consumer) is replaced
+		// by a private copy before its first mutation.
+		if g.tree.Frozen() {
+			var nm seq.NodeMap
+			g.tree, nm = g.tree.MutableWithMapping()
+			g.basis = nm.Get(g.basis)
+		}
 		rev := make(map[*seq.Node][]int)
 		for _, lcl := range t.Classes() {
 			if lcl == memberLCL {
@@ -73,14 +79,22 @@ func GroupBy(ctx context.Context, st *store.Store, input seq.Seq, basisLCL, memb
 				rev[n] = append(rev[n], lcl)
 			}
 		}
+		// An unfrozen source is consumed: its member subtrees move over. A
+		// frozen source must stay intact, so its member subtrees are copied.
+		frozenSrc := t.Frozen()
 		for _, m := range t.Class(memberLCL) {
-			seq.Detach(m)
-			seq.Attach(g.basis, m)
-			g.tree.AddToClass(memberLCL, m)
+			mv, nm := m, seq.NodeMap{}
+			if frozenSrc {
+				mv, nm = seq.CopySubtree(t.Arena(), m)
+			} else {
+				seq.Detach(m)
+			}
+			seq.Attach(g.basis, mv)
+			g.tree.AddToClass(memberLCL, mv)
 			// Nested classes inside the member subtree follow along.
 			m.Walk(func(n *seq.Node) bool {
 				for _, lcl := range rev[n] {
-					g.tree.AddToClass(lcl, n)
+					g.tree.AddToClass(lcl, nm.Get(n))
 				}
 				return true
 			})
@@ -136,6 +150,18 @@ func MergeOnRoot(ctx context.Context, st *store.Store, left, right seq.Seq) (seq
 	for _, r := range right {
 		byRoot[r.Root.Identity()] = append(byRoot[r.Root.Identity()], r)
 	}
+	// takeRight consumes a right tree on first use when unfrozen (grafting
+	// re-parents its branches); later uses and frozen trees are copied.
+	usedRight := make(map[*seq.Tree]bool, len(right))
+	takeRight := func(r *seq.Tree) (*seq.Tree, seq.NodeMap) {
+		if !usedRight[r] {
+			usedRight[r] = true
+			if !r.Frozen() {
+				return r, seq.NodeMap{}
+			}
+		}
+		return r.CloneWithMapping()
+	}
 	var out seq.Seq
 	for i, l := range left {
 		if err := poll(ctx, i); err != nil {
@@ -145,15 +171,17 @@ func MergeOnRoot(ctx context.Context, st *store.Store, left, right seq.Seq) (seq
 		if len(partners) == 0 {
 			continue
 		}
-		nt := l.Clone()
+		// Grafting mutates the left tree; an unfrozen left is consumed, a
+		// frozen one copied.
+		nt := l.Mutable()
 		for _, r := range partners {
-			rc, mapping := r.CloneWithMapping()
+			rc, mapping := takeRight(r)
 			for _, k := range rc.Root.Kids {
 				seq.Attach(nt.Root, k)
 			}
 			for _, lcl := range r.Classes() {
 				for _, n := range r.ClassAll(lcl) {
-					cp := mapping[n]
+					cp := mapping.Get(n)
 					if cp == rc.Root {
 						cp = nt.Root
 					}

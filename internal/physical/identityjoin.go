@@ -30,6 +30,19 @@ func IdentityMergeJoin(ctx context.Context, st *store.Store, left, right seq.Seq
 		}
 		byID[a.Identity()] = append(byID[a.Identity()], r)
 	}
+	// takeRight consumes a right tree on first use when unfrozen (grafting
+	// re-parents its anchor's branches); later uses and frozen trees are
+	// copied. A right tree may partner several left trees (same identity).
+	usedRight := make(map[*seq.Tree]bool, len(right))
+	takeRight := func(r *seq.Tree) (*seq.Tree, seq.NodeMap) {
+		if !usedRight[r] {
+			usedRight[r] = true
+			if !r.Frozen() {
+				return r, seq.NodeMap{}
+			}
+		}
+		return r.CloneWithMapping()
+	}
 	var out seq.Seq
 	for i, l := range left {
 		if err := poll(ctx, i); err != nil {
@@ -46,11 +59,18 @@ func IdentityMergeJoin(ctx context.Context, st *store.Store, left, right seq.Seq
 			out = append(out, l)
 			continue
 		}
-		for _, r := range partners {
-			nt, mapping := l.CloneWithMapping()
-			anchor := mapping[members[0]]
-			rc, rmap := r.CloneWithMapping()
-			ra, _ := rc.Singleton(rightLCL)
+		for pi, r := range partners {
+			// Copy the left per pair; its last pair consumes it if unfrozen.
+			nt, mapping := l, seq.NodeMap{}
+			if pi < len(partners)-1 || l.Frozen() {
+				nt, mapping = l.CloneWithMapping()
+			}
+			anchor := mapping.Get(members[0])
+			rc, rmap := takeRight(r)
+			ra, err := rc.Singleton(rightLCL)
+			if err != nil {
+				return nil, fmt.Errorf("physical: identity join right side: %w", err)
+			}
 			for _, k := range ra.Kids {
 				seq.Attach(anchor, k)
 			}
@@ -59,7 +79,7 @@ func IdentityMergeJoin(ctx context.Context, st *store.Store, left, right seq.Seq
 					continue // the anchor itself is already bound on the left
 				}
 				for _, n := range r.ClassAll(lcl) {
-					cp := rmap[n]
+					cp := rmap.Get(n)
 					if cp == ra {
 						cp = anchor
 					}

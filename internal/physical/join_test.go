@@ -224,6 +224,10 @@ func TestCartesianJoin(t *testing.T) {
 	s, _ := loadFixture(t, joinXML)
 	m := NewMatcher(s)
 	left, right := joinInputs(t, s, m)
+	// Frozen (shared) inputs must be copied, never consumed; unfrozen ones
+	// may be re-parented by their last participating pair.
+	left.Freeze()
+	right.Freeze()
 	out, err := CartesianJoin(context.Background(), "join_root", 1, left, right)
 	if err != nil {
 		t.Fatalf("CartesianJoin: %v", err)
@@ -231,9 +235,9 @@ func TestCartesianJoin(t *testing.T) {
 	if len(out) != len(left)*len(right) {
 		t.Fatalf("got %d, want %d", len(out), len(left)*len(right))
 	}
-	// Inputs unchanged (everything cloned).
+	// Inputs unchanged (everything copied).
 	if left[0].Root.Parent != nil {
-		t.Error("cartesian join re-parented its input")
+		t.Error("cartesian join re-parented its frozen input")
 	}
 }
 

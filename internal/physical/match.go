@@ -40,31 +40,19 @@ type partial struct {
 	used    bool
 }
 
-func (p *partial) take() *partial {
+func (p *partial) take(a *seq.Arena) *partial {
 	if !p.used {
 		p.used = true
 		return p
 	}
-	return p.clone()
+	return p.clone(a)
 }
 
-func (p *partial) clone() *partial {
-	mapping := make(map[*seq.Node]*seq.Node, len(p.classes))
-	var cp func(n, parent *seq.Node) *seq.Node
-	cp = func(n, parent *seq.Node) *seq.Node {
-		m := *n
-		m.Parent = parent
-		m.Kids = make([]*seq.Node, len(n.Kids))
-		mapping[n] = &m
-		for i, k := range n.Kids {
-			m.Kids[i] = cp(k, &m)
-		}
-		return &m
-	}
-	root := cp(p.root, nil)
+func (p *partial) clone(a *seq.Arena) *partial {
+	root, nm := seq.CopySubtree(a, p.root)
 	classes := make([]classEntry, len(p.classes))
 	for i, c := range p.classes {
-		classes[i] = classEntry{lcl: c.lcl, node: mapping[c.node]}
+		classes[i] = classEntry{lcl: c.lcl, node: nm.Get(c.node)}
 	}
 	return &partial{root: root, classes: classes}
 }
@@ -92,6 +80,10 @@ type Matcher struct {
 	// race-free. Serial matchers keep the cheaper take-the-original path.
 	shared bool
 	mu     sync.Mutex
+	// arena backs the witness nodes this matcher creates and clones; nil
+	// falls back to plain new (tests, standalone use). The arena itself is
+	// race-safe, so shared matchers use it from concurrent workers as-is.
+	arena *seq.Arena
 }
 
 type candKey struct {
@@ -116,15 +108,22 @@ func NewSharedMatcher(st *store.Store) *Matcher {
 	return m
 }
 
+// WithArena makes the matcher allocate witness nodes from a (nil keeps
+// plain new) and returns the matcher for chaining. Set once, before use.
+func (m *Matcher) WithArena(a *seq.Arena) *Matcher {
+	m.arena = a
+	return m
+}
+
 // take hands out a matched instance: serial matchers give the original on
 // first use (the cheap path — most instances are consumed exactly once),
 // shared matchers always clone so the cached instance is never mutated by
 // a worker while another worker reads or clones it.
 func (m *Matcher) take(p *partial) *partial {
 	if m.shared {
-		return p.clone()
+		return p.clone(m.arena)
 	}
-	return p.take()
+	return p.take(m.arena)
 }
 
 // MatchDocument evaluates an APT rooted at a document-root test and returns
@@ -152,7 +151,7 @@ func (m *Matcher) MatchDocument(ctx context.Context, apt *pattern.Tree) (seq.Seq
 			return nil, err
 		}
 		p := m.take(p) // the witness trees own these instances
-		t := seq.NewTree(p.root)
+		t := m.arena.NewTree(p.root)
 		for _, c := range p.classes {
 			t.AddToClass(c.lcl, c.node)
 		}
@@ -206,15 +205,28 @@ func (m *Matcher) buildPartials(ctx context.Context, doc store.DocID, p *pattern
 		return nil, err
 	}
 	d := m.st.Doc(doc)
+	// One backing array for the partial structs and one for their seed
+	// class entries: a leaf pattern node allocates one partial per
+	// candidate, which made the per-candidate &partial{} and its one-entry
+	// classes slice the two hottest allocation sites of the evaluator.
+	ps := make([]partial, len(ords))
+	var entries []classEntry
+	if p.LCL > 0 {
+		entries = make([]classEntry, len(ords))
+	}
 	parts := make([]*partial, 0, len(ords))
 	for i, o := range ords {
 		if err := poll(ctx, i); err != nil {
 			return nil, err
 		}
-		n := seq.NewStoreNode(doc, o, d.Node(o))
-		pt := &partial{root: n}
+		n := m.arena.StoreNode(doc, o, d.Node(o))
+		pt := &ps[i]
+		pt.root = n
 		if p.LCL > 0 {
-			pt.classes = append(pt.classes, classEntry{lcl: p.LCL, node: n})
+			entries[i] = classEntry{lcl: p.LCL, node: n}
+			// Full-slice cap: an attach that appends to classes must
+			// reallocate rather than stomp the next candidate's entry.
+			pt.classes = entries[i : i+1 : i+1]
 		}
 		parts = append(parts, pt)
 	}
@@ -236,11 +248,16 @@ func (m *Matcher) expandEdge(ctx context.Context, doc store.DocID, parents []*pa
 	}
 	d := m.st.Doc(doc)
 	var out []*partial
+	// scratch is reused across parents for the parent-child axis filter;
+	// each ms is fully consumed within its iteration, so overwriting it on
+	// the next parent is safe and saves one slice allocation per parent.
+	var scratch []*partial
 	for i, P := range parents {
 		if err := poll(ctx, i); err != nil {
 			return nil, err
 		}
-		ms := structuralMatches(d, P.root.Ord, children, e.Axis)
+		var ms []*partial
+		ms, scratch = structuralMatches(d, P.root.Ord, children, e.Axis, scratch)
 		switch {
 		case e.Spec.Nested():
 			if len(ms) == 0 && !e.Spec.Optional() {
@@ -260,7 +277,7 @@ func (m *Matcher) expandEdge(ctx context.Context, doc store.DocID, parents []*pa
 			for i, C := range ms {
 				target := P
 				if i < len(ms)-1 {
-					target = P.clone()
+					target = P.clone(m.arena)
 				}
 				target.attach(m.take(C))
 				out = append(out, target)
@@ -278,21 +295,27 @@ func (m *Matcher) expandEdge(ctx context.Context, doc store.DocID, parents []*pa
 // sorted by root ordinal, so containment is a binary-search range scan;
 // the parent-child axis additionally filters on level (within an ancestor's
 // interval, a node one level deeper is necessarily a child).
-func structuralMatches(d *xmltree.Document, parentOrd int32, children []*partial, axis pattern.Axis) []*partial {
+//
+// The second result is the (possibly grown) scratch buffer: the child-axis
+// filter appends into scratch[:0] and returns it as ms, so a caller looping
+// over many parents reuses one buffer instead of allocating per parent. The
+// caller must be done with ms before the next call; the descendant axis
+// returns a subslice of children and leaves scratch untouched.
+func structuralMatches(d *xmltree.Document, parentOrd int32, children []*partial, axis pattern.Axis, scratch []*partial) (ms, spare []*partial) {
 	pid := d.Node(parentOrd).ID
 	lo := searchPartials(children, pid.Start+1)
 	hi := searchPartials(children, pid.End+1)
 	in := children[lo:hi]
 	if axis == pattern.Descendant {
-		return in
+		return in, scratch
 	}
-	var out []*partial
+	out := scratch[:0]
 	for _, c := range in {
 		if d.Node(c.root.Ord).ID.Level == pid.Level+1 {
 			out = append(out, c)
 		}
 	}
-	return out
+	return out, out
 }
 
 // searchPartials returns the first index whose root ordinal is >= ord.

@@ -48,10 +48,15 @@ func StructuralJoin(ctx context.Context, st *store.Store, left, right seq.Seq, l
 	if !sorted {
 		return nil, fmt.Errorf("physical: structural join right input not in document order")
 	}
+	// takeRight consumes a right tree: the original on first use when this
+	// operator owns it, a private copy when it is already used or frozen
+	// (shared with another consumer) — stitching re-parents its root.
 	takeRight := func(e *rentry) *seq.Tree {
 		if !e.used {
 			e.used = true
-			return e.tree
+			if !e.tree.Frozen() {
+				return e.tree
+			}
 		}
 		return e.tree.Clone()
 	}
@@ -101,20 +106,30 @@ func StructuralJoin(ctx context.Context, st *store.Store, left, right seq.Seq, l
 			for _, e := range ms {
 				rights = append(rights, takeRight(e))
 			}
-			emit(l, anchor, rights)
+			lt, a := l, anchor
+			if len(rights) > 0 && l.Frozen() {
+				// Emitting mutates the left tree (attach + class merge);
+				// a frozen left is shared, so work on a private copy.
+				var nm seq.NodeMap
+				lt, nm = l.MutableWithMapping()
+				a = nm.Get(anchor)
+			}
+			emit(lt, a, rights)
 		default:
 			if len(ms) == 0 {
 				if spec.Optional() {
-					emit(l, anchor, nil)
+					emit(l, anchor, nil) // no rights: nothing mutated
 				}
 				continue
 			}
 			for i, e := range ms {
 				lt, a := l, anchor
-				if i < len(ms)-1 {
-					var mapping map[*seq.Node]*seq.Node
-					lt, mapping = l.CloneWithMapping()
-					a = mapping[anchor]
+				if i < len(ms)-1 || l.Frozen() {
+					// Copy the left for all but the last pair — and for the
+					// last one too when it is frozen (shared).
+					var nm seq.NodeMap
+					lt, nm = l.CloneWithMapping()
+					a = nm.Get(anchor)
 				}
 				emit(lt, a, []*seq.Tree{takeRight(e)})
 			}

@@ -60,14 +60,18 @@ func ValueJoin(ctx context.Context, st *store.Store, left, right seq.Seq, spec J
 	} else {
 		matches = loopMatcher(lk, rk, spec.Op)
 	}
-	// The operator owns its single-consumer inputs: each left tree is
-	// consumed by its first emitted pair (cloned only for additional
-	// pairs), and each right tree by its first participating output.
+	// The operator owns its unfrozen single-consumer inputs: each left tree
+	// is consumed by its first emitted pair (copied only for additional
+	// pairs), and each right tree by its first participating output. Frozen
+	// trees are shared with other plan consumers and always copied —
+	// stitching re-parents their nodes.
 	rightUsed := make([]bool, len(right))
 	takeRight := func(j int) *seq.Tree {
 		if !rightUsed[j] {
 			rightUsed[j] = true
-			return right[j]
+			if !right[j].Frozen() {
+				return right[j]
+			}
 		}
 		return right[j].Clone()
 	}
@@ -84,7 +88,9 @@ func ValueJoin(ctx context.Context, st *store.Store, left, right seq.Seq, spec J
 		takeLeft := func() *seq.Tree {
 			if !leftUsed {
 				leftUsed = true
-				return left[i]
+				if !left[i].Frozen() {
+					return left[i]
+				}
 			}
 			return left[i].Clone()
 		}
@@ -105,14 +111,11 @@ func ValueJoin(ctx context.Context, st *store.Store, left, right seq.Seq, spec J
 				}
 				continue
 			}
-			// Clone the left for all but the last pair: stitching
-			// re-parents its nodes.
-			for idx, j := range ms {
-				l := left[i]
-				if idx < len(ms)-1 {
-					l = left[i].Clone()
-				}
-				out = append(out, stitchTrees(spec.RootTag, spec.RootLCL, l, []*seq.Tree{takeRight(j)}))
+			// Stitching re-parents the left tree's nodes, so every pair needs
+			// its own copy; takeLeft hands the original to the first pair
+			// (when unfrozen) and copies for the rest.
+			for _, j := range ms {
+				out = append(out, stitchTrees(spec.RootTag, spec.RootLCL, takeLeft(), []*seq.Tree{takeRight(j)}))
 			}
 		}
 	}
@@ -129,12 +132,22 @@ func CartesianJoin(ctx context.Context, rootTag string, rootLCL int, left, right
 		rootTag = "join_root"
 	}
 	out := make(seq.Seq, 0, len(left)*len(right))
-	for _, l := range left {
-		for _, r := range right {
+	for li, l := range left {
+		for ri, r := range right {
 			if err := poll(ctx, len(out)); err != nil {
 				return nil, err
 			}
-			out = append(out, stitchTrees(rootTag, rootLCL, l.Clone(), []*seq.Tree{r.Clone()}))
+			// Each pair stitches private copies, except that an unfrozen
+			// tree is consumed (not copied) by its last participating pair.
+			lt := l
+			if ri < len(right)-1 || l.Frozen() {
+				lt = l.Clone()
+			}
+			rt := r
+			if li < len(left)-1 || r.Frozen() {
+				rt = r.Clone()
+			}
+			out = append(out, stitchTrees(rootTag, rootLCL, lt, []*seq.Tree{rt}))
 		}
 	}
 	return out, nil
@@ -148,28 +161,41 @@ func NestAllJoin(ctx context.Context, rootTag string, rootLCL int, left, right s
 	if rootTag == "" {
 		rootTag = "join_root"
 	}
-	cloned := 0
+	stitched := 0
 	out := make(seq.Seq, 0, len(left))
-	for _, l := range left {
+	for li, l := range left {
+		lastL := li == len(left)-1
 		rights := make([]*seq.Tree, 0, len(right))
 		for _, r := range right {
-			if err := poll(ctx, cloned); err != nil {
+			if err := poll(ctx, stitched); err != nil {
 				return nil, err
 			}
-			cloned++
-			rights = append(rights, r.Clone())
+			stitched++
+			// The last left tree consumes unfrozen rights; earlier ones copy.
+			rt := r
+			if !lastL || r.Frozen() {
+				rt = r.Clone()
+			}
+			rights = append(rights, rt)
 		}
-		out = append(out, stitchTrees(rootTag, rootLCL, l.Clone(), rights))
+		lt := l
+		if l.Frozen() {
+			lt = l.Clone()
+		}
+		out = append(out, stitchTrees(rootTag, rootLCL, lt, rights))
 	}
 	return out, nil
 }
 
 // stitchTrees builds one output tree: a fresh root with the left tree's
 // root as first child and the right roots following, class maps merged.
-// The left tree is consumed (its nodes are re-parented, not copied).
+// The left tree is consumed (its nodes are re-parented, not copied), so
+// callers pass only trees they own (unfrozen or freshly copied). The new
+// root draws from the left tree's arena.
 func stitchTrees(rootTag string, rootLCL int, left *seq.Tree, rights []*seq.Tree) *seq.Tree {
-	root := seq.NewTempElement(rootTag)
-	t := seq.NewTree(root)
+	a := left.Arena()
+	root := a.TempElement(rootTag)
+	t := a.NewTree(root)
 	if rootLCL > 0 {
 		t.AddToClass(rootLCL, root)
 	}

@@ -1,0 +1,174 @@
+package seq
+
+import (
+	"fmt"
+	"testing"
+
+	"tlc/internal/xmltree"
+)
+
+// buildTempTree makes a small tree root(a(b), c) with classes 1:{a}, 2:{b,c}.
+func buildTempTree() (*Tree, *Node, *Node, *Node) {
+	root := NewTempElement("root")
+	a := NewTempElement("a")
+	b := NewTempElement("b")
+	c := NewTempElement("c")
+	Attach(root, a)
+	Attach(a, b)
+	Attach(root, c)
+	t := NewTree(root)
+	t.AddToClass(1, a)
+	t.AddToClass(2, b)
+	t.AddToClass(2, c)
+	return t, a, b, c
+}
+
+func TestMutableUnfrozenReturnsSelf(t *testing.T) {
+	tr, _, _, _ := buildTempTree()
+	if tr.Mutable() != tr {
+		t.Error("Mutable on an unfrozen tree must return the tree itself")
+	}
+	mt, nm := tr.MutableWithMapping()
+	if mt != tr {
+		t.Error("MutableWithMapping on an unfrozen tree must return the tree itself")
+	}
+	if got := nm.Get(tr.Root); got != tr.Root {
+		t.Error("identity NodeMap must map nodes to themselves")
+	}
+}
+
+func TestMutableFrozenCopies(t *testing.T) {
+	tr, a, b, _ := buildTempTree()
+	tr.Freeze()
+	if !tr.Frozen() {
+		t.Fatal("Freeze did not stick")
+	}
+	mt, nm := tr.MutableWithMapping()
+	if mt == tr {
+		t.Fatal("MutableWithMapping on a frozen tree must copy")
+	}
+	if mt.Frozen() {
+		t.Error("the copy must be mutable")
+	}
+	if nm.Get(a) == a {
+		t.Error("mapping must translate original nodes to their copies")
+	}
+	// Mutating the copy must not show through the frozen original.
+	ca := nm.Get(a)
+	Detach(nm.Get(b))
+	mt.AddToClass(3, ca)
+	if len(a.Kids) != 1 {
+		t.Errorf("original lost its kid: %d kids, want 1", len(a.Kids))
+	}
+	if len(tr.ClassAll(3)) != 0 {
+		t.Error("class added to the copy leaked into the original")
+	}
+	// TempIDs carry over, so Identity stays stable across the copy.
+	if a.Identity() != ca.Identity() {
+		t.Errorf("copy changed node identity: %s vs %s", a.Identity(), ca.Identity())
+	}
+}
+
+func TestSeqFreezeAndAlias(t *testing.T) {
+	t1, _, _, _ := buildTempTree()
+	t2, _, _, _ := buildTempTree()
+	s := Seq{t1, t2}
+	s.Freeze()
+	if !t1.Frozen() || !t2.Frozen() {
+		t.Fatal("Seq.Freeze must freeze every tree")
+	}
+	al := s.Alias()
+	if &al[0] == &s[0] {
+		t.Error("Alias must return a fresh slice")
+	}
+	if al[0] != s[0] || al[1] != s[1] {
+		t.Error("Alias must share the trees themselves")
+	}
+	// Replacing a tree in the alias (what a consumer's Mutable write-back
+	// does) must not disturb the sibling's view.
+	al[0] = al[0].Mutable()
+	if s[0] != t1 {
+		t.Error("write to the aliased slice leaked into the original slice")
+	}
+}
+
+func TestNodeMapFallsBackToMap(t *testing.T) {
+	// Build a chain longer than the linear-scan threshold so the map
+	// fallback path is exercised.
+	root := NewTempElement("root")
+	cur := root
+	nodes := []*Node{root}
+	for i := 0; i < nodeMapLinearMax+10; i++ {
+		n := NewTempElement(fmt.Sprintf("n%d", i))
+		Attach(cur, n)
+		nodes = append(nodes, n)
+		cur = n
+	}
+	tr := NewTree(root)
+	for i, n := range nodes {
+		tr.AddToClass(i%5, n)
+	}
+	tr.Freeze()
+	mt, nm := tr.MutableWithMapping()
+	for _, n := range nodes {
+		cp := nm.Get(n)
+		if cp == n {
+			t.Fatalf("node %s not mapped", n.Tag)
+		}
+		if cp.Tag != n.Tag {
+			t.Fatalf("mapped to wrong node: %s vs %s", cp.Tag, n.Tag)
+		}
+	}
+	for lcl := 0; lcl < 5; lcl++ {
+		if len(mt.ClassAll(lcl)) != len(tr.ClassAll(lcl)) {
+			t.Errorf("class %d lost members in the copy", lcl)
+		}
+	}
+}
+
+func TestArenaAllocatesAndCounts(t *testing.T) {
+	a := NewArena()
+	n := a.TempElement("x")
+	if n.Tag != "x" {
+		t.Fatal("arena node not initialized")
+	}
+	// Cross the slab boundary to count slab growth.
+	rec := &xmltree.Node{Kind: xmltree.Element, Tag: "e"}
+	for i := 0; i < slabNodes+5; i++ {
+		a.StoreNode(0, int32(i), rec)
+	}
+	st := a.Stats()
+	if st.Nodes != int64(slabNodes+6) {
+		t.Errorf("arena counted %d nodes, want %d", st.Nodes, slabNodes+6)
+	}
+	if st.Slabs < 2 {
+		t.Errorf("arena used %d slabs, want >= 2 after crossing the slab size", st.Slabs)
+	}
+}
+
+func TestNilArenaFallsBack(t *testing.T) {
+	var a *Arena
+	n := a.TempText("v")
+	if n.Value != "v" || n.IsStore() {
+		t.Error("nil arena must still hand out working nodes")
+	}
+	tr := a.NewTree(n)
+	if tr.Arena() != nil {
+		t.Error("nil arena tree must report a nil arena")
+	}
+}
+
+func TestCloneSharesNothing(t *testing.T) {
+	tr, a, _, c := buildTempTree()
+	cp, nm := tr.CloneWithMapping()
+	if nm.Get(a) == a || nm.Get(c) == c {
+		t.Fatal("clone mapping must translate to fresh nodes")
+	}
+	Detach(nm.Get(c))
+	if len(tr.Root.Kids) != 2 {
+		t.Error("mutating the clone leaked into the original")
+	}
+	if got, want := len(cp.ClassAll(2)), len(tr.ClassAll(2)); got != want {
+		t.Errorf("clone class sizes differ: %d vs %d", got, want)
+	}
+}

@@ -33,11 +33,17 @@ func Content(st *store.Store, n *Node) string {
 // is counted as materialized — this is the cost that TAX's early
 // materialization pays up front and TLC defers to Construct.
 func Materialize(st *store.Store, doc store.DocID, ord int32) *Node {
+	return MaterializeIn(nil, st, doc, ord)
+}
+
+// MaterializeIn is Materialize with the copied nodes drawn from arena a
+// (nil = plain new).
+func MaterializeIn(a *Arena, st *store.Store, doc store.DocID, ord int32) *Node {
 	d := st.Doc(doc)
 	st.CountMaterialized(d.SubtreeSize(ord))
 	var build func(int32, *Node) *Node
 	build = func(o int32, parent *Node) *Node {
-		n := NewStoreNode(doc, o, d.Node(o))
+		n := a.StoreNode(doc, o, d.Node(o))
 		n.Parent = parent
 		n.Full = true
 		for _, c := range d.Children(o) {
@@ -56,14 +62,20 @@ func Materialize(st *store.Store, doc store.DocID, ord int32) *Node {
 // aggregate results) are kept after the stored children. This is the
 // materialization used by the TAX baseline's early-materialization step.
 func ExpandInPlace(st *store.Store, n *Node) {
+	ExpandInPlaceIn(nil, st, n)
+}
+
+// ExpandInPlaceIn is ExpandInPlace with the copied-in nodes drawn from
+// arena a (nil = plain new). The caller must own n's tree (unfrozen).
+func ExpandInPlaceIn(a *Arena, st *store.Store, n *Node) {
 	if !n.IsStore() || n.Full {
 		return
 	}
 	st.CountMaterialized(st.Doc(n.Doc).SubtreeSize(n.Ord) - 1)
-	expandInPlace(st, n)
+	expandInPlace(a, st, n)
 }
 
-func expandInPlace(st *store.Store, n *Node) {
+func expandInPlace(a *Arena, st *store.Store, n *Node) {
 	d := st.Doc(n.Doc)
 	existing := make(map[int32][]*Node)
 	var leftovers []*Node
@@ -80,12 +92,12 @@ func expandInPlace(st *store.Store, n *Node) {
 			k := reuse[0]
 			existing[c] = reuse[1:]
 			if !k.Full {
-				expandInPlace(st, k)
+				expandInPlace(a, st, k)
 			}
 			kids = append(kids, k)
 			continue
 		}
-		cp := buildFull(d, n.Doc, c, n)
+		cp := buildFull(a, d, n.Doc, c, n)
 		kids = append(kids, cp)
 	}
 	// Duplicate witness references to the same stored child (redundant
@@ -105,12 +117,12 @@ func expandInPlace(st *store.Store, n *Node) {
 	n.Full = true
 }
 
-func buildFull(d *xmltree.Document, doc store.DocID, ord int32, parent *Node) *Node {
-	n := NewStoreNode(doc, ord, d.Node(ord))
+func buildFull(a *Arena, d *xmltree.Document, doc store.DocID, ord int32, parent *Node) *Node {
+	n := a.StoreNode(doc, ord, d.Node(ord))
 	n.Parent = parent
 	n.Full = true
 	for _, c := range d.Children(ord) {
-		n.Kids = append(n.Kids, buildFull(d, doc, c, n))
+		n.Kids = append(n.Kids, buildFull(a, d, doc, c, n))
 	}
 	return n
 }

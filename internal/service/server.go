@@ -31,6 +31,7 @@ import (
 
 	"tlc"
 	"tlc/internal/plancache"
+	"tlc/internal/seq"
 )
 
 // Config configures a Server. The zero value of every field selects a
@@ -430,14 +431,25 @@ type varz struct {
 	Latency       LatencyStats      `json:"latency"`
 	PlanCache     plancache.Stats   `json:"plan_cache"`
 	Store         map[string]int64  `json:"store"`
-	Documents     int               `json:"documents"`
-	Generation    uint64            `json:"generation"`
+	// Memory holds the heap gauges an operator watches when sizing the
+	// service: bytes in in-use heap spans, bytes of live objects, and
+	// completed GC cycles (runtime.ReadMemStats).
+	Memory map[string]uint64 `json:"memory"`
+	// Arena holds process-wide witness-node allocation totals: nodes drawn
+	// from slab arenas, slabs that cost, and nodes allocated individually
+	// because no arena was in scope.
+	Arena      map[string]int64 `json:"arena"`
+	Documents  int              `json:"documents"`
+	Generation uint64           `json:"generation"`
 }
 
 func (s *Server) handleVarz(w http.ResponseWriter, r *http.Request) {
 	snap := s.metrics.Snapshot()
 	cs := s.cache.Stats()
 	st := s.db.Stats()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	arenaNodes, arenaSlabs, plainNodes := seq.ArenaTotals()
 	v := varz{
 		UptimeSeconds: time.Since(s.start).Seconds(),
 		Requests:      snap.Requests,
@@ -453,6 +465,16 @@ func (s *Server) handleVarz(w http.ResponseWriter, r *http.Request) {
 			"value_lookups":      st.ValueLookups,
 			"nodes_read":         st.NodesRead,
 			"nodes_materialized": st.NodesMaterialized,
+		},
+		Memory: map[string]uint64{
+			"heap_inuse_bytes": ms.HeapInuse,
+			"heap_alloc_bytes": ms.HeapAlloc,
+			"gc_cycles":        uint64(ms.NumGC),
+		},
+		Arena: map[string]int64{
+			"nodes":       arenaNodes,
+			"slabs":       arenaSlabs,
+			"plain_nodes": plainNodes,
 		},
 		Documents:  len(s.db.Documents()),
 		Generation: s.db.Generation(),
