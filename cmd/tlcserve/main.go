@@ -26,6 +26,7 @@ import (
 	"time"
 
 	"tlc"
+	"tlc/internal/faultinject"
 	"tlc/internal/service"
 )
 
@@ -40,9 +41,21 @@ func main() {
 	cacheSize := flag.Int("cache-size", 128, "plan cache capacity in plans")
 	parallel := flag.Int("parallel", 1, "default intra-query parallelism: 1 = serial, 0 = GOMAXPROCS")
 	pprofOn := flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ (heap, cpu, goroutine profiles)")
+	maxNodes := flag.Int64("max-nodes", 0, "per-query witness-node budget; exceeding aborts the query with 422 (0 = unlimited)")
+	maxBytes := flag.Int64("max-bytes", 0, "per-query arena memory budget in bytes (0 = unlimited)")
+	maxResult := flag.Int64("max-result", 0, "per-query cap on any intermediate sequence's cardinality (0 = unlimited)")
+	maxWall := flag.Duration("max-wall", 0, "per-query wall-time budget, reported as 422 budget_exceeded rather than 504 (0 = unlimited)")
+	faults := flag.String("faults", os.Getenv("TLC_FAULTS"),
+		"fault-injection spec, e.g. 'store.load=error;physical.valuejoin=panic,after=2' (default $TLC_FAULTS; testing only)")
 	flag.Parse()
 	if *parallel == 0 {
 		*parallel = -1 // explicit "use GOMAXPROCS"
+	}
+	if *faults != "" {
+		if err := faultinject.Enable(*faults); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "tlcserve: FAULT INJECTION ARMED: %s\n", *faults)
 	}
 
 	db := tlc.Open()
@@ -79,6 +92,12 @@ func main() {
 		MaxTimeout:     *maxTimeout,
 		CacheSize:      *cacheSize,
 		Parallelism:    *parallel,
+		Limits: tlc.Limits{
+			MaxArenaNodes: *maxNodes,
+			MaxArenaBytes: *maxBytes,
+			MaxResultCard: *maxResult,
+			MaxWall:       *maxWall,
+		},
 	})
 	if err != nil {
 		fatal(err)

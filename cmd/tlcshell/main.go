@@ -21,6 +21,9 @@ import (
 	"time"
 
 	"tlc"
+	"tlc/internal/failure"
+	"tlc/internal/faultinject"
+	"tlc/internal/governor"
 	"tlc/internal/plancache"
 )
 
@@ -31,9 +34,17 @@ func main() {
 	query := flag.String("query", "", "evaluate one query and exit")
 	explain := flag.Bool("explain", false, "print the evaluation plan before results")
 	parallel := flag.Int("parallel", 1, "intra-query parallelism: 1 = serial, 0 = GOMAXPROCS")
+	faults := flag.String("faults", os.Getenv("TLC_FAULTS"),
+		"fault-injection spec, e.g. 'physical.matcher=error,p=0.1' (default $TLC_FAULTS; testing only)")
 	flag.Parse()
 	if *parallel == 0 {
 		*parallel = -1 // explicit "use GOMAXPROCS"
+	}
+	if *faults != "" {
+		if err := faultinject.Enable(*faults); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "FAULT INJECTION ARMED: %s\n", *faults)
 	}
 
 	db := tlc.Open()
@@ -108,6 +119,17 @@ func main() {
 				cs := cache.Stats()
 				fmt.Printf("plan cache: %d/%d entries, %d hits, %d misses, %d evictions, %d invalidations\n",
 					cs.Size, cs.Capacity, cs.Hits, cs.Misses, cs.Evictions, cs.Invalidations)
+				kills := governor.KillTotals()
+				fmt.Printf("governor kills:")
+				for _, res := range governor.Resources() {
+					fmt.Printf(" %s=%d", res, kills[res])
+				}
+				fmt.Printf("\npanics recovered: %d\n", failure.PanicsRecovered())
+				if faultinject.Active() {
+					for point, c := range faultinject.Stats() {
+						fmt.Printf("fault %s: mode=%s hits=%d fired=%d\n", point, c.Mode, c.Hits, c.Fired)
+					}
+				}
 			case strings.HasPrefix(line, ".plan "):
 				// .plan <query...> on one line: the planned operator tree
 				// with the planner's cardinality estimates (est=N).

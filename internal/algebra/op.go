@@ -22,6 +22,8 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"tlc/internal/failure"
+	"tlc/internal/governor"
 	"tlc/internal/physical"
 	"tlc/internal/seq"
 	"tlc/internal/store"
@@ -77,6 +79,11 @@ type Context struct {
 	// identity joins) to keep working across branches.
 	futures map[Op]*opFuture
 	mu      sync.Mutex
+	// gov enforces this evaluation's resource budgets (nil = ungoverned).
+	// It is taken from goCtx at construction: the arena charges slab
+	// allocations against it, the physical poll sites check its wall
+	// budget, and the evaluators check every operator's output cardinality.
+	gov *governor.Governor
 }
 
 type opFuture struct {
@@ -110,9 +117,10 @@ func NewContextFor(goCtx context.Context, st *store.Store, parallelism int) *Con
 	if parallelism < 1 {
 		parallelism = runtime.GOMAXPROCS(0)
 	}
-	arena := seq.NewArena()
+	gov := governor.FromContext(goCtx)
+	arena := seq.NewArena().WithGovernor(gov)
 	if parallelism <= 1 {
-		return &Context{Store: st, Matcher: physical.NewMatcher(st).WithArena(arena), goCtx: goCtx, memo: make(map[Op]seq.Seq), parallelism: 1, arena: arena}
+		return &Context{Store: st, Matcher: physical.NewMatcher(st).WithArena(arena), goCtx: goCtx, memo: make(map[Op]seq.Seq), parallelism: 1, arena: arena, gov: gov}
 	}
 	return &Context{
 		Store:       st,
@@ -123,6 +131,7 @@ func NewContextFor(goCtx context.Context, st *store.Store, parallelism int) *Con
 		sem:         make(chan struct{}, parallelism-1),
 		futures:     make(map[Op]*opFuture),
 		arena:       arena,
+		gov:         gov,
 	}
 }
 
@@ -173,7 +182,14 @@ func (ctx *Context) release() { <-ctx.sem }
 // trees are copied lazily, only by the operators that actually mutate
 // them (copy-on-write), so downstream restructuring cannot corrupt a
 // shared subplan's output.
-func Eval(ctx *Context, op Op) (seq.Seq, error) {
+//
+// Eval is a containment barrier: a panic anywhere in serial plan
+// evaluation (or rethrown from a parallel branch) is recovered here and
+// returned as an error — a governor budget abort as its typed
+// *ErrBudgetExceeded, anything else as a *failure.PanicError — so one
+// broken or over-budget query can never take down the process.
+func Eval(ctx *Context, op Op) (out seq.Seq, err error) {
+	defer failure.Recover(&err, "algebra.Eval")
 	fanout := make(map[Op]int)
 	for _, o := range Ops(op) {
 		for _, in := range o.Inputs() {
@@ -184,6 +200,15 @@ func Eval(ctx *Context, op Op) (seq.Seq, error) {
 		return evalNodeParallel(ctx, op, fanout)
 	}
 	return evalNode(ctx, op, fanout)
+}
+
+// checkCard enforces the intermediate-cardinality budget on one operator's
+// output, labelling the violation with the operator that produced it.
+func (ctx *Context) checkCard(op Op, n int) error {
+	if err := ctx.gov.CheckCard(n); err != nil {
+		return fmt.Errorf("%s: %w", op.Label(), err)
+	}
+	return nil
 }
 
 func evalNode(ctx *Context, op Op, fanout map[Op]int) (seq.Seq, error) {
@@ -205,6 +230,9 @@ func evalNode(ctx *Context, op Op, fanout map[Op]int) (seq.Seq, error) {
 	out, err := op.eval(ctx, res)
 	if err != nil {
 		return nil, fmt.Errorf("%s: %w", op.Label(), err)
+	}
+	if err := ctx.checkCard(op, len(out)); err != nil {
+		return nil, err
 	}
 	if fanout[op] > 1 {
 		// Freeze once, alias per consumer: mutating consumers copy on
@@ -241,7 +269,15 @@ func evalNodeParallel(ctx *Context, op Op, fanout map[Op]int) (seq.Seq, error) {
 	ctx.futures[op] = f
 	ctx.mu.Unlock()
 
-	f.out, f.err = evalInputsParallel(ctx, op, fanout)
+	// Per-future containment barrier: the claiming consumer computes the
+	// result inside a recover, so a panic (operator bug, injected fault,
+	// budget abort from an allocation site) lands in f.err and the future
+	// is always closed — waiting consumers get the error instead of
+	// blocking forever on a future nobody will finish.
+	f.out, f.err = func() (out seq.Seq, err error) {
+		defer failure.Recover(&err, op.Label())
+		return evalInputsParallel(ctx, op, fanout)
+	}()
 	if f.err == nil && fanout[op] > 1 {
 		// Freeze before close(done): the channel close gives every waiting
 		// consumer a happens-before edge on the frozen bit, so concurrent
@@ -272,6 +308,10 @@ func evalInputsParallel(ctx *Context, op Op, fanout map[Op]int) (seq.Seq, error)
 				go func(i int) {
 					defer wg.Done()
 					defer ctx.release()
+					// A panic on a branch worker goroutine would kill the
+					// process before any downstream barrier could run;
+					// contain it here and report it as the branch's error.
+					defer failure.Recover(&errs[i], ins[i].Label())
 					res[i], errs[i] = evalNodeParallel(ctx, ins[i], fanout)
 				}(i)
 			} else {
@@ -299,6 +339,9 @@ func evalInputsParallel(ctx *Context, op Op, fanout map[Op]int) (seq.Seq, error)
 	out, err := op.eval(ctx, res)
 	if err != nil {
 		return nil, fmt.Errorf("%s: %w", op.Label(), err)
+	}
+	if err := ctx.checkCard(op, len(out)); err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -345,7 +388,7 @@ func chunkMap(ctx *Context, in seq.Seq, renumber bool, fn func(seq.Seq) (seq.Seq
 			if hi > len(in) {
 				hi = len(in)
 			}
-			outs[c], errs[c] = fn(in[lo:hi])
+			outs[c], errs[c] = runChunk(fn, in[lo:hi])
 		}
 	}
 	var wg sync.WaitGroup
@@ -379,6 +422,15 @@ func chunkMap(ctx *Context, in seq.Seq, renumber bool, fn func(seq.Seq) (seq.Seq
 		seq.RenumberTemps(out, watermark)
 	}
 	return out, nil
+}
+
+// runChunk applies fn to one chunk behind a containment barrier: a panic
+// in a chunk worker goroutine becomes that chunk's error (reported in
+// deterministic leftmost order by the gather) instead of killing the
+// process.
+func runChunk(fn func(seq.Seq) (seq.Seq, error), chunk seq.Seq) (out seq.Seq, err error) {
+	defer failure.Recover(&err, "chunk")
+	return fn(chunk)
 }
 
 // Run is a convenience wrapper: build a context, evaluate, return result.

@@ -5,6 +5,7 @@ import (
 	"strings"
 	"time"
 
+	"tlc/internal/failure"
 	"tlc/internal/seq"
 	"tlc/internal/store"
 )
@@ -37,8 +38,10 @@ type ProfileResult struct {
 // Profile evaluates the plan like Eval while recording, per operator, its
 // output cardinality, its own wall-clock time and its own store accesses —
 // the data behind an EXPLAIN ANALYZE. Shared subplans (fan-out > 1) are
-// profiled once, like Eval computes them once.
-func Profile(ctx *Context, root Op) (*ProfileResult, error) {
+// profiled once, like Eval computes them once. Like Eval, Profile is a
+// containment barrier: panics in profiled evaluation come back as errors.
+func Profile(ctx *Context, root Op) (res *ProfileResult, err error) {
+	defer failure.Recover(&err, "algebra.Profile")
 	fanout := make(map[Op]int)
 	for _, o := range Ops(root) {
 		for _, in := range o.Inputs() {
@@ -77,6 +80,9 @@ func profileNode(ctx *Context, op Op, fanout map[Op]int, pr *ProfileResult) (seq
 	elapsed := time.Since(start)
 	if err != nil {
 		return nil, fmt.Errorf("%s: %w", op.Label(), err)
+	}
+	if err := ctx.checkCard(op, len(out)); err != nil {
+		return nil, err
 	}
 	after := ctx.Store.Snapshot()
 	pr.Stats = append(pr.Stats, OpStats{

@@ -15,6 +15,8 @@ import (
 	"sort"
 	"strconv"
 
+	"tlc/internal/failure"
+	"tlc/internal/governor"
 	"tlc/internal/pattern"
 	"tlc/internal/physical"
 	"tlc/internal/seq"
@@ -32,18 +34,25 @@ func Run(st *store.Store, f *xquery.FLWOR) (seq.Seq, error) {
 // RunContext evaluates like Run under goCtx: the interpreter polls the
 // context every physical.PollStride visited nodes and per binding tuple,
 // so a deadline or client disconnect stops a long navigation mid-walk and
-// surfaces as goCtx.Err().
-func RunContext(goCtx context.Context, st *store.Store, f *xquery.FLWOR) (seq.Seq, error) {
+// surfaces as goCtx.Err(). A governor carried by goCtx budgets the walk
+// the same way it budgets the algebraic engines (arena slabs at
+// allocation, wall time at the poll sites), and RunContext is a
+// containment barrier: interpreter panics come back as errors.
+func RunContext(goCtx context.Context, st *store.Store, f *xquery.FLWOR) (out seq.Seq, err error) {
 	if err := goCtx.Err(); err != nil {
 		return nil, err
 	}
-	ev := &evaluator{st: st, goCtx: goCtx, arena: seq.NewArena()}
+	defer failure.Recover(&err, "nav.Run")
+	gov := governor.FromContext(goCtx)
+	ev := &evaluator{st: st, goCtx: goCtx, gov: gov, arena: seq.NewArena().WithGovernor(gov)}
 	return ev.flwor(f, env{})
 }
 
 type evaluator struct {
 	st    *store.Store
 	goCtx context.Context
+	// gov budgets the walk; nil when the query is ungoverned.
+	gov *governor.Governor
 	// arena slab-allocates the visited-node wrappers: navigation wraps
 	// every fetched child in a fresh seq.Node, which made it by far the
 	// allocation-heaviest engine.
@@ -65,6 +74,9 @@ func (ev *evaluator) poll() error {
 	ev.steps++
 	if ev.steps%physical.PollStride == 0 && ev.goCtx != nil {
 		ev.cancelErr = ev.goCtx.Err()
+		if ev.cancelErr == nil {
+			ev.cancelErr = ev.gov.Check()
+		}
 	}
 	return ev.cancelErr
 }
@@ -118,6 +130,11 @@ func (ev *evaluator) flwor(f *xquery.FLWOR, e env) (seq.Seq, error) {
 				return err
 			}
 			rows = append(rows, row{tree: tree, keys: keys})
+			// The accumulated result rows are this engine's only
+			// intermediate sequence; budget them like an operator output.
+			if err := ev.gov.CheckCard(len(rows)); err != nil {
+				return err
+			}
 			return nil
 		}
 		if err := ev.poll(); err != nil {

@@ -1,0 +1,61 @@
+package failure
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"tlc/internal/governor"
+)
+
+func TestRecoverConvertsPanic(t *testing.T) {
+	before := PanicsRecovered()
+	err := func() (err error) {
+		defer Recover(&err, "test.op")
+		panic("boom")
+	}()
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v, want *PanicError", err)
+	}
+	if pe.Op != "test.op" || pe.Value != "boom" {
+		t.Errorf("got %+v", pe)
+	}
+	if len(pe.Stack) == 0 {
+		t.Error("no stack captured")
+	}
+	if !strings.Contains(pe.Error(), "test.op") || !strings.Contains(pe.Error(), "boom") {
+		t.Errorf("message %q", pe.Error())
+	}
+	if PanicsRecovered() != before+1 {
+		t.Errorf("panics recovered %d, want %d", PanicsRecovered(), before+1)
+	}
+}
+
+func TestRecoverPassesNormalReturn(t *testing.T) {
+	sentinel := errors.New("ordinary")
+	err := func() (err error) {
+		defer Recover(&err, "test.op")
+		return sentinel
+	}()
+	if err != sentinel {
+		t.Fatalf("err = %v, want sentinel", err)
+	}
+}
+
+func TestRecoverUnwrapsGovernorAbort(t *testing.T) {
+	before := PanicsRecovered()
+	want := &governor.ErrBudgetExceeded{Resource: governor.ResourceNodes, Limit: 1, Observed: 2}
+	err := func() (err error) {
+		defer Recover(&err, "test.op")
+		governor.Abort(want)
+		return nil
+	}()
+	var be *governor.ErrBudgetExceeded
+	if !errors.As(err, &be) || be != want {
+		t.Fatalf("err = %v, want the aborted budget error", err)
+	}
+	if PanicsRecovered() != before {
+		t.Error("a governor abort was counted as a panic")
+	}
+}

@@ -1,6 +1,10 @@
 package physical
 
-import "context"
+import (
+	"context"
+
+	"tlc/internal/governor"
+)
 
 // PollStride is the iteration stride of the cooperative cancellation checks
 // shared by every engine: the physical operators' per-tree and join loops
@@ -14,14 +18,20 @@ import "context"
 // (TestDeadlineCancelsMidPlan) visibly laggy on small stores.
 const PollStride = 512
 
-// poll returns the context's cancellation error on every PollStride-th
-// iteration (including iteration 0), nil otherwise. The error is the
-// context's own Err(), so errors.Is(err, context.DeadlineExceeded) and
-// errors.Is(err, context.Canceled) hold all the way up through the
-// evaluator's operator-label wrapping.
+// poll returns the context's cancellation error — or the governing
+// query's budget error — on every PollStride-th iteration (including
+// iteration 0), nil otherwise. Cancellation errors are the context's own
+// Err(), so errors.Is(err, context.DeadlineExceeded) and errors.Is(err,
+// context.Canceled) hold all the way up through the evaluator's
+// operator-label wrapping; budget errors are *governor.ErrBudgetExceeded
+// and survive the same wrapping via errors.As. Ungoverned contexts pay one
+// nil value lookup per stride.
 func poll(ctx context.Context, i int) error {
 	if i%PollStride != 0 {
 		return nil
 	}
-	return ctx.Err()
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	return governor.Poll(ctx)
 }

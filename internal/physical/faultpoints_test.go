@@ -1,0 +1,27 @@
+package physical
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"tlc/internal/faultinject"
+	"tlc/internal/pattern"
+)
+
+// TestJoinFaultPointsFire checks the physical join entry points honor their
+// armed injection rules before touching any input — the seam the chaos
+// suite relies on. The injected error fires at function entry, so nil
+// inputs never get dereferenced.
+func TestJoinFaultPointsFire(t *testing.T) {
+	t.Cleanup(faultinject.Disable)
+	if err := faultinject.Enable(faultinject.PointStructJoin + "=error;" + faultinject.PointValueJoin + "=error"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := StructuralJoin(context.Background(), nil, nil, nil, 0, pattern.Child, pattern.One); !errors.Is(err, faultinject.ErrInjected) {
+		t.Errorf("StructuralJoin err = %v, want ErrInjected", err)
+	}
+	if _, err := ValueJoin(context.Background(), nil, nil, nil, JoinSpec{}); !errors.Is(err, faultinject.ErrInjected) {
+		t.Errorf("ValueJoin err = %v, want ErrInjected", err)
+	}
+}

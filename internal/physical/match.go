@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"sync"
 
+	"tlc/internal/faultinject"
 	"tlc/internal/pattern"
 	"tlc/internal/seq"
 	"tlc/internal/store"
@@ -200,6 +201,9 @@ func (m *Matcher) storePartials(key candKey, parts []*partial) {
 }
 
 func (m *Matcher) buildPartials(ctx context.Context, doc store.DocID, p *pattern.Node) ([]*partial, error) {
+	if err := faultinject.Hit(faultinject.PointMatcher); err != nil {
+		return nil, err
+	}
 	ords, err := m.candidates(doc, p)
 	if err != nil {
 		return nil, err

@@ -45,7 +45,11 @@ func genDoc(rng *rand.Rand, maxNodes int) *xmltree.Document {
 	}
 	grow(0)
 	b.CloseElement()
-	return b.Done()
+	d, err := b.Done()
+	if err != nil {
+		panic(err)
+	}
+	return d
 }
 
 // genPattern builds a random APT rooted at the document with 1-4 nodes.

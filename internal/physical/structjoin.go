@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sort"
 
+	"tlc/internal/faultinject"
 	"tlc/internal/pattern"
 	"tlc/internal/seq"
 	"tlc/internal/store"
@@ -26,6 +27,9 @@ import (
 // of the same document; structural predicates are undefined on temporary
 // nodes (Section 5.1, property 2 is not required of temporaries).
 func StructuralJoin(ctx context.Context, st *store.Store, left, right seq.Seq, leftLCL int, axis pattern.Axis, spec pattern.MSpec) (seq.Seq, error) {
+	if err := faultinject.Hit(faultinject.PointStructJoin); err != nil {
+		return nil, err
+	}
 	// Index right trees by root ordinal; right sequences are in document
 	// order, so containment is a binary-search range scan.
 	type rentry struct {

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sort"
 
+	"tlc/internal/faultinject"
 	"tlc/internal/pattern"
 	"tlc/internal/seq"
 	"tlc/internal/store"
@@ -43,6 +44,9 @@ type JoinSpec struct {
 // joins — a missing join value cannot satisfy the predicate — matching the
 // semantics of value predicates over optional paths.
 func ValueJoin(ctx context.Context, st *store.Store, left, right seq.Seq, spec JoinSpec) (seq.Seq, error) {
+	if err := faultinject.Hit(faultinject.PointValueJoin); err != nil {
+		return nil, err
+	}
 	if spec.RootTag == "" {
 		spec.RootTag = "join_root"
 	}

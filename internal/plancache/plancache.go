@@ -21,6 +21,7 @@ import (
 	"sync"
 
 	"tlc"
+	"tlc/internal/faultinject"
 )
 
 // Key identifies a compilation: two requests with equal keys get the same
@@ -36,6 +37,10 @@ type Key struct {
 	// Parallelism mirrors tlc.WithParallelism; it is baked into the
 	// Prepared at compile time, so it must be part of the key.
 	Parallelism int
+	// Limits mirrors tlc.WithLimits: the resource budget is baked into the
+	// Prepared too, so differently-budgeted requests must not share plans.
+	// tlc.Limits is a flat comparable struct, so it keys directly.
+	Limits tlc.Limits
 }
 
 // Stats is a point-in-time snapshot of the cache counters.
@@ -103,10 +108,14 @@ func (c *Cache) Load(ctx context.Context, db *tlc.Database, key Key) (*tlc.Prepa
 	c.misses++
 	c.mu.Unlock()
 
+	if err := faultinject.Hit(faultinject.PointPlanCacheFill); err != nil {
+		return nil, false, err
+	}
 	opts := []tlc.Option{
 		tlc.WithEngine(key.Engine),
 		tlc.WithPlanner(!key.PlannerOff),
 		tlc.WithParallelism(key.Parallelism),
+		tlc.WithLimits(key.Limits),
 	}
 	prep, err := db.CompileContext(ctx, key.Query, opts...)
 	if err != nil {

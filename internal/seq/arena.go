@@ -4,7 +4,9 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"unsafe"
 
+	"tlc/internal/governor"
 	"tlc/internal/store"
 	"tlc/internal/xmltree"
 )
@@ -45,7 +47,16 @@ type Arena struct {
 	free  sync.Pool // *slab with spare capacity
 	nodes atomic.Int64
 	slabs atomic.Int64
+	// gov, when non-nil, budgets this arena's memory: every new slab is
+	// charged against the run's governor, and an exhausted budget aborts
+	// the allocating query via governor.Abort (recovered into a typed
+	// *ErrBudgetExceeded at the evaluator's containment barriers). Slab
+	// granularity keeps the check off the per-node fast path.
+	gov *governor.Governor
 }
+
+// slabBytes is the memory charged to the governor per slab.
+const slabBytes = slabNodes * int64(unsafe.Sizeof(Node{}))
 
 // Engine-wide allocation counters, surfaced in /varz. They deliberately
 // count since process start, not per arena.
@@ -64,6 +75,16 @@ func ArenaTotals() (nodes, slabs, plain int64) {
 
 // NewArena returns an empty arena.
 func NewArena() *Arena { return &Arena{} }
+
+// WithGovernor makes the arena charge its slab allocations against g (nil
+// disables budgeting) and returns the arena for chaining. Set once, before
+// allocation starts.
+func (a *Arena) WithGovernor(g *governor.Governor) *Arena {
+	if a != nil {
+		a.gov = g
+	}
+	return a
+}
 
 // ArenaStats is a snapshot of one arena's allocation counters.
 type ArenaStats struct {
@@ -95,6 +116,12 @@ func (a *Arena) node() *Node {
 	}
 	s, _ := a.free.Get().(*slab)
 	if s == nil || len(s.buf) == cap(s.buf) {
+		if err := a.gov.AddAlloc(slabNodes, slabBytes); err != nil {
+			// No error return exists on the node-allocation path; abort the
+			// query with a controlled panic the evaluator barriers convert
+			// back into the budget error.
+			governor.Abort(err)
+		}
 		s = &slab{buf: make([]Node, 0, slabNodes)}
 		a.slabs.Add(1)
 		arenaSlabsTotal.Add(1)

@@ -1,0 +1,93 @@
+package service
+
+import (
+	"sync"
+	"time"
+)
+
+// breakerState is the classic three-state circuit-breaker lifecycle.
+type breakerState int
+
+const (
+	breakerClosed breakerState = iota
+	breakerOpen
+	breakerHalfOpen
+)
+
+func (s breakerState) String() string {
+	switch s {
+	case breakerOpen:
+		return "open"
+	case breakerHalfOpen:
+		return "half-open"
+	default:
+		return "closed"
+	}
+}
+
+// breaker is a per-endpoint circuit breaker over internal (500-class)
+// errors. Repeated contained panics on one endpoint mean that endpoint is
+// tickling a real bug; the breaker turns the retry storm into fast 503s
+// with a Retry-After instead of burning evaluation slots on requests that
+// will die the same way. Budget kills, timeouts and user errors never
+// trip it — those are the query's fault, not the server's.
+type breaker struct {
+	threshold int           // consecutive internal errors that open the breaker
+	cooldown  time.Duration // how long the breaker stays open before probing
+
+	mu          sync.Mutex
+	state       breakerState
+	consecutive int       // internal errors in a row while closed
+	openedAt    time.Time // when the breaker last opened
+}
+
+func newBreaker(threshold int, cooldown time.Duration) *breaker {
+	return &breaker{threshold: threshold, cooldown: cooldown}
+}
+
+// Allow reports whether a request may proceed. When the breaker is open
+// it returns false and how long the caller should wait before retrying.
+// After the cooldown the breaker moves to half-open and lets requests
+// probe: the first internal error reopens it, the first success closes it.
+func (b *breaker) Allow() (bool, time.Duration) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state != breakerOpen {
+		return true, 0
+	}
+	if remain := b.cooldown - time.Since(b.openedAt); remain > 0 {
+		return false, remain
+	}
+	b.state = breakerHalfOpen
+	return true, 0
+}
+
+// Record feeds one completed request's outcome to the breaker: internal
+// is true for 500-class results only.
+func (b *breaker) Record(internal bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if internal {
+		b.consecutive++
+		if b.state == breakerHalfOpen || b.consecutive >= b.threshold {
+			b.state = breakerOpen
+			b.openedAt = time.Now()
+			b.consecutive = 0
+		}
+		return
+	}
+	b.consecutive = 0
+	b.state = breakerClosed
+}
+
+// State returns the breaker's current state name for /varz.
+func (b *breaker) State() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	// An expired open breaker reads as half-open: the next Allow would
+	// admit a probe.
+	if b.state == breakerOpen && time.Since(b.openedAt) >= b.cooldown {
+		return breakerHalfOpen.String()
+	}
+	return b.state.String()
+}

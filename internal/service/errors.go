@@ -1,0 +1,64 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"net/http"
+
+	"tlc"
+	"tlc/internal/failure"
+	"tlc/internal/faultinject"
+)
+
+// The service error taxonomy. Every error response carries one of these
+// machine-readable codes next to the human-readable message, so clients
+// and the chaos tests can branch on the class without parsing text:
+//
+//	user_error       400  malformed request, unknown engine, compile error
+//	query_error      422  the query is valid but cannot evaluate (e.g.
+//	                      unknown document)
+//	budget_exceeded  422  the query tripped its resource governor
+//	overloaded       429  shed before evaluation: admission queue full
+//	canceled         503  the client went away mid-evaluation
+//	unavailable      503  shed while queued, or circuit breaker open
+//	timeout          504  the evaluation deadline expired
+//	internal         500  a contained panic or injected fault
+const (
+	codeUserError   = "user_error"
+	codeQueryError  = "query_error"
+	codeBudget      = "budget_exceeded"
+	codeOverloaded  = "overloaded"
+	codeCanceled    = "canceled"
+	codeUnavailable = "unavailable"
+	codeTimeout     = "timeout"
+	codeInternal    = "internal"
+)
+
+// classify maps an evaluation error to its HTTP status and taxonomy code.
+// The order matters: a budget kill latched while the context expired must
+// still read as a budget kill, so the typed matches run before the
+// context sentinels.
+func classify(err error) (int, string) {
+	var be *tlc.BudgetError
+	var pe *failure.PanicError
+	switch {
+	case errors.As(err, &be):
+		return http.StatusUnprocessableEntity, codeBudget
+	case errors.As(err, &pe), errors.Is(err, faultinject.ErrInjected):
+		return http.StatusInternalServerError, codeInternal
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout, codeTimeout
+	case errors.Is(err, context.Canceled):
+		// The client went away; the exact code is for the access log only.
+		return http.StatusServiceUnavailable, codeCanceled
+	default:
+		return http.StatusUnprocessableEntity, codeQueryError
+	}
+}
+
+// internalClass reports whether err belongs to the internal (500) class —
+// the trigger for the serial fallback and the circuit breaker.
+func internalClass(err error) bool {
+	status, _ := classify(err)
+	return status == http.StatusInternalServerError
+}

@@ -27,9 +27,13 @@ import (
 	"runtime"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"tlc"
+	"tlc/internal/failure"
+	"tlc/internal/faultinject"
+	"tlc/internal/governor"
 	"tlc/internal/plancache"
 	"tlc/internal/seq"
 )
@@ -55,6 +59,16 @@ type Config struct {
 	// Parallelism is the default intra-query parallelism for requests
 	// that do not set one (default 1, the serial evaluator).
 	Parallelism int
+	// Limits is the default per-query resource budget (zero = ungoverned).
+	// Requests may set their own limits, which override the corresponding
+	// defaults; exceeding any budget aborts that query with a 422.
+	Limits tlc.Limits
+	// BreakerThreshold is how many consecutive internal (500-class) errors
+	// open an endpoint's circuit breaker (default 5).
+	BreakerThreshold int
+	// BreakerCooldown is how long an open breaker sheds before letting a
+	// probe through (default 5s).
+	BreakerCooldown time.Duration
 }
 
 func (c *Config) fillDefaults() {
@@ -76,6 +90,12 @@ func (c *Config) fillDefaults() {
 	if c.Parallelism <= 0 {
 		c.Parallelism = 1
 	}
+	if c.BreakerThreshold <= 0 {
+		c.BreakerThreshold = 5
+	}
+	if c.BreakerCooldown <= 0 {
+		c.BreakerCooldown = 5 * time.Second
+	}
 }
 
 // Server handles the HTTP endpoints. Create with New, mount with Handler.
@@ -92,6 +112,15 @@ type Server struct {
 	// half while every query evaluation holds the read half.
 	loadMu sync.RWMutex
 
+	// breakers holds one circuit breaker per evaluation endpoint, keyed by
+	// endpoint name (query, explain, profile, load).
+	breakers map[string]*breaker
+	// shed counts requests refused by admission control (429 or queued
+	// past deadline) and serialFallbacks counts parallel runs retried
+	// serially after an internal error.
+	shed            atomic.Int64
+	serialFallbacks atomic.Int64
+
 	// preEval, when set by tests, runs after admission and plan lookup,
 	// immediately before evaluation — it lets overload tests hold all
 	// evaluation slots deterministically.
@@ -104,38 +133,51 @@ func New(cfg Config) (*Server, error) {
 		return nil, errors.New("service: Config.DB is required")
 	}
 	cfg.fillDefaults()
+	breakers := make(map[string]*breaker, 4)
+	for _, ep := range []string{"query", "explain", "profile", "load"} {
+		breakers[ep] = newBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown)
+	}
 	return &Server{
-		cfg:     cfg,
-		db:      cfg.DB,
-		cache:   plancache.New(cfg.CacheSize),
-		limiter: NewLimiter(cfg.MaxConcurrent, cfg.QueueDepth),
-		metrics: NewMetrics(),
-		start:   time.Now(),
+		cfg:      cfg,
+		db:       cfg.DB,
+		cache:    plancache.New(cfg.CacheSize),
+		limiter:  NewLimiter(cfg.MaxConcurrent, cfg.QueueDepth),
+		metrics:  NewMetrics(),
+		start:    time.Now(),
+		breakers: breakers,
 	}, nil
 }
 
 // Handler returns the HTTP handler serving all endpoints.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/query", s.instrument(s.handleQuery))
-	mux.HandleFunc("/explain", s.instrument(s.handleExplain))
-	mux.HandleFunc("/profile", s.instrument(s.handleProfile))
-	mux.HandleFunc("/load", s.instrument(s.handleLoad))
+	mux.HandleFunc("/query", s.instrument(s.protect("query", s.handleQuery)))
+	mux.HandleFunc("/explain", s.instrument(s.protect("explain", s.handleExplain)))
+	mux.HandleFunc("/profile", s.instrument(s.protect("profile", s.handleProfile)))
+	mux.HandleFunc("/load", s.instrument(s.protect("load", s.handleLoad)))
 	mux.HandleFunc("/documents", s.instrument(s.handleDocuments))
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/varz", s.handleVarz)
 	return mux
 }
 
-// statusWriter remembers the status code for metrics.
+// statusWriter remembers the status code for metrics and whether a
+// response has started (the panic barrier must not write a second one).
 type statusWriter struct {
 	http.ResponseWriter
 	status int
+	wrote  bool
 }
 
 func (w *statusWriter) WriteHeader(code int) {
 	w.status = code
+	w.wrote = true
 	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(p []byte) (int, error) {
+	w.wrote = true
+	return w.ResponseWriter.Write(p)
 }
 
 func (s *Server) instrument(h http.HandlerFunc) http.HandlerFunc {
@@ -145,6 +187,49 @@ func (s *Server) instrument(h http.HandlerFunc) http.HandlerFunc {
 		h(sw, r)
 		s.metrics.Observe(sw.status, time.Since(begin))
 	}
+}
+
+// protect wraps an evaluation endpoint in its containment shell: the
+// endpoint's circuit breaker in front, a panic barrier around the handler
+// (a handler panic becomes a 500, not a dead process), and outcome
+// recording behind — only 500-class results trip the breaker; shed and
+// overload responses don't count either way.
+func (s *Server) protect(endpoint string, h http.HandlerFunc) http.HandlerFunc {
+	br := s.breakers[endpoint]
+	return func(w http.ResponseWriter, r *http.Request) {
+		if ok, retry := br.Allow(); !ok {
+			w.Header().Set("Retry-After", retryAfter(retry))
+			writeErrorCode(w, http.StatusServiceUnavailable, codeUnavailable,
+				"circuit breaker open for /%s after repeated internal errors", endpoint)
+			return
+		}
+		defer func() {
+			if rec := recover(); rec != nil {
+				err := failure.FromPanic("service."+endpoint, rec)
+				if sw, ok := w.(*statusWriter); !ok || !sw.wrote {
+					writeErrorCode(w, http.StatusInternalServerError, codeInternal, "%v", err)
+				}
+			}
+			if sw, ok := w.(*statusWriter); ok {
+				switch {
+				case sw.status == http.StatusInternalServerError:
+					br.Record(true)
+				case sw.status != http.StatusTooManyRequests && sw.status != http.StatusServiceUnavailable:
+					br.Record(false)
+				}
+			}
+		}()
+		h(w, r)
+	}
+}
+
+// retryAfter renders a Retry-After header value: whole seconds, at least 1.
+func retryAfter(d time.Duration) string {
+	secs := int(d / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return strconv.Itoa(secs)
 }
 
 // queryRequest is the JSON body of /query, /explain and /profile.
@@ -161,6 +246,34 @@ type queryRequest struct {
 	// TimeoutMS overrides the server's default evaluation deadline,
 	// capped at Config.MaxTimeout.
 	TimeoutMS int `json:"timeout_ms,omitempty"`
+	// MaxNodes, MaxBytes and MaxResult override the server's default
+	// resource budget for this query (0 keeps the server default; see
+	// Config.Limits). Exceeding a budget aborts with 422 budget_exceeded.
+	MaxNodes  int64 `json:"max_nodes,omitempty"`
+	MaxBytes  int64 `json:"max_bytes,omitempty"`
+	MaxResult int64 `json:"max_result,omitempty"`
+	// MaxWallMS caps evaluation wall time as a budget (422) rather than a
+	// deadline (504).
+	MaxWallMS int `json:"max_wall_ms,omitempty"`
+}
+
+// limits resolves the request's effective resource budget: the server
+// default with any request-set budget overriding its field.
+func (s *Server) limits(req *queryRequest) tlc.Limits {
+	l := s.cfg.Limits
+	if req.MaxNodes > 0 {
+		l.MaxArenaNodes = req.MaxNodes
+	}
+	if req.MaxBytes > 0 {
+		l.MaxArenaBytes = req.MaxBytes
+	}
+	if req.MaxResult > 0 {
+		l.MaxResultCard = req.MaxResult
+	}
+	if req.MaxWallMS > 0 {
+		l.MaxWall = time.Duration(req.MaxWallMS) * time.Millisecond
+	}
+	return l
 }
 
 type queryResponse struct {
@@ -173,6 +286,8 @@ type queryResponse struct {
 
 type errorResponse struct {
 	Error string `json:"error"`
+	// Code is the machine-readable taxonomy class (see errors.go).
+	Code string `json:"code,omitempty"`
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -183,28 +298,28 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	enc.Encode(v)
 }
 
-func writeError(w http.ResponseWriter, status int, format string, args ...any) {
-	writeJSON(w, status, errorResponse{Error: fmt.Sprintf(format, args...)})
+func writeErrorCode(w http.ResponseWriter, status int, code, format string, args ...any) {
+	writeJSON(w, status, errorResponse{Error: fmt.Sprintf(format, args...), Code: code})
 }
 
 // decodeQueryRequest parses and validates the shared request body.
 func decodeQueryRequest(w http.ResponseWriter, r *http.Request) (*queryRequest, bool) {
 	if r.Method != http.MethodPost {
-		writeError(w, http.StatusMethodNotAllowed, "POST required")
+		writeErrorCode(w, http.StatusMethodNotAllowed, codeUserError, "POST required")
 		return nil, false
 	}
 	var req queryRequest
 	dec := json.NewDecoder(io.LimitReader(r.Body, 1<<20))
 	if err := dec.Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		writeErrorCode(w, http.StatusBadRequest, codeUserError, "bad request body: %v", err)
 		return nil, false
 	}
 	if req.Query == "" {
-		writeError(w, http.StatusBadRequest, "missing \"query\"")
+		writeErrorCode(w, http.StatusBadRequest, codeUserError, "missing \"query\"")
 		return nil, false
 	}
 	if _, ok := tlc.ParseEngine(req.Engine); !ok {
-		writeError(w, http.StatusBadRequest, "unknown engine %q", req.Engine)
+		writeErrorCode(w, http.StatusBadRequest, codeUserError, "unknown engine %q", req.Engine)
 		return nil, false
 	}
 	return &req, true
@@ -225,48 +340,51 @@ func (s *Server) admit(w http.ResponseWriter, r *http.Request, req *queryRequest
 	ctx, cancel := context.WithTimeout(r.Context(), timeout)
 	if err := s.limiter.Acquire(ctx); err != nil {
 		cancel()
+		s.shed.Add(1)
+		// Shed responses tell the client when to come back: the queue is
+		// sized for ~one evaluation's worth of waiting.
+		w.Header().Set("Retry-After", retryAfter(time.Second))
 		switch {
 		case errors.Is(err, ErrQueueFull):
-			writeError(w, http.StatusTooManyRequests, "overloaded: admission queue full")
+			writeErrorCode(w, http.StatusTooManyRequests, codeOverloaded, "overloaded: admission queue full")
 		default:
-			writeError(w, http.StatusServiceUnavailable, "overloaded: timed out waiting for an evaluation slot")
+			writeErrorCode(w, http.StatusServiceUnavailable, codeUnavailable, "overloaded: timed out waiting for an evaluation slot")
 		}
 		return nil, nil, nil, false
 	}
 	return ctx, cancel, s.limiter.Release, true
 }
 
-// evalStatus maps an evaluation error to an HTTP status.
-func evalStatus(err error) int {
-	switch {
-	case errors.Is(err, context.DeadlineExceeded):
-		return http.StatusGatewayTimeout
-	case errors.Is(err, context.Canceled):
-		// The client went away; the exact code is for the access log only.
-		return http.StatusServiceUnavailable
-	default:
-		return http.StatusUnprocessableEntity
+// parallelism resolves the request's effective intra-query parallelism.
+func (s *Server) parallelism(req *queryRequest) int {
+	if req.Parallelism > 0 {
+		return req.Parallelism
 	}
+	return s.cfg.Parallelism
 }
 
-// plan looks the request's plan up in the cache (compiling on a miss).
-func (s *Server) plan(ctx context.Context, req *queryRequest) (*tlc.Prepared, bool, error) {
+// plan looks the request's plan up in the cache (compiling on a miss),
+// with an explicit parallelism so the serial-fallback retry can ask for
+// the same query at parallelism 1.
+func (s *Server) plan(ctx context.Context, req *queryRequest, par int) (*tlc.Prepared, bool, error) {
 	engine, _ := tlc.ParseEngine(req.Engine)
-	par := req.Parallelism
-	if par <= 0 {
-		par = s.cfg.Parallelism
-	}
 	return s.cache.Load(ctx, s.db, plancache.Key{
 		Query:       req.Query,
 		Engine:      engine,
 		PlannerOff:  req.NoPlanner,
 		Parallelism: par,
+		Limits:      s.limits(req),
 	})
 }
 
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	req, ok := decodeQueryRequest(w, r)
 	if !ok {
+		return
+	}
+	if err := faultinject.Hit(faultinject.PointServiceQuery); err != nil {
+		status, code := classify(err)
+		writeErrorCode(w, status, code, "query: %v", err)
 		return
 	}
 	ctx, cancel, release, ok := s.admit(w, r, req)
@@ -280,17 +398,35 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	defer s.loadMu.RUnlock()
 
 	begin := time.Now()
-	prep, hit, err := s.plan(ctx, req)
+	par := s.parallelism(req)
+	prep, hit, err := s.plan(ctx, req, par)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "compile: %v", err)
+		if internalClass(err) {
+			status, code := classify(err)
+			writeErrorCode(w, status, code, "compile: %v", err)
+			return
+		}
+		writeErrorCode(w, http.StatusBadRequest, codeUserError, "compile: %v", err)
 		return
 	}
 	if s.preEval != nil {
 		s.preEval()
 	}
 	res, err := s.db.RunContext(ctx, prep)
+	if err != nil && internalClass(err) && par > 1 {
+		// A parallel run died on an internal error (contained panic or
+		// injected fault). Concurrency bugs are the most likely culprit, so
+		// retry the query once on the serial evaluator — it shares no
+		// goroutine machinery with the path that just failed.
+		s.serialFallbacks.Add(1)
+		if sprep, _, serr := s.plan(ctx, req, 1); serr == nil {
+			res, err = s.db.RunContext(ctx, sprep)
+			prep = sprep
+		}
+	}
 	if err != nil {
-		writeError(w, evalStatus(err), "evaluate: %v", err)
+		status, code := classify(err)
+		writeErrorCode(w, status, code, "evaluate: %v", err)
 		return
 	}
 	out := queryResponse{
@@ -311,6 +447,11 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
+	if err := faultinject.Hit(faultinject.PointServiceExplain); err != nil {
+		status, code := classify(err)
+		writeErrorCode(w, status, code, "explain: %v", err)
+		return
+	}
 	ctx, cancel, release, ok := s.admit(w, r, req)
 	if !ok {
 		return
@@ -325,7 +466,12 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 	opts := []tlc.Option{tlc.WithEngine(engine), tlc.WithPlanner(!req.NoPlanner)}
 	plan, err := s.db.ExplainContext(ctx, req.Query, opts...)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "explain: %v", err)
+		if internalClass(err) {
+			status, code := classify(err)
+			writeErrorCode(w, status, code, "explain: %v", err)
+			return
+		}
+		writeErrorCode(w, http.StatusBadRequest, codeUserError, "explain: %v", err)
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]string{"engine": engine.String(), "plan": plan})
@@ -334,6 +480,11 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleProfile(w http.ResponseWriter, r *http.Request) {
 	req, ok := decodeQueryRequest(w, r)
 	if !ok {
+		return
+	}
+	if err := faultinject.Hit(faultinject.PointServiceProfile); err != nil {
+		status, code := classify(err)
+		writeErrorCode(w, status, code, "profile: %v", err)
 		return
 	}
 	ctx, cancel, release, ok := s.admit(w, r, req)
@@ -347,17 +498,23 @@ func (s *Server) handleProfile(w http.ResponseWriter, r *http.Request) {
 	defer s.loadMu.RUnlock()
 
 	engine, _ := tlc.ParseEngine(req.Engine)
-	opts := []tlc.Option{tlc.WithEngine(engine), tlc.WithPlanner(!req.NoPlanner)}
+	opts := []tlc.Option{
+		tlc.WithEngine(engine),
+		tlc.WithPlanner(!req.NoPlanner),
+		tlc.WithLimits(s.limits(req)),
+	}
 	if s.preEval != nil {
 		s.preEval()
 	}
 	prof, err := s.db.ProfileContext(ctx, req.Query, opts...)
 	if err != nil {
-		status := http.StatusBadRequest
-		if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
-			status = evalStatus(err)
+		status, code := classify(err)
+		if code == codeQueryError {
+			// Profile compiles and evaluates in one call; plain query errors
+			// here are overwhelmingly compile errors, kept at 400 as before.
+			status, code = http.StatusBadRequest, codeUserError
 		}
-		writeError(w, status, "profile: %v", err)
+		writeErrorCode(w, status, code, "profile: %v", err)
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]string{"engine": engine.String(), "profile": prof})
@@ -369,12 +526,17 @@ func (s *Server) handleProfile(w http.ResponseWriter, r *http.Request) {
 // first and blocking new ones for the duration.
 func (s *Server) handleLoad(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
-		writeError(w, http.StatusMethodNotAllowed, "POST required")
+		writeErrorCode(w, http.StatusMethodNotAllowed, codeUserError, "POST required")
+		return
+	}
+	if err := faultinject.Hit(faultinject.PointServiceLoad); err != nil {
+		status, code := classify(err)
+		writeErrorCode(w, status, code, "load: %v", err)
 		return
 	}
 	name := r.URL.Query().Get("name")
 	if name == "" {
-		writeError(w, http.StatusBadRequest, "missing ?name=")
+		writeErrorCode(w, http.StatusBadRequest, codeUserError, "missing ?name=")
 		return
 	}
 	var factor float64
@@ -382,7 +544,7 @@ func (s *Server) handleLoad(w http.ResponseWriter, r *http.Request) {
 		var err error
 		factor, err = strconv.ParseFloat(f, 64)
 		if err != nil || factor <= 0 {
-			writeError(w, http.StatusBadRequest, "bad ?xmark= factor %q", f)
+			writeErrorCode(w, http.StatusBadRequest, codeUserError, "bad ?xmark= factor %q", f)
 			return
 		}
 	}
@@ -396,7 +558,12 @@ func (s *Server) handleLoad(w http.ResponseWriter, r *http.Request) {
 		err = s.db.LoadXML(name, io.LimitReader(r.Body, 1<<28))
 	}
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "load: %v", err)
+		if internalClass(err) {
+			status, code := classify(err)
+			writeErrorCode(w, status, code, "load: %v", err)
+			return
+		}
+		writeErrorCode(w, http.StatusBadRequest, codeUserError, "load: %v", err)
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]any{
@@ -441,6 +608,21 @@ type varz struct {
 	Arena      map[string]int64 `json:"arena"`
 	Documents  int              `json:"documents"`
 	Generation uint64           `json:"generation"`
+	// Governor counts queries aborted by each resource budget since start.
+	Governor map[string]int64 `json:"governor"`
+	// PanicsRecovered counts panics converted to errors at containment
+	// barriers; any nonzero value is a bug report waiting to be filed.
+	PanicsRecovered int64 `json:"panics_recovered"`
+	// Breakers maps endpoint name to its circuit breaker state.
+	Breakers map[string]string `json:"breakers"`
+	// Shed counts requests refused by admission control, and
+	// SerialFallbacks counts parallel runs retried serially after an
+	// internal error.
+	Shed            int64 `json:"shed_total"`
+	SerialFallbacks int64 `json:"serial_fallbacks"`
+	// Faults reports the armed fault-injection points (absent in
+	// production: injection is off unless TLC_FAULTS is set).
+	Faults map[string]faultinject.Counts `json:"faults,omitempty"`
 }
 
 func (s *Server) handleVarz(w http.ResponseWriter, r *http.Request) {
@@ -476,8 +658,22 @@ func (s *Server) handleVarz(w http.ResponseWriter, r *http.Request) {
 			"slabs":       arenaSlabs,
 			"plain_nodes": plainNodes,
 		},
-		Documents:  len(s.db.Documents()),
-		Generation: s.db.Generation(),
+		Documents:       len(s.db.Documents()),
+		Generation:      s.db.Generation(),
+		Governor:        make(map[string]int64, 4),
+		PanicsRecovered: failure.PanicsRecovered(),
+		Breakers:        make(map[string]string, len(s.breakers)),
+		Shed:            s.shed.Load(),
+		SerialFallbacks: s.serialFallbacks.Load(),
+	}
+	for res, n := range governor.KillTotals() {
+		v.Governor[string(res)] = n
+	}
+	for ep, br := range s.breakers {
+		v.Breakers[ep] = br.State()
+	}
+	if faultinject.Active() {
+		v.Faults = faultinject.Stats()
 	}
 	for code, n := range snap.ByStatus {
 		v.ByStatus[strconv.Itoa(code)] = n

@@ -20,6 +20,7 @@ import (
 	"sort"
 	"sync/atomic"
 
+	"tlc/internal/faultinject"
 	"tlc/internal/xmltree"
 )
 
@@ -117,6 +118,9 @@ func New() *Store {
 // Load indexes doc and adds it to the store. Loading a document whose name
 // is already present is an error.
 func (s *Store) Load(doc *xmltree.Document) (DocID, error) {
+	if err := faultinject.Hit(faultinject.PointStoreLoad); err != nil {
+		return 0, err
+	}
 	if err := doc.Validate(); err != nil {
 		return 0, fmt.Errorf("store: load: %w", err)
 	}

@@ -87,7 +87,12 @@ func GenerateSized(name string, sz Sizes, seed int64) *xmltree.Document {
 	genClosedAuctions(b, rng, sz)
 
 	b.CloseElement()
-	return b.Done()
+	// The generator opens and closes in lockstep, so Done cannot fail.
+	doc, err := b.Done()
+	if err != nil {
+		panic(err)
+	}
+	return doc
 }
 
 func genRegions(b *xmltree.Builder, rng *rand.Rand, sz Sizes) {

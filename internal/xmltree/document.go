@@ -106,10 +106,15 @@ func (d *Document) Validate() error {
 
 // Builder assembles a Document in a single pre-order pass. It is used by
 // the XML parser and by the synthetic XMark generator, which construct
-// documents directly without an XML text round trip.
+// documents directly without an XML text round trip. Unbalanced usage
+// (closing more elements than were opened, finishing with elements still
+// open) is reported by Done as an error, not a panic: builder input can
+// come from untrusted XML via POST /load, and malformed input must fail
+// the load, not the process.
 type Builder struct {
 	doc   *Document
 	stack []int32
+	err   error
 }
 
 // NewBuilder returns a builder for a document with the given name.
@@ -139,7 +144,14 @@ func (b *Builder) TextNode(content string) {
 }
 
 // CloseElement closes the currently open element, fixing its End interval.
+// Closing with no element open is recorded and reported by Done.
 func (b *Builder) CloseElement() {
+	if len(b.stack) == 0 {
+		if b.err == nil {
+			b.err = fmt.Errorf("xmltree: document %q closes an element that was never opened", b.doc.Name)
+		}
+		return
+	}
 	top := b.stack[len(b.stack)-1]
 	b.stack = b.stack[:len(b.stack)-1]
 	b.doc.Nodes[top].ID.End = int32(len(b.doc.Nodes) - 1)
@@ -153,13 +165,16 @@ func (b *Builder) Element(tag, content string) {
 	b.CloseElement()
 }
 
-// Done finishes the document and returns it. It panics if elements remain
-// open, which indicates a builder usage bug.
-func (b *Builder) Done() *Document {
-	if len(b.stack) != 0 {
-		panic(fmt.Sprintf("xmltree: Done with %d open elements", len(b.stack)))
+// Done finishes the document and returns it, or an error when the builder
+// input was unbalanced — elements still open, or a close without an open.
+func (b *Builder) Done() (*Document, error) {
+	if b.err != nil {
+		return nil, b.err
 	}
-	return b.doc
+	if len(b.stack) != 0 {
+		return nil, fmt.Errorf("xmltree: document %q finished with %d open elements", b.doc.Name, len(b.stack))
+	}
+	return b.doc, nil
 }
 
 func (b *Builder) push(kind Kind, tag, value string) {

@@ -50,7 +50,10 @@ func Parse(name string, r io.Reader) (*Document, error) {
 	if depth != 0 {
 		return nil, fmt.Errorf("xmltree: parse %s: unbalanced document", name)
 	}
-	doc := b.Done()
+	doc, err := b.Done()
+	if err != nil {
+		return nil, err
+	}
 	if doc.Len() == 0 {
 		return nil, fmt.Errorf("xmltree: parse %s: empty document", name)
 	}

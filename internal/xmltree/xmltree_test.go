@@ -172,7 +172,10 @@ func TestBuilderElementHelper(t *testing.T) {
 	b.OpenElement("r")
 	b.Element("age", "25")
 	b.CloseElement()
-	d := b.Done()
+	d, err := b.Done()
+	if err != nil {
+		t.Fatal(err)
+	}
 	if err := d.Validate(); err != nil {
 		t.Fatal(err)
 	}
@@ -223,7 +226,11 @@ func buildRandom(rng *rand.Rand, n int) *Document {
 	for ; open > 0; open-- {
 		b.CloseElement()
 	}
-	return b.Done()
+	d, err := b.Done()
+	if err != nil {
+		panic(err)
+	}
+	return d
 }
 
 func TestQuickRandomDocumentsValid(t *testing.T) {

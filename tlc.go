@@ -27,11 +27,13 @@ import (
 	"sort"
 	"strings"
 	"sync/atomic"
+	"time"
 
 	"tlc/internal/algebra"
 	"tlc/internal/baselines/gtp"
 	"tlc/internal/baselines/nav"
 	"tlc/internal/baselines/tax"
+	"tlc/internal/governor"
 	"tlc/internal/planner"
 	"tlc/internal/rewrite"
 	"tlc/internal/seq"
@@ -170,6 +172,47 @@ func (db *Database) ResetStats() { db.st.ResetStats() }
 // dbStore exposes the underlying store to same-package benchmarks.
 func dbStore(db *Database) *store.Store { return db.st }
 
+// Limits is a per-query resource budget. Zero fields are unlimited; the
+// zero value disables governance (no per-run enforcement cost). Exceeding
+// any budget aborts that query only, with an error that errors.As-matches
+// *BudgetError — the process and concurrent queries are unaffected.
+type Limits struct {
+	// MaxArenaNodes caps witness nodes allocated from the run's arena —
+	// the memory intermediate results are built from. Enforced at slab
+	// (512-node) granularity.
+	MaxArenaNodes int64
+	// MaxArenaBytes caps the arena memory in bytes backing those nodes.
+	MaxArenaBytes int64
+	// MaxResultCard caps the cardinality of any intermediate operator
+	// output sequence — the blowup site of pattern matching and joins.
+	MaxResultCard int64
+	// MaxWall caps evaluation wall-clock time. Unlike a context deadline
+	// it reports as a *BudgetError (policy), not DeadlineExceeded
+	// (infrastructure).
+	MaxWall time.Duration
+}
+
+// govern wraps ctx with a fresh governor enforcing l, or returns ctx
+// unchanged when no limit is set. Each run gets its own governor, so a
+// shared Prepared budgets every concurrent run independently.
+func (l Limits) govern(ctx context.Context) context.Context {
+	g := governor.New(governor.Limits{
+		MaxArenaNodes: l.MaxArenaNodes,
+		MaxArenaBytes: l.MaxArenaBytes,
+		MaxResultCard: l.MaxResultCard,
+		MaxWall:       l.MaxWall,
+	})
+	if g == nil {
+		return ctx
+	}
+	return governor.WithContext(ctx, g)
+}
+
+// BudgetError is the typed error a query aborted by its resource budget
+// returns: which resource, the configured limit, and the observed value.
+// Match with errors.As; the query service maps it to HTTP 422.
+type BudgetError = governor.ErrBudgetExceeded
+
 // Option configures a query.
 type Option func(*queryConfig)
 
@@ -177,6 +220,7 @@ type queryConfig struct {
 	engine      Engine
 	parallelism int
 	plannerOff  bool
+	limits      Limits
 }
 
 // WithEngine selects the evaluation engine for a query.
@@ -205,6 +249,35 @@ func WithParallelism(n int) Option {
 	return func(c *queryConfig) { c.parallelism = n }
 }
 
+// WithLimits sets the query's whole resource budget at once.
+func WithLimits(l Limits) Option {
+	return func(c *queryConfig) { c.limits = l }
+}
+
+// WithMaxArenaNodes caps the query's witness-node allocation (n <= 0 is
+// unlimited). See Limits.MaxArenaNodes.
+func WithMaxArenaNodes(n int64) Option {
+	return func(c *queryConfig) { c.limits.MaxArenaNodes = n }
+}
+
+// WithMaxArenaBytes caps the query's arena memory in bytes (n <= 0 is
+// unlimited). See Limits.MaxArenaBytes.
+func WithMaxArenaBytes(n int64) Option {
+	return func(c *queryConfig) { c.limits.MaxArenaBytes = n }
+}
+
+// WithMaxResultCard caps every intermediate sequence's cardinality (n <= 0
+// is unlimited). See Limits.MaxResultCard.
+func WithMaxResultCard(n int64) Option {
+	return func(c *queryConfig) { c.limits.MaxResultCard = n }
+}
+
+// WithMaxWall caps evaluation wall-clock time as a budget (d <= 0 is
+// unlimited). See Limits.MaxWall.
+func WithMaxWall(d time.Duration) Option {
+	return func(c *queryConfig) { c.limits.MaxWall = d }
+}
+
 // Prepared is a compiled query, reusable across executions (the benchmark
 // harness compiles once and measures evaluation only, like the paper).
 //
@@ -220,6 +293,7 @@ type Prepared struct {
 	plan        algebra.Op // nil for Nav
 	ast         *xquery.FLWOR
 	parallelism int
+	limits      Limits
 	// PlanInfo records what the cost-based planner did and estimated; nil
 	// when the planner was disabled or the engine has no plan (Nav).
 	PlanInfo *planner.Info
@@ -227,6 +301,10 @@ type Prepared struct {
 
 // Engine returns the engine the query was compiled for.
 func (p *Prepared) Engine() Engine { return p.engine }
+
+// Limits returns the resource budget every Run of this prepared query is
+// governed by (the zero Limits means ungoverned).
+func (p *Prepared) Limits() Limits { return p.limits }
 
 // Compile parses and translates a query for the selected engine.
 func (db *Database) Compile(text string, opts ...Option) (*Prepared, error) {
@@ -253,7 +331,7 @@ func (db *Database) CompileContext(ctx context.Context, text string, opts ...Opt
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	p := &Prepared{engine: cfg.engine, ast: ast, parallelism: cfg.parallelism}
+	p := &Prepared{engine: cfg.engine, ast: ast, parallelism: cfg.parallelism, limits: cfg.limits}
 	switch cfg.engine {
 	case Nav:
 		return p, nil
@@ -309,6 +387,7 @@ func (db *Database) Run(p *Prepared) (*Result, error) {
 // error satisfying errors.Is(err, ctx.Err()). A Prepared may be shared by
 // concurrent RunContext calls (see Prepared).
 func (db *Database) RunContext(ctx context.Context, p *Prepared) (*Result, error) {
+	ctx = p.limits.govern(ctx)
 	var out seq.Seq
 	var err error
 	if p.engine == Nav {
@@ -378,6 +457,7 @@ func (db *Database) ProfileContext(ctx context.Context, text string, opts ...Opt
 	if p.plan == nil {
 		return "", fmt.Errorf("tlc: the navigational engine has no plan to profile")
 	}
+	ctx = p.limits.govern(ctx)
 	pr, err := algebra.Profile(algebra.NewContextFor(ctx, db.st, 1), p.plan)
 	if err != nil {
 		return "", err
