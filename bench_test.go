@@ -236,6 +236,35 @@ func BenchmarkParallelSpeedup(b *testing.B) {
 	}
 }
 
+// BenchmarkShardScaling measures the sharded store end to end: the same
+// queries over the same XMark document at shards=1 (the unpartitioned
+// paper methodology) and shards=4, serially and with a matching worker
+// budget. Shard parity guarantees identical results in every cell; the
+// benchmark tracks what the partitioning itself costs (per-shard index
+// and arena indirection) and what scatter–gather buys once workers and
+// shards can actually overlap — on a single-core runner the columns
+// should be within noise.
+func BenchmarkShardScaling(b *testing.B) {
+	factor := benchFactor()
+	for _, shards := range []int{1, 4} {
+		db := Open(WithShards(shards))
+		if err := db.LoadXMark("auction.xml", factor); err != nil {
+			b.Fatal(err)
+		}
+		for _, id := range []string{"x5", "x13", "Q1", "Q2"} {
+			q, ok := workloadByID(id)
+			if !ok {
+				b.Fatalf("unknown query %s", id)
+			}
+			for _, par := range []int{1, 4} {
+				b.Run(fmt.Sprintf("%s/shards=%d/parallel=%d", id, shards, par), func(b *testing.B) {
+					runQueryParallel(b, db, q.Text, TLC, par)
+				})
+			}
+		}
+	}
+}
+
 // forceNestedLoopJoins flips every value join in a compiled plan to the
 // nested-loop strategy.
 func forceNestedLoopJoins(p *Prepared) {

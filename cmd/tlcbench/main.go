@@ -40,14 +40,18 @@ func main() {
 	engines := flag.String("engines", "", "comma-separated engines: TLC,OPT,GTP,TAX,NAV")
 	factors := flag.String("factors", "0.1,0.5,1,2,5", "scale factors for figure 17")
 	parallel := flag.Int("parallel", 1, "intra-query parallelism: 1 = serial (paper methodology), 0 = GOMAXPROCS")
+	shards := flag.Int("shards", 1, "store shard count: 1 = unpartitioned (paper methodology), 0 = GOMAXPROCS")
 	planner := flag.String("planner", "on", "cost-based planner: on (default) or off (run plans as translated)")
 	jsonOut := flag.String("json", "", "write the figure 15 measurements (ns/op, bytes/op, allocs/op per query and engine) to this file")
 	baseline := flag.String("baseline", "", "compare the figure 15 allocs/op against this committed -json report; regressions beyond 10% print warnings (the exit code stays 0)")
 	flag.Parse()
 
-	cfg := harness.Config{Factor: *factor, Reps: *reps, Deadline: *deadline, Parallelism: *parallel}
+	cfg := harness.Config{Factor: *factor, Reps: *reps, Deadline: *deadline, Parallelism: *parallel, Shards: *shards}
 	if *parallel == 0 {
 		cfg.Parallelism = -1 // harness treats 0 as "default to 1"; -1 forces GOMAXPROCS
+	}
+	if *shards == 0 {
+		cfg.Shards = -1 // same convention for the shard count
 	}
 	switch *planner {
 	case "on":
@@ -72,7 +76,7 @@ func main() {
 	if *fig == "15" || *fig == "16" || *fig == "all" {
 		fmt.Printf("loading XMark factor %g ...\n", *factor)
 		start := time.Now()
-		db, err := harness.OpenDatabase(*factor)
+		db, err := harness.OpenDatabase(*factor, cfg.Shards)
 		if err != nil {
 			fatal(err)
 		}

@@ -40,6 +40,7 @@ func main() {
 	maxTimeout := flag.Duration("max-timeout", 5*time.Minute, "cap on request-supplied deadlines")
 	cacheSize := flag.Int("cache-size", 128, "plan cache capacity in plans")
 	parallel := flag.Int("parallel", 1, "default intra-query parallelism: 1 = serial, 0 = GOMAXPROCS")
+	shards := flag.Int("shards", 0, "store shard count (0 = GOMAXPROCS); a load into one shard only blocks queries touching that shard")
 	pprofOn := flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ (heap, cpu, goroutine profiles)")
 	maxNodes := flag.Int64("max-nodes", 0, "per-query witness-node budget; exceeding aborts the query with 422 (0 = unlimited)")
 	maxBytes := flag.Int64("max-bytes", 0, "per-query arena memory budget in bytes (0 = unlimited)")
@@ -58,7 +59,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "tlcserve: FAULT INJECTION ARMED: %s\n", *faults)
 	}
 
-	db := tlc.Open()
+	db := tlc.Open(tlc.WithShards(*shards))
 	if *xmarkFactor > 0 {
 		if err := db.LoadXMark("auction.xml", *xmarkFactor); err != nil {
 			fatal(err)

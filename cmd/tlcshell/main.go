@@ -34,6 +34,7 @@ func main() {
 	query := flag.String("query", "", "evaluate one query and exit")
 	explain := flag.Bool("explain", false, "print the evaluation plan before results")
 	parallel := flag.Int("parallel", 1, "intra-query parallelism: 1 = serial, 0 = GOMAXPROCS")
+	shards := flag.Int("shards", 0, "store shard count (0 = GOMAXPROCS)")
 	faults := flag.String("faults", os.Getenv("TLC_FAULTS"),
 		"fault-injection spec, e.g. 'physical.matcher=error,p=0.1' (default $TLC_FAULTS; testing only)")
 	flag.Parse()
@@ -47,7 +48,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "FAULT INJECTION ARMED: %s\n", *faults)
 	}
 
-	db := tlc.Open()
+	db := tlc.Open(tlc.WithShards(*shards))
 	if *xmarkFactor > 0 {
 		if err := db.LoadXMark("auction.xml", *xmarkFactor); err != nil {
 			fatal(err)

@@ -83,7 +83,23 @@ type Context struct {
 	// It is taken from goCtx at construction: the arena charges slab
 	// allocations against it, the physical poll sites check its wall
 	// budget, and the evaluators check every operator's output cardinality.
+	// Per-shard arenas all charge this one governor, so the budget is
+	// query-wide across shard workers, never N× the limit.
 	gov *governor.Governor
+	// shardEvals holds lazily created per-shard matching state (matcher +
+	// arena) when the store has more than one shard. Routing pattern work to
+	// the owning shard's matcher partitions the candidate/partial caches and
+	// their mutexes by shard — a contention and locality win; it is never a
+	// correctness requirement (match results are identical whichever matcher
+	// serves them), so routing is best-effort.
+	shardEvals []shardEval
+}
+
+// shardEval is one shard's lazily initialized matching state.
+type shardEval struct {
+	once    sync.Once
+	matcher *physical.Matcher
+	arena   *seq.Arena
 }
 
 type opFuture struct {
@@ -120,7 +136,15 @@ func NewContextFor(goCtx context.Context, st *store.Store, parallelism int) *Con
 	gov := governor.FromContext(goCtx)
 	arena := seq.NewArena().WithGovernor(gov)
 	if parallelism <= 1 {
+		// Serial evaluation has no arena or matcher-cache contention to
+		// partition away, so it uses the single main matcher and arena
+		// regardless of the store's shard count — per-shard state would
+		// cost a matcher+arena setup per run and buy nothing.
 		return &Context{Store: st, Matcher: physical.NewMatcher(st).WithArena(arena), goCtx: goCtx, memo: make(map[Op]seq.Seq), parallelism: 1, arena: arena, gov: gov}
+	}
+	var evals []shardEval
+	if n := st.NumShards(); n > 1 {
+		evals = make([]shardEval, n)
 	}
 	return &Context{
 		Store:       st,
@@ -132,12 +156,65 @@ func NewContextFor(goCtx context.Context, st *store.Store, parallelism int) *Con
 		futures:     make(map[Op]*opFuture),
 		arena:       arena,
 		gov:         gov,
+		shardEvals:  evals,
 	}
 }
 
 // Arena returns the evaluation's witness-node arena (never nil for
 // contexts built by NewContextFor).
 func (ctx *Context) Arena() *seq.Arena { return ctx.arena }
+
+// shardEval returns shard i's matching state, creating it on first use.
+// Each shard gets its own matcher (candidate/partial caches and, in shared
+// mode, their mutex are partitioned per shard) backed by its own arena —
+// and every shard arena charges the *same* governor as the main arena, so
+// arena-byte and witness-node budgets stay one query-wide budget no matter
+// how many shard workers allocate.
+func (ctx *Context) shardEvalFor(i int) *shardEval {
+	se := &ctx.shardEvals[i]
+	se.once.Do(func() {
+		se.arena = seq.NewArena().WithGovernor(ctx.gov)
+		if ctx.parallel() {
+			se.matcher = physical.NewSharedMatcher(ctx.Store).WithArena(se.arena)
+		} else {
+			se.matcher = physical.NewMatcher(ctx.Store).WithArena(se.arena)
+		}
+	})
+	return se
+}
+
+// MatcherFor returns the matcher owning shard i's pattern work — the
+// context's single matcher on a one-shard store (or out-of-range i), shard
+// i's own matcher otherwise.
+func (ctx *Context) MatcherFor(i int) *physical.Matcher {
+	if len(ctx.shardEvals) == 0 || i < 0 || i >= len(ctx.shardEvals) {
+		return ctx.Matcher
+	}
+	return ctx.shardEvalFor(i).matcher
+}
+
+// ArenaFor returns the arena backing shard i's witness nodes (the main
+// arena on a one-shard store or out-of-range i).
+func (ctx *Context) ArenaFor(i int) *seq.Arena {
+	if len(ctx.shardEvals) == 0 || i < 0 || i >= len(ctx.shardEvals) {
+		return ctx.arena
+	}
+	return ctx.shardEvalFor(i).arena
+}
+
+// ArenaStats aggregates allocation counters across the main arena and
+// every shard arena touched by this evaluation.
+func (ctx *Context) ArenaStats() seq.ArenaStats {
+	total := ctx.arena.Stats()
+	for i := range ctx.shardEvals {
+		se := &ctx.shardEvals[i]
+		// Only count shards whose once fired; Stats on a nil arena is zero.
+		s := se.arena.Stats()
+		total.Nodes += s.Nodes
+		total.Slabs += s.Slabs
+	}
+	return total
+}
 
 // GoContext returns the context.Context governing this evaluation; it is
 // never nil. Operators pass it down to the physical layer.

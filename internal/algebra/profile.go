@@ -54,7 +54,7 @@ func Profile(ctx *Context, root Op) (res *ProfileResult, err error) {
 		return nil, err
 	}
 	pr.Out = out
-	pr.Arena = ctx.arena.Stats()
+	pr.Arena = ctx.ArenaStats()
 	return pr, nil
 }
 

@@ -39,6 +39,11 @@ type Config struct {
 	// as translated (the -planner=off ablation of cmd/tlcbench). The zero
 	// value keeps the planner on.
 	PlannerOff bool
+	// Shards is the store shard count for databases the harness opens. It
+	// defaults to 1 — a single shard keeps the figures comparable to the
+	// paper's unpartitioned store — and -1 selects GOMAXPROCS (the
+	// -shards=0 spelling of cmd/tlcbench).
+	Shards int
 }
 
 func (c Config) withDefaults() Config {
@@ -56,6 +61,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Parallelism == 0 {
 		c.Parallelism = 1
+	}
+	if c.Shards == 0 {
+		c.Shards = 1
 	}
 	return c
 }
@@ -83,9 +91,10 @@ type Row struct {
 }
 
 // OpenDatabase loads a fresh database with an XMark document at the given
-// factor.
-func OpenDatabase(factor float64) (*tlc.Database, error) {
-	db := tlc.Open()
+// factor, partitioned across the given shard count (< 1 selects
+// GOMAXPROCS).
+func OpenDatabase(factor float64, shards int) (*tlc.Database, error) {
+	db := tlc.Open(tlc.WithShards(shards))
 	if err := db.LoadXMark("auction.xml", factor); err != nil {
 		return nil, err
 	}
@@ -203,7 +212,7 @@ func RunFigure17(factors []float64, cfg Config) ([]ScalePoint, error) {
 	cfg = cfg.withDefaults()
 	var out []ScalePoint
 	for _, f := range factors {
-		db, err := OpenDatabase(f)
+		db, err := OpenDatabase(f, cfg.Shards)
 		if err != nil {
 			return nil, err
 		}

@@ -13,7 +13,7 @@ func tinyConfig() Config {
 }
 
 func TestOpenDatabase(t *testing.T) {
-	db, err := OpenDatabase(0.01)
+	db, err := OpenDatabase(0.01, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -23,7 +23,7 @@ func TestOpenDatabase(t *testing.T) {
 }
 
 func TestMeasure(t *testing.T) {
-	db, err := OpenDatabase(0.01)
+	db, err := OpenDatabase(0.01, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -42,7 +42,7 @@ func TestMeasure(t *testing.T) {
 }
 
 func TestMeasureDeadlineExcluded(t *testing.T) {
-	db, err := OpenDatabase(0.01)
+	db, err := OpenDatabase(0.01, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -62,7 +62,7 @@ func TestMeasureDeadlineExcluded(t *testing.T) {
 }
 
 func TestMeasureParallelism(t *testing.T) {
-	db, err := OpenDatabase(0.01)
+	db, err := OpenDatabase(0.01, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -93,7 +93,7 @@ func TestTrimmedMean(t *testing.T) {
 }
 
 func TestRunFigure16AndFormat(t *testing.T) {
-	db, err := OpenDatabase(0.01)
+	db, err := OpenDatabase(0.01, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -129,7 +129,7 @@ func TestRunFigure17AndFormat(t *testing.T) {
 }
 
 func TestFigure15SubsetAndFormat(t *testing.T) {
-	db, err := OpenDatabase(0.01)
+	db, err := OpenDatabase(0.01, 1)
 	if err != nil {
 		t.Fatal(err)
 	}

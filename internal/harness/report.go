@@ -30,6 +30,7 @@ type BenchReport struct {
 	Factor      float64       `json:"factor"`
 	Reps        int           `json:"reps"`
 	Parallelism int           `json:"parallelism"`
+	Shards      int           `json:"shards,omitempty"`
 	Results     []BenchResult `json:"results"`
 }
 
@@ -39,7 +40,7 @@ func Report(rows []Row, engines []tlc.Engine, cfg Config) *BenchReport {
 	if len(engines) == 0 {
 		engines = cfg.Engines
 	}
-	rep := &BenchReport{Factor: cfg.Factor, Reps: cfg.Reps, Parallelism: cfg.Parallelism}
+	rep := &BenchReport{Factor: cfg.Factor, Reps: cfg.Reps, Parallelism: cfg.Parallelism, Shards: cfg.Shards}
 	for _, r := range rows {
 		for _, e := range engines {
 			m, ok := r.Cells[e.String()]

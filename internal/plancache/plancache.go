@@ -7,12 +7,16 @@
 // turns the service's per-request compile cost into a one-time cost per
 // distinct query.
 //
-// Invalidation is by database generation: every successful document load
-// bumps tlc.Database.Generation(), and the first lookup that observes a
-// new generation flushes the whole cache. Plans embed document references
-// and the cost-based planner's decisions embed the statistics catalog, so
-// any load can invalidate any plan; flushing everything is both correct
-// and cheap at the load rates a query service sees.
+// Invalidation is by shard generation: every successful document load
+// bumps the owning shard's generation, each cached entry records the
+// generations of the shards its plan's documents route to, and a lookup
+// revalidates only those shards — so loading a document invalidates
+// exactly the plans whose input shards moved, not the whole cache. Plans
+// whose document footprint cannot be fully resolved (no document
+// references, or a referenced document not yet loaded — the cases where
+// the planner falls back to whole-database statistics scope) keep the
+// conservative whole-database generation check, and Flush remains the
+// whole-cache path for schema-wide changes.
 package plancache
 
 import (
@@ -51,7 +55,9 @@ type Stats struct {
 	Misses uint64 `json:"misses"`
 	// Evictions counts entries dropped to capacity pressure.
 	Evictions uint64 `json:"evictions"`
-	// Invalidations counts entries flushed by a generation change.
+	// Invalidations counts entries dropped because a shard (or the whole
+	// database, for footprint-less plans) moved past their compile-time
+	// generation, plus entries removed by Flush.
 	Invalidations uint64 `json:"invalidations"`
 	// Size and Capacity describe the current occupancy.
 	Size     int `json:"size"`
@@ -61,6 +67,14 @@ type Stats struct {
 type entry struct {
 	key  Key
 	prep *tlc.Prepared
+	// shardGens maps each shard the plan's referenced documents route to
+	// onto that shard's generation at compile time; the entry is valid
+	// while every recorded shard still reports its recorded generation.
+	// nil marks a conservatively scoped entry validated against gen.
+	shardGens map[int]uint64
+	// gen is the whole-database generation at compile time, used only when
+	// shardGens is nil.
+	gen uint64
 }
 
 // Cache is a fixed-capacity LRU of compiled plans. The zero value is not
@@ -68,7 +82,6 @@ type entry struct {
 type Cache struct {
 	mu       sync.Mutex
 	capacity int
-	gen      uint64 // database generation the cached plans were compiled at
 	byKey    map[Key]*list.Element
 	order    *list.List // front = most recently used
 
@@ -87,6 +100,48 @@ func New(capacity int) *Cache {
 	}
 }
 
+// valid reports whether an entry's recorded generations still match the
+// database: per recorded shard for footprint-scoped entries, the whole
+// database generation otherwise.
+func valid(db *tlc.Database, e *entry) bool {
+	if e.shardGens == nil {
+		return db.Generation() == e.gen
+	}
+	for sh, g := range e.shardGens {
+		if db.ShardGeneration(sh) != g {
+			return false
+		}
+	}
+	return true
+}
+
+// footprint resolves a compiled plan's shard-generation record against the
+// pre-compile generation snapshot. It returns nil when the plan references
+// no documents or references one that is not loaded — the cases where
+// compilation (planner statistics scope, name resolution) may depend on
+// documents beyond the footprint, which must keep whole-database validity.
+func footprint(db *tlc.Database, prep *tlc.Prepared, gens []uint64) map[int]uint64 {
+	docs := prep.Documents()
+	if len(docs) == 0 {
+		return nil
+	}
+	loaded := make(map[string]bool)
+	for _, name := range db.Documents() {
+		loaded[name] = true
+	}
+	out := make(map[int]uint64, len(docs))
+	for _, name := range docs {
+		if !loaded[name] {
+			return nil
+		}
+		sh := db.ShardOfDocument(name)
+		if sh >= 0 && sh < len(gens) {
+			out[sh] = gens[sh]
+		}
+	}
+	return out
+}
+
 // Load returns the cached Prepared for key, compiling it on a miss. The
 // bool reports whether the lookup was a hit. Compilation runs outside the
 // cache lock, so a slow compile never blocks hits for other keys;
@@ -94,16 +149,28 @@ func New(capacity int) *Cache {
 // finisher's plan stays cached (both plans are valid, so either may be
 // handed out).
 func (c *Cache) Load(ctx context.Context, db *tlc.Database, key Key) (*tlc.Prepared, bool, error) {
+	// Snapshot the generations before compiling: a load landing during the
+	// compile must make the freshly compiled plan uncacheable (it may have
+	// seen a half-updated catalog), which the post-compile re-check below
+	// detects by comparing against this snapshot.
 	gen := db.Generation()
+	gens := db.ShardGenerations()
 
 	c.mu.Lock()
-	c.flushIfStale(gen)
 	if el, ok := c.byKey[key]; ok {
-		c.hits++
-		c.order.MoveToFront(el)
-		prep := el.Value.(*entry).prep
-		c.mu.Unlock()
-		return prep, true, nil
+		e := el.Value.(*entry)
+		if valid(db, e) {
+			c.hits++
+			c.order.MoveToFront(el)
+			prep := e.prep
+			c.mu.Unlock()
+			return prep, true, nil
+		}
+		// Stale: one of the plan's input shards moved. Drop just this entry;
+		// plans on untouched shards stay cached.
+		c.order.Remove(el)
+		delete(c.byKey, key)
+		c.invalidations++
 	}
 	c.misses++
 	c.mu.Unlock()
@@ -121,24 +188,28 @@ func (c *Cache) Load(ctx context.Context, db *tlc.Database, key Key) (*tlc.Prepa
 	if err != nil {
 		return nil, false, err
 	}
+	e := &entry{key: key, prep: prep, shardGens: footprint(db, prep, gens), gen: gen}
 
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	// A load may have landed while we compiled; a plan compiled against the
-	// old store must not enter the cache (it is still returned — the caller
-	// observed the old generation, which is the best a racing request can
-	// claim anyway).
-	if db.Generation() != gen {
+	// A load may have landed on one of the plan's shards while we compiled;
+	// such a plan must not enter the cache (it is still returned — the
+	// caller observed the old generations, which is the best a racing
+	// request can claim anyway).
+	if !valid(db, e) {
 		return prep, false, nil
 	}
-	c.flushIfStale(gen)
-	if el, ok := c.byKey[key]; ok {
+	if el, ok := c.byKey[key]; ok && valid(db, el.Value.(*entry)) {
 		// A concurrent miss beat us here; keep the incumbent entry hot and
 		// hand out our own compile.
 		c.order.MoveToFront(el)
 		return prep, false, nil
+	} else if ok {
+		c.order.Remove(el)
+		delete(c.byKey, key)
+		c.invalidations++
 	}
-	el := c.order.PushFront(&entry{key: key, prep: prep})
+	el := c.order.PushFront(e)
 	c.byKey[key] = el
 	for c.order.Len() > c.capacity {
 		oldest := c.order.Back()
@@ -149,16 +220,14 @@ func (c *Cache) Load(ctx context.Context, db *tlc.Database, key Key) (*tlc.Prepa
 	return prep, false, nil
 }
 
-// flushIfStale drops every entry if gen differs from the generation the
-// cached plans were compiled at. Caller holds c.mu.
-func (c *Cache) flushIfStale(gen uint64) {
-	if gen == c.gen {
-		return
-	}
+// Flush drops every entry — the whole-cache invalidation path for
+// schema-wide changes that per-shard generations cannot describe.
+func (c *Cache) Flush() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	c.invalidations += uint64(c.order.Len())
 	c.order.Init()
 	c.byKey = make(map[Key]*list.Element, c.capacity)
-	c.gen = gen
 }
 
 // Stats returns a snapshot of the counters.

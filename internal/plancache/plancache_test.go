@@ -126,30 +126,72 @@ func TestLRUOrderOnHit(t *testing.T) {
 	}
 }
 
-func TestGenerationInvalidation(t *testing.T) {
+func TestShardGenerationInvalidation(t *testing.T) {
+	db := tlc.Open(tlc.WithShards(4))
+	if err := db.LoadXMLString("a.xml", testXML); err != nil {
+		t.Fatal(err)
+	}
+	c := New(4)
+	ctx := context.Background()
+	key := Key{Query: testQuery}
+	if _, _, err := c.Load(ctx, db, key); err != nil {
+		t.Fatal(err)
+	}
+
+	// Pick one document name routing to a.xml's shard and one routing
+	// elsewhere (the routing is a pure name hash, so this is deterministic).
+	target := db.ShardOfDocument("a.xml")
+	same, other := "", ""
+	for i := 0; same == "" || other == ""; i++ {
+		name := fmt.Sprintf("doc%d.xml", i)
+		if db.ShardOfDocument(name) == target {
+			if same == "" {
+				same = name
+			}
+		} else if other == "" {
+			other = name
+		}
+	}
+
+	// A load on a different shard leaves the cached plan valid.
+	if err := db.LoadXMLString(other, `<r><x>1</x></r>`); err != nil {
+		t.Fatal(err)
+	}
+	if _, hit, err := c.Load(ctx, db, key); err != nil || !hit {
+		t.Fatalf("after unrelated-shard load: hit=%v err=%v, want hit", hit, err)
+	}
+	if st := c.Stats(); st.Invalidations != 0 {
+		t.Errorf("invalidations = %d after unrelated-shard load, want 0", st.Invalidations)
+	}
+
+	// A load on the plan's own shard invalidates exactly that entry.
+	if err := db.LoadXMLString(same, `<r><x>1</x></r>`); err != nil {
+		t.Fatal(err)
+	}
+	if _, hit, err := c.Load(ctx, db, key); err != nil || hit {
+		t.Fatalf("after same-shard load: hit=%v err=%v, want recompile", hit, err)
+	}
+	if st := c.Stats(); st.Invalidations != 1 {
+		t.Errorf("invalidations = %d, want 1", st.Invalidations)
+	}
+	// The recompiled plan is cached at the new shard generations.
+	if _, hit, _ := c.Load(ctx, db, key); !hit {
+		t.Error("recompiled plan was not cached")
+	}
+}
+
+func TestFlush(t *testing.T) {
 	db := newDB(t)
 	c := New(4)
 	ctx := context.Background()
 	key := Key{Query: testQuery}
 	c.Load(ctx, db, key)
-
-	if err := db.LoadXMLString("b.xml", `<r><x>1</x></r>`); err != nil {
-		t.Fatal(err)
+	c.Flush()
+	if st := c.Stats(); st.Size != 0 || st.Invalidations != 1 {
+		t.Errorf("stats after Flush = %+v, want empty with 1 invalidation", st)
 	}
-	_, hit, err := c.Load(ctx, db, key)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if hit {
-		t.Error("lookup after a load hit a stale plan")
-	}
-	st := c.Stats()
-	if st.Invalidations != 1 {
-		t.Errorf("invalidations = %d, want 1", st.Invalidations)
-	}
-	// The recompiled plan is cached at the new generation.
-	if _, hit, _ := c.Load(ctx, db, key); !hit {
-		t.Error("recompiled plan was not cached")
+	if _, hit, err := c.Load(ctx, db, key); err != nil || hit {
+		t.Fatalf("after Flush: hit=%v err=%v, want recompile", hit, err)
 	}
 }
 

@@ -40,7 +40,7 @@ func Materialize(st *store.Store, doc store.DocID, ord int32) *Node {
 // (nil = plain new).
 func MaterializeIn(a *Arena, st *store.Store, doc store.DocID, ord int32) *Node {
 	d := st.Doc(doc)
-	st.CountMaterialized(d.SubtreeSize(ord))
+	st.CountMaterializedDoc(doc, d.SubtreeSize(ord))
 	var build func(int32, *Node) *Node
 	build = func(o int32, parent *Node) *Node {
 		n := a.StoreNode(doc, o, d.Node(o))
@@ -71,7 +71,7 @@ func ExpandInPlaceIn(a *Arena, st *store.Store, n *Node) {
 	if !n.IsStore() || n.Full {
 		return
 	}
-	st.CountMaterialized(st.Doc(n.Doc).SubtreeSize(n.Ord) - 1)
+	st.CountMaterializedDoc(n.Doc, st.Doc(n.Doc).SubtreeSize(n.Ord)-1)
 	expandInPlace(a, st, n)
 }
 
@@ -137,7 +137,7 @@ func AppendXML(sb *strings.Builder, st *store.Store, n *Node) {
 		return
 	}
 	if n.IsStore() && !n.Full {
-		st.CountMaterialized(st.Doc(n.Doc).SubtreeSize(n.Ord))
+		st.CountMaterializedDoc(n.Doc, st.Doc(n.Doc).SubtreeSize(n.Ord))
 		sb.WriteString(st.Doc(n.Doc).XML(n.Ord))
 		return
 	}

@@ -25,8 +25,8 @@ import (
 	"io"
 	"net/http"
 	"runtime"
+	"sort"
 	"strconv"
-	"sync"
 	"sync/atomic"
 	"time"
 
@@ -107,10 +107,12 @@ type Server struct {
 	metrics *Metrics
 	start   time.Time
 
-	// loadMu serializes document loads against in-flight queries: the
-	// store is immutable only between loads, so a load takes the write
-	// half while every query evaluation holds the read half.
-	loadMu sync.RWMutex
+	// Loads are serialized against in-flight queries per shard: a load
+	// takes the write half of only its target shard's lock
+	// (db.ShardLock), and a query takes the read half of just the shards
+	// its documents route to — so a slow load stalls only the queries
+	// that actually read the shard being loaded. The locks live on the
+	// database (per shard), not here; see lockShards/handleLoad.
 
 	// breakers holds one circuit breaker per evaluation endpoint, keyed by
 	// endpoint name (query, explain, profile, load).
@@ -355,6 +357,50 @@ func (s *Server) admit(w http.ResponseWriter, r *http.Request, req *queryRequest
 	return ctx, cancel, s.limiter.Release, true
 }
 
+// queryShards resolves the shards a query's documents route to, as a
+// sorted, deduplicated index list. When the query cannot be parsed (the
+// compile path will report the real error) the footprint defaults to all
+// shards — the conservative scope.
+func (s *Server) queryShards(query string) []int {
+	n := s.db.NumShards()
+	all := func() []int {
+		out := make([]int, n)
+		for i := range out {
+			out[i] = i
+		}
+		return out
+	}
+	docs, err := tlc.QueryDocuments(query)
+	if err != nil || len(docs) == 0 {
+		return all()
+	}
+	seen := make(map[int]bool, len(docs))
+	var out []int
+	for _, name := range docs {
+		sh := s.db.ShardOfDocument(name)
+		if !seen[sh] {
+			seen[sh] = true
+			out = append(out, sh)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// rlockShards takes the read half of each listed shard lock in ascending
+// index order (the deadlock-free acquisition order shared with loads) and
+// returns the matching unlock.
+func (s *Server) rlockShards(shards []int) func() {
+	for _, sh := range shards {
+		s.db.ShardLock(sh).RLock()
+	}
+	return func() {
+		for i := len(shards) - 1; i >= 0; i-- {
+			s.db.ShardLock(shards[i]).RUnlock()
+		}
+	}
+}
+
 // parallelism resolves the request's effective intra-query parallelism.
 func (s *Server) parallelism(req *queryRequest) int {
 	if req.Parallelism > 0 {
@@ -394,8 +440,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	defer cancel()
 	defer release()
 
-	s.loadMu.RLock()
-	defer s.loadMu.RUnlock()
+	defer s.rlockShards(s.queryShards(req.Query))()
 
 	begin := time.Now()
 	par := s.parallelism(req)
@@ -459,8 +504,7 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 	defer cancel()
 	defer release()
 
-	s.loadMu.RLock()
-	defer s.loadMu.RUnlock()
+	defer s.rlockShards(s.queryShards(req.Query))()
 
 	engine, _ := tlc.ParseEngine(req.Engine)
 	opts := []tlc.Option{tlc.WithEngine(engine), tlc.WithPlanner(!req.NoPlanner)}
@@ -494,8 +538,7 @@ func (s *Server) handleProfile(w http.ResponseWriter, r *http.Request) {
 	defer cancel()
 	defer release()
 
-	s.loadMu.RLock()
-	defer s.loadMu.RUnlock()
+	defer s.rlockShards(s.queryShards(req.Query))()
 
 	engine, _ := tlc.ParseEngine(req.Engine)
 	opts := []tlc.Option{
@@ -522,8 +565,9 @@ func (s *Server) handleProfile(w http.ResponseWriter, r *http.Request) {
 
 // handleLoad loads a document: an XML body under ?name=doc.xml, or a
 // generated XMark document with ?name=doc.xml&xmark=<factor> and an empty
-// body. Loads take the write half of loadMu, draining in-flight queries
-// first and blocking new ones for the duration.
+// body. The load takes the write half of only the target shard's lock,
+// draining in-flight queries on that shard and blocking new ones for the
+// duration — queries whose documents live on other shards are unaffected.
 func (s *Server) handleLoad(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		writeErrorCode(w, http.StatusMethodNotAllowed, codeUserError, "POST required")
@@ -549,8 +593,9 @@ func (s *Server) handleLoad(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 
-	s.loadMu.Lock()
-	defer s.loadMu.Unlock()
+	mu := s.db.ShardLock(s.db.ShardOfDocument(name))
+	mu.Lock()
+	defer mu.Unlock()
 	var err error
 	if factor > 0 {
 		err = s.db.LoadXMark(name, factor)
@@ -573,9 +618,9 @@ func (s *Server) handleLoad(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleDocuments(w http.ResponseWriter, r *http.Request) {
-	s.loadMu.RLock()
+	// Loads publish the document directory with an atomic snapshot swap, so
+	// listing needs no lock — it sees either the pre- or post-load list.
 	docs := s.db.Documents()
-	s.loadMu.RUnlock()
 	if docs == nil {
 		docs = []string{}
 	}
@@ -608,6 +653,9 @@ type varz struct {
 	Arena      map[string]int64 `json:"arena"`
 	Documents  int              `json:"documents"`
 	Generation uint64           `json:"generation"`
+	// Shards reports the per-shard gauges: document count and load
+	// generation per store shard, in shard-index order.
+	Shards []shardVarz `json:"shards"`
 	// Governor counts queries aborted by each resource budget since start.
 	Governor map[string]int64 `json:"governor"`
 	// PanicsRecovered counts panics converted to errors at containment
@@ -623,6 +671,13 @@ type varz struct {
 	// Faults reports the armed fault-injection points (absent in
 	// production: injection is off unless TLC_FAULTS is set).
 	Faults map[string]faultinject.Counts `json:"faults,omitempty"`
+}
+
+// shardVarz is one store shard's /varz entry.
+type shardVarz struct {
+	Shard      int    `json:"shard"`
+	Documents  int    `json:"documents"`
+	Generation uint64 `json:"generation"`
 }
 
 func (s *Server) handleVarz(w http.ResponseWriter, r *http.Request) {
@@ -665,6 +720,11 @@ func (s *Server) handleVarz(w http.ResponseWriter, r *http.Request) {
 		Breakers:        make(map[string]string, len(s.breakers)),
 		Shed:            s.shed.Load(),
 		SerialFallbacks: s.serialFallbacks.Load(),
+	}
+	gens := s.db.ShardGenerations()
+	v.Shards = make([]shardVarz, len(gens))
+	for i, g := range gens {
+		v.Shards[i] = shardVarz{Shard: i, Documents: len(s.db.ShardDocuments(i)), Generation: g}
 	}
 	for res, n := range governor.KillTotals() {
 		v.Governor[string(res)] = n

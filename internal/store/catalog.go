@@ -154,6 +154,13 @@ func (b *docStatsBuilder) finish() *docStats {
 // Every query method takes a document scope: nil means "all loaded
 // documents", the conservative scope for patterns whose document is not
 // statically known (extension selects anchored at a logical class).
+//
+// The catalog is shard-structured like the store itself: each document's
+// summary lives with its owning shard, scoped figures are computed as
+// per-shard partial aggregates summed across the scope's shards (see
+// TagCountByShard), and a catalog probe resolves documents through the
+// same lock-free directory the data reads use — so planning never blocks
+// on a load, it just plans against the snapshot it started from.
 type Catalog struct {
 	s *Store
 }
@@ -164,8 +171,9 @@ func (s *Store) Catalog() Catalog { return Catalog{s: s} }
 
 // Docs returns the IDs of all loaded documents.
 func (c Catalog) Docs() []DocID {
-	out := make([]DocID, len(c.s.docs))
-	for i := range c.s.docs {
+	n := c.s.NumDocs()
+	out := make([]DocID, n)
+	for i := range out {
 		out[i] = DocID(i)
 	}
 	return out
@@ -179,14 +187,26 @@ func (c Catalog) scope(docs []DocID) []DocID {
 	return docs
 }
 
+// shardScope groups the scope by owning shard, preserving document order
+// within each group. The planner's aggregates are computed per shard and
+// summed, mirroring how the evaluator scatters the corresponding work.
+func (c Catalog) shardScope(docs []DocID) map[int][]DocID {
+	out := make(map[int][]DocID)
+	for _, id := range c.scope(docs) {
+		sh := c.s.entry(id).shard
+		out[sh] = append(out[sh], id)
+	}
+	return out
+}
+
 // RootTag returns the tag of the document's root element.
-func (c Catalog) RootTag(id DocID) string { return c.s.docs[id].stats.rootTag }
+func (c Catalog) RootTag(id DocID) string { return c.s.entry(id).stats.rootTag }
 
 // NodeCount returns the total number of stored nodes in scope.
 func (c Catalog) NodeCount(docs []DocID) int {
 	n := 0
 	for _, id := range c.scope(docs) {
-		n += c.s.docs[id].stats.nodes
+		n += c.s.entry(id).stats.nodes
 	}
 	return n
 }
@@ -195,18 +215,35 @@ func (c Catalog) NodeCount(docs []DocID) int {
 func (c Catalog) Depth(docs []DocID) int {
 	d := int32(0)
 	for _, id := range c.scope(docs) {
-		if s := c.s.docs[id].stats.depth; s > d {
+		if s := c.s.entry(id).stats.depth; s > d {
 			d = s
 		}
 	}
 	return int(d)
 }
 
-// TagCount returns the number of nodes carrying tag in scope.
+// TagCountByShard returns the number of nodes carrying tag in scope,
+// broken down by owning shard — the per-shard partial cardinalities whose
+// sum is TagCount. The planner costs scatter–gather plans from these
+// partials (the sum drives selectivity, the spread shows skew).
+func (c Catalog) TagCountByShard(docs []DocID, tag string) map[int]int {
+	out := make(map[int]int)
+	for sh, ids := range c.shardScope(docs) {
+		n := 0
+		for _, id := range ids {
+			n += c.s.entry(id).stats.tags[tag].Count
+		}
+		out[sh] = n
+	}
+	return out
+}
+
+// TagCount returns the number of nodes carrying tag in scope: the sum of
+// the per-shard partial counts.
 func (c Catalog) TagCount(docs []DocID, tag string) int {
 	n := 0
-	for _, id := range c.scope(docs) {
-		n += c.s.docs[id].stats.tags[tag].Count
+	for _, partial := range c.TagCountByShard(docs, tag) {
+		n += partial
 	}
 	return n
 }
@@ -217,7 +254,7 @@ func (c Catalog) TagCount(docs []DocID, tag string) int {
 func (c Catalog) DistinctValues(docs []DocID, tag string) int {
 	n := 0
 	for _, id := range c.scope(docs) {
-		n += c.s.docs[id].stats.tags[tag].Distinct
+		n += c.s.entry(id).stats.tags[tag].Distinct
 	}
 	return n
 }
@@ -227,7 +264,7 @@ func (c Catalog) DistinctValues(docs []DocID, tag string) int {
 func (c Catalog) AvgFanout(docs []DocID, tag string) float64 {
 	count, children := 0, 0
 	for _, id := range c.scope(docs) {
-		ts := c.s.docs[id].stats.tags[tag]
+		ts := c.s.entry(id).stats.tags[tag]
 		count += ts.Count
 		children += ts.Children
 	}
@@ -242,7 +279,7 @@ func (c Catalog) AvgFanout(docs []DocID, tag string) float64 {
 func (c Catalog) ChildPerParent(docs []DocID, parentTag, childTag string) float64 {
 	parents, pairs := 0, 0
 	for _, id := range c.scope(docs) {
-		st := c.s.docs[id].stats
+		st := c.s.entry(id).stats
 		parents += st.tags[parentTag].Count
 		pairs += st.child[tagPair{parentTag, childTag}]
 	}
@@ -260,7 +297,7 @@ func (c Catalog) ChildPerParent(docs []DocID, parentTag, childTag string) float6
 func (c Catalog) DescPerAncestor(docs []DocID, ancTag, descTag string) float64 {
 	ancs, pairs := 0, 0
 	for _, id := range c.scope(docs) {
-		st := c.s.docs[id].stats
+		st := c.s.entry(id).stats
 		ancs += st.tags[ancTag].Count
 		pairs += st.desc[tagPair{ancTag, descTag}]
 	}
@@ -272,4 +309,4 @@ func (c Catalog) DescPerAncestor(docs []DocID, ancTag, descTag string) float64 {
 
 // Tag returns the full per-tag summary for one document (zero value when
 // the tag does not occur). Exposed for tests and tooling.
-func (c Catalog) Tag(id DocID, tag string) TagStats { return c.s.docs[id].stats.tags[tag] }
+func (c Catalog) Tag(id DocID, tag string) TagStats { return c.s.entry(id).stats.tags[tag] }

@@ -6,25 +6,47 @@
 // in document order) and a value index (content → node IDs). Access
 // counters make the relative cost of the competing plans observable.
 //
-// A Store is immutable after loading and safe for concurrent readers,
-// including the statistics counters, which are maintained with sync/atomic
-// so the parallel executor's worker goroutines can probe indexes and fetch
-// nodes without coordination. Serial evaluation (parallelism 1) produces
-// exactly the counter values the paper's single-query-at-a-time
-// measurements would.
+// # Sharding
+//
+// The store is horizontally partitioned: documents are routed by a hash of
+// their name to one of N shards, and each shard owns its node tables, its
+// tag/value indexes, its statistics summaries, its access counters, its
+// load generation and its load-vs-query RWMutex. Because the paper's
+// interval node identifiers (Section 5.1) make every structural decision
+// purely position-based *within* a document, nothing an engine does ever
+// crosses a shard boundary mid-join — cross-document work composes from
+// shard-local runs merged in document order — so a shard is a complete,
+// independent lock domain: loading a document stalls only its own shard.
+//
+// Document identity stays global and shard-count independent: DocIDs are
+// issued in load order from a single counter and resolved through a
+// copy-on-write directory (an atomic pointer swap per load), so the same
+// load sequence yields the same DocIDs whether the store has 1 shard or
+// 64 — which is what makes results byte-identical across shard counts.
+//
+// Reads never lock. Loaded documents are immutable, the directory is
+// replaced (never mutated) on load, and the per-shard statistics counters
+// are maintained with sync/atomic, so the parallel executor's worker
+// goroutines probe indexes and fetch nodes without coordination. Serial
+// evaluation (parallelism 1) produces exactly the counter values the
+// paper's single-query-at-a-time measurements would.
 package store
 
 import (
 	"fmt"
+	"hash/fnv"
 	"io"
+	"runtime"
 	"sort"
+	"sync"
 	"sync/atomic"
 
 	"tlc/internal/faultinject"
 	"tlc/internal/xmltree"
 )
 
-// DocID identifies a loaded document within a store.
+// DocID identifies a loaded document within a store. IDs are issued in
+// global load order, independent of the shard the document lands on.
 type DocID int32
 
 // Stats counts the store accesses performed during query evaluation. The
@@ -100,23 +122,142 @@ type docEntry struct {
 	values map[string][]int32
 	// stats is the load-time statistics summary served through Catalog.
 	stats *docStats
+	// shard is the index of the shard owning this document.
+	shard int
 }
 
-// Store is a collection of indexed XML documents.
+// shard is one lock domain of the store: the documents routed to it, their
+// access counters, and the load generation plan caches key their validity
+// on. The docEntry data itself is reached through the store's directory;
+// the shard records ownership for counter attribution and per-shard
+// introspection (/varz, tests).
+type shard struct {
+	// mu is the shard's load-vs-query lock. The store's own read paths
+	// never take it (loaded entries are immutable and the directory swap is
+	// atomic); it exists for embedders that want the stronger "store does
+	// not grow during my evaluation" discipline — the query service write-
+	// locks it for the duration of a load into this shard and read-locks it
+	// for queries resolving on this shard, so a slow load stalls only the
+	// queries that actually read the loading shard.
+	mu sync.RWMutex
+	// gen counts successful loads into this shard. Plan caches compare the
+	// generations of only the shards a plan reads, so a load into one shard
+	// no longer invalidates every cached plan.
+	gen atomic.Uint64
+	// docs lists the DocIDs owned by the shard, in load order.
+	docs []DocID
+	// stats holds the shard's access counters.
+	stats counters
+}
+
+// directory is the immutable global view of the loaded documents. Loads
+// build a new directory (copying the slice header and map) and swap the
+// store's pointer, so concurrent readers always observe a consistent
+// snapshot without locking.
+type directory struct {
+	docs   []*docEntry
+	byName map[string]DocID
+}
+
+var emptyDirectory = &directory{byName: map[string]DocID{}}
+
+// Store is a sharded collection of indexed XML documents.
 type Store struct {
-	docs    []docEntry
-	byName  map[string]DocID
-	stats   counters
+	shards []*shard
+	dir    atomic.Pointer[directory]
+	// loadMu serializes directory swaps between concurrent loads. The
+	// expensive part of a load (parsing, indexing, statistics) runs before
+	// taking it, so loads into different shards overlap almost entirely.
+	loadMu  sync.Mutex
 	noStats bool
 }
 
-// New returns an empty store.
-func New() *Store {
-	return &Store{byName: make(map[string]DocID)}
+// DefaultShards is the shard count New uses: one per available CPU, the
+// configuration that lets loads and shard-local scans proceed on every
+// core without sharing a lock domain.
+func DefaultShards() int { return runtime.GOMAXPROCS(0) }
+
+// New returns an empty store with DefaultShards shards.
+func New() *Store { return NewSharded(0) }
+
+// NewSharded returns an empty store with n shards (n < 1 selects
+// DefaultShards; n is capped at 1024).
+func NewSharded(n int) *Store {
+	if n < 1 {
+		n = DefaultShards()
+	}
+	if n > 1024 {
+		n = 1024
+	}
+	s := &Store{shards: make([]*shard, n)}
+	for i := range s.shards {
+		s.shards[i] = &shard{}
+	}
+	s.dir.Store(emptyDirectory)
+	return s
 }
 
-// Load indexes doc and adds it to the store. Loading a document whose name
-// is already present is an error.
+// NumShards returns the store's shard count (fixed at creation).
+func (s *Store) NumShards() int { return len(s.shards) }
+
+// ShardOfName returns the shard index the document with the given name is
+// (or would be) routed to. The routing is a pure hash of the name, so it
+// can be computed before the document is loaded — the query service uses
+// it to pick the lock for a /load, and the plan cache to key validity.
+func (s *Store) ShardOfName(name string) int {
+	h := fnv.New32a()
+	io.WriteString(h, name)
+	return int(h.Sum32() % uint32(len(s.shards)))
+}
+
+// ShardOf returns the shard index owning the loaded document id.
+func (s *Store) ShardOf(id DocID) int { return s.dir.Load().docs[id].shard }
+
+// ShardLock returns shard i's load-vs-query RWMutex. The store's own read
+// paths are lock-free; the lock is the coordination point for embedders
+// that serialize loads against in-flight queries per shard (see shard.mu).
+func (s *Store) ShardLock(i int) *sync.RWMutex { return &s.shards[i].mu }
+
+// ShardGeneration returns the number of successful loads into shard i.
+func (s *Store) ShardGeneration(i int) uint64 { return s.shards[i].gen.Load() }
+
+// Generations returns the per-shard load generations, indexed by shard.
+func (s *Store) Generations() []uint64 {
+	out := make([]uint64, len(s.shards))
+	for i, sh := range s.shards {
+		out[i] = sh.gen.Load()
+	}
+	return out
+}
+
+// ShardDocs returns the names of the documents owned by shard i, in load
+// order.
+func (s *Store) ShardDocs(i int) []string {
+	dir := s.dir.Load()
+	s.loadMu.Lock()
+	ids := append([]DocID(nil), s.shards[i].docs...)
+	s.loadMu.Unlock()
+	names := make([]string, 0, len(ids))
+	for _, id := range ids {
+		if int(id) < len(dir.docs) {
+			names = append(names, dir.docs[id].doc.Name)
+		}
+	}
+	return names
+}
+
+// entry resolves a DocID through the current directory snapshot.
+func (s *Store) entry(id DocID) *docEntry { return s.dir.Load().docs[id] }
+
+// stats returns the counter set accesses to document id are attributed to:
+// the owning shard's counters.
+func (s *Store) stats(e *docEntry) *counters { return &s.shards[e.shard].stats }
+
+// Load indexes doc and adds it to the store, routed to the shard hashed
+// from its name. Loading a document whose name is already present is an
+// error. Loads may run concurrently with queries and with loads into other
+// shards: all the heavy work happens before the directory swap, and
+// readers observe the new document only after its indexes are complete.
 func (s *Store) Load(doc *xmltree.Document) (DocID, error) {
 	if err := faultinject.Hit(faultinject.PointStoreLoad); err != nil {
 		return 0, err
@@ -124,13 +265,15 @@ func (s *Store) Load(doc *xmltree.Document) (DocID, error) {
 	if err := doc.Validate(); err != nil {
 		return 0, fmt.Errorf("store: load: %w", err)
 	}
-	if _, dup := s.byName[doc.Name]; dup {
+	if _, dup := s.Lookup(doc.Name); dup {
 		return 0, fmt.Errorf("store: document %q already loaded", doc.Name)
 	}
-	e := docEntry{
+	shardIdx := s.ShardOfName(doc.Name)
+	e := &docEntry{
 		doc:    doc,
 		tags:   make(map[string][]int32),
 		values: make(map[string][]int32),
+		shard:  shardIdx,
 	}
 	stats := newDocStatsBuilder(doc)
 	for i := range doc.Nodes {
@@ -150,9 +293,30 @@ func (s *Store) Load(doc *xmltree.Document) (DocID, error) {
 		stats.visit(int32(i), n, content, hasContent)
 	}
 	e.stats = stats.finish()
-	id := DocID(len(s.docs))
-	s.docs = append(s.docs, e)
-	s.byName[doc.Name] = id
+
+	// Publish: build the next directory and swap it in. Only this short
+	// section is serialized between loads; a duplicate name that raced past
+	// the early check above is caught here under the lock.
+	s.loadMu.Lock()
+	defer s.loadMu.Unlock()
+	old := s.dir.Load()
+	if _, dup := old.byName[doc.Name]; dup {
+		return 0, fmt.Errorf("store: document %q already loaded", doc.Name)
+	}
+	id := DocID(len(old.docs))
+	next := &directory{
+		docs:   make([]*docEntry, len(old.docs), len(old.docs)+1),
+		byName: make(map[string]DocID, len(old.byName)+1),
+	}
+	copy(next.docs, old.docs)
+	next.docs = append(next.docs, e)
+	for k, v := range old.byName {
+		next.byName[k] = v
+	}
+	next.byName[doc.Name] = id
+	s.shards[shardIdx].docs = append(s.shards[shardIdx].docs, id)
+	s.dir.Store(next)
+	s.shards[shardIdx].gen.Add(1)
 	return id, nil
 }
 
@@ -167,30 +331,45 @@ func (s *Store) LoadXML(name string, r io.Reader) (DocID, error) {
 
 // Lookup returns the DocID for a loaded document name.
 func (s *Store) Lookup(name string) (DocID, bool) {
-	id, ok := s.byName[name]
+	id, ok := s.dir.Load().byName[name]
 	return id, ok
 }
 
 // Names returns the names of the loaded documents in load order.
 func (s *Store) Names() []string {
-	names := make([]string, len(s.docs))
-	for i := range s.docs {
-		names[i] = s.docs[i].doc.Name
+	dir := s.dir.Load()
+	names := make([]string, len(dir.docs))
+	for i := range dir.docs {
+		names[i] = dir.docs[i].doc.Name
 	}
 	return names
 }
 
 // Doc returns the document with the given ID.
-func (s *Store) Doc(id DocID) *xmltree.Document { return s.docs[id].doc }
+func (s *Store) Doc(id DocID) *xmltree.Document { return s.entry(id).doc }
 
 // NumDocs returns the number of loaded documents.
-func (s *Store) NumDocs() int { return len(s.docs) }
+func (s *Store) NumDocs() int { return len(s.dir.Load().docs) }
 
-// ResetStats zeroes the access counters.
-func (s *Store) ResetStats() { s.stats.reset() }
+// ResetStats zeroes the access counters of every shard.
+func (s *Store) ResetStats() {
+	for _, sh := range s.shards {
+		sh.stats.reset()
+	}
+}
 
-// Snapshot returns a copy of the current access counters.
-func (s *Store) Snapshot() Stats { return s.stats.snapshot() }
+// Snapshot returns a copy of the current access counters, summed across
+// shards.
+func (s *Store) Snapshot() Stats {
+	var out Stats
+	for _, sh := range s.shards {
+		out.Add(sh.stats.snapshot())
+	}
+	return out
+}
+
+// ShardSnapshot returns a copy of shard i's access counters.
+func (s *Store) ShardSnapshot(i int) Stats { return s.shards[i].stats.snapshot() }
 
 // DisableStats turns off counter maintenance; used by throughput-focused
 // benchmarks where even the counter writes are unwanted.
@@ -201,16 +380,18 @@ func (s *Store) DisableStats() { s.noStats = true }
 // probes are free (no access counting): a real system keeps these counts
 // in its catalog.
 func (s *Store) TagCount(id DocID, tag string) int {
-	return len(s.docs[id].tags[tag])
+	return len(s.entry(id).tags[tag])
 }
 
 // Tag returns the ordinals of all nodes with the given tag in document id,
 // in document order. The returned slice is shared and must not be modified.
 func (s *Store) Tag(id DocID, tag string) []int32 {
-	refs := s.docs[id].tags[tag]
+	e := s.entry(id)
+	refs := e.tags[tag]
 	if !s.noStats {
-		s.stats.tagLookups.Add(1)
-		s.stats.tagRefs.Add(int64(len(refs)))
+		st := s.stats(e)
+		st.tagLookups.Add(1)
+		st.tagRefs.Add(int64(len(refs)))
 	}
 	return refs
 }
@@ -219,13 +400,15 @@ func (s *Store) Tag(id DocID, tag string) []int32 {
 // strictly inside the interval of the node at ancestor, using binary search
 // over the tag index (node-ID property 2 makes this a range scan).
 func (s *Store) TagWithin(id DocID, tag string, ancestor int32) []int32 {
-	refs := s.docs[id].tags[tag]
-	anc := s.docs[id].doc.Nodes[ancestor].ID
+	e := s.entry(id)
+	refs := e.tags[tag]
+	anc := e.doc.Nodes[ancestor].ID
 	lo := sort.Search(len(refs), func(i int) bool { return refs[i] > anc.Start })
 	hi := sort.Search(len(refs), func(i int) bool { return refs[i] > anc.End })
 	if !s.noStats {
-		s.stats.tagLookups.Add(1)
-		s.stats.tagRefs.Add(int64(hi - lo))
+		st := s.stats(e)
+		st.tagLookups.Add(1)
+		st.tagRefs.Add(int64(hi - lo))
 	}
 	return refs[lo:hi]
 }
@@ -233,10 +416,12 @@ func (s *Store) TagWithin(id DocID, tag string, ancestor int32) []int32 {
 // Value returns the ordinals of all nodes in document id whose content is
 // exactly v, in document order.
 func (s *Store) Value(id DocID, v string) []int32 {
-	refs := s.docs[id].values[v]
+	e := s.entry(id)
+	refs := e.values[v]
 	if !s.noStats {
-		s.stats.valueLookups.Add(1)
-		s.stats.tagRefs.Add(int64(len(refs)))
+		st := s.stats(e)
+		st.valueLookups.Add(1)
+		st.tagRefs.Add(int64(len(refs)))
 	}
 	return refs
 }
@@ -245,11 +430,13 @@ func (s *Store) Value(id DocID, v string) []int32 {
 // content v, computed by merging the tag and value index postings. This is
 // how equality content predicates are answered when a value index exists.
 func (s *Store) TagValue(id DocID, tag, v string) []int32 {
-	tagRefs := s.docs[id].tags[tag]
-	valRefs := s.docs[id].values[v]
+	e := s.entry(id)
+	tagRefs := e.tags[tag]
+	valRefs := e.values[v]
+	st := s.stats(e)
 	if !s.noStats {
-		s.stats.tagLookups.Add(1)
-		s.stats.valueLookups.Add(1)
+		st.tagLookups.Add(1)
+		st.valueLookups.Add(1)
 	}
 	var out []int32
 	i, j := 0, 0
@@ -266,42 +453,55 @@ func (s *Store) TagValue(id DocID, tag, v string) []int32 {
 		}
 	}
 	if !s.noStats {
-		s.stats.tagRefs.Add(int64(len(out)))
+		st.tagRefs.Add(int64(len(out)))
 	}
 	return out
 }
 
 // Node fetches a node record, counting the access.
 func (s *Store) Node(id DocID, ord int32) *xmltree.Node {
+	e := s.entry(id)
 	if !s.noStats {
-		s.stats.nodesRead.Add(1)
+		s.stats(e).nodesRead.Add(1)
 	}
-	return s.docs[id].doc.Node(ord)
+	return e.doc.Node(ord)
 }
 
 // Content returns the content value of a node (see xmltree.Document.Content),
 // counting the access.
 func (s *Store) Content(id DocID, ord int32) string {
+	e := s.entry(id)
 	if !s.noStats {
-		s.stats.nodesRead.Add(1)
+		s.stats(e).nodesRead.Add(1)
 	}
-	return s.docs[id].doc.Content(ord)
+	return e.doc.Content(ord)
 }
 
 // Children returns the child ordinals of a node, counting one read per
 // child returned. This is the primitive the navigational engine uses.
 func (s *Store) Children(id DocID, ord int32) []int32 {
-	kids := s.docs[id].doc.Children(ord)
+	e := s.entry(id)
+	kids := e.doc.Children(ord)
 	if !s.noStats {
-		s.stats.nodesRead.Add(int64(len(kids)) + 1)
+		s.stats(e).nodesRead.Add(int64(len(kids)) + 1)
 	}
 	return kids
 }
 
 // CountMaterialized records that n nodes were copied out of the store into
-// an intermediate result.
+// an intermediate result. Attribution is to shard 0 when the caller has no
+// document in hand; materialization sites that know their document should
+// prefer CountMaterializedDoc.
 func (s *Store) CountMaterialized(n int) {
 	if !s.noStats {
-		s.stats.nodesMaterialized.Add(int64(n))
+		s.shards[0].stats.nodesMaterialized.Add(int64(n))
+	}
+}
+
+// CountMaterializedDoc records that n nodes of document id were copied out
+// of the store into an intermediate result, attributed to the owning shard.
+func (s *Store) CountMaterializedDoc(id DocID, n int) {
+	if !s.noStats {
+		s.stats(s.entry(id)).nodesMaterialized.Add(int64(n))
 	}
 }

@@ -26,6 +26,7 @@ import (
 	"io"
 	"sort"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -34,6 +35,7 @@ import (
 	"tlc/internal/baselines/nav"
 	"tlc/internal/baselines/tax"
 	"tlc/internal/governor"
+	"tlc/internal/pattern"
 	"tlc/internal/planner"
 	"tlc/internal/rewrite"
 	"tlc/internal/seq"
@@ -122,8 +124,35 @@ type Database struct {
 	gen atomic.Uint64
 }
 
+// OpenOption configures a database at Open time.
+type OpenOption func(*openConfig)
+
+type openConfig struct {
+	shards int
+}
+
+// WithShards sets the number of store shards documents are partitioned
+// across (n < 1 selects the default, GOMAXPROCS). Each shard owns its node
+// tables, tag/value indexes, statistics and access counters, and exposes
+// its own load-vs-query lock domain — a load into one shard never blocks
+// queries resolving entirely on other shards. Query results are identical
+// for every shard count: shard routing partitions storage and locks, not
+// semantics.
+func WithShards(n int) OpenOption {
+	return func(c *openConfig) { c.shards = n }
+}
+
 // Open returns an empty database.
-func Open() *Database { return &Database{st: store.New()} }
+func Open(opts ...OpenOption) *Database {
+	var cfg openConfig
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if cfg.shards == 0 {
+		return &Database{st: store.New()}
+	}
+	return &Database{st: store.NewSharded(cfg.shards)}
+}
 
 // LoadXML parses and indexes an XML document under the given name (the
 // name used in document("...") references). Loads must not run
@@ -159,8 +188,41 @@ func (db *Database) Documents() []string { return db.st.Names() }
 // Generation returns the number of successful loads so far. It increases
 // exactly when previously compiled plans may have become stale (new
 // documents change both name resolution and the statistics catalog), which
-// makes it the invalidation key for prepared-plan caches.
+// makes it the invalidation key for prepared-plan caches. Caches that know
+// a plan's document footprint should prefer the finer-grained per-shard
+// generations (ShardGeneration) and keep this whole-database generation
+// for schema-wide invalidation.
 func (db *Database) Generation() uint64 { return db.gen.Load() }
+
+// NumShards returns the number of store shards.
+func (db *Database) NumShards() int { return db.st.NumShards() }
+
+// ShardOfDocument returns the shard a document name routes to. The routing
+// is a pure hash of the name, so it is answerable before the document is
+// loaded — which is what lets a plan cache compute a plan's shard footprint
+// from its document references alone.
+func (db *Database) ShardOfDocument(name string) int { return db.st.ShardOfName(name) }
+
+// ShardGeneration returns shard i's load generation: the number of
+// successful loads routed to that shard. A cached plan whose referenced
+// documents all live on shards with unchanged generations is still valid.
+func (db *Database) ShardGeneration(i int) uint64 { return db.st.ShardGeneration(i) }
+
+// ShardGenerations returns every shard's load generation, indexed by shard.
+func (db *Database) ShardGenerations() []uint64 { return db.st.Generations() }
+
+// ShardDocuments returns the names of the documents loaded into shard i,
+// in load order.
+func (db *Database) ShardDocuments(i int) []string { return db.st.ShardDocs(i) }
+
+// ShardLock returns shard i's load-vs-query RWMutex. The store's own reads
+// are lock-free (loads swap an immutable directory atomically), but
+// embedders that must serialize loads against in-flight queries — like the
+// query service — take the write side around loads into the shard and the
+// read side around queries that touch it, instead of stalling the whole
+// database behind one lock. Callers locking several shards must acquire
+// them in ascending shard order.
+func (db *Database) ShardLock(i int) *sync.RWMutex { return db.st.ShardLock(i) }
 
 // Stats returns the store access counters accumulated since the last
 // ResetStats.
@@ -305,6 +367,54 @@ func (p *Prepared) Engine() Engine { return p.engine }
 // Limits returns the resource budget every Run of this prepared query is
 // governed by (the zero Limits means ungoverned).
 func (p *Prepared) Limits() Limits { return p.limits }
+
+// Documents returns the names of the documents the query references,
+// sorted and deduplicated — the query's shard footprint. For the algebra
+// engines the set is read off the compiled plan (document-rooted pattern
+// selects); for the navigational engine it is read off the AST. A query
+// service uses it to lock only the touched shards, and a plan cache uses
+// it (via ShardOfDocument) to scope invalidation to the shards whose
+// generation actually moved.
+func (p *Prepared) Documents() []string {
+	if p.engine == Nav {
+		return p.ast.Documents()
+	}
+	set := make(map[string]struct{})
+	var walk func(op algebra.Op)
+	walk = func(op algebra.Op) {
+		if op == nil {
+			return
+		}
+		if s, ok := op.(*algebra.Select); ok {
+			if root := s.APT.Root; root != nil && root.Kind == pattern.TestDocRoot {
+				set[root.Doc] = struct{}{}
+			}
+		}
+		for _, in := range op.Inputs() {
+			walk(in)
+		}
+	}
+	walk(p.plan)
+	out := make([]string, 0, len(set))
+	for name := range set {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// QueryDocuments parses text and returns the document names it references,
+// sorted and deduplicated, without compiling a plan. A query service uses
+// it to resolve a request's shard footprint (via ShardOfDocument) before
+// taking any shard locks — parsing needs no store access, so the footprint
+// is computable even while a load is in flight.
+func QueryDocuments(text string) ([]string, error) {
+	ast, err := xquery.Parse(text)
+	if err != nil {
+		return nil, err
+	}
+	return ast.Documents(), nil
+}
 
 // Compile parses and translates a query for the selected engine.
 func (db *Database) Compile(text string, opts ...Option) (*Prepared, error) {
