@@ -17,6 +17,15 @@
 // compares the run's allocs/op against such a committed report and warns
 // on regressions beyond 10% (allocation counts are machine-independent
 // enough to track in CI, wall-clock times are not).
+//
+// -snapshot DIR opens the benchmark database from a columnar snapshot
+// when DIR holds one (and writes one there after loading otherwise), and
+// -startup measures the cold-start comparison itself — XML parse+index
+// versus snapshot open — at -startup-factor, reporting wall time and
+// live heap for both paths (recorded under "startup" in the -json
+// report):
+//
+//	tlcbench -startup -startup-factor 1 -json bench.json
 package main
 
 import (
@@ -44,6 +53,9 @@ func main() {
 	planner := flag.String("planner", "on", "cost-based planner: on (default) or off (run plans as translated)")
 	jsonOut := flag.String("json", "", "write the figure 15 measurements (ns/op, bytes/op, allocs/op per query and engine) to this file")
 	baseline := flag.String("baseline", "", "compare the figure 15 allocs/op against this committed -json report; regressions beyond 10% print warnings (the exit code stays 0)")
+	snapshot := flag.String("snapshot", "", "snapshot directory for the figure 15/16 database: open it if it holds a snapshot (skipping the XMark load), otherwise write one there after loading")
+	startup := flag.Bool("startup", false, "measure cold start — XML parse+index vs snapshot open — and report wall time and heap (included in -json under \"startup\")")
+	startupFactor := flag.Float64("startup-factor", 1, "XMark scale factor for the -startup measurement")
 	flag.Parse()
 
 	cfg := harness.Config{Factor: *factor, Reps: *reps, Deadline: *deadline, Parallelism: *parallel, Shards: *shards}
@@ -68,19 +80,23 @@ func main() {
 	switch *fig {
 	case "15", "16", "all":
 	case "17":
+	case "none":
 	default:
 		fmt.Fprintf(os.Stderr, "tlcbench: unknown figure %q\n", *fig)
 		os.Exit(2)
 	}
+	if *startup && *fig == "all" && !figFlagSet() {
+		// -startup alone (no explicit -fig) measures only the cold start.
+		*fig = "none"
+	}
 
+	var rep *harness.BenchReport
 	if *fig == "15" || *fig == "16" || *fig == "all" {
-		fmt.Printf("loading XMark factor %g ...\n", *factor)
-		start := time.Now()
-		db, err := harness.OpenDatabase(*factor, cfg.Shards)
+		db, err := openBenchDatabase(*factor, cfg.Shards, *snapshot)
 		if err != nil {
 			fatal(err)
 		}
-		fmt.Printf("loaded in %.2fs\n\n", time.Since(start).Seconds())
+		defer db.Close()
 
 		if *fig == "15" || *fig == "all" {
 			fmt.Printf("=== Figure 15: execution time, XMark factor %g ===\n", *factor)
@@ -88,25 +104,19 @@ func main() {
 			fmt.Print(harness.FormatFigure15(rows, cfg.Engines))
 			fmt.Println()
 			if *jsonOut != "" || *baseline != "" {
-				rep := harness.Report(rows, cfg.Engines, cfg)
-				if *jsonOut != "" {
-					if err := rep.WriteFile(*jsonOut); err != nil {
-						fatal(err)
-					}
-					fmt.Printf("wrote %s\n", *jsonOut)
+				rep = harness.Report(rows, cfg.Engines, cfg)
+			}
+			if *baseline != "" {
+				base, err := harness.ReadReport(*baseline)
+				if err != nil {
+					fatal(err)
 				}
-				if *baseline != "" {
-					base, err := harness.ReadReport(*baseline)
-					if err != nil {
-						fatal(err)
-					}
-					warns := harness.CompareAllocs(rep, base, 0.10)
-					if len(warns) == 0 {
-						fmt.Printf("allocs/op within 10%% of baseline %s\n", *baseline)
-					}
-					for _, w := range warns {
-						fmt.Printf("WARNING: %s\n", w)
-					}
+				warns := harness.CompareAllocs(rep, base, 0.10)
+				if len(warns) == 0 {
+					fmt.Printf("allocs/op within 10%% of baseline %s\n", *baseline)
+				}
+				for _, w := range warns {
+					fmt.Printf("WARNING: %s\n", w)
 				}
 			}
 		}
@@ -129,6 +139,75 @@ func main() {
 		}
 		fmt.Print(harness.FormatFigure17(points))
 	}
+
+	if *startup {
+		dir, err := os.MkdirTemp("", "tlc-startup-*")
+		if err != nil {
+			fatal(err)
+		}
+		defer os.RemoveAll(dir)
+		fmt.Printf("=== Cold start: XML load vs snapshot open, XMark factor %g ===\n", *startupFactor)
+		sr, err := harness.MeasureStartup(*startupFactor, cfg.Shards, dir)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(sr.String())
+		if *jsonOut != "" {
+			if rep == nil {
+				rep = &harness.BenchReport{Factor: *factor, Reps: cfg.Reps, Parallelism: cfg.Parallelism, Shards: cfg.Shards}
+			}
+			rep.Startup = sr
+		}
+	}
+
+	if *jsonOut != "" && rep != nil {
+		if err := rep.WriteFile(*jsonOut); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *jsonOut)
+	}
+}
+
+// figFlagSet reports whether -fig was given explicitly.
+func figFlagSet() bool {
+	set := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "fig" {
+			set = true
+		}
+	})
+	return set
+}
+
+// openBenchDatabase opens the figure 15/16 database: from snapDir when it
+// holds a snapshot (mmap fast start), otherwise by generating and loading
+// XMark at factor — writing a snapshot to snapDir afterwards if one was
+// requested.
+func openBenchDatabase(factor float64, shards int, snapDir string) (*tlc.Database, error) {
+	if snapDir != "" && tlc.SnapshotExists(snapDir) {
+		start := time.Now()
+		db, err := tlc.OpenSnapshot(snapDir)
+		if err != nil {
+			return nil, err
+		}
+		fmt.Printf("opened snapshot %s in %.3fs\n\n", snapDir, time.Since(start).Seconds())
+		return db, nil
+	}
+	fmt.Printf("loading XMark factor %g ...\n", factor)
+	start := time.Now()
+	db, err := harness.OpenDatabase(factor, shards)
+	if err != nil {
+		return nil, err
+	}
+	fmt.Printf("loaded in %.2fs\n\n", time.Since(start).Seconds())
+	if snapDir != "" {
+		info, err := db.Snapshot(snapDir)
+		if err != nil {
+			return nil, err
+		}
+		fmt.Printf("wrote snapshot %s (%d bytes)\n\n", info.Dir, info.Bytes)
+	}
+	return db, nil
 }
 
 func runFig15(db *tlc.Database, cfg harness.Config, filter string) []harness.Row {

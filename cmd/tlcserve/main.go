@@ -41,6 +41,7 @@ func main() {
 	cacheSize := flag.Int("cache-size", 128, "plan cache capacity in plans")
 	parallel := flag.Int("parallel", 1, "default intra-query parallelism: 1 = serial, 0 = GOMAXPROCS")
 	shards := flag.Int("shards", 0, "store shard count (0 = GOMAXPROCS); a load into one shard only blocks queries touching that shard")
+	snapshot := flag.String("snapshot", "", "snapshot directory: open it if it holds a snapshot (mmap fast start; overrides -shards), otherwise write one there after the startup loads")
 	pprofOn := flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ (heap, cpu, goroutine profiles)")
 	maxNodes := flag.Int64("max-nodes", 0, "per-query witness-node budget; exceeding aborts the query with 422 (0 = unlimited)")
 	maxBytes := flag.Int64("max-bytes", 0, "per-query arena memory budget in bytes (0 = unlimited)")
@@ -59,7 +60,20 @@ func main() {
 		fmt.Fprintf(os.Stderr, "tlcserve: FAULT INJECTION ARMED: %s\n", *faults)
 	}
 
-	db := tlc.Open(tlc.WithShards(*shards))
+	var db *tlc.Database
+	writeSnap := false
+	if *snapshot != "" && tlc.SnapshotExists(*snapshot) {
+		var err error
+		if db, err = tlc.OpenSnapshot(*snapshot); err != nil {
+			fatal(err)
+		}
+		defer db.Close()
+		fmt.Fprintf(os.Stderr, "tlcserve: opened snapshot %s (%d documents, %d shards)\n",
+			*snapshot, len(db.Documents()), db.NumShards())
+	} else {
+		db = tlc.Open(tlc.WithShards(*shards))
+		writeSnap = *snapshot != ""
+	}
 	if *xmarkFactor > 0 {
 		if err := db.LoadXMark("auction.xml", *xmarkFactor); err != nil {
 			fatal(err)
@@ -83,6 +97,15 @@ func main() {
 			}
 			fmt.Fprintf(os.Stderr, "tlcserve: loaded %s\n", name)
 		}
+	}
+
+	if writeSnap {
+		info, err := db.Snapshot(*snapshot)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "tlcserve: wrote snapshot %s (%d documents, %d bytes)\n",
+			info.Dir, info.Docs, info.Bytes)
 	}
 
 	srv, err := service.New(service.Config{

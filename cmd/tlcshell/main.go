@@ -35,6 +35,7 @@ func main() {
 	explain := flag.Bool("explain", false, "print the evaluation plan before results")
 	parallel := flag.Int("parallel", 1, "intra-query parallelism: 1 = serial, 0 = GOMAXPROCS")
 	shards := flag.Int("shards", 0, "store shard count (0 = GOMAXPROCS)")
+	snapshot := flag.String("snapshot", "", "snapshot directory: open it if it holds a snapshot (mmap fast start; overrides -shards), otherwise write one there after the startup loads")
 	faults := flag.String("faults", os.Getenv("TLC_FAULTS"),
 		"fault-injection spec, e.g. 'physical.matcher=error,p=0.1' (default $TLC_FAULTS; testing only)")
 	flag.Parse()
@@ -48,7 +49,20 @@ func main() {
 		fmt.Fprintf(os.Stderr, "FAULT INJECTION ARMED: %s\n", *faults)
 	}
 
-	db := tlc.Open(tlc.WithShards(*shards))
+	var db *tlc.Database
+	writeSnap := false
+	if *snapshot != "" && tlc.SnapshotExists(*snapshot) {
+		var err error
+		if db, err = tlc.OpenSnapshot(*snapshot); err != nil {
+			fatal(err)
+		}
+		defer db.Close()
+		fmt.Fprintf(os.Stderr, "opened snapshot %s (%d documents, %d shards)\n",
+			*snapshot, len(db.Documents()), db.NumShards())
+	} else {
+		db = tlc.Open(tlc.WithShards(*shards))
+		writeSnap = *snapshot != ""
+	}
 	if *xmarkFactor > 0 {
 		if err := db.LoadXMark("auction.xml", *xmarkFactor); err != nil {
 			fatal(err)
@@ -74,7 +88,15 @@ func main() {
 		}
 	}
 	if len(db.Documents()) == 0 {
-		fatal(fmt.Errorf("no documents loaded; use -load or -xmark"))
+		fatal(fmt.Errorf("no documents loaded; use -load, -xmark or -snapshot"))
+	}
+	if writeSnap {
+		info, err := db.Snapshot(*snapshot)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote snapshot %s (%d documents, %d bytes)\n",
+			info.Dir, info.Docs, info.Bytes)
 	}
 
 	engine, ok := tlc.ParseEngine(*engineName)

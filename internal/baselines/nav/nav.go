@@ -225,7 +225,8 @@ func (ev *evaluator) path(p *xquery.Path, e env) ([]*seq.Node, error) {
 		if !ok {
 			return nil, fmt.Errorf("nav: document %q not loaded", p.Doc)
 		}
-		cur = []*seq.Node{ev.arena.StoreNode(id, 0, ev.st.Node(id, 0))}
+		nd := ev.st.Node(id, 0)
+		cur = []*seq.Node{ev.arena.StoreNode(id, 0, nd.Kind, nd.Tag, nd.Value)}
 	default:
 		bound, ok := e[p.Var]
 		if !ok {
@@ -297,7 +298,7 @@ func (ev *evaluator) children(n *seq.Node) []*seq.Node {
 	out := make([]*seq.Node, 0, len(ords))
 	d := ev.st.Doc(n.Doc)
 	for _, o := range ords {
-		out = append(out, ev.arena.StoreNode(n.Doc, o, d.Node(o)))
+		out = append(out, ev.arena.StoreNodeOf(n.Doc, o, d))
 	}
 	return out
 }

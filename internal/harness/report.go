@@ -32,6 +32,10 @@ type BenchReport struct {
 	Parallelism int           `json:"parallelism"`
 	Shards      int           `json:"shards,omitempty"`
 	Results     []BenchResult `json:"results"`
+	// Startup, when present, is the cold-start comparison of tlcbench
+	// -startup: XML parse+index versus snapshot open (its own factor —
+	// startup is typically measured at a larger scale than the workload).
+	Startup *StartupReport `json:"startup,omitempty"`
 }
 
 // Report flattens Figure 15 rows into a BenchReport.

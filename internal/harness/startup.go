@@ -1,0 +1,111 @@
+package harness
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"tlc"
+	"tlc/internal/xmark"
+)
+
+// StartupReport compares the two cold-start paths at one scale factor:
+// parsing and indexing the XML text versus validating and mapping a
+// columnar snapshot. Wall times are single-shot (cold start is a
+// one-time cost; the variance of interest is between paths, not runs),
+// heap numbers are the post-GC live-heap growth attributable to the
+// opened database — the snapshot path keeps its columns in the mapped
+// file, so its heap cost is bookkeeping, not data.
+type StartupReport struct {
+	// Factor is the XMark scale factor the corpus was generated at.
+	Factor float64 `json:"factor"`
+	// Shards is the store shard count of both databases.
+	Shards int `json:"shards"`
+	// XMLBytes is the size of the serialized XML text.
+	XMLBytes int64 `json:"xml_bytes"`
+	// SnapshotBytes is the total size of the snapshot files.
+	SnapshotBytes int64 `json:"snapshot_bytes"`
+	// LoadNs is the wall time of LoadXMLString (parse + index + stats).
+	LoadNs int64 `json:"load_ns"`
+	// LoadHeapBytes is the live-heap growth the XML-loaded database holds.
+	LoadHeapBytes int64 `json:"load_heap_bytes"`
+	// OpenNs is the wall time of OpenSnapshot (validate + map).
+	OpenNs int64 `json:"open_ns"`
+	// OpenHeapBytes is the live-heap growth the snapshot-opened database
+	// holds; its column data lives in the mapping, counted in MappedBytes.
+	OpenHeapBytes int64 `json:"open_heap_bytes"`
+	// MappedBytes is the snapshot-opened database's mmap'd region size.
+	MappedBytes int64 `json:"mapped_bytes"`
+	// Speedup is LoadNs / OpenNs.
+	Speedup float64 `json:"speedup"`
+}
+
+func (r *StartupReport) String() string {
+	return fmt.Sprintf(
+		"factor %g, %d shard(s)\n"+
+			"  xml load:      %10s  heap %8.1f MB   (%.1f MB xml)\n"+
+			"  snapshot open: %10s  heap %8.1f MB   (%.1f MB mapped)\n"+
+			"  speedup:       %.1fx\n",
+		r.Factor, r.Shards,
+		fmtDuration(time.Duration(r.LoadNs)), float64(r.LoadHeapBytes)/(1<<20), float64(r.XMLBytes)/(1<<20),
+		fmtDuration(time.Duration(r.OpenNs)), float64(r.OpenHeapBytes)/(1<<20), float64(r.MappedBytes)/(1<<20),
+		r.Speedup)
+}
+
+// liveHeap returns the post-GC live heap, for before/after deltas around
+// a database open.
+func liveHeap() int64 {
+	runtime.GC()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return int64(ms.HeapAlloc)
+}
+
+// MeasureStartup generates an XMark corpus at factor, then measures the
+// two ways a process can come up with it: parsing the XML text into a
+// fresh database, and opening a snapshot of that database written to dir
+// (which must be empty or absent). The snapshot directory is left in
+// place for inspection.
+func MeasureStartup(factor float64, shards int, dir string) (*StartupReport, error) {
+	xmlText := xmark.Generate("auction.xml", factor).XML(0)
+	rep := &StartupReport{Factor: factor, XMLBytes: int64(len(xmlText))}
+
+	// Cold-start path 1: parse and index the XML.
+	h0 := liveHeap()
+	t0 := time.Now()
+	db := tlc.Open(tlc.WithShards(shards))
+	if err := db.LoadXMLString("auction.xml", xmlText); err != nil {
+		return nil, err
+	}
+	rep.LoadNs = time.Since(t0).Nanoseconds()
+	rep.LoadHeapBytes = max(liveHeap()-h0-rep.XMLBytes, 0) // xmlText stays live; exclude it
+	rep.Shards = db.NumShards()
+
+	info, err := db.Snapshot(dir)
+	if err != nil {
+		return nil, err
+	}
+	rep.SnapshotBytes = info.Bytes
+	if err := db.Close(); err != nil {
+		return nil, err
+	}
+	db = nil //nolint:ineffassign // release the XML-loaded store before measuring the snapshot path
+
+	// Cold-start path 2: validate and map the snapshot.
+	h1 := liveHeap()
+	t1 := time.Now()
+	snap, err := tlc.OpenSnapshot(dir)
+	if err != nil {
+		return nil, err
+	}
+	rep.OpenNs = time.Since(t1).Nanoseconds()
+	rep.OpenHeapBytes = max(liveHeap()-h1, 0)
+	rep.MappedBytes = snap.MappedBytes()
+	if err := snap.Close(); err != nil {
+		return nil, err
+	}
+	if rep.OpenNs > 0 {
+		rep.Speedup = float64(rep.LoadNs) / float64(rep.OpenNs)
+	}
+	return rep, nil
+}

@@ -264,7 +264,7 @@ func TestStructuralJoinFigure14(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		nt := seq.NewTree(seq.NewStoreNode(d.Doc, d.Ord, s.Doc(d.Doc).Node(d.Ord)))
+		nt := seq.NewTree(seq.NewStoreNode(d.Doc, d.Ord, s.Doc(d.Doc)))
 		nt.AddToClass(2, nt.Root)
 		right = append(right, nt)
 	}
@@ -314,7 +314,7 @@ func TestStructuralJoinOuterAndChildAxis(t *testing.T) {
 	var right seq.Seq
 	for _, w := range dsel {
 		d, _ := w.Singleton(2)
-		nt := seq.NewTree(seq.NewStoreNode(d.Doc, d.Ord, s.Doc(d.Doc).Node(d.Ord)))
+		nt := seq.NewTree(seq.NewStoreNode(d.Doc, d.Ord, s.Doc(d.Doc)))
 		nt.AddToClass(2, nt.Root)
 		right = append(right, nt)
 	}

@@ -22,7 +22,6 @@ import (
 	"tlc/internal/pattern"
 	"tlc/internal/seq"
 	"tlc/internal/store"
-	"tlc/internal/xmltree"
 )
 
 type classEntry struct {
@@ -223,7 +222,7 @@ func (m *Matcher) buildPartials(ctx context.Context, doc store.DocID, p *pattern
 		if err := poll(ctx, i); err != nil {
 			return nil, err
 		}
-		n := m.arena.StoreNode(doc, o, d.Node(o))
+		n := m.arena.StoreNodeOf(doc, o, d)
 		pt := &ps[i]
 		pt.root = n
 		if p.LCL > 0 {
@@ -305,17 +304,18 @@ func (m *Matcher) expandEdge(ctx context.Context, doc store.DocID, parents []*pa
 // over many parents reuses one buffer instead of allocating per parent. The
 // caller must be done with ms before the next call; the descendant axis
 // returns a subslice of children and leaves scratch untouched.
-func structuralMatches(d *xmltree.Document, parentOrd int32, children []*partial, axis pattern.Axis, scratch []*partial) (ms, spare []*partial) {
-	pid := d.Node(parentOrd).ID
-	lo := searchPartials(children, pid.Start+1)
-	hi := searchPartials(children, pid.End+1)
+func structuralMatches(d *store.Doc, parentOrd int32, children []*partial, axis pattern.Axis, scratch []*partial) (ms, spare []*partial) {
+	start, end := d.Start(parentOrd), d.End(parentOrd)
+	lo := searchPartials(children, start+1)
+	hi := searchPartials(children, end+1)
 	in := children[lo:hi]
 	if axis == pattern.Descendant {
 		return in, scratch
 	}
+	level := d.Level(parentOrd)
 	out := scratch[:0]
 	for _, c := range in {
-		if d.Node(c.root.Ord).ID.Level == pid.Level+1 {
+		if d.Level(c.root.Ord) == level+1 {
 			out = append(out, c)
 		}
 	}
@@ -347,8 +347,8 @@ func (m *Matcher) candidates(doc store.DocID, p *pattern.Node) ([]int32, error) 
 	var ords []int32
 	switch p.Kind {
 	case pattern.TestDocRoot:
-		if m.st.Doc(doc).Name != p.Doc {
-			return nil, fmt.Errorf("physical: pattern document %q does not match %q", p.Doc, m.st.Doc(doc).Name)
+		if m.st.Doc(doc).Name() != p.Doc {
+			return nil, fmt.Errorf("physical: pattern document %q does not match %q", p.Doc, m.st.Doc(doc).Name())
 		}
 		ords = []int32{0}
 	case pattern.TestTag:

@@ -90,19 +90,19 @@ func refMatch(st *store.Store, id store.DocID, apt *pattern.Tree) []refWitness {
 	var matchNode func(p *pattern.Node, ord int32) []refWitness
 	candidatesBelow := func(p *pattern.Node, anc int32, axis pattern.Axis) []int32 {
 		var out []int32
-		aid := d.Node(anc).ID
-		for i := range d.Nodes {
-			nd := &d.Nodes[i]
-			if nd.Tag != p.Tag || !aid.Contains(nd.ID) {
+		aid := d.ID(anc)
+		for i := 0; i < d.Len(); i++ {
+			ord := int32(i)
+			if d.Tag(ord) != p.Tag || !aid.Contains(d.ID(ord)) {
 				continue
 			}
-			if axis == pattern.Child && nd.ID.Level != aid.Level+1 {
+			if axis == pattern.Child && d.Level(ord) != aid.Level+1 {
 				continue
 			}
-			if p.Pred != nil && !p.Pred.Eval(d.Content(int32(i))) {
+			if p.Pred != nil && !p.Pred.Eval(d.Content(ord)) {
 				continue
 			}
-			out = append(out, int32(i))
+			out = append(out, ord)
 		}
 		return out
 	}

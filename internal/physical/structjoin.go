@@ -77,15 +77,15 @@ func StructuralJoin(ctx context.Context, st *store.Store, left, right seq.Seq, l
 			return nil, fmt.Errorf("physical: structural join left anchor is a temporary node")
 		}
 		d := st.Doc(anchor.Doc)
-		aid := d.Node(anchor.Ord).ID
-		lo := sort.Search(len(rents), func(i int) bool { return rents[i].tree.Root.Ord >= aid.Start+1 })
-		hi := sort.Search(len(rents), func(i int) bool { return rents[i].tree.Root.Ord >= aid.End+1 })
+		aStart, aEnd, aLevel := d.Start(anchor.Ord), d.End(anchor.Ord), d.Level(anchor.Ord)
+		lo := sort.Search(len(rents), func(i int) bool { return rents[i].tree.Root.Ord >= aStart+1 })
+		hi := sort.Search(len(rents), func(i int) bool { return rents[i].tree.Root.Ord >= aEnd+1 })
 		var ms []*rentry
 		for _, e := range rents[lo:hi] {
 			if e.tree.Root.Doc != anchor.Doc {
 				continue
 			}
-			if axis == pattern.Child && d.Node(e.tree.Root.Ord).ID.Level != aid.Level+1 {
+			if axis == pattern.Child && d.Level(e.tree.Root.Ord) != aLevel+1 {
 				continue
 			}
 			ms = append(ms, e)

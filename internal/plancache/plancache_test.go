@@ -239,3 +239,64 @@ func TestConcurrentLoad(t *testing.T) {
 		t.Errorf("stats = %+v, want 16 lookups collapsing to one entry", st)
 	}
 }
+
+// TestSnapshotLoadShardInvalidation: loading a snapshot invalidates only
+// the cached plans whose shard footprint the snapshot's documents touch —
+// the snapshot path must honor the same per-shard generation contract as
+// LoadXML.
+func TestSnapshotLoadShardInvalidation(t *testing.T) {
+	db := tlc.Open(tlc.WithShards(4))
+	if err := db.LoadXMLString("a.xml", testXML); err != nil {
+		t.Fatal(err)
+	}
+	c := New(4)
+	ctx := context.Background()
+	key := Key{Query: testQuery}
+	if _, _, err := c.Load(ctx, db, key); err != nil {
+		t.Fatal(err)
+	}
+
+	// One document name routing to a.xml's shard, one routing elsewhere
+	// (routing is a pure name hash, identical in every 4-shard database).
+	target := db.ShardOfDocument("a.xml")
+	same, other := "", ""
+	for i := 0; same == "" || other == ""; i++ {
+		name := fmt.Sprintf("doc%d.xml", i)
+		if db.ShardOfDocument(name) == target {
+			if same == "" {
+				same = name
+			}
+		} else if other == "" {
+			other = name
+		}
+	}
+	snapshotOf := func(name string) string {
+		t.Helper()
+		src := tlc.Open(tlc.WithShards(4))
+		if err := src.LoadXMLString(name, `<r><x>1</x></r>`); err != nil {
+			t.Fatal(err)
+		}
+		dir := t.TempDir()
+		if _, err := src.Snapshot(dir); err != nil {
+			t.Fatal(err)
+		}
+		return dir
+	}
+
+	// A snapshot landing on a different shard leaves the cached plan valid.
+	if err := db.LoadSnapshot(snapshotOf(other)); err != nil {
+		t.Fatal(err)
+	}
+	if _, hit, err := c.Load(ctx, db, key); err != nil || !hit {
+		t.Fatalf("after unrelated-shard snapshot load: hit=%v err=%v, want hit", hit, err)
+	}
+
+	// A snapshot landing on the plan's own shard invalidates it.
+	if err := db.LoadSnapshot(snapshotOf(same)); err != nil {
+		t.Fatal(err)
+	}
+	if _, hit, err := c.Load(ctx, db, key); err != nil || hit {
+		t.Fatalf("after same-shard snapshot load: hit=%v err=%v, want recompile", hit, err)
+	}
+	db.Close()
+}

@@ -1,0 +1,169 @@
+package planner
+
+import (
+	"sort"
+	"strings"
+	"testing"
+
+	"tlc/internal/algebra"
+	"tlc/internal/pattern"
+	"tlc/internal/seq"
+	"tlc/internal/store"
+)
+
+// orderTestAuction is the edge-ordering fixture: open_auction a0 carries six
+// bidders so the Q1 shape's count($o/bidder) > 5 predicate selects it.
+const orderTestAuction = `<site>
+  <people>
+    <person id="p0"><name>Alice</name><age>30</age></person>
+    <person id="p1"><name>Bob</name><age>20</age></person>
+    <person id="p2"><name>Carol</name><age>40</age></person>
+  </people>
+  <open_auctions>
+    <open_auction id="a0">
+      <bidder><personref person="p0"/><increase>3</increase></bidder>
+      <bidder><personref person="p2"/><increase>4</increase></bidder>
+      <bidder><personref person="p0"/><increase>5</increase></bidder>
+      <bidder><personref person="p2"/><increase>6</increase></bidder>
+      <bidder><personref person="p0"/><increase>7</increase></bidder>
+      <bidder><personref person="p2"/><increase>8</increase></bidder>
+      <quantity>2</quantity>
+    </open_auction>
+    <open_auction id="a1">
+      <bidder><personref person="p2"/><increase>1</increase></bidder>
+      <quantity>5</quantity>
+    </open_auction>
+    <open_auction id="a2"><quantity>1</quantity></open_auction>
+  </open_auctions>
+</site>`
+
+const orderQ1Text = `
+FOR $p IN document("auction.xml")//person
+FOR $o IN document("auction.xml")//open_auction
+WHERE count($o/bidder) > 5 AND $p/age > 25
+  AND $p/@id = $o/bidder//@person
+RETURN
+<person name={$p/name/text()}> $o/bidder </person>`
+
+func loadOrderStore(t *testing.T) *store.Store {
+	t.Helper()
+	s := store.New()
+	if _, err := s.LoadXML("auction.xml", strings.NewReader(orderTestAuction)); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// canonical renders a result sequence in an order-insensitive form for
+// equivalence checks (reordering may permute trees with equal roots).
+func canonical(s *store.Store, out seq.Seq) []string {
+	xs := make([]string, len(out))
+	for i, w := range out {
+		xs[i] = w.XML(s)
+	}
+	sort.Strings(xs)
+	return xs
+}
+
+func runPlan(t *testing.T, s *store.Store, p algebra.Op) seq.Seq {
+	t.Helper()
+	out, err := algebra.Run(s, p)
+	if err != nil {
+		t.Fatalf("eval: %v\nplan:\n%s", err, algebra.Explain(p))
+	}
+	return out
+}
+
+// TestOrderEdgesPreservesResults reorders pattern edges by selectivity and
+// checks result equality plus that a reorder actually happened on the Q1
+// shape (flat join branch before the nested cluster).
+func TestOrderEdgesPreservesResults(t *testing.T) {
+	s := loadOrderStore(t)
+	base := buildPlan(t, orderQ1Text)
+	want := canonical(s, runPlan(t, s, base))
+
+	ordered := buildPlan(t, orderQ1Text)
+	if n := OrderEdges(ordered, s); n == 0 {
+		t.Fatalf("no edges reordered:\n%s", algebra.Explain(ordered))
+	}
+	got := canonical(s, runPlan(t, s, ordered))
+	if strings.Join(got, "\n") != strings.Join(want, "\n") {
+		t.Errorf("edge ordering changed results.\nwant:\n%s\ngot:\n%s",
+			strings.Join(want, "\n"), strings.Join(got, "\n"))
+	}
+}
+
+// TestOrderEdgesPredicatesFirst checks the selectivity classes: a
+// predicated flat branch sorts before an unpredicated one, nested last.
+func TestOrderEdgesPredicatesFirst(t *testing.T) {
+	s := loadOrderStore(t)
+	q := `FOR $o IN document("auction.xml")//open_auction
+		LET $b := $o/bidder
+		WHERE $o/quantity > 1 AND count($b) > 0
+		RETURN $o/@id`
+	plan := buildPlan(t, q)
+	OrderEdges(plan, s)
+	for _, op := range algebra.Ops(plan) {
+		sel, ok := op.(*algebra.Select)
+		if !ok || sel.APT == nil || sel.APT.Root == nil {
+			continue
+		}
+		for _, n := range sel.APT.Nodes() {
+			lastClass := -1
+			for _, e := range n.Edges {
+				c := edgeClass(e)
+				if c < lastClass {
+					t.Errorf("edges out of class order:\n%s", algebra.Explain(plan))
+				}
+				lastClass = c
+			}
+		}
+	}
+}
+
+// TestOrderEdgesMultiDoc is the regression test for multi-document edge
+// ordering. The original rewrite-layer heuristic pinned its cardinality
+// estimates to a single statically-known document and silently degraded to
+// class-only ordering when the pattern root was not a doc-root test — on
+// multi-doc stores, same-class edges then kept query order. The planner
+// implementation estimates across every document the pattern can read: a
+// class-anchored pattern with unknown provenance orders by the summed tag
+// counts, while a doc-rooted pattern still uses only its own document.
+func TestOrderEdgesMultiDoc(t *testing.T) {
+	s := store.New()
+	if _, err := s.LoadXML("one.xml", strings.NewReader(
+		`<r><common/><common/><common/><common/><common/><rare/><x/><y/><y/><y/><y/><y/></r>`)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.LoadXML("two.xml", strings.NewReader(
+		`<r><common/><common/><common/><common/><common/><common/><rare/><rare/><x/><x/><x/><x/><x/><x/><x/><x/><y/></r>`)); err != nil {
+		t.Fatal(err)
+	}
+
+	// A class-anchored pattern (no statically-known document): the summed
+	// counts are common=11 vs rare=3, so rare must move first. The old
+	// heuristic left this in query order.
+	anchored := &pattern.Tree{Root: pattern.NewLCAnchor(10, 1)}
+	anchored.Root.Add(pattern.NewTagNode(11, "common"), pattern.Descendant, pattern.One)
+	anchored.Root.Add(pattern.NewTagNode(12, "rare"), pattern.Descendant, pattern.One)
+	base := algebra.NewSelect(&pattern.Tree{Root: pattern.NewDocRoot(1, "one.xml")})
+	plan := algebra.NewExtendSelect(base, anchored)
+	if n := OrderEdges(plan, s); n == 0 {
+		t.Fatalf("no edges reordered on the multi-doc store:\n%s", algebra.Explain(plan))
+	}
+	if got := anchored.Root.Edges[0].To.Tag; got != "rare" {
+		t.Errorf("first edge = %q, want rare (summed across documents)", got)
+	}
+
+	// A doc-rooted pattern pins to its own document: in one.xml, x=1 < y=5,
+	// so x stays first even though the cross-document totals (x=9 > y=6)
+	// would flip the order.
+	rooted := &pattern.Tree{Root: pattern.NewDocRoot(1, "one.xml")}
+	rooted.Root.Add(pattern.NewTagNode(2, "x"), pattern.Descendant, pattern.One)
+	rooted.Root.Add(pattern.NewTagNode(3, "y"), pattern.Descendant, pattern.One)
+	rootedPlan := algebra.NewSelect(rooted)
+	OrderEdges(rootedPlan, s)
+	if got := rooted.Root.Edges[0].To.Tag; got != "x" {
+		t.Errorf("first edge = %q, want x (doc-rooted patterns use their own document)", got)
+	}
+}

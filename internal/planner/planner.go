@@ -134,9 +134,9 @@ func Plan(root algebra.Op, st *store.Store, opts Options) (algebra.Op, *Info) {
 }
 
 // OrderEdges applies only the edge-ordering pass — the multi-document-aware
-// replacement for the former rewrite.OrderEdges heuristic, exported for the
-// rewrite package's compatibility shim and the ordering ablation. It
-// returns the number of pattern nodes whose edge order changed.
+// replacement for the rewrite layer's former single-document heuristic,
+// exported for the ordering ablation. It returns the number of pattern
+// nodes whose edge order changed.
 func OrderEdges(root algebra.Op, st *store.Store) int {
 	return orderEdges(root, newEstimator(st, root))
 }

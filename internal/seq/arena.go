@@ -136,12 +136,19 @@ func (a *Arena) node() *Node {
 
 // StoreNode returns a witness node referencing the store node at
 // (doc, ord), allocated from the arena. Kind, tag and value are cached
-// from the record rec.
-func (a *Arena) StoreNode(doc store.DocID, ord int32, rec *xmltree.Node) *Node {
+// from the store's columns (tag and value are dictionary-interned
+// strings, so caching them copies two string headers, not bytes).
+func (a *Arena) StoreNode(doc store.DocID, ord int32, kind xmltree.Kind, tag, value string) *Node {
 	n := a.node()
 	n.Doc, n.Ord = doc, ord
-	n.Kind, n.Tag, n.Value = rec.Kind, rec.Tag, rec.Value
+	n.Kind, n.Tag, n.Value = kind, tag, value
 	return n
+}
+
+// StoreNodeOf is StoreNode reading the cached fields from the columnar
+// document view d (which must be the view of doc).
+func (a *Arena) StoreNodeOf(doc store.DocID, ord int32, d *store.Doc) *Node {
+	return a.StoreNode(doc, ord, d.Kind(ord), d.Tag(ord), d.Value(ord))
 }
 
 // TempElement returns a fresh temporary element node from the arena.

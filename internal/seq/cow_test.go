@@ -133,9 +133,8 @@ func TestArenaAllocatesAndCounts(t *testing.T) {
 		t.Fatal("arena node not initialized")
 	}
 	// Cross the slab boundary to count slab growth.
-	rec := &xmltree.Node{Kind: xmltree.Element, Tag: "e"}
 	for i := 0; i < slabNodes+5; i++ {
-		a.StoreNode(0, int32(i), rec)
+		a.StoreNode(0, int32(i), xmltree.Element, "e", "")
 	}
 	st := a.Stats()
 	if st.Nodes != int64(slabNodes+6) {

@@ -43,7 +43,7 @@ func MaterializeIn(a *Arena, st *store.Store, doc store.DocID, ord int32) *Node 
 	st.CountMaterializedDoc(doc, d.SubtreeSize(ord))
 	var build func(int32, *Node) *Node
 	build = func(o int32, parent *Node) *Node {
-		n := a.StoreNode(doc, o, d.Node(o))
+		n := a.StoreNodeOf(doc, o, d)
 		n.Parent = parent
 		n.Full = true
 		for _, c := range d.Children(o) {
@@ -117,8 +117,8 @@ func expandInPlace(a *Arena, st *store.Store, n *Node) {
 	n.Full = true
 }
 
-func buildFull(a *Arena, d *xmltree.Document, doc store.DocID, ord int32, parent *Node) *Node {
-	n := a.StoreNode(doc, ord, d.Node(ord))
+func buildFull(a *Arena, d *store.Doc, doc store.DocID, ord int32, parent *Node) *Node {
+	n := a.StoreNodeOf(doc, ord, d)
 	n.Parent = parent
 	n.Full = true
 	for _, c := range d.Children(ord) {

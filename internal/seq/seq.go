@@ -120,9 +120,9 @@ type Node struct {
 }
 
 // NewStoreNode returns a witness node referencing the store node at
-// (doc, ord). Kind, tag and value are cached from the record n.
-func NewStoreNode(doc store.DocID, ord int32, n *xmltree.Node) *Node {
-	return (*Arena)(nil).StoreNode(doc, ord, n)
+// (doc, ord). Kind, tag and value are cached from the columnar view d.
+func NewStoreNode(doc store.DocID, ord int32, d *store.Doc) *Node {
+	return (*Arena)(nil).StoreNodeOf(doc, ord, d)
 }
 
 // NewTempElement returns a fresh temporary element node.

@@ -24,7 +24,7 @@ func loadSample(t *testing.T) (*store.Store, store.DocID) {
 }
 
 func storeNode(s *store.Store, id store.DocID, ord int32) *Node {
-	return NewStoreNode(id, ord, s.Doc(id).Node(ord))
+	return NewStoreNode(id, ord, s.Doc(id))
 }
 
 func TestTempIDsMonotone(t *testing.T) {
@@ -178,8 +178,8 @@ func TestContent(t *testing.T) {
 	s, id := loadSample(t)
 	var ageOrd int32 = -1
 	doc := s.Doc(id)
-	for i := range doc.Nodes {
-		if doc.Nodes[i].Tag == "age" {
+	for i := 0; i < doc.Len(); i++ {
+		if doc.Tag(int32(i)) == "age" {
 			ageOrd = int32(i)
 		}
 	}
@@ -291,7 +291,7 @@ func TestExpandInPlacePreservesMatchedKids(t *testing.T) {
 	var idOrd int32 = -1
 	doc := s.Doc(id)
 	for _, c := range doc.Children(persons[0]) {
-		if doc.Node(c).Tag == "@id" {
+		if doc.Tag(c) == "@id" {
 			idOrd = c
 		}
 	}

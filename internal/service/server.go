@@ -12,6 +12,7 @@
 //	POST /explain   same body -> plan text
 //	POST /profile   same body -> per-operator profile text
 //	POST /load      ?name=doc.xml with an XML body, or ?name=&xmark=1
+//	POST /snapshot  ?dir=/path — write a columnar snapshot of the store
 //	GET  /documents loaded document names
 //	GET  /healthz   liveness
 //	GET  /varz      metrics JSON
@@ -115,8 +116,13 @@ type Server struct {
 	// database (per shard), not here; see lockShards/handleLoad.
 
 	// breakers holds one circuit breaker per evaluation endpoint, keyed by
-	// endpoint name (query, explain, profile, load).
+	// endpoint name (query, explain, profile, load, snapshot).
 	breakers map[string]*breaker
+	// Snapshot gauges for /varz: snapshots written since start, and the
+	// byte size and wall time of the most recent one.
+	snapshotsWritten  atomic.Int64
+	lastSnapshotBytes atomic.Int64
+	lastSnapshotWall  atomic.Int64 // nanoseconds
 	// shed counts requests refused by admission control (429 or queued
 	// past deadline) and serialFallbacks counts parallel runs retried
 	// serially after an internal error.
@@ -136,7 +142,7 @@ func New(cfg Config) (*Server, error) {
 	}
 	cfg.fillDefaults()
 	breakers := make(map[string]*breaker, 4)
-	for _, ep := range []string{"query", "explain", "profile", "load"} {
+	for _, ep := range []string{"query", "explain", "profile", "load", "snapshot"} {
 		breakers[ep] = newBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown)
 	}
 	return &Server{
@@ -157,6 +163,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/explain", s.instrument(s.protect("explain", s.handleExplain)))
 	mux.HandleFunc("/profile", s.instrument(s.protect("profile", s.handleProfile)))
 	mux.HandleFunc("/load", s.instrument(s.protect("load", s.handleLoad)))
+	mux.HandleFunc("/snapshot", s.instrument(s.protect("snapshot", s.handleSnapshot)))
 	mux.HandleFunc("/documents", s.instrument(s.handleDocuments))
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/varz", s.handleVarz)
@@ -617,6 +624,40 @@ func (s *Server) handleLoad(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// handleSnapshot writes a columnar snapshot of the current store to the
+// directory named by ?dir=. The write captures a consistent document set
+// without blocking queries or loads (the store's directory is swapped
+// atomically), so the handler takes no shard locks.
+func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeErrorCode(w, http.StatusMethodNotAllowed, codeUserError, "POST required")
+		return
+	}
+	dir := r.URL.Query().Get("dir")
+	if dir == "" {
+		writeErrorCode(w, http.StatusBadRequest, codeUserError, "missing ?dir=")
+		return
+	}
+	start := time.Now()
+	info, err := s.db.Snapshot(dir)
+	if err != nil {
+		status, code := classify(err)
+		writeErrorCode(w, status, code, "snapshot: %v", err)
+		return
+	}
+	wall := time.Since(start)
+	s.snapshotsWritten.Add(1)
+	s.lastSnapshotBytes.Store(info.Bytes)
+	s.lastSnapshotWall.Store(int64(wall))
+	writeJSON(w, http.StatusOK, map[string]any{
+		"dir":         info.Dir,
+		"bytes":       info.Bytes,
+		"documents":   info.Docs,
+		"shard_files": info.ShardFiles,
+		"wall_ms":     wall.Milliseconds(),
+	})
+}
+
 func (s *Server) handleDocuments(w http.ResponseWriter, r *http.Request) {
 	// Loads publish the document directory with an atomic snapshot swap, so
 	// listing needs no lock — it sees either the pre- or post-load list.
@@ -651,6 +692,10 @@ type varz struct {
 	// from slab arenas, slabs that cost, and nodes allocated individually
 	// because no arena was in scope.
 	Arena      map[string]int64 `json:"arena"`
+	// Snapshot holds the snapshot gauges: bytes currently mmap'd from
+	// opened snapshots, snapshots written since start, and the size and
+	// wall time of the most recent write.
+	Snapshot   map[string]int64 `json:"snapshot"`
 	Documents  int              `json:"documents"`
 	Generation uint64           `json:"generation"`
 	// Shards reports the per-shard gauges: document count and load
@@ -712,6 +757,12 @@ func (s *Server) handleVarz(w http.ResponseWriter, r *http.Request) {
 			"nodes":       arenaNodes,
 			"slabs":       arenaSlabs,
 			"plain_nodes": plainNodes,
+		},
+		Snapshot: map[string]int64{
+			"mapped_bytes":     s.db.MappedBytes(),
+			"written_total":    s.snapshotsWritten.Load(),
+			"last_bytes":       s.lastSnapshotBytes.Load(),
+			"last_duration_ms": time.Duration(s.lastSnapshotWall.Load()).Milliseconds(),
 		},
 		Documents:       len(s.db.Documents()),
 		Generation:      s.db.Generation(),

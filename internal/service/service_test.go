@@ -443,3 +443,94 @@ func TestConcurrentQueriesAndLoads(t *testing.T) {
 	}()
 	wg.Wait()
 }
+
+// TestSnapshotEndpoint: POST /snapshot writes a snapshot that reopens into
+// a database answering the same queries, and /varz reports the snapshot
+// gauges.
+func TestSnapshotEndpoint(t *testing.T) {
+	_, ts := newServer(t, Config{})
+	dir := t.TempDir()
+
+	// GET is rejected; missing ?dir= is rejected.
+	resp, err := http.Get(ts.URL + "/snapshot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /snapshot = %d, want 405", resp.StatusCode)
+	}
+	resp, err = http.Post(ts.URL+"/snapshot", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("POST /snapshot without dir = %d, want 400", resp.StatusCode)
+	}
+
+	resp, err = http.Post(ts.URL+"/snapshot?dir="+dir, "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out struct {
+		Dir        string `json:"dir"`
+		Bytes      int64  `json:"bytes"`
+		Documents  int    `json:"documents"`
+		ShardFiles int    `json:"shard_files"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST /snapshot = %d, want 200", resp.StatusCode)
+	}
+	if out.Documents != 1 || out.Bytes <= 0 || out.ShardFiles != 1 {
+		t.Fatalf("snapshot response = %+v", out)
+	}
+
+	// The written snapshot opens into an equivalent database.
+	snap, err := tlc.OpenSnapshot(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer snap.Close()
+	res, err := snap.Query(siteQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 2 {
+		t.Fatalf("snapshot query returned %d trees, want 2", res.Len())
+	}
+
+	// /varz reports the write and, for a snapshot-backed server, the
+	// mapped bytes.
+	resp, err = http.Get(ts.URL + "/varz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var vz struct {
+		Snapshot map[string]int64 `json:"snapshot"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&vz); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if vz.Snapshot["written_total"] != 1 || vz.Snapshot["last_bytes"] != out.Bytes {
+		t.Fatalf("varz snapshot gauges = %v", vz.Snapshot)
+	}
+
+	_, ts2 := newServer(t, Config{DB: snap})
+	resp, err = http.Get(ts2.URL + "/varz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&vz); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if vz.Snapshot["mapped_bytes"] <= 0 {
+		t.Fatalf("mapped_bytes = %d, want > 0", vz.Snapshot["mapped_bytes"])
+	}
+}

@@ -1,12 +1,15 @@
 package store
 
-import "tlc/internal/xmltree"
-
 // This file implements the statistics catalog: per-document, per-tag
 // summaries computed once at load time and served to the cost-based
 // planner (internal/planner). Catalog probes are free — no access
 // counters are touched — because a real system keeps these numbers in
 // its catalog, not in the data pages.
+//
+// The summaries are keyed by dictionary IDs (the same IDs the node
+// columns hold), so they serialize into snapshots as flat integer
+// records; the string-keyed Catalog API resolves names through the
+// owning document's dictionaries.
 //
 // The collected statistics are:
 //
@@ -36,118 +39,117 @@ type TagStats struct {
 	MinLevel, MaxLevel int32
 }
 
-// tagPair keys the structural co-occurrence maps.
-type tagPair struct{ up, down string }
+// idPair keys the structural co-occurrence maps by tag dictionary IDs.
+type idPair struct{ up, down uint32 }
 
-// docStats holds the per-document catalog, built once in Load.
+// docStats holds the per-document catalog, built once at load (or
+// decoded from a snapshot).
 type docStats struct {
-	rootTag string
+	// rootTag is the tag dictionary ID of the document root.
+	rootTag uint32
 	nodes   int
 	depth   int32
-	tags    map[string]TagStats
+	tags    map[uint32]TagStats
 	// child counts childTag nodes per parentTag.
-	child map[tagPair]int
+	child map[idPair]int
 	// desc counts descTag nodes having at least one ancTag ancestor.
-	desc map[tagPair]int
+	desc map[idPair]int
 }
 
-// docStatsBuilder accumulates docStats during the single load pass over
-// the arena (document order, so the ancestor chain is a stack).
-type docStatsBuilder struct {
-	st *docStats
-	// stack is the ancestor chain of the node being visited: ordinals
-	// paired with tags, root first.
-	stack []stackEntry
-	// distinct collects the per-tag value sets; discarded after finish.
-	distinct map[string]map[string]struct{}
-}
-
-type stackEntry struct {
-	ord int32
-	tag string
-}
-
-func newDocStatsBuilder(doc *xmltree.Document) *docStatsBuilder {
-	return &docStatsBuilder{
-		st: &docStats{
-			rootTag: doc.Nodes[0].Tag,
-			nodes:   len(doc.Nodes),
-			tags:    make(map[string]TagStats),
-			child:   make(map[tagPair]int),
-			desc:    make(map[tagPair]int),
-		},
-		distinct: make(map[string]map[string]struct{}),
+// buildDocStats computes the catalog summary in one pass over the
+// document's columns (document order, so the ancestor chain is a stack).
+func buildDocStats(d *Doc) *docStats {
+	n := d.Len()
+	st := &docStats{
+		rootTag: d.c.tag[0],
+		nodes:   n,
+		tags:    make(map[uint32]TagStats),
+		child:   make(map[idPair]int),
+		desc:    make(map[idPair]int),
 	}
-}
-
-// visit records one node. Nodes must arrive in document (arena) order;
-// content carries the node's textual content when it has one.
-func (b *docStatsBuilder) visit(ord int32, n *xmltree.Node, content string, hasContent bool) {
-	// Restore the ancestor stack for this node: pop until the top is the
-	// node's parent (document order guarantees the parent is on it).
-	for len(b.stack) > 0 && b.stack[len(b.stack)-1].ord != n.Parent {
-		b.stack = b.stack[:len(b.stack)-1]
+	type stackEntry struct {
+		ord int32
+		tag uint32
 	}
-
-	ts := b.st.tags[n.Tag]
-	if ts.Count == 0 {
-		ts.MinLevel = n.ID.Level
-	}
-	ts.Count++
-	if n.ID.Level < ts.MinLevel {
-		ts.MinLevel = n.ID.Level
-	}
-	if n.ID.Level > ts.MaxLevel {
-		ts.MaxLevel = n.ID.Level
-	}
-	b.st.tags[n.Tag] = ts
-	if n.ID.Level > b.st.depth {
-		b.st.depth = n.ID.Level
-	}
-
-	if hasContent {
-		set := b.distinct[n.Tag]
-		if set == nil {
-			set = make(map[string]struct{})
-			b.distinct[n.Tag] = set
+	var stack []stackEntry
+	distinct := make(map[uint32]map[string]struct{})
+	seen := make([]uint32, 0, 16)
+	for i := 0; i < n; i++ {
+		tag := d.c.tag[i]
+		level := d.c.level[i]
+		// Restore the ancestor stack: pop until the top is the parent
+		// (document order guarantees the parent is on it).
+		for len(stack) > 0 && stack[len(stack)-1].ord != d.c.parent[i] {
+			stack = stack[:len(stack)-1]
 		}
-		set[content] = struct{}{}
-	}
 
-	if len(b.stack) > 0 {
-		parentTag := b.stack[len(b.stack)-1].tag
-		b.st.child[tagPair{parentTag, n.Tag}]++
-		pts := b.st.tags[parentTag]
-		pts.Children++
-		b.st.tags[parentTag] = pts
-		// Distinct ancestor tags: the stack is short (document depth), so
-		// a linear dedup beats a map.
-		seen := make([]string, 0, len(b.stack))
-		for _, a := range b.stack {
-			dup := false
-			for _, s := range seen {
-				if s == a.tag {
-					dup = true
-					break
+		ts := st.tags[tag]
+		if ts.Count == 0 {
+			ts.MinLevel = level
+		}
+		ts.Count++
+		if level < ts.MinLevel {
+			ts.MinLevel = level
+		}
+		if level > ts.MaxLevel {
+			ts.MaxLevel = level
+		}
+		st.tags[tag] = ts
+		if level > st.depth {
+			st.depth = level
+		}
+
+		if v := d.c.val[i]; v != 0 {
+			set := distinct[tag]
+			if set == nil {
+				set = make(map[string]struct{})
+				distinct[tag] = set
+			}
+			set[d.vals.str(v-1)] = struct{}{}
+		}
+
+		if len(stack) > 0 {
+			parentTag := stack[len(stack)-1].tag
+			st.child[idPair{parentTag, tag}]++
+			pts := st.tags[parentTag]
+			pts.Children++
+			st.tags[parentTag] = pts
+			// Distinct ancestor tags: the stack is short (document
+			// depth), so a linear dedup beats a map.
+			seen = seen[:0]
+			for _, a := range stack {
+				dup := false
+				for _, s := range seen {
+					if s == a.tag {
+						dup = true
+						break
+					}
 				}
+				if dup {
+					continue
+				}
+				seen = append(seen, a.tag)
+				st.desc[idPair{a.tag, tag}]++
 			}
-			if dup {
-				continue
-			}
-			seen = append(seen, a.tag)
-			b.st.desc[tagPair{a.tag, n.Tag}]++
 		}
+		stack = append(stack, stackEntry{ord: int32(i), tag: tag})
 	}
-	b.stack = append(b.stack, stackEntry{ord: ord, tag: n.Tag})
+	for tag, set := range distinct {
+		ts := st.tags[tag]
+		ts.Distinct = len(set)
+		st.tags[tag] = ts
+	}
+	return st
 }
 
-func (b *docStatsBuilder) finish() *docStats {
-	for tag, set := range b.distinct {
-		ts := b.st.tags[tag]
-		ts.Distinct = len(set)
-		b.st.tags[tag] = ts
+// tagStats resolves a tag name against one document's summary (zero value
+// when the tag does not occur in the document's dictionary or summary).
+func (d *Doc) tagStats(tag string) TagStats {
+	id, ok := d.tags.lookup(tag)
+	if !ok {
+		return TagStats{}
 	}
-	return b.st
+	return d.stats.tags[id]
 }
 
 // Catalog is a read-only view of the load-time statistics of a store.
@@ -200,7 +202,10 @@ func (c Catalog) shardScope(docs []DocID) map[int][]DocID {
 }
 
 // RootTag returns the tag of the document's root element.
-func (c Catalog) RootTag(id DocID) string { return c.s.entry(id).stats.rootTag }
+func (c Catalog) RootTag(id DocID) string {
+	d := c.s.entry(id)
+	return d.tags.str(d.stats.rootTag)
+}
 
 // NodeCount returns the total number of stored nodes in scope.
 func (c Catalog) NodeCount(docs []DocID) int {
@@ -231,7 +236,7 @@ func (c Catalog) TagCountByShard(docs []DocID, tag string) map[int]int {
 	for sh, ids := range c.shardScope(docs) {
 		n := 0
 		for _, id := range ids {
-			n += c.s.entry(id).stats.tags[tag].Count
+			n += c.s.entry(id).tagStats(tag).Count
 		}
 		out[sh] = n
 	}
@@ -254,7 +259,7 @@ func (c Catalog) TagCount(docs []DocID, tag string) int {
 func (c Catalog) DistinctValues(docs []DocID, tag string) int {
 	n := 0
 	for _, id := range c.scope(docs) {
-		n += c.s.entry(id).stats.tags[tag].Distinct
+		n += c.s.entry(id).tagStats(tag).Distinct
 	}
 	return n
 }
@@ -264,7 +269,7 @@ func (c Catalog) DistinctValues(docs []DocID, tag string) int {
 func (c Catalog) AvgFanout(docs []DocID, tag string) float64 {
 	count, children := 0, 0
 	for _, id := range c.scope(docs) {
-		ts := c.s.entry(id).stats.tags[tag]
+		ts := c.s.entry(id).tagStats(tag)
 		count += ts.Count
 		children += ts.Children
 	}
@@ -279,9 +284,13 @@ func (c Catalog) AvgFanout(docs []DocID, tag string) float64 {
 func (c Catalog) ChildPerParent(docs []DocID, parentTag, childTag string) float64 {
 	parents, pairs := 0, 0
 	for _, id := range c.scope(docs) {
-		st := c.s.entry(id).stats
-		parents += st.tags[parentTag].Count
-		pairs += st.child[tagPair{parentTag, childTag}]
+		d := c.s.entry(id)
+		parents += d.tagStats(parentTag).Count
+		if up, ok := d.tags.lookup(parentTag); ok {
+			if down, ok := d.tags.lookup(childTag); ok {
+				pairs += d.stats.child[idPair{up, down}]
+			}
+		}
 	}
 	if parents == 0 {
 		return 0
@@ -297,9 +306,13 @@ func (c Catalog) ChildPerParent(docs []DocID, parentTag, childTag string) float6
 func (c Catalog) DescPerAncestor(docs []DocID, ancTag, descTag string) float64 {
 	ancs, pairs := 0, 0
 	for _, id := range c.scope(docs) {
-		st := c.s.entry(id).stats
-		ancs += st.tags[ancTag].Count
-		pairs += st.desc[tagPair{ancTag, descTag}]
+		d := c.s.entry(id)
+		ancs += d.tagStats(ancTag).Count
+		if up, ok := d.tags.lookup(ancTag); ok {
+			if down, ok := d.tags.lookup(descTag); ok {
+				pairs += d.stats.desc[idPair{up, down}]
+			}
+		}
 	}
 	if ancs == 0 {
 		return 0
@@ -309,4 +322,4 @@ func (c Catalog) DescPerAncestor(docs []DocID, ancTag, descTag string) float64 {
 
 // Tag returns the full per-tag summary for one document (zero value when
 // the tag does not occur). Exposed for tests and tooling.
-func (c Catalog) Tag(id DocID, tag string) TagStats { return c.s.entry(id).stats.tags[tag] }
+func (c Catalog) Tag(id DocID, tag string) TagStats { return c.s.entry(id).tagStats(tag) }

@@ -12,7 +12,7 @@ func TestCatalogSingleDoc(t *testing.T) {
 	if got := c.RootTag(id); got != "site" {
 		t.Errorf("RootTag = %q, want site", got)
 	}
-	if got, want := c.NodeCount(nil), len(s.Doc(id).Nodes); got != want {
+	if got, want := c.NodeCount(nil), s.Doc(id).Len(); got != want {
 		t.Errorf("NodeCount = %d, want %d", got, want)
 	}
 

@@ -1,0 +1,401 @@
+package store
+
+import (
+	"sort"
+	"strings"
+
+	"tlc/internal/xmltree"
+)
+
+// This file implements the columnar node table. A document is stored as a
+// struct of flat arrays ("columns"), one entry per node in document
+// (pre-order) order, instead of an arena of pointer-rich node structs:
+//
+//	ordinal   0     1     2     3    ...
+//	start   [ 0  |  1  |  2  |  3  | ...]  int32   interval start (== ordinal)
+//	end     [ 9  |  4  |  2  |  3  | ...]  int32   interval end
+//	level   [ 0  |  1  |  2  |  2  | ...]  int32   depth from the root
+//	parent  [-1  |  0  |  1  |  1  | ...]  int32   parent ordinal (-1 at root)
+//	first   [ 1  |  2  | -1  | -1  | ...]  int32   first-child ordinal
+//	kind    [ E  |  E  |  A  |  T  | ...]  uint8   Element / Attribute / Text
+//	tag     [ 5  |  9  |  2  |  0  | ...]  uint32  tag dictionary ID
+//	val     [ 0  |  7  |  3  |  3  | ...]  uint32  value dictionary ID + 1
+//
+// Tags and values are dictionary-encoded: the columns hold dense integer
+// IDs, the strings live once in the owning shard's interned dictionaries
+// (dict.go). The val column stores dictID+1 so that 0 means "no content";
+// attributes and text nodes always carry content (possibly the empty
+// string), elements only when the concatenation of their direct text
+// children is non-empty — the same convention the value index has always
+// used.
+//
+// The tag and value indexes are columns too: a postings array of node
+// ordinals grouped by dictionary ID, plus a directory of (id, offset,
+// count) entries sorted by ID for binary-search lookup. Because the
+// paper's interval IDs make every structural decision position-based, the
+// evaluation engines run straight over these arrays; and because every
+// array is flat integers (strings reduced to dictionary offsets), the
+// whole table serializes to — and maps back from — a snapshot file
+// without any decoding (snapshot.go).
+
+// cols is the struct-of-arrays node table of one document.
+type cols struct {
+	start      []int32
+	end        []int32
+	level      []int32
+	parent     []int32
+	firstChild []int32
+	kind       []uint8
+	tag        []uint32
+	val        []uint32
+}
+
+// dirEntry is one tag- or value-index directory entry: the postings for
+// dictionary ID id are post[off : off+n]. Directories are sorted by id.
+type dirEntry struct {
+	id  uint32
+	off uint32
+	n   uint32
+}
+
+// Doc is the columnar view of one loaded document. All accessors are
+// read-only, lock-free and safe for concurrent use; none of them touch
+// the store's access counters (counted access goes through the Store
+// methods). For snapshot-opened documents the columns, directories,
+// postings and dictionary strings are views into the mapped file — the
+// accessors are identical either way.
+type Doc struct {
+	name  string
+	id    DocID
+	shard int
+	c     cols
+	// tagDir/valDir index the postings arrays, sorted by dictionary ID.
+	tagDir, valDir []dirEntry
+	// tagPost/valPost hold node ordinals grouped by dictionary ID,
+	// ascending within each group.
+	tagPost, valPost []int32
+	// tags/vals resolve the dictionary IDs of this document's columns.
+	tags, vals *dict
+	// stats is the load-time statistics summary served through Catalog.
+	stats *docStats
+}
+
+// Name returns the document name under which the document was loaded.
+func (d *Doc) Name() string { return d.name }
+
+// DocID returns the document's store-wide ID.
+func (d *Doc) DocID() DocID { return d.id }
+
+// Len returns the number of nodes in the document.
+func (d *Doc) Len() int { return len(d.c.start) }
+
+// Root returns the ordinal of the document root element (always 0).
+func (d *Doc) Root() int32 { return 0 }
+
+// Start returns the interval start of the node (== its ordinal).
+func (d *Doc) Start(ord int32) int32 { return d.c.start[ord] }
+
+// End returns the interval end of the node: the ordinal of the last node
+// in its subtree.
+func (d *Doc) End(ord int32) int32 { return d.c.end[ord] }
+
+// Level returns the node's depth (root = 0).
+func (d *Doc) Level(ord int32) int32 { return d.c.level[ord] }
+
+// Parent returns the parent ordinal, -1 at the root.
+func (d *Doc) Parent(ord int32) int32 { return d.c.parent[ord] }
+
+// FirstChild returns the ordinal of the node's first child, -1 for leaves.
+func (d *Doc) FirstChild(ord int32) int32 { return d.c.firstChild[ord] }
+
+// Kind returns the node kind (Element, Attribute or Text).
+func (d *Doc) Kind(ord int32) xmltree.Kind { return xmltree.Kind(d.c.kind[ord]) }
+
+// ID returns the node's interval identifier.
+func (d *Doc) ID(ord int32) xmltree.NodeID {
+	return xmltree.NodeID{Start: d.c.start[ord], End: d.c.end[ord], Level: d.c.level[ord]}
+}
+
+// TagID returns the tag dictionary ID of the node.
+func (d *Doc) TagID(ord int32) uint32 { return d.c.tag[ord] }
+
+// Tag returns the node's tag (elements plain, attributes with "@", text
+// nodes as "#text").
+func (d *Doc) Tag(ord int32) string { return d.tags.str(d.c.tag[ord]) }
+
+// Value returns the literal node value: the content for attributes and
+// text nodes, "" for elements — the same field the old node records
+// carried.
+func (d *Doc) Value(ord int32) string {
+	if xmltree.Kind(d.c.kind[ord]) == xmltree.Element {
+		return ""
+	}
+	return d.vals.str(d.c.val[ord] - 1)
+}
+
+// Content returns the textual content of a node: the value itself for
+// attributes and text nodes, the concatenation of the direct text
+// children for elements. Unlike the old arena — which re-concatenated on
+// every call — element content is interned at load time, so this is a
+// single column read plus a dictionary lookup.
+func (d *Doc) Content(ord int32) string {
+	v := d.c.val[ord]
+	if v == 0 {
+		return ""
+	}
+	return d.vals.str(v - 1)
+}
+
+// Children returns the ordinals of the direct children of the node, in
+// document order.
+func (d *Doc) Children(ord int32) []int32 {
+	c := d.c.firstChild[ord]
+	if c < 0 {
+		return nil
+	}
+	var kids []int32
+	for end := d.c.end[ord]; c <= end; c = d.c.end[c] + 1 {
+		kids = append(kids, c)
+	}
+	return kids
+}
+
+// SubtreeSize returns the number of nodes in the subtree rooted at ord,
+// including the root itself.
+func (d *Doc) SubtreeSize(ord int32) int {
+	return int(d.c.end[ord] - d.c.start[ord] + 1)
+}
+
+// findDir binary-searches a directory for a dictionary ID.
+func findDir(dir []dirEntry, id uint32) (dirEntry, bool) {
+	i := sort.Search(len(dir), func(i int) bool { return dir[i].id >= id })
+	if i < len(dir) && dir[i].id == id {
+		return dir[i], true
+	}
+	return dirEntry{}, false
+}
+
+// tagRefs returns the postings of a tag dictionary ID.
+func (d *Doc) tagRefs(id uint32) []int32 {
+	e, ok := findDir(d.tagDir, id)
+	if !ok {
+		return nil
+	}
+	return d.tagPost[e.off : e.off+e.n : e.off+e.n]
+}
+
+// valueRefs returns the postings of a value dictionary ID.
+func (d *Doc) valueRefs(id uint32) []int32 {
+	e, ok := findDir(d.valDir, id)
+	if !ok {
+		return nil
+	}
+	return d.valPost[e.off : e.off+e.n : e.off+e.n]
+}
+
+// tagRefsByName resolves a tag through the dictionary and returns its
+// postings (nil for tags the document does not contain).
+func (d *Doc) tagRefsByName(tag string) []int32 {
+	id, ok := d.tags.lookup(tag)
+	if !ok {
+		return nil
+	}
+	return d.tagRefs(id)
+}
+
+// valueRefsByName resolves a content value through the dictionary and
+// returns its postings.
+func (d *Doc) valueRefsByName(v string) []int32 {
+	id, ok := d.vals.lookup(v)
+	if !ok {
+		return nil
+	}
+	return d.valueRefs(id)
+}
+
+// XML returns the subtree rooted at ord as XML text, byte-identical to
+// the xmltree serializer the store used before the columnar layout.
+func (d *Doc) XML(ord int32) string {
+	var sb strings.Builder
+	d.appendXML(&sb, ord)
+	return sb.String()
+}
+
+func (d *Doc) appendXML(sb *strings.Builder, ord int32) {
+	switch xmltree.Kind(d.c.kind[ord]) {
+	case xmltree.Text:
+		xmltree.EscapeXML(sb, d.Value(ord))
+		return
+	case xmltree.Attribute:
+		sb.WriteString(d.Tag(ord)[1:])
+		sb.WriteString(`="`)
+		xmltree.EscapeXML(sb, d.Value(ord))
+		sb.WriteString(`"`)
+		return
+	}
+	sb.WriteByte('<')
+	tag := d.Tag(ord)
+	sb.WriteString(tag)
+	// First pass over the children: attributes inline on the start tag.
+	end := d.c.end[ord]
+	first := d.c.firstChild[ord]
+	hasBody := false
+	if first >= 0 {
+		for c := first; c <= end; c = d.c.end[c] + 1 {
+			if xmltree.Kind(d.c.kind[c]) == xmltree.Attribute {
+				sb.WriteByte(' ')
+				sb.WriteString(d.Tag(c)[1:])
+				sb.WriteString(`="`)
+				xmltree.EscapeXML(sb, d.Value(c))
+				sb.WriteString(`"`)
+			} else {
+				hasBody = true
+			}
+		}
+	}
+	if !hasBody {
+		sb.WriteString("/>")
+		return
+	}
+	sb.WriteByte('>')
+	for c := first; c <= end; c = d.c.end[c] + 1 {
+		if xmltree.Kind(d.c.kind[c]) != xmltree.Attribute {
+			d.appendXML(sb, c)
+		}
+	}
+	sb.WriteString("</")
+	sb.WriteString(tag)
+	sb.WriteByte('>')
+}
+
+// buildDoc converts a parsed xmltree arena into the columnar layout,
+// interning its strings into the shard dictionaries and building the
+// postings indexes and the statistics summary. The xmltree.Document is
+// not retained: after conversion the columns are the only representation.
+func buildDoc(doc *xmltree.Document, id DocID, shardIdx int, tags, vals *dict) *Doc {
+	n := len(doc.Nodes)
+	d := &Doc{
+		name:  doc.Name,
+		id:    id,
+		shard: shardIdx,
+		c: cols{
+			start:      make([]int32, n),
+			end:        make([]int32, n),
+			level:      make([]int32, n),
+			parent:     make([]int32, n),
+			firstChild: make([]int32, n),
+			kind:       make([]uint8, n),
+			tag:        make([]uint32, n),
+			val:        make([]uint32, n),
+		},
+		tags: tags,
+		vals: vals,
+	}
+
+	// Pass 1: fill the columns with document-local dictionary IDs and
+	// collect the local string tables.
+	var localTags, localVals []string
+	localTagIdx := make(map[string]uint32)
+	localValIdx := make(map[string]uint32)
+	for i := range doc.Nodes {
+		nd := &doc.Nodes[i]
+		d.c.start[i] = nd.ID.Start
+		d.c.end[i] = nd.ID.End
+		d.c.level[i] = nd.ID.Level
+		d.c.parent[i] = nd.Parent
+		d.c.firstChild[i] = nd.FirstChild
+		d.c.kind[i] = uint8(nd.Kind)
+
+		lt, ok := localTagIdx[nd.Tag]
+		if !ok {
+			lt = uint32(len(localTags))
+			localTags = append(localTags, nd.Tag)
+			localTagIdx[nd.Tag] = lt
+		}
+		d.c.tag[i] = lt
+
+		content, hasContent := "", false
+		switch nd.Kind {
+		case xmltree.Attribute, xmltree.Text:
+			content, hasContent = nd.Value, true
+		case xmltree.Element:
+			if c := doc.Content(int32(i)); c != "" {
+				content, hasContent = c, true
+			}
+		}
+		if hasContent {
+			lv, ok := localValIdx[content]
+			if !ok {
+				lv = uint32(len(localVals))
+				localVals = append(localVals, content)
+				localValIdx[content] = lv
+			}
+			d.c.val[i] = lv + 1
+		}
+	}
+
+	// Postings, grouped by local ID while the column still holds local
+	// IDs (ordinals ascend within each group because the scan is in
+	// document order).
+	d.tagDir, d.tagPost = buildPostings(d.c.tag, 0, len(localTags))
+	d.valDir, d.valPost = buildPostings(d.c.val, 1, len(localVals))
+
+	// Pass 2: intern the local tables into the shard dictionaries and
+	// remap columns and directories from local to global IDs.
+	gTag := tags.internAll(localTags)
+	gVal := vals.internAll(localVals)
+	for i := range d.c.tag {
+		d.c.tag[i] = gTag[d.c.tag[i]]
+		if v := d.c.val[i]; v != 0 {
+			d.c.val[i] = gVal[v-1] + 1
+		}
+	}
+	remapDir(d.tagDir, gTag)
+	remapDir(d.valDir, gVal)
+
+	// Pass 3: the statistics catalog, over the remapped columns.
+	d.stats = buildDocStats(d)
+	return d
+}
+
+// buildPostings groups the ordinals of col by dictionary ID. bias is the
+// column's ID offset (1 for the value column, where 0 means "no entry").
+// The returned directory is in local-ID order; remapDir re-sorts it after
+// the local→global translation.
+func buildPostings(col []uint32, bias uint32, nids int) ([]dirEntry, []int32) {
+	counts := make([]uint32, nids)
+	total := 0
+	for _, v := range col {
+		if v < bias {
+			continue
+		}
+		counts[v-bias]++
+		total++
+	}
+	dir := make([]dirEntry, nids)
+	off := uint32(0)
+	for id, c := range counts {
+		dir[id] = dirEntry{id: uint32(id), off: off, n: c}
+		off += c
+	}
+	post := make([]int32, total)
+	cursor := make([]uint32, nids)
+	for i, v := range col {
+		if v < bias {
+			continue
+		}
+		id := v - bias
+		post[dir[id].off+cursor[id]] = int32(i)
+		cursor[id]++
+	}
+	return dir, post
+}
+
+// remapDir translates a directory from local to global IDs and re-sorts
+// it by ID so lookups can binary-search.
+func remapDir(dir []dirEntry, remap []uint32) {
+	for i := range dir {
+		dir[i].id = remap[dir[i].id]
+	}
+	sort.Slice(dir, func(i, j int) bool { return dir[i].id < dir[j].id })
+}

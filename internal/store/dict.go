@@ -1,0 +1,106 @@
+package store
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// dict is an interned string dictionary: a bijection between strings and
+// dense uint32 IDs. One dictionary instance serves one shard's tag (or
+// value) namespace — every tag/value column of the shard's documents holds
+// IDs of the shard dictionary, so equal strings are stored once and
+// compared as integers.
+//
+// Reads are lock-free: the current (strs, idx) pair is published through
+// an atomic pointer and never mutated after publication. Interning — which
+// happens only while loading a document — builds the next version under a
+// mutex and swaps it in, exactly like the store's document directory. The
+// strs backing array is append-grown in place, which is safe because a
+// published version never reads past its own length and the pointer swap
+// orders the appends before any reader that can see the new length.
+type dict struct {
+	mu sync.Mutex
+	v  atomic.Pointer[dictV]
+}
+
+// dictV is one immutable published version of the dictionary.
+type dictV struct {
+	// strs maps ID -> string.
+	strs []string
+	// idx maps string -> ID.
+	idx map[string]uint32
+}
+
+var emptyDictV = &dictV{idx: map[string]uint32{}}
+
+func newDict() *dict {
+	d := &dict{}
+	d.v.Store(emptyDictV)
+	return d
+}
+
+// newFrozenDict returns a dictionary pre-populated with strs (ID i maps to
+// strs[i]); used when opening a snapshot, where the string data are views
+// into the mapped file and only the lookup index lives on the heap.
+func newFrozenDict(strs []string) *dict {
+	idx := make(map[string]uint32, len(strs))
+	for i, s := range strs {
+		idx[s] = uint32(i)
+	}
+	d := &dict{}
+	d.v.Store(&dictV{strs: strs, idx: idx})
+	return d
+}
+
+// lookup resolves a string to its ID without locking.
+func (d *dict) lookup(s string) (uint32, bool) {
+	id, ok := d.v.Load().idx[s]
+	return id, ok
+}
+
+// str resolves an ID to its string without locking.
+func (d *dict) str(id uint32) string { return d.v.Load().strs[id] }
+
+// size returns the number of interned strings.
+func (d *dict) size() int { return len(d.v.Load().strs) }
+
+// internAll interns every string of local (a document-local string table,
+// deduplicated by the caller) and returns the global ID of each, aligned
+// with local. A single published-version rebuild covers the whole batch,
+// so a load pays one map copy regardless of document size.
+func (d *dict) internAll(local []string) []uint32 {
+	out := make([]uint32, len(local))
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	cur := d.v.Load()
+	missing := 0
+	for _, s := range local {
+		if _, ok := cur.idx[s]; !ok {
+			missing++
+		}
+	}
+	if missing == 0 {
+		for i, s := range local {
+			out[i] = cur.idx[s]
+		}
+		return out
+	}
+	next := &dictV{
+		strs: append(cur.strs[:len(cur.strs):len(cur.strs)], make([]string, 0, missing)...),
+		idx:  make(map[string]uint32, len(cur.idx)+missing),
+	}
+	for k, v := range cur.idx {
+		next.idx[k] = v
+	}
+	for i, s := range local {
+		id, ok := next.idx[s]
+		if !ok {
+			id = uint32(len(next.strs))
+			next.strs = append(next.strs, s)
+			next.idx[s] = id
+		}
+		out[i] = id
+	}
+	d.v.Store(next)
+	return out
+}

@@ -30,17 +30,17 @@ func FuzzLoadDocument(f *testing.F) {
 		}
 		// Accepted input must be fully queryable.
 		doc := s.Doc(id)
-		if len(doc.Nodes) == 0 {
+		if doc.Len() == 0 {
 			t.Fatal("accepted document has no nodes")
 		}
-		for i := range doc.Nodes {
+		for i := 0; i < doc.Len(); i++ {
 			ord := int32(i)
 			n := s.Node(id, ord)
 			if got := s.TagCount(id, n.Tag); got < 1 {
 				t.Fatalf("TagCount(%q) = %d for a present tag", n.Tag, got)
 			}
 			for _, c := range s.Children(id, ord) {
-				if c <= ord || int(c) >= len(doc.Nodes) {
+				if c <= ord || c >= int32(doc.Len()) {
 					t.Fatalf("child %d of %d out of preorder range", c, ord)
 				}
 			}

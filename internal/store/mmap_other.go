@@ -1,0 +1,32 @@
+//go:build !unix
+
+package store
+
+import (
+	"fmt"
+	"os"
+)
+
+// mapping is a read-only view of a snapshot file. On platforms without
+// mmap support the file is read into the heap once; the accessors are
+// identical, only the backing memory differs.
+type mapping struct {
+	data   []byte
+	mapped bool
+}
+
+func openMapping(path string) (*mapping, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if len(data) == 0 {
+		return nil, fmt.Errorf("%w: %s is empty", ErrSnapshotCorrupt, path)
+	}
+	return &mapping{data: data}, nil
+}
+
+func (m *mapping) close() error {
+	m.data = nil
+	return nil
+}

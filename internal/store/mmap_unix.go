@@ -1,0 +1,51 @@
+//go:build unix
+
+package store
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+)
+
+// mapping is a read-only view of a snapshot file. On unix platforms it is
+// an mmap'd region: opening a snapshot maps the file and lets the OS page
+// cache hold cold documents, so startup cost is validation, not copying.
+// The region stays mapped until Store.Close — column slices, dictionary
+// strings and document names alias it directly.
+type mapping struct {
+	data   []byte
+	mapped bool
+}
+
+func openMapping(path string) (*mapping, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	size := st.Size()
+	if size == 0 {
+		return nil, fmt.Errorf("%w: %s is empty", ErrSnapshotCorrupt, path)
+	}
+	if size != int64(int(size)) {
+		return nil, fmt.Errorf("%w: %s too large to map", ErrSnapshotCorrupt, path)
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, fmt.Errorf("store: mmap %s: %w", path, err)
+	}
+	return &mapping{data: data, mapped: true}, nil
+}
+
+func (m *mapping) close() error {
+	if !m.mapped {
+		return nil
+	}
+	m.mapped = false
+	return syscall.Munmap(m.data)
+}

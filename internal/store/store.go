@@ -1,22 +1,28 @@
 // Package store implements the native XML store that all four evaluation
 // engines (TLC, GTP, TAX, navigational) run against. It stands in for the
-// disk-based TIMBER storage manager used in the paper: documents are kept
-// as xmltree arenas, and the store maintains the two index structures the
-// paper's experiments rely on — an element tag-name index (tag → node IDs
-// in document order) and a value index (content → node IDs). Access
-// counters make the relative cost of the competing plans observable.
+// disk-based TIMBER storage manager used in the paper: documents are held
+// as columnar node tables (flat start/end/level/parent/tag/value arrays
+// with dictionary-encoded strings — see columns.go), and the store
+// maintains the two index structures the paper's experiments rely on — an
+// element tag-name index (tag → node ordinals in document order) and a
+// value index (content → node ordinals). Access counters make the
+// relative cost of the competing plans observable. The columnar layout
+// serializes to checksummed per-shard snapshot files opened via mmap
+// (snapshot.go), so a restart maps the node table instead of re-parsing
+// XML.
 //
 // # Sharding
 //
 // The store is horizontally partitioned: documents are routed by a hash of
 // their name to one of N shards, and each shard owns its node tables, its
-// tag/value indexes, its statistics summaries, its access counters, its
-// load generation and its load-vs-query RWMutex. Because the paper's
-// interval node identifiers (Section 5.1) make every structural decision
-// purely position-based *within* a document, nothing an engine does ever
-// crosses a shard boundary mid-join — cross-document work composes from
-// shard-local runs merged in document order — so a shard is a complete,
-// independent lock domain: loading a document stalls only its own shard.
+// string dictionaries, its tag/value indexes, its statistics summaries,
+// its access counters, its load generation and its load-vs-query RWMutex.
+// Because the paper's interval node identifiers (Section 5.1) make every
+// structural decision purely position-based *within* a document, nothing
+// an engine does ever crosses a shard boundary mid-join — cross-document
+// work composes from shard-local runs merged in document order — so a
+// shard is a complete, independent lock domain: loading a document stalls
+// only its own shard.
 //
 // Document identity stays global and shard-count independent: DocIDs are
 // issued in load order from a single counter and resolved through a
@@ -25,11 +31,12 @@
 // 64 — which is what makes results byte-identical across shard counts.
 //
 // Reads never lock. Loaded documents are immutable, the directory is
-// replaced (never mutated) on load, and the per-shard statistics counters
-// are maintained with sync/atomic, so the parallel executor's worker
-// goroutines probe indexes and fetch nodes without coordination. Serial
-// evaluation (parallelism 1) produces exactly the counter values the
-// paper's single-query-at-a-time measurements would.
+// replaced (never mutated) on load, the dictionaries publish through
+// atomic pointers, and the per-shard statistics counters are maintained
+// with sync/atomic, so the parallel executor's worker goroutines probe
+// indexes and fetch nodes without coordination. Serial evaluation
+// (parallelism 1) produces exactly the counter values the paper's
+// single-query-at-a-time measurements would.
 package store
 
 import (
@@ -112,25 +119,11 @@ func (c *counters) reset() {
 	c.nodesMaterialized.Store(0)
 }
 
-type docEntry struct {
-	doc *xmltree.Document
-	// tags maps a tag name (elements plain, attributes with "@", text as
-	// "#text") to the ordinals of matching nodes in document order.
-	tags map[string][]int32
-	// values maps textual content to the ordinals of nodes (elements with
-	// text content, attributes, text nodes) having exactly that content.
-	values map[string][]int32
-	// stats is the load-time statistics summary served through Catalog.
-	stats *docStats
-	// shard is the index of the shard owning this document.
-	shard int
-}
-
 // shard is one lock domain of the store: the documents routed to it, their
-// access counters, and the load generation plan caches key their validity
-// on. The docEntry data itself is reached through the store's directory;
-// the shard records ownership for counter attribution and per-shard
-// introspection (/varz, tests).
+// string dictionaries, their access counters, and the load generation plan
+// caches key their validity on. The document data itself is reached
+// through the store's directory; the shard records ownership for counter
+// attribution and per-shard introspection (/varz, tests).
 type shard struct {
 	// mu is the shard's load-vs-query lock. The store's own read paths
 	// never take it (loaded entries are immutable and the directory swap is
@@ -146,6 +139,11 @@ type shard struct {
 	gen atomic.Uint64
 	// docs lists the DocIDs owned by the shard, in load order.
 	docs []DocID
+	// tags and vals are the shard's interned string dictionaries for
+	// XML-loaded documents. Snapshot-opened documents carry their own
+	// frozen dictionaries (views into the mapped file) and do not share
+	// these.
+	tags, vals *dict
 	// stats holds the shard's access counters.
 	stats counters
 }
@@ -155,7 +153,7 @@ type shard struct {
 // store's pointer, so concurrent readers always observe a consistent
 // snapshot without locking.
 type directory struct {
-	docs   []*docEntry
+	docs   []*Doc
 	byName map[string]DocID
 }
 
@@ -170,6 +168,12 @@ type Store struct {
 	// taking it, so loads into different shards overlap almost entirely.
 	loadMu  sync.Mutex
 	noStats bool
+	// maps holds the snapshot file mappings backing snapshot-opened
+	// documents; Close unmaps them. Guarded by loadMu.
+	maps []*mapping
+	// mappedBytes tracks the total size of the live mappings (gauge for
+	// /varz).
+	mappedBytes atomic.Int64
 }
 
 // DefaultShards is the shard count New uses: one per available CPU, the
@@ -191,7 +195,7 @@ func NewSharded(n int) *Store {
 	}
 	s := &Store{shards: make([]*shard, n)}
 	for i := range s.shards {
-		s.shards[i] = &shard{}
+		s.shards[i] = &shard{tags: newDict(), vals: newDict()}
 	}
 	s.dir.Store(emptyDirectory)
 	return s
@@ -240,24 +244,25 @@ func (s *Store) ShardDocs(i int) []string {
 	names := make([]string, 0, len(ids))
 	for _, id := range ids {
 		if int(id) < len(dir.docs) {
-			names = append(names, dir.docs[id].doc.Name)
+			names = append(names, dir.docs[id].name)
 		}
 	}
 	return names
 }
 
 // entry resolves a DocID through the current directory snapshot.
-func (s *Store) entry(id DocID) *docEntry { return s.dir.Load().docs[id] }
+func (s *Store) entry(id DocID) *Doc { return s.dir.Load().docs[id] }
 
-// stats returns the counter set accesses to document id are attributed to:
+// stats returns the counter set accesses to document d are attributed to:
 // the owning shard's counters.
-func (s *Store) stats(e *docEntry) *counters { return &s.shards[e.shard].stats }
+func (s *Store) stats(d *Doc) *counters { return &s.shards[d.shard].stats }
 
-// Load indexes doc and adds it to the store, routed to the shard hashed
-// from its name. Loading a document whose name is already present is an
-// error. Loads may run concurrently with queries and with loads into other
-// shards: all the heavy work happens before the directory swap, and
-// readers observe the new document only after its indexes are complete.
+// Load converts doc to the columnar layout, indexes it and adds it to the
+// store, routed to the shard hashed from its name. Loading a document
+// whose name is already present is an error. Loads may run concurrently
+// with queries and with loads into other shards: all the heavy work
+// happens before the directory swap, and readers observe the new document
+// only after its indexes are complete.
 func (s *Store) Load(doc *xmltree.Document) (DocID, error) {
 	if err := faultinject.Hit(faultinject.PointStoreLoad); err != nil {
 		return 0, err
@@ -269,54 +274,38 @@ func (s *Store) Load(doc *xmltree.Document) (DocID, error) {
 		return 0, fmt.Errorf("store: document %q already loaded", doc.Name)
 	}
 	shardIdx := s.ShardOfName(doc.Name)
-	e := &docEntry{
-		doc:    doc,
-		tags:   make(map[string][]int32),
-		values: make(map[string][]int32),
-		shard:  shardIdx,
-	}
-	stats := newDocStatsBuilder(doc)
-	for i := range doc.Nodes {
-		n := &doc.Nodes[i]
-		e.tags[n.Tag] = append(e.tags[n.Tag], int32(i))
-		content, hasContent := "", false
-		switch n.Kind {
-		case xmltree.Attribute, xmltree.Text:
-			content, hasContent = n.Value, true
-			e.values[n.Value] = append(e.values[n.Value], int32(i))
-		case xmltree.Element:
-			if c := doc.Content(int32(i)); c != "" {
-				content, hasContent = c, true
-				e.values[c] = append(e.values[c], int32(i))
-			}
-		}
-		stats.visit(int32(i), n, content, hasContent)
-	}
-	e.stats = stats.finish()
+	sh := s.shards[shardIdx]
+	// The DocID is not final until the publish below; buildDoc only
+	// records it for accessors, so build against the expected next ID and
+	// fix it up under the lock.
+	d := buildDoc(doc, DocID(s.NumDocs()), shardIdx, sh.tags, sh.vals)
+	return s.publish(d)
+}
 
-	// Publish: build the next directory and swap it in. Only this short
-	// section is serialized between loads; a duplicate name that raced past
-	// the early check above is caught here under the lock.
+// publish adds a fully-built document to the directory under loadMu and
+// bumps its shard's generation.
+func (s *Store) publish(d *Doc) (DocID, error) {
 	s.loadMu.Lock()
 	defer s.loadMu.Unlock()
 	old := s.dir.Load()
-	if _, dup := old.byName[doc.Name]; dup {
-		return 0, fmt.Errorf("store: document %q already loaded", doc.Name)
+	if _, dup := old.byName[d.name]; dup {
+		return 0, fmt.Errorf("store: document %q already loaded", d.name)
 	}
 	id := DocID(len(old.docs))
+	d.id = id
 	next := &directory{
-		docs:   make([]*docEntry, len(old.docs), len(old.docs)+1),
+		docs:   make([]*Doc, len(old.docs), len(old.docs)+1),
 		byName: make(map[string]DocID, len(old.byName)+1),
 	}
 	copy(next.docs, old.docs)
-	next.docs = append(next.docs, e)
+	next.docs = append(next.docs, d)
 	for k, v := range old.byName {
 		next.byName[k] = v
 	}
-	next.byName[doc.Name] = id
-	s.shards[shardIdx].docs = append(s.shards[shardIdx].docs, id)
+	next.byName[d.name] = id
+	s.shards[d.shard].docs = append(s.shards[d.shard].docs, id)
 	s.dir.Store(next)
-	s.shards[shardIdx].gen.Add(1)
+	s.shards[d.shard].gen.Add(1)
 	return id, nil
 }
 
@@ -340,16 +329,40 @@ func (s *Store) Names() []string {
 	dir := s.dir.Load()
 	names := make([]string, len(dir.docs))
 	for i := range dir.docs {
-		names[i] = dir.docs[i].doc.Name
+		names[i] = dir.docs[i].name
 	}
 	return names
 }
 
-// Doc returns the document with the given ID.
-func (s *Store) Doc(id DocID) *xmltree.Document { return s.entry(id).doc }
+// Doc returns the columnar view of the document with the given ID. The
+// view is immutable, lock-free and uncounted: engines walk it directly on
+// hot paths, while counted access goes through the Store methods below.
+func (s *Store) Doc(id DocID) *Doc { return s.entry(id) }
 
 // NumDocs returns the number of loaded documents.
 func (s *Store) NumDocs() int { return len(s.dir.Load().docs) }
+
+// MappedBytes returns the total size of the snapshot file mappings
+// currently backing the store (0 for stores built purely from XML).
+func (s *Store) MappedBytes() int64 { return s.mappedBytes.Load() }
+
+// Close releases the snapshot file mappings backing snapshot-opened
+// documents. After Close, accessing such documents is undefined; Close is
+// for shutdown paths, not for reconfiguration.
+func (s *Store) Close() error {
+	s.loadMu.Lock()
+	maps := s.maps
+	s.maps = nil
+	s.loadMu.Unlock()
+	var firstErr error
+	for _, m := range maps {
+		s.mappedBytes.Add(-int64(len(m.data)))
+		if err := m.close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
 
 // ResetStats zeroes the access counters of every shard.
 func (s *Store) ResetStats() {
@@ -380,16 +393,16 @@ func (s *Store) DisableStats() { s.noStats = true }
 // probes are free (no access counting): a real system keeps these counts
 // in its catalog.
 func (s *Store) TagCount(id DocID, tag string) int {
-	return len(s.entry(id).tags[tag])
+	return len(s.entry(id).tagRefsByName(tag))
 }
 
 // Tag returns the ordinals of all nodes with the given tag in document id,
 // in document order. The returned slice is shared and must not be modified.
 func (s *Store) Tag(id DocID, tag string) []int32 {
-	e := s.entry(id)
-	refs := e.tags[tag]
+	d := s.entry(id)
+	refs := d.tagRefsByName(tag)
 	if !s.noStats {
-		st := s.stats(e)
+		st := s.stats(d)
 		st.tagLookups.Add(1)
 		st.tagRefs.Add(int64(len(refs)))
 	}
@@ -400,13 +413,13 @@ func (s *Store) Tag(id DocID, tag string) []int32 {
 // strictly inside the interval of the node at ancestor, using binary search
 // over the tag index (node-ID property 2 makes this a range scan).
 func (s *Store) TagWithin(id DocID, tag string, ancestor int32) []int32 {
-	e := s.entry(id)
-	refs := e.tags[tag]
-	anc := e.doc.Nodes[ancestor].ID
-	lo := sort.Search(len(refs), func(i int) bool { return refs[i] > anc.Start })
-	hi := sort.Search(len(refs), func(i int) bool { return refs[i] > anc.End })
+	d := s.entry(id)
+	refs := d.tagRefsByName(tag)
+	start, end := d.c.start[ancestor], d.c.end[ancestor]
+	lo := sort.Search(len(refs), func(i int) bool { return refs[i] > start })
+	hi := sort.Search(len(refs), func(i int) bool { return refs[i] > end })
 	if !s.noStats {
-		st := s.stats(e)
+		st := s.stats(d)
 		st.tagLookups.Add(1)
 		st.tagRefs.Add(int64(hi - lo))
 	}
@@ -416,10 +429,10 @@ func (s *Store) TagWithin(id DocID, tag string, ancestor int32) []int32 {
 // Value returns the ordinals of all nodes in document id whose content is
 // exactly v, in document order.
 func (s *Store) Value(id DocID, v string) []int32 {
-	e := s.entry(id)
-	refs := e.values[v]
+	d := s.entry(id)
+	refs := d.valueRefsByName(v)
 	if !s.noStats {
-		st := s.stats(e)
+		st := s.stats(d)
 		st.valueLookups.Add(1)
 		st.tagRefs.Add(int64(len(refs)))
 	}
@@ -430,10 +443,10 @@ func (s *Store) Value(id DocID, v string) []int32 {
 // content v, computed by merging the tag and value index postings. This is
 // how equality content predicates are answered when a value index exists.
 func (s *Store) TagValue(id DocID, tag, v string) []int32 {
-	e := s.entry(id)
-	tagRefs := e.tags[tag]
-	valRefs := e.values[v]
-	st := s.stats(e)
+	d := s.entry(id)
+	tagRefs := d.tagRefsByName(tag)
+	valRefs := d.valueRefsByName(v)
+	st := s.stats(d)
 	if !s.noStats {
 		st.tagLookups.Add(1)
 		st.valueLookups.Add(1)
@@ -458,32 +471,50 @@ func (s *Store) TagValue(id DocID, tag, v string) []int32 {
 	return out
 }
 
-// Node fetches a node record, counting the access.
-func (s *Store) Node(id DocID, ord int32) *xmltree.Node {
-	e := s.entry(id)
-	if !s.noStats {
-		s.stats(e).nodesRead.Add(1)
-	}
-	return e.doc.Node(ord)
+// NodeData is one decoded node record: the fields the old arena node
+// carried, materialized from the columns on demand.
+type NodeData struct {
+	ID         xmltree.NodeID
+	Kind       xmltree.Kind
+	Tag        string
+	Value      string
+	Parent     int32
+	FirstChild int32
 }
 
-// Content returns the content value of a node (see xmltree.Document.Content),
-// counting the access.
-func (s *Store) Content(id DocID, ord int32) string {
-	e := s.entry(id)
+// Node fetches a node record, counting the access.
+func (s *Store) Node(id DocID, ord int32) NodeData {
+	d := s.entry(id)
 	if !s.noStats {
-		s.stats(e).nodesRead.Add(1)
+		s.stats(d).nodesRead.Add(1)
 	}
-	return e.doc.Content(ord)
+	return NodeData{
+		ID:         d.ID(ord),
+		Kind:       d.Kind(ord),
+		Tag:        d.Tag(ord),
+		Value:      d.Value(ord),
+		Parent:     d.c.parent[ord],
+		FirstChild: d.c.firstChild[ord],
+	}
+}
+
+// Content returns the content value of a node (see Doc.Content), counting
+// the access.
+func (s *Store) Content(id DocID, ord int32) string {
+	d := s.entry(id)
+	if !s.noStats {
+		s.stats(d).nodesRead.Add(1)
+	}
+	return d.Content(ord)
 }
 
 // Children returns the child ordinals of a node, counting one read per
 // child returned. This is the primitive the navigational engine uses.
 func (s *Store) Children(id DocID, ord int32) []int32 {
-	e := s.entry(id)
-	kids := e.doc.Children(ord)
+	d := s.entry(id)
+	kids := d.Children(ord)
 	if !s.noStats {
-		s.stats(e).nodesRead.Add(int64(len(kids)) + 1)
+		s.stats(d).nodesRead.Add(int64(len(kids)) + 1)
 	}
 	return kids
 }

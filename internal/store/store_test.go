@@ -66,8 +66,8 @@ func TestTagValue(t *testing.T) {
 		t.Fatalf("TagValue(age,30) = %d refs, want 2", len(refs))
 	}
 	for _, r := range refs {
-		if s.Doc(id).Node(r).Tag != "age" {
-			t.Errorf("TagValue returned tag %q", s.Doc(id).Node(r).Tag)
+		if s.Doc(id).Tag(r) != "age" {
+			t.Errorf("TagValue returned tag %q", s.Doc(id).Tag(r))
 		}
 	}
 	if got := s.TagValue(id, "age", "31"); len(got) != 0 {
@@ -165,7 +165,7 @@ func TestQuickTagWithinMatchesScan(t *testing.T) {
 		got := s.TagWithin(id, tag, anc)
 		var want []int32
 		for _, r := range s.Tag(id, tag) {
-			if doc.Nodes[anc].ID.Contains(doc.Nodes[r].ID) {
+			if doc.ID(anc).Contains(doc.ID(r)) {
 				want = append(want, r)
 			}
 		}

@@ -70,7 +70,7 @@ func TestGeneratePopulations(t *testing.T) {
 	for _, a := range s.Tag(id, "open_auction") {
 		n := 0
 		for _, c := range doc.Children(a) {
-			if doc.Node(c).Tag == "bidder" {
+			if doc.Tag(c) == "bidder" {
 				n++
 			}
 		}

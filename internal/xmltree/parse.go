@@ -124,6 +124,11 @@ func (d *Document) appendXML(sb *strings.Builder, ordinal int32) {
 	sb.WriteByte('>')
 }
 
+// EscapeXML appends s to sb with the XML special characters escaped,
+// using exactly the replacement rules of the document serializer. The
+// store's columnar serializer shares it so both emit identical bytes.
+func EscapeXML(sb *strings.Builder, s string) { xmlEscape(sb, s) }
+
 func xmlEscape(sb *strings.Builder, s string) {
 	for _, r := range s {
 		switch r {

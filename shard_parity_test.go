@@ -17,15 +17,40 @@ func openXMarkSharded(t *testing.T, shards int) *Database {
 	return db
 }
 
+// snapshotReopen writes db to a fresh snapshot directory and opens it as
+// a new database — the mmap-backed store every parity configuration below
+// must agree with.
+func snapshotReopen(t *testing.T, db *Database) *Database {
+	t.Helper()
+	dir := t.TempDir()
+	if _, err := db.Snapshot(dir); err != nil {
+		t.Fatalf("Snapshot: %v", err)
+	}
+	snap, err := OpenSnapshot(dir)
+	if err != nil {
+		t.Fatalf("OpenSnapshot: %v", err)
+	}
+	t.Cleanup(func() { snap.Close() })
+	return snap
+}
+
 // TestShardParity asserts the sharded store's core contract: shard count
-// partitions storage and locks, never semantics. Every workload query on
-// every algebra engine must produce byte-identical results — including
-// document order — at shards=1 and shards=4, serially and in parallel.
+// partitions storage and locks, never semantics — and the snapshot
+// contract on top of it: a snapshot-opened (mmap-backed) database is
+// indistinguishable from the XML-loaded one it was written from. Every
+// workload query on every algebra engine must produce byte-identical
+// results — including document order — at shards=1 and shards=4, serially
+// and in parallel, XML-loaded and snapshot-opened.
 func TestShardParity(t *testing.T) {
 	db1 := openXMarkSharded(t, 1)
 	db4 := openXMarkSharded(t, 4)
 	if n := db4.NumShards(); n != 4 {
 		t.Fatalf("NumShards = %d, want 4", n)
+	}
+	snap1 := snapshotReopen(t, db1)
+	snap4 := snapshotReopen(t, db4)
+	if n := snap4.NumShards(); n != 4 {
+		t.Fatalf("snapshot NumShards = %d, want 4", n)
 	}
 	for _, q := range Workload() {
 		for _, e := range []Engine{TLC, TLCOpt, GTP, TAX} {
@@ -36,20 +61,24 @@ func TestShardParity(t *testing.T) {
 				}
 				want := base.XML()
 				for _, cfg := range []struct {
-					db  *Database
-					par int
+					label string
+					db    *Database
+					par   int
 				}{
-					{db4, 1}, // shards=4, serial
-					{db4, 4}, // shards=4, parallel
-					{db1, 4}, // shards=1, parallel (control)
+					{"xml", db4, 1},    // shards=4, serial
+					{"xml", db4, 4},    // shards=4, parallel
+					{"xml", db1, 4},    // shards=1, parallel (control)
+					{"snap", snap1, 1}, // snapshot, shards=1, serial
+					{"snap", snap4, 1}, // snapshot, shards=4, serial
+					{"snap", snap4, 4}, // snapshot, shards=4, parallel
 				} {
 					res, err := cfg.db.Query(q.Text, WithEngine(e), WithParallelism(cfg.par))
 					if err != nil {
-						t.Fatalf("shards=%d parallelism=%d: %v", cfg.db.NumShards(), cfg.par, err)
+						t.Fatalf("%s shards=%d parallelism=%d: %v", cfg.label, cfg.db.NumShards(), cfg.par, err)
 					}
 					if got := res.XML(); got != want {
-						t.Errorf("shards=%d parallelism=%d differs from shards=1 serial\nwant: %.200s\ngot:  %.200s",
-							cfg.db.NumShards(), cfg.par, want, got)
+						t.Errorf("%s shards=%d parallelism=%d differs from shards=1 serial\nwant: %.200s\ngot:  %.200s",
+							cfg.label, cfg.db.NumShards(), cfg.par, want, got)
 					}
 				}
 			})

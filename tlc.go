@@ -224,6 +224,82 @@ func (db *Database) ShardDocuments(i int) []string { return db.st.ShardDocs(i) }
 // them in ascending shard order.
 func (db *Database) ShardLock(i int) *sync.RWMutex { return db.st.ShardLock(i) }
 
+// SnapshotInfo reports what a Snapshot call wrote: directory, total
+// bytes, documents captured and shard files emitted.
+type SnapshotInfo = store.SnapshotInfo
+
+// Typed snapshot errors, matchable with errors.Is. Every way a snapshot
+// file can be unusable maps to exactly one of these — opening a damaged
+// or incompatible snapshot returns an error, never a panic.
+var (
+	// ErrSnapshotVersion reports a snapshot written by an incompatible
+	// format version (or with the opposite byte order).
+	ErrSnapshotVersion = store.ErrSnapshotVersion
+	// ErrSnapshotChecksum reports payload bytes that fail the stored CRC.
+	ErrSnapshotChecksum = store.ErrSnapshotChecksum
+	// ErrSnapshotCorrupt reports structural damage: truncation, bad magic,
+	// out-of-bounds sections or invalid node relations.
+	ErrSnapshotCorrupt = store.ErrSnapshotCorrupt
+	// ErrSnapshotMismatch reports a snapshot whose shard layout does not
+	// match the database it is being loaded into.
+	ErrSnapshotMismatch = store.ErrSnapshotMismatch
+)
+
+// Snapshot writes the database's current contents to dir as a versioned,
+// checksummed columnar snapshot: one file per non-empty shard plus a
+// manifest, each written atomically (temp file + rename, manifest last,
+// so an interrupted snapshot leaves no readable-but-partial state).
+// Snapshot may run concurrently with queries; it captures the document
+// set current when it starts.
+func (db *Database) Snapshot(dir string) (SnapshotInfo, error) {
+	return db.st.WriteSnapshot(dir)
+}
+
+// LoadSnapshot loads every document of the snapshot in dir into the
+// database, mapping the shard files read-only (mmap where the platform
+// supports it) — column data, dictionary strings and document names are
+// served from the mapped region without copying. The snapshot must have
+// been written with the same shard count. Document names must not collide
+// with already-loaded documents. Only the shards that receive documents
+// have their generation bumped, so cached plans scoped to untouched
+// shards stay valid.
+func (db *Database) LoadSnapshot(dir string) error {
+	err := db.st.LoadSnapshot(dir)
+	if err == nil {
+		db.gen.Add(1)
+	}
+	return err
+}
+
+// SnapshotExists reports whether dir holds a (complete) snapshot — the
+// manifest is written last, so its presence is the completion marker.
+func SnapshotExists(dir string) bool { return store.SnapshotExists(dir) }
+
+// OpenSnapshot opens the snapshot in dir as a new database, sized to the
+// snapshot's shard count. This is the cold-start fast path: instead of
+// re-parsing XML, the shard files are validated and mapped, and queries
+// read columns and interned strings straight from the mapping. Call Close
+// when done to unmap.
+func OpenSnapshot(dir string) (*Database, error) {
+	st, err := store.OpenSnapshot(dir)
+	if err != nil {
+		return nil, err
+	}
+	db := &Database{st: st}
+	db.gen.Add(1)
+	return db, nil
+}
+
+// Close releases resources held by the database — today, the snapshot
+// file mappings. After Close, results and documents backed by a snapshot
+// must no longer be accessed. Databases that never loaded a snapshot need
+// not be closed.
+func (db *Database) Close() error { return db.st.Close() }
+
+// MappedBytes returns the total size of the snapshot file mappings the
+// database currently holds.
+func (db *Database) MappedBytes() int64 { return db.st.MappedBytes() }
+
 // Stats returns the store access counters accumulated since the last
 // ResetStats.
 func (db *Database) Stats() store.Stats { return db.st.Snapshot() }
