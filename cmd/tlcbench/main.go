@@ -26,6 +26,14 @@
 // report):
 //
 //	tlcbench -startup -startup-factor 1 -json bench.json
+//
+// -update-mix R/W runs a mixed read/write workload (e.g. 95/5):
+// concurrent readers evaluate a pattern query while a writer applies
+// paired subtree inserts and deletes through the MVCC update path,
+// reporting update throughput and the reader-latency quantiles against a
+// read-only baseline (recorded under "update_mix" in the -json report):
+//
+//	tlcbench -update-mix 95/5 -factor 0.1 -json bench.json
 package main
 
 import (
@@ -56,6 +64,9 @@ func main() {
 	snapshot := flag.String("snapshot", "", "snapshot directory for the figure 15/16 database: open it if it holds a snapshot (skipping the XMark load), otherwise write one there after loading")
 	startup := flag.Bool("startup", false, "measure cold start — XML parse+index vs snapshot open — and report wall time and heap (included in -json under \"startup\")")
 	startupFactor := flag.Float64("startup-factor", 1, "XMark scale factor for the -startup measurement")
+	updateMix := flag.String("update-mix", "", "mixed read/write ratio \"95/5\": concurrent readers vs one MVCC writer, reporting update throughput and reader-latency impact (included in -json under \"update_mix\")")
+	updateOps := flag.Int("update-ops", 2000, "total operations for the -update-mix workload")
+	updateReaders := flag.Int("update-readers", 4, "concurrent reader goroutines for -update-mix")
 	flag.Parse()
 
 	cfg := harness.Config{Factor: *factor, Reps: *reps, Deadline: *deadline, Parallelism: *parallel, Shards: *shards}
@@ -85,8 +96,9 @@ func main() {
 		fmt.Fprintf(os.Stderr, "tlcbench: unknown figure %q\n", *fig)
 		os.Exit(2)
 	}
-	if *startup && *fig == "all" && !figFlagSet() {
-		// -startup alone (no explicit -fig) measures only the cold start.
+	if (*startup || *updateMix != "") && *fig == "all" && !figFlagSet() {
+		// -startup or -update-mix alone (no explicit -fig) measures only
+		// that experiment.
 		*fig = "none"
 	}
 
@@ -157,6 +169,25 @@ func main() {
 				rep = &harness.BenchReport{Factor: *factor, Reps: cfg.Reps, Parallelism: cfg.Parallelism, Shards: cfg.Shards}
 			}
 			rep.Startup = sr
+		}
+	}
+
+	if *updateMix != "" {
+		readPct, err := parseMix(*updateMix)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("=== Update mix: %d/%d read/write, XMark factor %g ===\n", readPct, 100-readPct, *factor)
+		ur, err := harness.MeasureUpdateMix(*factor, cfg.Shards, readPct, *updateOps, *updateReaders)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(ur.String())
+		if *jsonOut != "" {
+			if rep == nil {
+				rep = &harness.BenchReport{Factor: *factor, Reps: cfg.Reps, Parallelism: cfg.Parallelism, Shards: cfg.Shards}
+			}
+			rep.UpdateMix = ur
 		}
 	}
 
@@ -249,6 +280,20 @@ func parseEngines(s string) []tlc.Engine {
 		out = append(out, e)
 	}
 	return out
+}
+
+// parseMix parses a "reads/writes" percentage pair like "95/5".
+func parseMix(s string) (int, error) {
+	r, w, ok := strings.Cut(s, "/")
+	if !ok {
+		return 0, fmt.Errorf("bad -update-mix %q, want e.g. 95/5", s)
+	}
+	rp, err1 := strconv.Atoi(strings.TrimSpace(r))
+	wp, err2 := strconv.Atoi(strings.TrimSpace(w))
+	if err1 != nil || err2 != nil || rp+wp != 100 || rp <= 0 || wp <= 0 {
+		return 0, fmt.Errorf("bad -update-mix %q, want two positive percentages summing to 100", s)
+	}
+	return rp, nil
 }
 
 func parseFactors(s string) ([]float64, error) {

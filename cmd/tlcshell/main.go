@@ -7,8 +7,8 @@
 //
 // Without -query the shell reads queries from stdin, terminated by a line
 // containing only ";". The special commands ".explain on|off", ".engine
-// <name>", ".plan <query>", ".profile <query>" and ".stats" adjust or
-// inspect the session.
+// <name>", ".plan <query>", ".profile <query>", ".update <doc> <op>
+// <target> ..." and ".stats" adjust or inspect the session.
 package main
 
 import (
@@ -125,7 +125,7 @@ func main() {
 		if buf.Len() == 0 && strings.HasPrefix(line, ".") {
 			switch {
 			case line == ".help":
-				fmt.Println(".engine TLC|OPT|GTP|TAX|NAV   switch engine\n.explain on|off               toggle plan printing\n.plan <query>                 print the planned operator tree (est= cardinalities)\n.profile <query>              EXPLAIN ANALYZE a one-line query (est vs actual, Q-error)\n.stats                        show store access counters\n.quit                         exit")
+				fmt.Println(".engine TLC|OPT|GTP|TAX|NAV   switch engine\n.explain on|off               toggle plan printing\n.plan <query>                 print the planned operator tree (est= cardinalities)\n.profile <query>              EXPLAIN ANALYZE a one-line query (est vs actual, Q-error)\n.update <doc> <op> <target> [position] [fragment]\n                              apply a subtree update (op: insert|delete|replace;\n                              position: into|first|before|after, insert only)\n.stats                        show store access counters\n.quit                         exit")
 			case strings.HasPrefix(line, ".engine "):
 				if e, ok := tlc.ParseEngine(strings.TrimSpace(line[8:])); ok {
 					engine = e
@@ -137,11 +137,20 @@ func main() {
 				*explain = true
 			case line == ".explain off":
 				*explain = false
+			case strings.HasPrefix(line, ".update "):
+				// .update <doc> <op> <target> [position] [fragment...]; the
+				// fragment may contain spaces, so it is the untokenized rest.
+				if err := runUpdate(db, strings.TrimSpace(line[8:])); err != nil {
+					fmt.Fprintln(os.Stderr, "error:", err)
+				}
 			case line == ".stats":
 				fmt.Println(db.Stats())
 				cs := cache.Stats()
 				fmt.Printf("plan cache: %d/%d entries, %d hits, %d misses, %d evictions, %d invalidations\n",
 					cs.Size, cs.Capacity, cs.Hits, cs.Misses, cs.Evictions, cs.Invalidations)
+				ut := tlc.UpdateCounters()
+				fmt.Printf("updates: total=%d conflicts=%d stats_deltas=%d versions_live=%d update_gen=%d\n",
+					ut.Updates, ut.Conflicts, ut.StatsDeltas, db.VersionsLive(), db.UpdateGeneration())
 				kills := governor.KillTotals()
 				fmt.Printf("governor kills:")
 				for _, res := range governor.Resources() {
@@ -187,6 +196,50 @@ func main() {
 		buf.WriteString(line)
 		buf.WriteByte('\n')
 	}
+}
+
+// runUpdate parses and applies one ".update <doc> <op> <target>
+// [position] [fragment...]" command. The fragment is the untokenized rest
+// of the line so it may contain spaces.
+func runUpdate(db *tlc.Database, argstr string) error {
+	fields := strings.Fields(argstr)
+	if len(fields) < 3 {
+		return fmt.Errorf("usage: .update <doc> insert|delete|replace <target> [into|first|before|after] [fragment]")
+	}
+	doc, opName, target := fields[0], fields[1], fields[2]
+	op, err := tlc.ParseUpdateKind(opName)
+	if err != nil {
+		return err
+	}
+	// Strip the three leading tokens off the raw string to keep the
+	// fragment byte-exact.
+	rest := argstr
+	for i := 0; i < 3; i++ {
+		rest = strings.TrimLeft(rest, " \t")
+		if j := strings.IndexAny(rest, " \t"); j >= 0 {
+			rest = rest[j:]
+		} else {
+			rest = ""
+		}
+	}
+	rest = strings.TrimSpace(rest)
+	position := ""
+	if f := strings.Fields(rest); len(f) > 0 {
+		switch f[0] {
+		case "into", "first", "before", "after", "append":
+			position = f[0]
+			rest = strings.TrimSpace(strings.TrimPrefix(rest, f[0]))
+		}
+	}
+	start := time.Now()
+	res, err := db.Update(tlc.UpdateRequest{Doc: doc, Op: op, Target: target, Position: position, Fragment: rest})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "%s v%d: +%d/-%d nodes (%d total), %d stats deltas, %d conflicts in %.3fs\n",
+		res.Doc, res.Version, res.NodesAdded, res.NodesRemoved, res.Nodes, res.StatsDeltas, res.Conflicts,
+		time.Since(start).Seconds())
+	return nil
 }
 
 func evalOne(db *tlc.Database, cache *plancache.Cache, text string, engine tlc.Engine, explain bool, parallel int) error {

@@ -57,12 +57,22 @@ const (
 	PointMatcher = "physical.matcher"
 	// PointPlanCacheFill fires when the plan cache compiles on a miss.
 	PointPlanCacheFill = "plancache.fill"
-	// PointServiceQuery, PointServiceExplain, PointServiceProfile and
-	// PointServiceLoad fire at the top of the corresponding handler.
+	// PointServiceQuery, PointServiceExplain, PointServiceProfile,
+	// PointServiceLoad and PointServiceUpdate fire at the top of the
+	// corresponding handler.
 	PointServiceQuery   = "service.query"
 	PointServiceExplain = "service.explain"
 	PointServiceProfile = "service.profile"
 	PointServiceLoad    = "service.load"
+	PointServiceUpdate  = "service.update"
+	// PointMutateCommit fires in Store.Commit, before the directory swap
+	// that publishes a new document version — a failing write path. An
+	// injected failure must leave the store on the old version.
+	PointMutateCommit = "mutate.commit"
+	// PointMutateStatsDelta fires when a splice applies its incremental
+	// statistics delta to the catalog; an injected failure must abort the
+	// whole mutation with no partial state.
+	PointMutateStatsDelta = "mutate.statsdelta"
 )
 
 // Catalog returns every registered injection point name, sorted.
@@ -77,6 +87,9 @@ func Catalog() []string {
 		PointServiceExplain,
 		PointServiceProfile,
 		PointServiceLoad,
+		PointServiceUpdate,
+		PointMutateCommit,
+		PointMutateStatsDelta,
 	}
 	sort.Strings(pts)
 	return pts

@@ -36,6 +36,10 @@ type BenchReport struct {
 	// -startup: XML parse+index versus snapshot open (its own factor —
 	// startup is typically measured at a larger scale than the workload).
 	Startup *StartupReport `json:"startup,omitempty"`
+	// UpdateMix, when present, is the mixed read/write workload of
+	// tlcbench -update-mix: MVCC update throughput and the reader-latency
+	// quantiles against a read-only baseline.
+	UpdateMix *UpdateMixReport `json:"update_mix,omitempty"`
 }
 
 // Report flattens Figure 15 rows into a BenchReport.

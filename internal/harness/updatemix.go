@@ -1,0 +1,235 @@
+package harness
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"tlc"
+)
+
+// mixQuery is the read side of the update-mix workload: a pattern scan
+// with a predicate, cheap enough to repeat thousands of times but real
+// enough (index probes, structural join, serialization) that writer
+// interference would show in its latency.
+const mixQuery = `FOR $p IN document("auction.xml")//person WHERE $p/profile/@income > 80000 RETURN $p/name`
+
+// UpdateMixReport measures a mixed read/write workload against one
+// document: concurrent readers evaluate mixQuery while one writer applies
+// paired subtree inserts and deletes through the MVCC update path. The
+// interesting numbers are the update throughput and how far the readers'
+// latency quantiles move relative to the read-only baseline — with
+// snapshot-isolated readers the answer should be "barely" (readers never
+// block on the writer; the cost is cache pressure from version churn).
+type UpdateMixReport struct {
+	// Factor and Shards describe the database.
+	Factor float64 `json:"factor"`
+	Shards int     `json:"shards"`
+	// ReadPct/WritePct is the requested operation mix (e.g. 95/5).
+	ReadPct  int `json:"read_pct"`
+	WritePct int `json:"write_pct"`
+	// Readers is the concurrent reader goroutine count.
+	Readers int `json:"readers"`
+	// Reads, Writes and Conflicts count the mixed-phase operations; every
+	// conflict was retried internally, so Writes all committed.
+	Reads     int64 `json:"reads"`
+	Writes    int64 `json:"writes"`
+	Conflicts int64 `json:"conflicts"`
+	// ReadOnlyP50Ns/P99Ns are the baseline read latencies with no writer.
+	ReadOnlyP50Ns int64 `json:"read_only_p50_ns"`
+	ReadOnlyP99Ns int64 `json:"read_only_p99_ns"`
+	// MixedP50Ns/P99Ns are the read latencies with the writer running.
+	MixedP50Ns int64 `json:"mixed_p50_ns"`
+	MixedP99Ns int64 `json:"mixed_p99_ns"`
+	// ReadsPerSec and WritesPerSec are mixed-phase throughputs; WallNs is
+	// the mixed-phase wall time.
+	ReadsPerSec  float64 `json:"reads_per_sec"`
+	WritesPerSec float64 `json:"writes_per_sec"`
+	WallNs       int64   `json:"wall_ns"`
+}
+
+func (r *UpdateMixReport) String() string {
+	return fmt.Sprintf(
+		"factor %g, %d shard(s), %d/%d read/write, %d readers\n"+
+			"  read-only latency:  p50 %10s  p99 %10s\n"+
+			"  mixed read latency: p50 %10s  p99 %10s\n"+
+			"  throughput:         %.0f reads/s, %.0f updates/s (%d reads, %d updates, %d conflicts in %s)\n",
+		r.Factor, r.Shards, r.ReadPct, r.WritePct, r.Readers,
+		// Read latencies sit in the microsecond range, below fmtDuration's
+		// resolution; Duration.Round keeps them legible.
+		time.Duration(r.ReadOnlyP50Ns).Round(time.Microsecond), time.Duration(r.ReadOnlyP99Ns).Round(time.Microsecond),
+		time.Duration(r.MixedP50Ns).Round(time.Microsecond), time.Duration(r.MixedP99Ns).Round(time.Microsecond),
+		r.ReadsPerSec, r.WritesPerSec, r.Reads, r.Writes, r.Conflicts,
+		fmtDuration(time.Duration(r.WallNs)))
+}
+
+// latQuantile returns the q-quantile (nearest-rank) of the latencies.
+func latQuantile(lats []int64, q float64) int64 {
+	if len(lats) == 0 {
+		return 0
+	}
+	sorted := make([]int64, len(lats))
+	copy(sorted, lats)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	idx := int(q * float64(len(sorted)))
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+// MeasureUpdateMix loads XMark at factor and runs the mixed workload:
+// totalOps operations split readPct/(100-readPct) between reads and
+// updates. The baseline phase runs a slice of the reads with no writer;
+// the mixed phase runs all reads across `readers` goroutines while one
+// writer goroutine applies the updates (alternating insert and delete of
+// a marker subtree, so the document ends byte-identical to how it
+// started).
+func MeasureUpdateMix(factor float64, shards, readPct, totalOps, readers int) (*UpdateMixReport, error) {
+	if readPct <= 0 || readPct >= 100 {
+		return nil, fmt.Errorf("harness: read percentage %d out of range (1..99)", readPct)
+	}
+	if readers < 1 {
+		readers = 1
+	}
+	db, err := OpenDatabase(factor, shards)
+	if err != nil {
+		return nil, err
+	}
+	defer db.Close()
+	rep := &UpdateMixReport{
+		Factor: factor, Shards: db.NumShards(),
+		ReadPct: readPct, WritePct: 100 - readPct, Readers: readers,
+	}
+	prep, err := db.Compile(mixQuery)
+	if err != nil {
+		return nil, err
+	}
+
+	writes := totalOps * (100 - readPct) / 100
+	if writes < 2 {
+		writes = 2
+	}
+	if writes%2 == 1 {
+		writes++ // inserts and deletes pair up
+	}
+	reads := totalOps - writes
+	if reads < readers {
+		reads = readers
+	}
+
+	runRead := func() (int64, error) {
+		start := time.Now()
+		res, err := db.Run(prep)
+		if err != nil {
+			return 0, err
+		}
+		_ = res.Len()
+		return time.Since(start).Nanoseconds(), nil
+	}
+
+	// Phase 1: read-only baseline (plus warmup before the clock matters).
+	baseline := reads / 4
+	if baseline > 500 {
+		baseline = 500
+	}
+	if baseline < 50 {
+		baseline = 50
+	}
+	for i := 0; i < 5; i++ {
+		if _, err := runRead(); err != nil {
+			return nil, err
+		}
+	}
+	baseLats := make([]int64, 0, baseline)
+	for i := 0; i < baseline; i++ {
+		ns, err := runRead()
+		if err != nil {
+			return nil, err
+		}
+		baseLats = append(baseLats, ns)
+	}
+	rep.ReadOnlyP50Ns = latQuantile(baseLats, 0.50)
+	rep.ReadOnlyP99Ns = latQuantile(baseLats, 0.99)
+
+	// Phase 2: mixed. Readers share the read budget; one writer applies
+	// the updates. Reader errors abort the run — a mixed workload must
+	// never surface reader-visible failures.
+	var (
+		wg        sync.WaitGroup
+		latMu     sync.Mutex
+		mixedLats = make([]int64, 0, reads)
+		errMu     sync.Mutex
+		firstErr  error
+	)
+	fail := func(err error) {
+		errMu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		errMu.Unlock()
+	}
+	begin := time.Now()
+	perReader := reads / readers
+	for g := 0; g < readers; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			local := make([]int64, 0, perReader)
+			for i := 0; i < perReader; i++ {
+				ns, err := runRead()
+				if err != nil {
+					fail(fmt.Errorf("mixed-phase read: %w", err))
+					return
+				}
+				local = append(local, ns)
+			}
+			latMu.Lock()
+			mixedLats = append(mixedLats, local...)
+			latMu.Unlock()
+		}()
+	}
+	var writeWall time.Duration
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		wstart := time.Now()
+		for i := 0; i < writes/2; i++ {
+			res, err := db.Update(tlc.UpdateRequest{
+				Doc: "auction.xml", Op: tlc.UpdateInsert, Target: "/site",
+				Fragment: "<mixmark>probe</mixmark>",
+			})
+			if err != nil {
+				fail(fmt.Errorf("mixed-phase insert: %w", err))
+				return
+			}
+			rep.Conflicts += int64(res.Conflicts)
+			res, err = db.Update(tlc.UpdateRequest{
+				Doc: "auction.xml", Op: tlc.UpdateDelete, Target: "/site/mixmark[1]",
+			})
+			if err != nil {
+				fail(fmt.Errorf("mixed-phase delete: %w", err))
+				return
+			}
+			rep.Conflicts += int64(res.Conflicts)
+			rep.Writes += 2
+		}
+		writeWall = time.Since(wstart)
+	}()
+	wg.Wait()
+	rep.WallNs = time.Since(begin).Nanoseconds()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	rep.Reads = int64(len(mixedLats))
+	rep.MixedP50Ns = latQuantile(mixedLats, 0.50)
+	rep.MixedP99Ns = latQuantile(mixedLats, 0.99)
+	if rep.WallNs > 0 {
+		rep.ReadsPerSec = float64(rep.Reads) / (float64(rep.WallNs) / 1e9)
+	}
+	if writeWall > 0 {
+		rep.WritesPerSec = float64(rep.Writes) / writeWall.Seconds()
+	}
+	return rep, nil
+}

@@ -7,16 +7,20 @@
 // turns the service's per-request compile cost into a one-time cost per
 // distinct query.
 //
-// Invalidation is by shard generation: every successful document load
-// bumps the owning shard's generation, each cached entry records the
-// generations of the shards its plan's documents route to, and a lookup
-// revalidates only those shards — so loading a document invalidates
-// exactly the plans whose input shards moved, not the whole cache. Plans
-// whose document footprint cannot be fully resolved (no document
-// references, or a referenced document not yet loaded — the cases where
-// the planner falls back to whole-database statistics scope) keep the
-// conservative whole-database generation check, and Flush remains the
-// whole-cache path for schema-wide changes.
+// Invalidation is by shard generation and document version: every
+// successful document load bumps the owning shard's generation, and every
+// committed update bumps only the mutated document's version. Each cached
+// entry records both the generations of the shards its plan's documents
+// route to and the versions of those documents at compile time; a lookup
+// revalidates exactly that footprint — so loading a document invalidates
+// the plans whose input shards moved, and updating a document invalidates
+// only the plans that reference that document, not every plan on its
+// shard. Plans whose document footprint cannot be fully resolved (no
+// document references, or a referenced document not yet loaded — the
+// cases where the planner falls back to whole-database statistics scope)
+// keep the conservative whole-database generation check (which updates
+// also bump), and Flush remains the whole-cache path for schema-wide
+// changes.
 package plancache
 
 import (
@@ -55,9 +59,9 @@ type Stats struct {
 	Misses uint64 `json:"misses"`
 	// Evictions counts entries dropped to capacity pressure.
 	Evictions uint64 `json:"evictions"`
-	// Invalidations counts entries dropped because a shard (or the whole
-	// database, for footprint-less plans) moved past their compile-time
-	// generation, plus entries removed by Flush.
+	// Invalidations counts entries dropped because a shard, a referenced
+	// document's version, or (for footprint-less plans) the whole database
+	// moved past their compile-time record, plus entries removed by Flush.
 	Invalidations uint64 `json:"invalidations"`
 	// Size and Capacity describe the current occupancy.
 	Size     int `json:"size"`
@@ -72,6 +76,12 @@ type entry struct {
 	// while every recorded shard still reports its recorded generation.
 	// nil marks a conservatively scoped entry validated against gen.
 	shardGens map[int]uint64
+	// docVers maps each referenced document onto its MVCC version at
+	// compile time. Commits bump a document's version without touching its
+	// shard's load generation, so this is what invalidates per document:
+	// an update to one document drops only the plans that reference it.
+	// Set exactly when shardGens is.
+	docVers map[string]uint64
 	// gen is the whole-database generation at compile time, used only when
 	// shardGens is nil.
 	gen uint64
@@ -112,34 +122,39 @@ func valid(db *tlc.Database, e *entry) bool {
 			return false
 		}
 	}
+	for name, v := range e.docVers {
+		if cur, ok := db.DocumentVersion(name); !ok || cur != v {
+			return false
+		}
+	}
 	return true
 }
 
-// footprint resolves a compiled plan's shard-generation record against the
-// pre-compile generation snapshot. It returns nil when the plan references
-// no documents or references one that is not loaded — the cases where
-// compilation (planner statistics scope, name resolution) may depend on
-// documents beyond the footprint, which must keep whole-database validity.
-func footprint(db *tlc.Database, prep *tlc.Prepared, gens []uint64) map[int]uint64 {
+// footprint resolves a compiled plan's shard-generation and
+// document-version record against the pre-compile snapshots. It returns
+// nils when the plan references no documents or references one that is
+// not loaded — the cases where compilation (planner statistics scope,
+// name resolution) may depend on documents beyond the footprint, which
+// must keep whole-database validity.
+func footprint(db *tlc.Database, prep *tlc.Prepared, gens []uint64, vers map[string]uint64) (map[int]uint64, map[string]uint64) {
 	docs := prep.Documents()
 	if len(docs) == 0 {
-		return nil
+		return nil, nil
 	}
-	loaded := make(map[string]bool)
-	for _, name := range db.Documents() {
-		loaded[name] = true
-	}
-	out := make(map[int]uint64, len(docs))
+	shards := make(map[int]uint64, len(docs))
+	dv := make(map[string]uint64, len(docs))
 	for _, name := range docs {
-		if !loaded[name] {
-			return nil
+		v, loaded := vers[name]
+		if !loaded {
+			return nil, nil
 		}
+		dv[name] = v
 		sh := db.ShardOfDocument(name)
 		if sh >= 0 && sh < len(gens) {
-			out[sh] = gens[sh]
+			shards[sh] = gens[sh]
 		}
 	}
-	return out
+	return shards, dv
 }
 
 // Load returns the cached Prepared for key, compiling it on a miss. The
@@ -149,12 +164,14 @@ func footprint(db *tlc.Database, prep *tlc.Prepared, gens []uint64) map[int]uint
 // finisher's plan stays cached (both plans are valid, so either may be
 // handed out).
 func (c *Cache) Load(ctx context.Context, db *tlc.Database, key Key) (*tlc.Prepared, bool, error) {
-	// Snapshot the generations before compiling: a load landing during the
-	// compile must make the freshly compiled plan uncacheable (it may have
-	// seen a half-updated catalog), which the post-compile re-check below
-	// detects by comparing against this snapshot.
+	// Snapshot the generations and document versions before compiling: a
+	// load or update landing during the compile must make the freshly
+	// compiled plan uncacheable (it may have seen a half-updated catalog),
+	// which the post-compile re-check below detects by comparing against
+	// this snapshot.
 	gen := db.Generation()
 	gens := db.ShardGenerations()
+	vers := db.DocumentVersions()
 
 	c.mu.Lock()
 	if el, ok := c.byKey[key]; ok {
@@ -188,7 +205,8 @@ func (c *Cache) Load(ctx context.Context, db *tlc.Database, key Key) (*tlc.Prepa
 	if err != nil {
 		return nil, false, err
 	}
-	e := &entry{key: key, prep: prep, shardGens: footprint(db, prep, gens), gen: gen}
+	shardGens, docVers := footprint(db, prep, gens, vers)
+	e := &entry{key: key, prep: prep, shardGens: shardGens, docVers: docVers, gen: gen}
 
 	c.mu.Lock()
 	defer c.mu.Unlock()

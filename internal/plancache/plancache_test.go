@@ -300,3 +300,57 @@ func TestSnapshotLoadShardInvalidation(t *testing.T) {
 	}
 	db.Close()
 }
+
+// TestDocumentVersionInvalidation proves per-document invalidation: an
+// update to one document drops only the plans referencing it, even when
+// another cached plan's document lives on the very same shard.
+func TestDocumentVersionInvalidation(t *testing.T) {
+	db := tlc.Open(tlc.WithShards(1)) // one shard: everything co-resident
+	if err := db.LoadXMLString("a.xml", testXML); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.LoadXMLString("b.xml", `<r><x>1</x><x>2</x></r>`); err != nil {
+		t.Fatal(err)
+	}
+	c := New(4)
+	ctx := context.Background()
+	keyA := Key{Query: testQuery}
+	keyB := Key{Query: `FOR $x IN document("b.xml")//x RETURN $x`}
+	for _, k := range []Key{keyA, keyB} {
+		if _, _, err := c.Load(ctx, db, k); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Update a.xml: Dave (age 50) joins the WHERE age > 25 result set.
+	if _, err := db.Update(tlc.UpdateRequest{
+		Doc: "a.xml", Op: tlc.UpdateInsert, Target: "/site",
+		Fragment: `<person id="p3"><name>Dave</name><age>50</age></person>`,
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	// The b.xml plan shares the shard but not the document: still cached.
+	if _, hit, err := c.Load(ctx, db, keyB); err != nil || !hit {
+		t.Fatalf("b.xml plan after a.xml update: hit=%v err=%v, want hit", hit, err)
+	}
+	// The a.xml plan is stale: its document's version moved.
+	p, hit, err := c.Load(ctx, db, keyA)
+	if err != nil || hit {
+		t.Fatalf("a.xml plan after a.xml update: hit=%v err=%v, want recompile", hit, err)
+	}
+	if st := c.Stats(); st.Invalidations != 1 {
+		t.Errorf("invalidations = %d, want 1", st.Invalidations)
+	}
+	// The recompiled plan sees the new version and is cached at it.
+	res, err := db.Run(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 3 {
+		t.Errorf("got %d results after update, want 3", res.Len())
+	}
+	if _, hit, _ := c.Load(ctx, db, keyA); !hit {
+		t.Error("recompiled plan was not cached")
+	}
+}

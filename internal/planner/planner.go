@@ -57,6 +57,13 @@ type Info struct {
 	// (Catalog.TagCountByShard) whose sum drives every TagCount-based
 	// estimate, so the costing total and the shard breakdown always agree.
 	ShardScan map[int]float64
+	// DocVersions records the MVCC version of every document the plan's
+	// pattern selects resolved against at planning time. The estimates
+	// above were read from those versions' statistics catalogs, so a plan
+	// cache can revalidate per document: a committed update bumps the
+	// mutated document's version (and only that), marking exactly the
+	// plans whose costing inputs moved.
+	DocVersions map[string]uint64
 }
 
 // Estimate returns the estimated output cardinality of op, if planned.
@@ -127,6 +134,10 @@ func Plan(root algebra.Op, st *store.Store, opts Options) (algebra.Op, *Info) {
 					info.ShardScan = make(map[int]float64)
 				}
 				info.ShardScan[st.ShardOf(id)] += info.est[op]
+				if info.DocVersions == nil {
+					info.DocVersions = make(map[string]uint64)
+				}
+				info.DocVersions[sel.APT.Root.Doc] = st.Doc(id).Version()
 			}
 		}
 	}

@@ -18,6 +18,8 @@ import (
 //	query_error      422  the query is valid but cannot evaluate (e.g.
 //	                      unknown document)
 //	budget_exceeded  422  the query tripped its resource governor
+//	conflict         409  an update lost its commit race to a concurrent
+//	                      writer after retries
 //	overloaded       429  shed before evaluation: admission queue full
 //	canceled         503  the client went away mid-evaluation
 //	unavailable      503  shed while queued, or circuit breaker open
@@ -27,6 +29,7 @@ const (
 	codeUserError   = "user_error"
 	codeQueryError  = "query_error"
 	codeBudget      = "budget_exceeded"
+	codeConflict    = "conflict"
 	codeOverloaded  = "overloaded"
 	codeCanceled    = "canceled"
 	codeUnavailable = "unavailable"
@@ -46,6 +49,10 @@ func classify(err error) (int, string) {
 		return http.StatusUnprocessableEntity, codeBudget
 	case errors.As(err, &pe), errors.Is(err, faultinject.ErrInjected):
 		return http.StatusInternalServerError, codeInternal
+	case errors.Is(err, tlc.ErrUpdateConflict):
+		// The update lost its commit race repeatedly; the client can refetch
+		// and retry, so this is contention, not an internal failure.
+		return http.StatusConflict, codeConflict
 	case errors.Is(err, context.DeadlineExceeded):
 		return http.StatusGatewayTimeout, codeTimeout
 	case errors.Is(err, context.Canceled):

@@ -12,6 +12,7 @@
 //	POST /explain   same body -> plan text
 //	POST /profile   same body -> per-operator profile text
 //	POST /load      ?name=doc.xml with an XML body, or ?name=&xmark=1
+//	POST /update    {"doc": "...", "op": "insert", "target": "...", ...}
 //	POST /snapshot  ?dir=/path — write a columnar snapshot of the store
 //	GET  /documents loaded document names
 //	GET  /healthz   liveness
@@ -116,7 +117,7 @@ type Server struct {
 	// database (per shard), not here; see lockShards/handleLoad.
 
 	// breakers holds one circuit breaker per evaluation endpoint, keyed by
-	// endpoint name (query, explain, profile, load, snapshot).
+	// endpoint name (query, explain, profile, load, snapshot, update).
 	breakers map[string]*breaker
 	// Snapshot gauges for /varz: snapshots written since start, and the
 	// byte size and wall time of the most recent one.
@@ -142,7 +143,7 @@ func New(cfg Config) (*Server, error) {
 	}
 	cfg.fillDefaults()
 	breakers := make(map[string]*breaker, 4)
-	for _, ep := range []string{"query", "explain", "profile", "load", "snapshot"} {
+	for _, ep := range []string{"query", "explain", "profile", "load", "snapshot", "update"} {
 		breakers[ep] = newBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown)
 	}
 	return &Server{
@@ -164,6 +165,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/profile", s.instrument(s.protect("profile", s.handleProfile)))
 	mux.HandleFunc("/load", s.instrument(s.protect("load", s.handleLoad)))
 	mux.HandleFunc("/snapshot", s.instrument(s.protect("snapshot", s.handleSnapshot)))
+	mux.HandleFunc("/update", s.instrument(s.protect("update", s.handleUpdate)))
 	mux.HandleFunc("/documents", s.instrument(s.handleDocuments))
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/varz", s.handleVarz)
@@ -658,6 +660,110 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// updateRequest is the JSON body of /update.
+type updateRequest struct {
+	// Doc names the loaded document to mutate. Required.
+	Doc string `json:"doc"`
+	// Op is the update kind: insert, delete or replace. Required.
+	Op string `json:"op"`
+	// Target addresses the node the op applies to: an absolute path like
+	// /site/people/person[2]/@id, or #N for a node ordinal. Required.
+	Target string `json:"target"`
+	// Position places an inserted fragment relative to the target (into,
+	// first, before, after); empty means into. Ignored for delete/replace.
+	Position string `json:"position,omitempty"`
+	// Fragment is the XML fragment to insert or replace with; delete takes
+	// none.
+	Fragment string `json:"fragment,omitempty"`
+	// TimeoutMS, MaxNodes and MaxBytes mirror the query body fields: the
+	// write cost (new version's nodes and bytes) is charged against the
+	// same governor budgets, and exceeding one aborts the update with a
+	// 422 budget_exceeded before anything commits.
+	TimeoutMS int   `json:"timeout_ms,omitempty"`
+	MaxNodes  int64 `json:"max_nodes,omitempty"`
+	MaxBytes  int64 `json:"max_bytes,omitempty"`
+}
+
+// handleUpdate applies one subtree update (insert, delete or replace)
+// through the MVCC write path. The handler takes only the READ half of
+// the target document's shard lock: updates coexist with in-flight
+// queries by design (readers pin the pre-commit version; the commit is a
+// copy-on-write directory swap), so the lock only excludes /load, which
+// replaces whole documents non-versioned under the write half.
+func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeErrorCode(w, http.StatusMethodNotAllowed, codeUserError, "POST required")
+		return
+	}
+	if err := faultinject.Hit(faultinject.PointServiceUpdate); err != nil {
+		status, code := classify(err)
+		writeErrorCode(w, status, code, "update: %v", err)
+		return
+	}
+	var req updateRequest
+	dec := json.NewDecoder(io.LimitReader(r.Body, 1<<20))
+	if err := dec.Decode(&req); err != nil {
+		writeErrorCode(w, http.StatusBadRequest, codeUserError, "bad request body: %v", err)
+		return
+	}
+	if req.Doc == "" || req.Target == "" {
+		writeErrorCode(w, http.StatusBadRequest, codeUserError, "missing \"doc\" or \"target\"")
+		return
+	}
+	op, err := tlc.ParseUpdateKind(req.Op)
+	if err != nil {
+		writeErrorCode(w, http.StatusBadRequest, codeUserError, "update: %v", err)
+		return
+	}
+
+	// Updates share the admission gate with queries: a write occupies an
+	// evaluation slot for its (short) duration, so a flood of writes sheds
+	// instead of starving readers of slots.
+	qreq := &queryRequest{TimeoutMS: req.TimeoutMS, MaxNodes: req.MaxNodes, MaxBytes: req.MaxBytes}
+	ctx, cancel, release, ok := s.admit(w, r, qreq)
+	if !ok {
+		return
+	}
+	defer cancel()
+	defer release()
+
+	defer s.rlockShards([]int{s.db.ShardOfDocument(req.Doc)})()
+
+	begin := time.Now()
+	res, err := s.db.UpdateContext(ctx, tlc.UpdateRequest{
+		Doc:      req.Doc,
+		Op:       op,
+		Target:   req.Target,
+		Position: req.Position,
+		Fragment: req.Fragment,
+	}, tlc.WithLimits(s.limits(qreq)))
+	if err != nil {
+		switch {
+		case errors.Is(err, tlc.ErrBadUpdateRequest):
+			writeErrorCode(w, http.StatusBadRequest, codeUserError, "update: %v", err)
+		case errors.Is(err, tlc.ErrUnknownDocument), errors.Is(err, tlc.ErrBadUpdateTarget):
+			writeErrorCode(w, http.StatusUnprocessableEntity, codeQueryError, "update: %v", err)
+		default:
+			// Conflict (409), budget (422), injected fault / contained panic
+			// (500), timeout (504) all classify like query errors.
+			status, code := classify(err)
+			writeErrorCode(w, status, code, "update: %v", err)
+		}
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"doc":           res.Doc,
+		"version":       res.Version,
+		"nodes":         res.Nodes,
+		"nodes_added":   res.NodesAdded,
+		"nodes_removed": res.NodesRemoved,
+		"stats_deltas":  res.StatsDeltas,
+		"conflicts":     res.Conflicts,
+		"generation":    s.db.Generation(),
+		"elapsed_ms":    float64(time.Since(begin)) / float64(time.Millisecond),
+	})
+}
+
 func (s *Server) handleDocuments(w http.ResponseWriter, r *http.Request) {
 	// Loads publish the document directory with an atomic snapshot swap, so
 	// listing needs no lock — it sees either the pre- or post-load list.
@@ -696,6 +802,11 @@ type varz struct {
 	// opened snapshots, snapshots written since start, and the size and
 	// wall time of the most recent write.
 	Snapshot   map[string]int64 `json:"snapshot"`
+	// Mutate holds the MVCC update gauges: updates committed since process
+	// start, commit races lost (each one retried), document versions still
+	// reachable (live + pinned superseded), and incremental statistics
+	// deltas applied in place of catalog rebuilds.
+	Mutate     map[string]int64 `json:"mutate"`
 	Documents  int              `json:"documents"`
 	Generation uint64           `json:"generation"`
 	// Shards reports the per-shard gauges: document count and load
@@ -716,6 +827,18 @@ type varz struct {
 	// Faults reports the armed fault-injection points (absent in
 	// production: injection is off unless TLC_FAULTS is set).
 	Faults map[string]faultinject.Counts `json:"faults,omitempty"`
+}
+
+// mutateVarz builds the /varz MVCC update gauge map (also mirrored by the
+// tlcshell .stats command).
+func mutateVarz(db *tlc.Database) map[string]int64 {
+	ut := tlc.UpdateCounters()
+	return map[string]int64{
+		"updates_total":        ut.Updates,
+		"update_conflicts":     ut.Conflicts,
+		"versions_live":        db.VersionsLive(),
+		"stats_deltas_applied": ut.StatsDeltas,
+	}
 }
 
 // shardVarz is one store shard's /varz entry.
@@ -764,6 +887,7 @@ func (s *Server) handleVarz(w http.ResponseWriter, r *http.Request) {
 			"last_bytes":       s.lastSnapshotBytes.Load(),
 			"last_duration_ms": time.Duration(s.lastSnapshotWall.Load()).Milliseconds(),
 		},
+		Mutate:          mutateVarz(s.db),
 		Documents:       len(s.db.Documents()),
 		Generation:      s.db.Generation(),
 		Governor:        make(map[string]int64, 4),

@@ -78,6 +78,12 @@ type Doc struct {
 	tags, vals *dict
 	// stats is the load-time statistics summary served through Catalog.
 	stats *docStats
+	// version is the document's MVCC version: 1 for a freshly loaded
+	// document, incremented by every committed splice (mutate.go). A Doc is
+	// immutable; a mutation builds a whole new Doc with version+1 and swaps
+	// the directory entry, so readers holding the old version keep a
+	// consistent view.
+	version uint64
 }
 
 // Name returns the document name under which the document was loaded.
@@ -85,6 +91,10 @@ func (d *Doc) Name() string { return d.name }
 
 // DocID returns the document's store-wide ID.
 func (d *Doc) DocID() DocID { return d.id }
+
+// Version returns the document's MVCC version (1 for a fresh load; each
+// committed mutation increments it).
+func (d *Doc) Version() uint64 { return d.version }
 
 // Len returns the number of nodes in the document.
 func (d *Doc) Len() int { return len(d.c.start) }
@@ -288,8 +298,9 @@ func buildDoc(doc *xmltree.Document, id DocID, shardIdx int, tags, vals *dict) *
 			tag:        make([]uint32, n),
 			val:        make([]uint32, n),
 		},
-		tags: tags,
-		vals: vals,
+		tags:    tags,
+		vals:    vals,
+		version: 1,
 	}
 
 	// Pass 1: fill the columns with document-local dictionary IDs and

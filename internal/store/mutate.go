@@ -1,0 +1,512 @@
+package store
+
+// This file implements the store half of the MVCC update subsystem: the
+// subtree splice primitive and the versioned commit.
+//
+// A splice is the one structural edit every update reduces to: under a
+// parent element P, delete a contiguous run of whole sibling subtrees
+// [At, DelEnd) and/or insert one fragment subtree at position At. Because
+// the paper's interval node IDs make every structural relation a pure
+// function of (start, end, level), the spliced document is computed by
+// column arithmetic — survivors before the splice point keep their
+// ordinals, survivors after it shift by (inserted − deleted), ancestor
+// intervals stretch or shrink by the same amount, and levels never change
+// for survivors. Nothing is edited in place: BuildSplice produces a fresh
+// *Doc (a new version) and Commit swaps the copy-on-write directory entry,
+// so readers pinned on the old version keep a consistent view to
+// completion while writers never wait for them.
+//
+// The tag/value postings indexes are maintained incrementally: for every
+// dictionary ID, the new postings list is the concatenation of the
+// unshifted prefix (< At), the fragment's ordinals ([At, At+m)), and the
+// shifted suffix (>= DelEnd) — a merge, never a rebuild from the columns.
+// The statistics catalog is maintained by delta counts: each deleted and
+// inserted node adjusts its tag cardinality, its parent pair and its
+// distinct-ancestor pairs by ±1; only the level bounds and distinct-value
+// counts of the touched tags are rescanned (they are extrema, not sums).
+//
+// One invariant keeps the arithmetic exact: a splice must not change the
+// concatenated text content of the parent P. Deleting an element between
+// two text siblings therefore extends the deletion to both texts and
+// re-inserts one merged text node (the mutate package does this), which is
+// also exactly what re-parsing the serialized document would produce.
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+
+	"tlc/internal/faultinject"
+	"tlc/internal/xmltree"
+)
+
+// Typed mutation errors.
+var (
+	// ErrVersionConflict reports a commit whose base document version was
+	// superseded by a concurrent commit; the caller must re-read and retry.
+	ErrVersionConflict = errors.New("store: stale document version")
+	// ErrConcurrentMutation reports an operation that cannot run while
+	// writers are in flight (LoadSnapshot).
+	ErrConcurrentMutation = errors.New("store: concurrent mutation in flight")
+	// ErrBadSplice reports a structurally invalid splice specification.
+	ErrBadSplice = errors.New("store: invalid splice")
+	// ErrSpliceContent reports a splice that would change the concatenated
+	// text content of the parent element, which the incremental index and
+	// statistics maintenance rely on being invariant.
+	ErrSpliceContent = errors.New("store: splice changes parent text content")
+)
+
+// SpliceOp is one structural edit of a document: under the element at
+// ordinal Parent, delete the sibling subtrees covering ordinals
+// [At, DelEnd) and insert Frag (a single-rooted fragment) at position At.
+// DelEnd == At deletes nothing (pure insert); Frag == nil inserts nothing
+// (pure delete); both at once is a replace.
+type SpliceOp struct {
+	// Parent is the ordinal of the element the edit happens under.
+	Parent int32
+	// At is the splice position: the ordinal of the first deleted node,
+	// and the ordinal the fragment root lands on. It must be a child
+	// boundary of Parent (the start of a child subtree, or end(Parent)+1
+	// to append after the last child).
+	At int32
+	// DelEnd is the exclusive end of the deleted ordinal range. The range
+	// [At, DelEnd) must cover whole sibling subtrees of Parent.
+	DelEnd int32
+	// Frag is the fragment to insert, in parsed preorder form; its root
+	// becomes a child of Parent at position At. Levels in the fragment are
+	// relative (root at 0). Nil for a pure delete.
+	Frag *xmltree.Document
+}
+
+// SpliceResult summarizes a built splice.
+type SpliceResult struct {
+	// NodesRemoved and NodesAdded count the deleted range and the
+	// fragment.
+	NodesRemoved, NodesAdded int
+	// StatsDeltas counts the individual ±1 adjustments applied to the
+	// statistics catalog (tag cardinalities, child pairs, ancestor pairs).
+	StatsDeltas int
+}
+
+// BuildSplice computes the new version of document d produced by op. The
+// input document is not modified; the result is a fresh *Doc with
+// version d.Version()+1 that shares d's dictionaries. The heavy work runs
+// outside every lock — pass the result to Commit to publish it.
+func (s *Store) BuildSplice(d *Doc, op SpliceOp) (*Doc, SpliceResult, error) {
+	var res SpliceResult
+	n := int32(d.Len())
+	P, d0, d1 := op.Parent, op.At, op.DelEnd
+	if P < 0 || P >= n || xmltree.Kind(d.c.kind[P]) != xmltree.Element {
+		return nil, res, fmt.Errorf("%w: parent %d is not an element", ErrBadSplice, P)
+	}
+	limit := d.c.end[P] + 1
+	if d0 <= P || d0 > limit || d1 < d0 || d1 > limit {
+		return nil, res, fmt.Errorf("%w: range [%d, %d) outside parent %d", ErrBadSplice, d0, d1, P)
+	}
+	if d0 <= d.c.end[P] && d.c.parent[d0] != P {
+		return nil, res, fmt.Errorf("%w: position %d is not a child boundary of %d", ErrBadSplice, d0, P)
+	}
+	for c := d0; c < d1; {
+		if d.c.parent[c] != P {
+			return nil, res, fmt.Errorf("%w: node %d is not a child of %d", ErrBadSplice, c, P)
+		}
+		c = d.c.end[c] + 1
+		if c > d1 {
+			return nil, res, fmt.Errorf("%w: range [%d, %d) splits a subtree", ErrBadSplice, d0, d1)
+		}
+	}
+	var m int32
+	if op.Frag != nil {
+		if err := op.Frag.Validate(); err != nil {
+			return nil, res, fmt.Errorf("%w: fragment: %v", ErrBadSplice, err)
+		}
+		m = int32(len(op.Frag.Nodes))
+	}
+	if m == 0 && d1 == d0 {
+		return nil, res, fmt.Errorf("%w: empty splice", ErrBadSplice)
+	}
+
+	delN := d1 - d0
+	shift := m - delN
+	n2 := n + shift
+	res.NodesRemoved, res.NodesAdded = int(delN), int(m)
+
+	// Ancestors of the splice point (P and up): the only survivors before
+	// At whose interval ends move.
+	isAnc := make([]bool, d0)
+	for a := P; a >= 0; a = d.c.parent[a] {
+		isAnc[a] = true
+	}
+
+	nd := &Doc{
+		name:  d.name,
+		id:    d.id,
+		shard: d.shard,
+		c: cols{
+			start:      make([]int32, n2),
+			end:        make([]int32, n2),
+			level:      make([]int32, n2),
+			parent:     make([]int32, n2),
+			firstChild: make([]int32, n2),
+			kind:       make([]uint8, n2),
+			tag:        make([]uint32, n2),
+			val:        make([]uint32, n2),
+		},
+		tags:    d.tags,
+		vals:    d.vals,
+		version: d.version + 1,
+	}
+
+	// Prefix: ordinals below the splice point are stable; only ancestor
+	// interval ends (and ends at or past the deleted range) move.
+	for j := int32(0); j < d0; j++ {
+		e := d.c.end[j]
+		if isAnc[j] || e >= d1 {
+			e += shift
+		}
+		nd.c.start[j] = j
+		nd.c.end[j] = e
+		nd.c.level[j] = d.c.level[j]
+		nd.c.parent[j] = d.c.parent[j]
+		nd.c.kind[j] = d.c.kind[j]
+		nd.c.tag[j] = d.c.tag[j]
+		nd.c.val[j] = d.c.val[j]
+	}
+
+	// Fragment: local preorder shifted to [At, At+m), levels rebased under
+	// P, strings interned into the document's dictionaries.
+	if m > 0 {
+		var localTags, localVals []string
+		localTagIdx := make(map[string]uint32)
+		localValIdx := make(map[string]uint32)
+		fragTag := make([]uint32, m)
+		fragVal := make([]uint32, m) // local ID + 1; 0 = no content
+		for k := int32(0); k < m; k++ {
+			fn := &op.Frag.Nodes[k]
+			lt, ok := localTagIdx[fn.Tag]
+			if !ok {
+				lt = uint32(len(localTags))
+				localTags = append(localTags, fn.Tag)
+				localTagIdx[fn.Tag] = lt
+			}
+			fragTag[k] = lt
+			content, hasContent := "", false
+			switch fn.Kind {
+			case xmltree.Attribute, xmltree.Text:
+				content, hasContent = fn.Value, true
+			case xmltree.Element:
+				if c := op.Frag.Content(k); c != "" {
+					content, hasContent = c, true
+				}
+			}
+			if hasContent {
+				lv, ok := localValIdx[content]
+				if !ok {
+					lv = uint32(len(localVals))
+					localVals = append(localVals, content)
+					localValIdx[content] = lv
+				}
+				fragVal[k] = lv + 1
+			}
+		}
+		gTag := d.tags.internAll(localTags)
+		gVal := d.vals.internAll(localVals)
+		baseLevel := d.c.level[P] + 1
+		for k := int32(0); k < m; k++ {
+			fn := &op.Frag.Nodes[k]
+			j := d0 + k
+			nd.c.start[j] = j
+			nd.c.end[j] = fn.ID.End + d0
+			nd.c.level[j] = fn.ID.Level + baseLevel
+			if fn.Parent < 0 {
+				nd.c.parent[j] = P
+			} else {
+				nd.c.parent[j] = fn.Parent + d0
+			}
+			nd.c.kind[j] = uint8(fn.Kind)
+			nd.c.tag[j] = gTag[fragTag[k]]
+			if v := fragVal[k]; v != 0 {
+				nd.c.val[j] = gVal[v-1] + 1
+			}
+		}
+	}
+
+	// Suffix: everything at or past the deleted range shifts as a block.
+	for j := d1; j < n; j++ {
+		j2 := j + shift
+		pp := d.c.parent[j]
+		if pp >= d1 {
+			pp += shift
+		}
+		nd.c.start[j2] = j2
+		nd.c.end[j2] = d.c.end[j] + shift
+		nd.c.level[j2] = d.c.level[j]
+		nd.c.parent[j2] = pp
+		nd.c.kind[j2] = d.c.kind[j]
+		nd.c.tag[j2] = d.c.tag[j]
+		nd.c.val[j2] = d.c.val[j]
+	}
+
+	// firstChild is derivable in preorder: the first child of any interior
+	// node is the next ordinal.
+	for i := int32(0); i < n2; i++ {
+		if nd.c.end[i] > i {
+			nd.c.firstChild[i] = i + 1
+		} else {
+			nd.c.firstChild[i] = -1
+		}
+	}
+
+	// The parent-content invariant: P's element content (the concatenation
+	// of its direct text children) must be unchanged, or the interned val
+	// column and the value index entries for P would be stale.
+	if textConcat(&nd.c, nd.vals, P) != textConcat(&d.c, d.vals, P) {
+		return nil, res, fmt.Errorf("%w: parent %d", ErrSpliceContent, P)
+	}
+
+	// Incremental index maintenance: merge, never rebuild.
+	nd.tagDir, nd.tagPost = spliceIndex(d.tagDir, d.tagPost, nd.c.tag, 0, d0, d1, m, shift)
+	nd.valDir, nd.valPost = spliceIndex(d.valDir, d.valPost, nd.c.val, 1, d0, d1, m, shift)
+
+	// Incremental statistics: delta counts against the old catalog.
+	if err := faultinject.Hit(faultinject.PointMutateStatsDelta); err != nil {
+		return nil, res, err
+	}
+	nd.stats, res.StatsDeltas = spliceStats(d, nd, d0, d1, m)
+	return nd, res, nil
+}
+
+// textConcat returns the concatenated direct text children of p.
+func textConcat(c *cols, vals *dict, p int32) string {
+	fc := c.firstChild[p]
+	if fc < 0 {
+		return ""
+	}
+	var sb strings.Builder
+	for ch := fc; ch <= c.end[p]; ch = c.end[ch] + 1 {
+		if xmltree.Kind(c.kind[ch]) == xmltree.Text {
+			sb.WriteString(vals.str(c.val[ch] - 1))
+		}
+	}
+	return sb.String()
+}
+
+// spliceIndex produces the postings index of the spliced document from
+// the old index and the new column. For every dictionary ID the new list
+// is prefix (old ordinals < d0, unshifted) ++ fragment ordinals
+// ([d0, d0+m), read from the new column) ++ suffix (old ordinals >= d1,
+// shifted) — each part is already sorted and the parts are disjoint
+// ascending ranges, so the merge is pure concatenation. Directory entries
+// that end up empty are dropped, exactly as a fresh build would never
+// create them.
+func spliceIndex(oldDir []dirEntry, oldPost []int32, newCol []uint32, bias uint32, d0, d1, m, shift int32) ([]dirEntry, []int32) {
+	frag := make(map[uint32][]int32)
+	var fragIDs []uint32
+	for k := int32(0); k < m; k++ {
+		v := newCol[d0+k]
+		if v < bias {
+			continue // val column: 0 means "no content"
+		}
+		id := v - bias
+		if _, ok := frag[id]; !ok {
+			fragIDs = append(fragIDs, id)
+		}
+		frag[id] = append(frag[id], d0+k)
+	}
+	sort.Slice(fragIDs, func(i, j int) bool { return fragIDs[i] < fragIDs[j] })
+
+	dir := make([]dirEntry, 0, len(oldDir)+len(fragIDs))
+	post := make([]int32, 0, len(oldPost)+int(m))
+	emit := func(id uint32, pre, ins, suf []int32) {
+		total := len(pre) + len(ins) + len(suf)
+		if total == 0 {
+			return
+		}
+		dir = append(dir, dirEntry{id: id, off: uint32(len(post)), n: uint32(total)})
+		post = append(post, pre...)
+		post = append(post, ins...)
+		for _, r := range suf {
+			post = append(post, r+shift)
+		}
+	}
+	i, j := 0, 0
+	for i < len(oldDir) || j < len(fragIDs) {
+		switch {
+		case j >= len(fragIDs) || (i < len(oldDir) && oldDir[i].id < fragIDs[j]):
+			e := oldDir[i]
+			refs := oldPost[e.off : e.off+e.n]
+			lo := sort.Search(len(refs), func(k int) bool { return refs[k] >= d0 })
+			hi := sort.Search(len(refs), func(k int) bool { return refs[k] >= d1 })
+			emit(e.id, refs[:lo], nil, refs[hi:])
+			i++
+		case i >= len(oldDir) || oldDir[i].id > fragIDs[j]:
+			emit(fragIDs[j], nil, frag[fragIDs[j]], nil)
+			j++
+		default:
+			e := oldDir[i]
+			refs := oldPost[e.off : e.off+e.n]
+			lo := sort.Search(len(refs), func(k int) bool { return refs[k] >= d0 })
+			hi := sort.Search(len(refs), func(k int) bool { return refs[k] >= d1 })
+			emit(e.id, refs[:lo], frag[e.id], refs[hi:])
+			i++
+			j++
+		}
+	}
+	return dir, post
+}
+
+// spliceStats produces the spliced document's catalog from the old one by
+// delta counts: every deleted node subtracts, every inserted node adds,
+// its tag cardinality, its (parentTag, tag) child pair, its parent tag's
+// child total, and one (ancestorTag, tag) pair per distinct ancestor tag.
+// Level bounds and distinct-value counts are extrema, not sums, so they
+// are rescanned — but only over the postings of the touched tags. The
+// second result counts the individual adjustments applied.
+func spliceStats(old, nd *Doc, d0, d1, m int32) (*docStats, int) {
+	os := old.stats
+	st := &docStats{
+		rootTag: os.rootTag,
+		nodes:   os.nodes + int(m) - int(d1-d0),
+		depth:   os.depth,
+		tags:    make(map[uint32]TagStats, len(os.tags)),
+		child:   make(map[idPair]int, len(os.child)),
+		desc:    make(map[idPair]int, len(os.desc)),
+	}
+	for k, v := range os.tags {
+		st.tags[k] = v
+	}
+	for k, v := range os.child {
+		st.child[k] = v
+	}
+	for k, v := range os.desc {
+		st.desc[k] = v
+	}
+
+	deltas := 0
+	affected := make(map[uint32]bool)
+	seen := make([]uint32, 0, 16)
+	apply := func(c *cols, i int32, sign int) {
+		tag := c.tag[i]
+		affected[tag] = true
+		ts := st.tags[tag]
+		ts.Count += sign
+		st.tags[tag] = ts
+		deltas++
+		p := c.parent[i] // never -1: the root cannot be spliced out
+		ptag := c.tag[p]
+		st.child[idPair{ptag, tag}] += sign
+		pts := st.tags[ptag]
+		pts.Children += sign
+		st.tags[ptag] = pts
+		deltas += 2
+		seen = seen[:0]
+		for a := p; a >= 0; a = c.parent[a] {
+			atag := c.tag[a]
+			dup := false
+			for _, s := range seen {
+				if s == atag {
+					dup = true
+					break
+				}
+			}
+			if dup {
+				continue
+			}
+			seen = append(seen, atag)
+			st.desc[idPair{atag, tag}] += sign
+			deltas++
+		}
+	}
+	for i := d0; i < d1; i++ {
+		apply(&old.c, i, -1)
+	}
+	for k := int32(0); k < m; k++ {
+		apply(&nd.c, d0+k, +1)
+	}
+
+	// Extrema and distinct counts of the touched tags, from the already
+	// spliced index.
+	for t := range affected {
+		refs := nd.tagRefs(t)
+		if len(refs) == 0 {
+			delete(st.tags, t)
+			continue
+		}
+		ts := st.tags[t]
+		minL, maxL := nd.c.level[refs[0]], nd.c.level[refs[0]]
+		distinct := make(map[uint32]struct{})
+		for _, r := range refs {
+			if l := nd.c.level[r]; l < minL {
+				minL = l
+			}
+			if l := nd.c.level[r]; l > maxL {
+				maxL = l
+			}
+			if v := nd.c.val[r]; v != 0 {
+				distinct[v] = struct{}{}
+			}
+		}
+		ts.MinLevel, ts.MaxLevel = minL, maxL
+		ts.Distinct = len(distinct)
+		st.tags[t] = ts
+	}
+	depth := int32(0)
+	for _, ts := range st.tags {
+		if ts.MaxLevel > depth {
+			depth = ts.MaxLevel
+		}
+	}
+	st.depth = depth
+	for k, v := range st.child {
+		if v <= 0 {
+			delete(st.child, k)
+		}
+	}
+	for k, v := range st.desc {
+		if v <= 0 {
+			delete(st.desc, k)
+		}
+	}
+	return st, deltas
+}
+
+// Commit publishes nd as the new version of old: the directory entry is
+// swapped copy-on-write under the same lock document loads use, after
+// verifying old is still the current version (pointer identity — the
+// optimistic concurrency check). On conflict the store is unchanged and
+// ErrVersionConflict is returned; the caller re-reads and retries or
+// surfaces the conflict. Readers that resolved the document before the
+// swap — or pinned the directory — keep the old version until they finish;
+// its memory is reclaimed by the garbage collector once the last reader
+// drops it (VersionsLive watches this via a finalizer).
+//
+// A commit does not bump the owning shard's load generation: loads and
+// mutations invalidate differently (per-shard vs per-document), and the
+// plan cache checks document versions for exactly this reason.
+func (s *Store) Commit(old, nd *Doc) error {
+	if s.pinned {
+		return fmt.Errorf("store: commit into a pinned (read-only) view")
+	}
+	if err := faultinject.Hit(faultinject.PointMutateCommit); err != nil {
+		return err
+	}
+	s.loadMu.Lock()
+	defer s.loadMu.Unlock()
+	cur := s.dir.Load()
+	if int(old.id) >= len(cur.docs) || cur.docs[old.id] != old {
+		return fmt.Errorf("store: document %q: %w", old.name, ErrVersionConflict)
+	}
+	next := &directory{
+		docs:   make([]*Doc, len(cur.docs)),
+		byName: cur.byName, // names and IDs are untouched by a commit
+	}
+	copy(next.docs, cur.docs)
+	next.docs[old.id] = nd
+	s.dir.Store(next)
+	s.updateGen.Add(1)
+	s.superseded.Add(1)
+	runtime.SetFinalizer(old, func(*Doc) { s.superseded.Add(-1) })
+	return nil
+}

@@ -27,9 +27,19 @@ import (
 //	[16:20) shard index (0xFFFFFFFF in the manifest)
 //	[20:24) shard count
 //	[24:28) document count
-//	[28:32) reserved
+//	[28:32) update generation (manifest; reserved 0 in shard files)
 //	[32:40) payload length
 //	[40:48) CRC-64/ECMA of the payload
+//
+// The update generation records how many mutations had been committed
+// into the store when the snapshot was written (word [28:32) was reserved
+// as zero before MVCC updates existed, so the format version is
+// unchanged). SnapshotUpdateGen reads it back without decoding the
+// payload; comparing it against Store.UpdateGeneration detects a snapshot
+// that has gone stale relative to a store that kept taking writes. Each
+// document record likewise carries its MVCC version in the previously
+// reserved Res0 word (0 in old snapshots, read back as version 1), so a
+// snapshot written after updates round-trips the version chain.
 //
 // The shard payload opens with a fixed section table (21 entries of
 // {offset, length}, offsets 8-byte aligned) locating the columns, the
@@ -197,8 +207,9 @@ func (a *assembler) finish() []byte {
 	return a.buf
 }
 
-// putHeader prepends the 48-byte header for a payload.
-func putHeader(magic string, shardIdx, shardCount, docCount uint32, payload []byte) []byte {
+// putHeader prepends the 48-byte header for a payload. extra fills the
+// word at [28:32): the update generation in the manifest, 0 elsewhere.
+func putHeader(magic string, shardIdx, shardCount, docCount, extra uint32, payload []byte) []byte {
 	out := make([]byte, headerSize, headerSize+len(payload))
 	copy(out[0:8], magic)
 	binary.NativeEndian.PutUint32(out[8:], snapVersion)
@@ -206,6 +217,7 @@ func putHeader(magic string, shardIdx, shardCount, docCount uint32, payload []by
 	binary.NativeEndian.PutUint32(out[16:], shardIdx)
 	binary.NativeEndian.PutUint32(out[20:], shardCount)
 	binary.NativeEndian.PutUint32(out[24:], docCount)
+	binary.NativeEndian.PutUint32(out[28:], extra)
 	binary.NativeEndian.PutUint64(out[32:], uint64(len(payload)))
 	binary.NativeEndian.PutUint64(out[40:], crc64.Checksum(payload, crcTable))
 	return append(out, payload...)
@@ -214,6 +226,7 @@ func putHeader(magic string, shardIdx, shardCount, docCount uint32, payload []by
 // header is the decoded common file header.
 type header struct {
 	shardIdx, shardCount, docCount uint32
+	extra                          uint32
 	payload                        []byte
 }
 
@@ -236,6 +249,7 @@ func parseHeader(data []byte, magic, what string) (header, error) {
 	h.shardIdx = binary.NativeEndian.Uint32(data[16:])
 	h.shardCount = binary.NativeEndian.Uint32(data[20:])
 	h.docCount = binary.NativeEndian.Uint32(data[24:])
+	h.extra = binary.NativeEndian.Uint32(data[28:])
 	plen := binary.NativeEndian.Uint64(data[32:])
 	if plen != uint64(len(data)-headerSize) {
 		return h, fmt.Errorf("%w: %s payload length %d, file has %d", ErrSnapshotCorrupt, what, plen, len(data)-headerSize)
@@ -283,9 +297,11 @@ func (s *Store) WriteSnapshot(dir string) (SnapshotInfo, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return info, fmt.Errorf("store: snapshot: %w", err)
 	}
-	// Capture a consistent (directory, shard membership) pair.
+	// Capture a consistent (directory, shard membership, update
+	// generation) triple.
 	s.loadMu.Lock()
 	d := s.dir.Load()
+	updateGen := s.updateGen.Load()
 	shardDocs := make([][]DocID, len(s.shards))
 	for i, sh := range s.shards {
 		shardDocs[i] = append([]DocID(nil), sh.docs...)
@@ -301,7 +317,7 @@ func (s *Store) WriteSnapshot(dir string) (SnapshotInfo, error) {
 			docs[j] = d.docs[id]
 		}
 		payload := encodeShard(docs)
-		file := putHeader(snapMagic, uint32(i), uint32(len(s.shards)), uint32(len(docs)), payload)
+		file := putHeader(snapMagic, uint32(i), uint32(len(s.shards)), uint32(len(docs)), 0, payload)
 		if err := writeAtomic(filepath.Join(dir, shardFileName(i)), file); err != nil {
 			return info, fmt.Errorf("store: snapshot shard %d: %w", i, err)
 		}
@@ -310,7 +326,7 @@ func (s *Store) WriteSnapshot(dir string) (SnapshotInfo, error) {
 	}
 
 	mani := encodeManifest(d)
-	file := putHeader(maniMagic, ^uint32(0), uint32(len(s.shards)), uint32(len(d.docs)), mani)
+	file := putHeader(maniMagic, ^uint32(0), uint32(len(s.shards)), uint32(len(d.docs)), uint32(updateGen), mani)
 	if err := writeAtomic(filepath.Join(dir, manifestName), file); err != nil {
 		return info, fmt.Errorf("store: snapshot manifest: %w", err)
 	}
@@ -395,6 +411,7 @@ func encodeShard(docs []*Doc) []byte {
 			NameOff: uint32(len(names)), NameLen: uint32(len(doc.name)),
 			Base: uint32(len(start)), Nodes: uint32(doc.Len()),
 			RootTag: rt[doc.stats.rootTag], Depth: doc.stats.depth,
+			Res0:    uint32(doc.version),
 		}
 		names = append(names, doc.name...)
 		start = append(start, doc.c.start...)
@@ -523,36 +540,53 @@ type maniEntry struct {
 	name  string
 }
 
-func decodeManifest(data []byte) (shardCount int, entries []maniEntry, err error) {
+func decodeManifest(data []byte) (shardCount int, updateGen uint64, entries []maniEntry, err error) {
 	h, err := parseHeader(data, maniMagic, "manifest")
 	if err != nil {
-		return 0, nil, err
+		return 0, 0, nil, err
 	}
 	if h.shardCount == 0 || h.shardCount > 1024 {
-		return 0, nil, fmt.Errorf("%w: manifest shard count %d", ErrSnapshotCorrupt, h.shardCount)
+		return 0, 0, nil, fmt.Errorf("%w: manifest shard count %d", ErrSnapshotCorrupt, h.shardCount)
 	}
 	p := h.payload
 	entries = make([]maniEntry, 0, h.docCount)
 	for i := uint32(0); i < h.docCount; i++ {
 		if len(p) < 8 {
-			return 0, nil, fmt.Errorf("%w: manifest truncated at entry %d", ErrSnapshotCorrupt, i)
+			return 0, 0, nil, fmt.Errorf("%w: manifest truncated at entry %d", ErrSnapshotCorrupt, i)
 		}
 		sh := binary.NativeEndian.Uint32(p[0:])
 		nameLen := binary.NativeEndian.Uint32(p[4:])
 		p = p[8:]
 		if sh >= h.shardCount {
-			return 0, nil, fmt.Errorf("%w: manifest entry %d names shard %d of %d", ErrSnapshotCorrupt, i, sh, h.shardCount)
+			return 0, 0, nil, fmt.Errorf("%w: manifest entry %d names shard %d of %d", ErrSnapshotCorrupt, i, sh, h.shardCount)
 		}
 		if uint64(nameLen) > uint64(len(p)) {
-			return 0, nil, fmt.Errorf("%w: manifest entry %d name overruns payload", ErrSnapshotCorrupt, i)
+			return 0, 0, nil, fmt.Errorf("%w: manifest entry %d name overruns payload", ErrSnapshotCorrupt, i)
 		}
 		entries = append(entries, maniEntry{shard: int(sh), name: string(p[:nameLen])})
 		p = p[nameLen:]
 	}
 	if len(p) != 0 {
-		return 0, nil, fmt.Errorf("%w: manifest has %d trailing bytes", ErrSnapshotCorrupt, len(p))
+		return 0, 0, nil, fmt.Errorf("%w: manifest has %d trailing bytes", ErrSnapshotCorrupt, len(p))
 	}
-	return int(h.shardCount), entries, nil
+	return int(h.shardCount), uint64(h.extra), entries, nil
+}
+
+// SnapshotUpdateGen reads the update generation recorded in a snapshot's
+// manifest without decoding the document payloads. Compared against
+// Store.UpdateGeneration it detects a snapshot that predates later
+// commits (stale relative to the live store). Snapshots written before
+// MVCC updates report 0.
+func SnapshotUpdateGen(dir string) (uint64, error) {
+	maniData, err := os.ReadFile(filepath.Join(dir, manifestName))
+	if err != nil {
+		return 0, fmt.Errorf("store: open snapshot: %w", err)
+	}
+	h, err := parseHeader(maniData, maniMagic, "manifest")
+	if err != nil {
+		return 0, fmt.Errorf("store: open snapshot %s: %w", dir, err)
+	}
+	return uint64(h.extra), nil
 }
 
 // sectionView locates one section of a payload.
@@ -677,9 +711,14 @@ func decodeShard(data []byte, wantShard, wantCount int) ([]*Doc, error) {
 		if int(rec.RootTag) >= nTags {
 			return nil, fmt.Errorf("%w: %s doc %d root tag out of bounds", ErrSnapshotCorrupt, what, di)
 		}
+		version := uint64(rec.Res0)
+		if version == 0 {
+			version = 1 // snapshot written before document versions existed
+		}
 		d := &Doc{
-			name:  string(names[rec.NameOff : rec.NameOff+rec.NameLen]),
-			shard: wantShard,
+			name:    string(names[rec.NameOff : rec.NameOff+rec.NameLen]),
+			shard:   wantShard,
+			version: version,
 			c: cols{
 				start:      start[base : base+n],
 				end:        end[base : base+n],
@@ -775,11 +814,20 @@ func decodeDict(offsRaw, blob []byte, what string) (*dict, error) {
 // caches keyed on untouched shards stay valid. On any error the store is
 // unchanged.
 func (s *Store) LoadSnapshot(dir string) error {
+	if s.pinned {
+		return fmt.Errorf("store: load snapshot into a pinned (read-only) view")
+	}
+	// A load while a mutation is being built would race the directory
+	// rewrite against the splice's version chain; reject it up front (and
+	// again under loadMu, where the check is authoritative).
+	if s.writers.Load() != 0 {
+		return fmt.Errorf("store: load snapshot %s: %w", dir, ErrConcurrentMutation)
+	}
 	maniData, err := os.ReadFile(filepath.Join(dir, manifestName))
 	if err != nil {
 		return fmt.Errorf("store: open snapshot: %w", err)
 	}
-	shardCount, entries, err := decodeManifest(maniData)
+	shardCount, snapGen, entries, err := decodeManifest(maniData)
 	if err != nil {
 		return fmt.Errorf("store: open snapshot %s: %w", dir, err)
 	}
@@ -836,6 +884,10 @@ func (s *Store) LoadSnapshot(dir string) error {
 	// directory swap.
 	s.loadMu.Lock()
 	defer s.loadMu.Unlock()
+	if s.writers.Load() != 0 {
+		cleanup()
+		return fmt.Errorf("store: load snapshot %s: %w", dir, ErrConcurrentMutation)
+	}
 	old := s.dir.Load()
 	for _, e := range entries {
 		if _, dup := old.byName[e.name]; dup {
@@ -862,6 +914,14 @@ func (s *Store) LoadSnapshot(dir string) error {
 		touched[d.shard] = true
 	}
 	s.dir.Store(next)
+	// Carry the snapshot's update generation forward so a later snapshot
+	// of this store never reports an older generation than its source.
+	for {
+		cur := s.updateGen.Load()
+		if snapGen <= cur || s.updateGen.CompareAndSwap(cur, snapGen) {
+			break
+		}
+	}
 	for i := range touched {
 		s.shards[i].gen.Add(1)
 	}
@@ -887,7 +947,7 @@ func OpenSnapshot(dir string) (*Store, error) {
 	if err != nil {
 		return nil, fmt.Errorf("store: open snapshot: %w", err)
 	}
-	shardCount, _, err := decodeManifest(maniData)
+	shardCount, _, _, err := decodeManifest(maniData)
 	if err != nil {
 		return nil, fmt.Errorf("store: open snapshot %s: %w", dir, err)
 	}

@@ -174,6 +174,22 @@ type Store struct {
 	// mappedBytes tracks the total size of the live mappings (gauge for
 	// /varz).
 	mappedBytes atomic.Int64
+	// pinned marks a read-only directory view returned by Pin: it shares
+	// the shards (dictionaries, counters, locks) with its parent but its
+	// dir pointer is frozen, giving a query snapshot isolation for its
+	// whole lifetime. Pinned views reject loads and commits.
+	pinned bool
+	// writers counts in-flight mutations (BeginMutation/end). LoadSnapshot
+	// refuses to run while writers are in flight (ErrConcurrentMutation).
+	writers atomic.Int64
+	// updateGen counts committed mutations store-wide. It is recorded in
+	// snapshot manifests so a snapshot written before later updates is
+	// detectably stale.
+	updateGen atomic.Uint64
+	// superseded counts document versions replaced by a commit and not yet
+	// reclaimed by the garbage collector (their finalizer decrements it);
+	// VersionsLive adds it to the live document count.
+	superseded atomic.Int64
 }
 
 // DefaultShards is the shard count New uses: one per available CPU, the
@@ -285,6 +301,9 @@ func (s *Store) Load(doc *xmltree.Document) (DocID, error) {
 // publish adds a fully-built document to the directory under loadMu and
 // bumps its shard's generation.
 func (s *Store) publish(d *Doc) (DocID, error) {
+	if s.pinned {
+		return 0, fmt.Errorf("store: load into a pinned (read-only) view")
+	}
 	s.loadMu.Lock()
 	defer s.loadMu.Unlock()
 	old := s.dir.Load()
@@ -341,6 +360,65 @@ func (s *Store) Doc(id DocID) *Doc { return s.entry(id) }
 
 // NumDocs returns the number of loaded documents.
 func (s *Store) NumDocs() int { return len(s.dir.Load().docs) }
+
+// Pin returns a read-only view of the store frozen at the current
+// directory state. The view shares the shards (dictionaries, access
+// counters, locks) with its parent, so counted accesses are still
+// attributed correctly, but its directory pointer never moves: a query
+// evaluated against the view is snapshot-isolated — it sees no document
+// version committed, and no document loaded, after the Pin. Pinning is
+// one small allocation; readers never block writers and vice versa.
+func (s *Store) Pin() *Store {
+	p := &Store{shards: s.shards, noStats: s.noStats, pinned: true}
+	p.dir.Store(s.dir.Load())
+	return p
+}
+
+// DocVersion returns the current MVCC version of a loaded document.
+func (s *Store) DocVersion(name string) (uint64, bool) {
+	dir := s.dir.Load()
+	id, ok := dir.byName[name]
+	if !ok {
+		return 0, false
+	}
+	return dir.docs[id].version, true
+}
+
+// DocVersions returns the current MVCC version of every loaded document,
+// keyed by name — one consistent directory snapshot.
+func (s *Store) DocVersions() map[string]uint64 {
+	dir := s.dir.Load()
+	out := make(map[string]uint64, len(dir.docs))
+	for _, d := range dir.docs {
+		out[d.name] = d.version
+	}
+	return out
+}
+
+// UpdateGeneration returns the number of mutations committed into the
+// store over its lifetime. Snapshot manifests record it, so a snapshot
+// written before later updates is detectably stale (SnapshotUpdateGen).
+func (s *Store) UpdateGeneration() uint64 { return s.updateGen.Load() }
+
+// VersionsLive returns the number of document versions currently alive:
+// the loaded documents plus superseded versions that pinned readers (or
+// the garbage collector) still hold.
+func (s *Store) VersionsLive() int64 {
+	return int64(s.NumDocs()) + s.superseded.Load()
+}
+
+// InFlightWriters returns the number of mutations currently between
+// BeginMutation and its release.
+func (s *Store) InFlightWriters() int64 { return s.writers.Load() }
+
+// BeginMutation registers an in-flight writer and returns the function
+// that ends it (idempotent). LoadSnapshot refuses to run while any writer
+// is registered, so a bulk mmap load can never interleave with a splice.
+func (s *Store) BeginMutation() func() {
+	s.writers.Add(1)
+	var once sync.Once
+	return func() { once.Do(func() { s.writers.Add(-1) }) }
+}
 
 // MappedBytes returns the total size of the snapshot file mappings
 // currently backing the store (0 for stores built purely from XML).

@@ -3,6 +3,7 @@ package tlc
 import (
 	"errors"
 	"fmt"
+	"runtime/debug"
 	"strings"
 	"testing"
 	"time"
@@ -67,10 +68,22 @@ func shardBudgetFixture(t *testing.T) (db1, db4 *Database, query string) {
 // gave each shard worker its own budget would let the 4-shard run spend up
 // to shards× the configured limit without tripping.
 func TestShardSharedBudget(t *testing.T) {
+	// The governed usage of a run is not exactly repeatable: the governor
+	// charges per slab, partially-filled slabs live in a sync.Pool, and a
+	// pool miss charges a whole fresh slab. Pool hits depend on GC timing
+	// (pool cleanup) — pinned off below — and, under the race detector, on
+	// sync.Pool's deliberate random drop of ~1/4 of Puts, which nothing
+	// can pin. Calibration therefore asserts with a 2× margin: usage
+	// varies run-to-run by ~1.3× at worst, while the bug this test exists
+	// to catch (per-shard budgets instead of one shared budget) is a 4×
+	// error, so the margin costs no sensitivity.
+	defer debug.SetGCPercent(debug.SetGCPercent(-1))
+
 	db1, db4, query := shardBudgetFixture(t)
 
 	// Calibrate: the smallest power-of-two node budget the query fits in
-	// on one shard. Everything below it must trip on every configuration.
+	// on one shard. Half the largest failing budget must trip on every
+	// configuration.
 	var budget, tripped int64
 	for budget = 64; budget < 1<<30; budget *= 2 {
 		_, err := db1.Query(query, WithMaxArenaNodes(budget))
@@ -83,24 +96,25 @@ func TestShardSharedBudget(t *testing.T) {
 		}
 		tripped = budget
 	}
-	if tripped == 0 {
+	if tripped < 2 {
 		t.Fatal("query fits in 64 arena nodes; fixture too small to calibrate")
 	}
+	check := tripped / 2
 
 	for _, cfg := range []struct {
 		db  *Database
 		par int
 	}{{db1, 1}, {db1, 4}, {db4, 1}, {db4, 4}} {
-		_, err := cfg.db.Query(query, WithMaxArenaNodes(tripped), WithParallelism(cfg.par))
+		_, err := cfg.db.Query(query, WithMaxArenaNodes(check), WithParallelism(cfg.par))
 		var be *BudgetError
 		if !errors.As(err, &be) {
 			t.Errorf("shards=%d parallelism=%d: err = %v, want *BudgetError",
 				cfg.db.NumShards(), cfg.par, err)
 			continue
 		}
-		if be.Resource != governor.ResourceNodes || be.Limit != tripped {
+		if be.Resource != governor.ResourceNodes || be.Limit != check {
 			t.Errorf("shards=%d parallelism=%d: tripped %s at limit %d, want %s at %d",
-				cfg.db.NumShards(), cfg.par, be.Resource, be.Limit, governor.ResourceNodes, tripped)
+				cfg.db.NumShards(), cfg.par, be.Resource, be.Limit, governor.ResourceNodes, check)
 		}
 	}
 

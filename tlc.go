@@ -35,6 +35,7 @@ import (
 	"tlc/internal/baselines/nav"
 	"tlc/internal/baselines/tax"
 	"tlc/internal/governor"
+	"tlc/internal/mutate"
 	"tlc/internal/pattern"
 	"tlc/internal/planner"
 	"tlc/internal/rewrite"
@@ -110,17 +111,24 @@ func ParseEngine(s string) (Engine, bool) {
 }
 
 // Database is a collection of loaded XML documents with the indexes the
-// engines use (element tag index and content value index). Once loaded it
-// is immutable and safe for concurrent queries — the store's statistics
-// counters are atomic, so concurrent Run calls interleave counter updates
-// rather than corrupt them. The benchmark harness still runs queries
-// sequentially with intra-query parallelism 1, as the paper did.
+// engines use (element tag index and content value index). Documents are
+// multi-versioned: loads add documents, and Update produces a new version
+// of one document with copy-on-write semantics — each query pins the
+// version set current when it starts and runs snapshot-isolated to
+// completion, so queries never block on writers and writers never wait
+// for readers. The store's statistics counters are atomic, so concurrent
+// Run calls interleave counter updates rather than corrupt them. The
+// benchmark harness still runs queries sequentially with intra-query
+// parallelism 1, as the paper did.
 type Database struct {
 	st *store.Store
-	// gen counts successful document loads. Plan caches key their validity
-	// on it: a cached Prepared compiled at generation g is stale once
-	// Generation() != g, because plans embed document references and the
-	// cost-based planner's choices embed the catalog statistics.
+	// gen counts successful document loads and committed updates. Plan
+	// caches key their validity on it: a cached Prepared compiled at
+	// generation g is stale once Generation() != g, because plans embed
+	// document references and the cost-based planner's choices embed the
+	// catalog statistics. Caches that resolve a plan's document footprint
+	// use the finer per-shard generations and per-document versions
+	// instead.
 	gen atomic.Uint64
 }
 
@@ -185,14 +193,129 @@ func (db *Database) LoadXMark(name string, factor float64) error {
 // Documents returns the loaded document names.
 func (db *Database) Documents() []string { return db.st.Names() }
 
-// Generation returns the number of successful loads so far. It increases
-// exactly when previously compiled plans may have become stale (new
-// documents change both name resolution and the statistics catalog), which
-// makes it the invalidation key for prepared-plan caches. Caches that know
-// a plan's document footprint should prefer the finer-grained per-shard
-// generations (ShardGeneration) and keep this whole-database generation
-// for schema-wide invalidation.
+// UpdateRequest is one subtree update against one document: an insert,
+// delete or replace located by an absolute path (`/site/people/person[2]`,
+// attribute steps like `@id` last) or a raw preorder ordinal (`#17`). See
+// the mutate package for the full target and position semantics.
+type UpdateRequest = mutate.Request
+
+// UpdateResult reports what an update committed: the new document
+// version, node deltas, and how many incremental statistics adjustments
+// replaced a catalog recomputation.
+type UpdateResult = mutate.Result
+
+// UpdateKind is the update operation: UpdateInsert, UpdateDelete or
+// UpdateReplace.
+type UpdateKind = mutate.Kind
+
+// Update operations.
+const (
+	UpdateInsert  = mutate.Insert
+	UpdateDelete  = mutate.Delete
+	UpdateReplace = mutate.Replace
+)
+
+// Insert positions for UpdateRequest.Position.
+const (
+	UpdateInto   = mutate.PosInto
+	UpdateFirst  = mutate.PosFirst
+	UpdateBefore = mutate.PosBefore
+	UpdateAfter  = mutate.PosAfter
+)
+
+// ParseUpdateKind maps "insert" | "delete" | "replace" to its UpdateKind.
+func ParseUpdateKind(s string) (UpdateKind, error) { return mutate.ParseKind(s) }
+
+// Typed update errors, matchable with errors.Is.
+var (
+	// ErrUpdateConflict reports an update that lost the optimistic
+	// concurrency check to concurrent writers even after retries.
+	ErrUpdateConflict = store.ErrVersionConflict
+	// ErrConcurrentMutation reports an operation that cannot run while an
+	// update is in flight (loading a snapshot into the database).
+	ErrConcurrentMutation = store.ErrConcurrentMutation
+	// ErrUnknownDocument reports an update naming a document that is not
+	// loaded.
+	ErrUnknownDocument = mutate.ErrUnknownDocument
+	// ErrBadUpdateTarget reports an update target that does not resolve to
+	// a node the operation can apply to.
+	ErrBadUpdateTarget = mutate.ErrBadTarget
+	// ErrBadUpdateRequest reports a structurally invalid update request.
+	ErrBadUpdateRequest = mutate.ErrBadRequest
+)
+
+// Update applies one subtree update. See UpdateContext.
+func (db *Database) Update(req UpdateRequest, opts ...Option) (UpdateResult, error) {
+	return db.UpdateContext(context.Background(), req, opts...)
+}
+
+// UpdateContext applies one subtree update under ctx. The writer builds
+// the mutated document as a complete new version off to the side —
+// incrementally carrying the tag/value indexes and the statistics catalog
+// forward by deltas — and commits it with one copy-on-write directory
+// swap, so concurrent queries never block: queries started before the
+// commit (and Results they returned) keep observing the old version,
+// queries started after it observe the new one. Resource budget options
+// (WithLimits and friends) govern the write cost with the same taxonomy
+// as queries; engine and parallelism options are ignored. On a conflict
+// with a concurrent update the target is re-resolved and retried a
+// bounded number of times before ErrUpdateConflict is returned.
+func (db *Database) UpdateContext(ctx context.Context, req UpdateRequest, opts ...Option) (UpdateResult, error) {
+	var cfg queryConfig
+	for _, o := range opts {
+		o(&cfg)
+	}
+	ctx = cfg.limits.govern(ctx)
+	res, err := mutate.Apply(ctx, db.st, req)
+	if err == nil {
+		// Updates advance the whole-database generation (conservative plan
+		// cache entries must revalidate) but not any shard's load
+		// generation — per-document invalidation comes from the version
+		// bump the commit already did.
+		db.gen.Add(1)
+	}
+	return res, err
+}
+
+// UpdateTotals is a snapshot of the process-wide update counters.
+type UpdateTotals = mutate.Totals
+
+// UpdateCounters returns the process-wide update counters (updates
+// committed, conflicts hit, statistics deltas applied).
+func UpdateCounters() UpdateTotals { return mutate.Counters() }
+
+// Generation returns the number of successful loads and committed updates
+// so far. It increases exactly when previously compiled plans may have
+// become stale (new documents and new document versions change both name
+// resolution and the statistics catalog), which makes it the invalidation
+// key for prepared-plan caches. Caches that know a plan's document
+// footprint should prefer the finer-grained per-shard generations
+// (ShardGeneration) plus per-document versions (DocumentVersion) and keep
+// this whole-database generation for schema-wide invalidation.
 func (db *Database) Generation() uint64 { return db.gen.Load() }
+
+// DocumentVersion returns the MVCC version of a loaded document (fresh
+// loads are version 1; every committed update increments it) and whether
+// the document exists. Plan caches use it to invalidate per document: an
+// update bumps only the mutated document's version, not its shard's load
+// generation.
+func (db *Database) DocumentVersion(name string) (uint64, bool) { return db.st.DocVersion(name) }
+
+// DocumentVersions returns the version of every loaded document, read
+// from one consistent directory snapshot.
+func (db *Database) DocumentVersions() map[string]uint64 { return db.st.DocVersions() }
+
+// UpdateGeneration returns the number of updates committed into the
+// database. A snapshot written earlier is stale relative to this database
+// exactly when its recorded update generation (SnapshotUpdateGen) is
+// smaller.
+func (db *Database) UpdateGeneration() uint64 { return db.st.UpdateGeneration() }
+
+// VersionsLive returns the number of document versions currently
+// reachable: the live version of every document plus superseded versions
+// still pinned by running queries or held results (reclaimed by the
+// garbage collector once the last reference drops).
+func (db *Database) VersionsLive() int64 { return db.st.VersionsLive() }
 
 // NumShards returns the number of store shards.
 func (db *Database) NumShards() int { return db.st.NumShards() }
@@ -260,9 +383,10 @@ func (db *Database) Snapshot(dir string) (SnapshotInfo, error) {
 // supports it) — column data, dictionary strings and document names are
 // served from the mapped region without copying. The snapshot must have
 // been written with the same shard count. Document names must not collide
-// with already-loaded documents. Only the shards that receive documents
-// have their generation bumped, so cached plans scoped to untouched
-// shards stay valid.
+// with already-loaded documents, and the load is refused with
+// ErrConcurrentMutation while an update is in flight. Only the shards
+// that receive documents have their generation bumped, so cached plans
+// scoped to untouched shards stay valid.
 func (db *Database) LoadSnapshot(dir string) error {
 	err := db.st.LoadSnapshot(dir)
 	if err == nil {
@@ -274,6 +398,13 @@ func (db *Database) LoadSnapshot(dir string) error {
 // SnapshotExists reports whether dir holds a (complete) snapshot — the
 // manifest is written last, so its presence is the completion marker.
 func SnapshotExists(dir string) bool { return store.SnapshotExists(dir) }
+
+// SnapshotUpdateGen reads the update generation recorded in a snapshot's
+// manifest without opening the payloads. Comparing it against a live
+// database's UpdateGeneration detects a stale snapshot: one written
+// before updates that have since committed. Snapshots written before the
+// update subsystem existed report 0.
+func SnapshotUpdateGen(dir string) (uint64, error) { return store.SnapshotUpdateGen(dir) }
 
 // OpenSnapshot opens the snapshot in dir as a new database, sized to the
 // snapshot's shard count. This is the cold-start fast path: instead of
@@ -574,17 +705,20 @@ func (db *Database) Run(p *Prepared) (*Result, error) {
 // concurrent RunContext calls (see Prepared).
 func (db *Database) RunContext(ctx context.Context, p *Prepared) (*Result, error) {
 	ctx = p.limits.govern(ctx)
+	// Pin the version set for the whole run: an update committing midway
+	// cannot change what this query (or its returned Result) observes.
+	st := db.st.Pin()
 	var out seq.Seq
 	var err error
 	if p.engine == Nav {
-		out, err = nav.RunContext(ctx, db.st, p.ast)
+		out, err = nav.RunContext(ctx, st, p.ast)
 	} else {
-		out, err = algebra.RunContext(ctx, db.st, p.plan, p.parallelism)
+		out, err = algebra.RunContext(ctx, st, p.plan, p.parallelism)
 	}
 	if err != nil {
 		return nil, err
 	}
-	return &Result{db: db, trees: out}, nil
+	return &Result{st: st, trees: out}, nil
 }
 
 // Query compiles and evaluates in one step.
@@ -644,7 +778,7 @@ func (db *Database) ProfileContext(ctx context.Context, text string, opts ...Opt
 		return "", fmt.Errorf("tlc: the navigational engine has no plan to profile")
 	}
 	ctx = p.limits.govern(ctx)
-	pr, err := algebra.Profile(algebra.NewContextFor(ctx, db.st, 1), p.plan)
+	pr, err := algebra.Profile(algebra.NewContextFor(ctx, db.st.Pin(), 1), p.plan)
 	if err != nil {
 		return "", err
 	}
@@ -654,9 +788,12 @@ func (db *Database) ProfileContext(ctx context.Context, text string, opts ...Opt
 	return pr.StringWithEstimates(p.PlanInfo.Estimate), nil
 }
 
-// Result is an evaluated query result: a sequence of XML trees.
+// Result is an evaluated query result: a sequence of XML trees. It holds
+// the store view pinned when its query started, so serializing a Result
+// after later updates committed still renders the versions the query
+// evaluated against.
 type Result struct {
-	db    *Database
+	st    *store.Store
 	trees seq.Seq
 }
 
@@ -664,12 +801,12 @@ type Result struct {
 func (r *Result) Len() int { return len(r.trees) }
 
 // XML serializes the whole result, one tree per line.
-func (r *Result) XML() string { return r.trees.XML(r.db.st) }
+func (r *Result) XML() string { return r.trees.XML(r.st) }
 
 // TreeXML serializes the i-th result tree.
 func (r *Result) TreeXML(i int) string {
 	var sb strings.Builder
-	seq.AppendXML(&sb, r.db.st, r.trees[i].Root)
+	seq.AppendXML(&sb, r.st, r.trees[i].Root)
 	return sb.String()
 }
 
