@@ -146,8 +146,8 @@ func main() {
 			case line == ".stats":
 				fmt.Println(db.Stats())
 				cs := cache.Stats()
-				fmt.Printf("plan cache: %d/%d entries, %d hits, %d misses, %d evictions, %d invalidations\n",
-					cs.Size, cs.Capacity, cs.Hits, cs.Misses, cs.Evictions, cs.Invalidations)
+				fmt.Printf("plan cache: %d/%d entries, %d hits (%d exact, %d containment), %d misses, %d evictions, %d invalidations, %d containment probes\n",
+					cs.Size, cs.Capacity, cs.Hits, cs.HitsExact, cs.HitsContainment, cs.Misses, cs.Evictions, cs.Invalidations, cs.ContainmentProbes)
 				ut := tlc.UpdateCounters()
 				fmt.Printf("updates: total=%d conflicts=%d stats_deltas=%d versions_live=%d update_gen=%d\n",
 					ut.Updates, ut.Conflicts, ut.StatsDeltas, db.VersionsLive(), db.UpdateGeneration())

@@ -1,0 +1,65 @@
+package algebra
+
+import "reflect"
+
+// SpliceAbove returns a plan in which build(target) replaces target as the
+// input of every consumer on the paths from root down to target. The
+// original plan is left untouched: only the operators on those paths are
+// cloned (shallow whole-struct copies, so labels, patterns and modes are
+// shared), everything else — including target itself and any subplan
+// hanging off the cloned spine — is shared between the two plans. The
+// second return is false (and the plan unchanged) when target is not
+// reachable from root.
+//
+// The plan cache uses this to graft residual filters onto a cached plan
+// without mutating the entry other queries share.
+func SpliceAbove(root, target Op, build func(Op) Op) (Op, bool) {
+	if root == target {
+		return build(target), true
+	}
+	var replacement Op
+	memo := make(map[Op]Op)
+	var rec func(op Op) Op
+	rec = func(op Op) Op {
+		if op == target {
+			if replacement == nil {
+				replacement = build(target)
+			}
+			return replacement
+		}
+		if c, ok := memo[op]; ok {
+			return c
+		}
+		memo[op] = op // tentative: guards against revisiting shared subplans
+		var clone Op
+		for _, in := range op.Inputs() {
+			nin := rec(in)
+			if nin == in {
+				continue
+			}
+			if clone == nil {
+				clone = shallowClone(op)
+			}
+			ReplaceInput(clone, in, nin)
+		}
+		if clone == nil {
+			return op
+		}
+		memo[op] = clone
+		return clone
+	}
+	out := rec(root)
+	return out, out != root
+}
+
+// shallowClone copies one operator node: a fresh struct of the same type
+// with every field (inputs included) aliasing the original's.
+func shallowClone(op Op) Op {
+	v := reflect.ValueOf(op)
+	if v.Kind() != reflect.Pointer || v.IsNil() {
+		return op
+	}
+	c := reflect.New(v.Elem().Type())
+	c.Elem().Set(v.Elem())
+	return c.Interface().(Op)
+}

@@ -115,6 +115,11 @@ func (f *DisjFilter) eval(ctx *Context, in []seq.Seq) (seq.Seq, error) {
 					pass = hold >= 1
 				case ExactlyOne:
 					pass = hold == 1
+				case NoneOf:
+					// A negated disjunct: the branch holds when no class member
+					// satisfies the predicate — including the empty class (the
+					// negated path simply being absent).
+					pass = hold == 0
 				}
 				if pass {
 					break

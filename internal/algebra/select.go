@@ -99,6 +99,10 @@ const (
 	AtLeastOne
 	// ExactlyOne requires the predicate at exactly one member.
 	ExactlyOne
+	// NoneOf requires the predicate to fail at every member (vacuously
+	// true for an empty class) — the complement of AtLeastOne, used for
+	// negated predicates.
+	NoneOf
 )
 
 // String renders the mode.
@@ -108,6 +112,8 @@ func (m FilterMode) String() string {
 		return "EVERY"
 	case AtLeastOne:
 		return "ALO"
+	case NoneOf:
+		return "NONE"
 	default:
 		return "EX"
 	}
@@ -144,6 +150,8 @@ func (f *Filter) eval(ctx *Context, in []seq.Seq) (seq.Seq, error) {
 				keep = hold >= 1
 			case ExactlyOne:
 				keep = hold == 1
+			case NoneOf:
+				keep = hold == 0
 			}
 			if keep {
 				out = append(out, t)

@@ -87,6 +87,21 @@ var crossQueries = map[string]string{
 	"or": `FOR $p IN document("auction.xml")//person
 		WHERE $p/age > 35 OR $p/age < 25
 		RETURN $p/name/text()`,
+	"or-exists": `FOR $p IN document("auction.xml")//person
+		WHERE $p/age OR $p/name = "Dave"
+		RETURN $p/name/text()`,
+	"not": `FOR $p IN document("auction.xml")//person
+		WHERE not($p/age)
+		RETURN $p/name/text()`,
+	"not-pred": `FOR $p IN document("auction.xml")//person
+		WHERE not($p/age > 25)
+		RETURN $p/name/text()`,
+	"or-not": `FOR $p IN document("auction.xml")//person
+		WHERE not($p/age) OR $p/age > 35
+		RETURN $p/name/text()`,
+	"or-under-and": `FOR $p IN document("auction.xml")//person
+		WHERE $p/age > 25 AND ($p/name = "Carol" OR $p/age < 35)
+		RETURN $p/name/text()`,
 	"order-by": `FOR $p IN document("auction.xml")//person
 		WHERE $p/age > 0
 		ORDER BY $p/age DESCENDING

@@ -57,10 +57,12 @@ func Transform(root algebra.Op) algebra.Op {
 }
 
 // findNestedEdge locates the first nested edge in an APT (pre-order).
+// Logical (OR-group or NOT) edges are pure existence tests that bind no
+// classes — pulling one out would split its group — so they stay in place.
 func findNestedEdge(apt *pattern.Tree) (*pattern.Node, int) {
 	for _, n := range apt.Nodes() {
 		for i := range n.Edges {
-			if n.Edges[i].Spec.Nested() {
+			if n.Edges[i].Spec.Nested() && !n.Edges[i].Logical() {
 				return n, i
 			}
 		}

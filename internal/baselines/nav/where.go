@@ -83,6 +83,18 @@ func (ev *evaluator) whereHolds(x xquery.Expr, e env) (bool, error) {
 		}
 		// EVERY is vacuously true over an empty sequence; SOME is false.
 		return w.Every, nil
+	case *xquery.Not:
+		ok, err := ev.whereHolds(w.X, e)
+		if err != nil {
+			return false, err
+		}
+		return !ok, nil
+	case *xquery.Exists:
+		nodes, err := ev.path(w.Path, e)
+		if err != nil {
+			return false, err
+		}
+		return len(nodes) > 0, nil
 	default:
 		return false, fmt.Errorf("nav: unsupported WHERE expression %T", x)
 	}

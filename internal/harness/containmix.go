@@ -1,0 +1,158 @@
+package harness
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"tlc"
+	"tlc/internal/plancache"
+)
+
+// ContainMixReport measures the plan cache under a skewed multi-client
+// query mix: every client draws an income threshold — mostly from a small
+// hot set, sometimes a fresh value — and issues the same query shape with
+// it. Exact repeats hit the cache directly; fresh, stricter thresholds are
+// served by containment (a cached plan for a weaker predicate plus a
+// residual filter), skipping parse, translate and planning entirely. The
+// interesting numbers are how much of the workload never compiles.
+type ContainMixReport struct {
+	// Factor and Shards describe the database.
+	Factor float64 `json:"factor"`
+	Shards int     `json:"shards"`
+	// Clients is the concurrent client goroutine count; Ops the total
+	// queries issued across them.
+	Clients int   `json:"clients"`
+	Ops     int64 `json:"ops"`
+	// Distinct is how many distinct query texts the mix produced.
+	Distinct int `json:"distinct_queries"`
+	// HitsExact / HitsContainment / Misses / Probes are the plan-cache
+	// counter deltas over the run: Misses is the number of full compiles,
+	// everything else skipped compilation.
+	HitsExact       uint64 `json:"plan_hits_exact"`
+	HitsContainment uint64 `json:"plan_hits_containment"`
+	Misses          uint64 `json:"misses"`
+	Probes          uint64 `json:"containment_probes"`
+	// P50Ns/P99Ns are per-query latency quantiles (load + evaluate).
+	P50Ns int64 `json:"p50_ns"`
+	P99Ns int64 `json:"p99_ns"`
+	// QueriesPerSec is the aggregate throughput; WallNs the wall time.
+	QueriesPerSec float64 `json:"queries_per_sec"`
+	WallNs        int64   `json:"wall_ns"`
+}
+
+func (r *ContainMixReport) String() string {
+	return fmt.Sprintf(
+		"factor %g, %d shard(s), %d clients, %d queries (%d distinct)\n"+
+			"  plan cache: %d exact hits, %d containment hits, %d compiles (%d containment probes)\n"+
+			"  latency: p50 %s  p99 %s; throughput %.0f queries/s in %s\n",
+		r.Factor, r.Shards, r.Clients, r.Ops, r.Distinct,
+		r.HitsExact, r.HitsContainment, r.Misses, r.Probes,
+		time.Duration(r.P50Ns).Round(time.Microsecond), time.Duration(r.P99Ns).Round(time.Microsecond),
+		r.QueriesPerSec, fmtDuration(time.Duration(r.WallNs)))
+}
+
+// containTemplate is the query shape every client issues; only the income
+// threshold varies, which is exactly the situation the containment index
+// exploits — the structural signature is shared, the literal is lifted.
+const containTemplate = `FOR $p IN document("auction.xml")//person WHERE $p/profile/@income > %d RETURN $p/name`
+
+// MeasureContainMix loads XMark at factor and runs totalOps queries across
+// `clients` goroutines through one shared plan cache. Thresholds are drawn
+// 80/20: mostly from a three-value hot set (exact hits after first touch),
+// otherwise a fresh value at or above the hot minimum, so the fresh
+// predicate implies a cached one and is served by containment.
+func MeasureContainMix(factor float64, shards, clients, totalOps int) (*ContainMixReport, error) {
+	if clients < 1 {
+		clients = 1
+	}
+	if totalOps < clients {
+		totalOps = clients
+	}
+	db, err := OpenDatabase(factor, shards)
+	if err != nil {
+		return nil, err
+	}
+	defer db.Close()
+	cache := plancache.New(64)
+	rep := &ContainMixReport{
+		Factor: factor, Shards: db.NumShards(), Clients: clients,
+	}
+
+	// The hot set anchors the cache: its minimum threshold is the weakest
+	// predicate in play, so every fresh draw (>= hotMin) is implied by it.
+	hot := []int{50000, 80000, 95000}
+	const hotMin, coldSpan = 50000, 49000
+	distinct := map[int]bool{}
+	var mu sync.Mutex
+	lats := make([]int64, 0, totalOps)
+	var firstErr error
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+	}
+
+	before := cache.Stats()
+	begin := time.Now()
+	var wg sync.WaitGroup
+	perClient := totalOps / clients
+	for g := 0; g < clients; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			local := make([]int64, 0, perClient)
+			for i := 0; i < perClient; i++ {
+				var threshold int
+				if rng.Float64() < 0.8 {
+					threshold = hot[rng.Intn(len(hot))]
+				} else {
+					threshold = hotMin + rng.Intn(coldSpan)
+				}
+				query := fmt.Sprintf(containTemplate, threshold)
+				start := time.Now()
+				prep, _, err := cache.Load(context.Background(), db, plancache.Key{Query: query, Engine: tlc.TLC})
+				if err != nil {
+					fail(fmt.Errorf("contain-mix load %q: %w", query, err))
+					return
+				}
+				res, err := db.Run(prep)
+				if err != nil {
+					fail(fmt.Errorf("contain-mix run %q: %w", query, err))
+					return
+				}
+				_ = res.Len()
+				local = append(local, time.Since(start).Nanoseconds())
+				mu.Lock()
+				distinct[threshold] = true
+				mu.Unlock()
+			}
+			mu.Lock()
+			lats = append(lats, local...)
+			mu.Unlock()
+		}(int64(g + 1))
+	}
+	wg.Wait()
+	rep.WallNs = time.Since(begin).Nanoseconds()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	after := cache.Stats()
+	rep.Ops = int64(len(lats))
+	rep.Distinct = len(distinct)
+	rep.HitsExact = after.HitsExact - before.HitsExact
+	rep.HitsContainment = after.HitsContainment - before.HitsContainment
+	rep.Misses = after.Misses - before.Misses
+	rep.Probes = after.ContainmentProbes - before.ContainmentProbes
+	rep.P50Ns = latQuantile(lats, 0.50)
+	rep.P99Ns = latQuantile(lats, 0.99)
+	if rep.WallNs > 0 {
+		rep.QueriesPerSec = float64(rep.Ops) / (float64(rep.WallNs) / 1e9)
+	}
+	return rep, nil
+}

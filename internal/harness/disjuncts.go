@@ -1,0 +1,185 @@
+package harness
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"time"
+
+	"tlc"
+)
+
+// heapAllocs reads the cumulative heap-object count (runtime.MemStats
+// Mallocs); deltas around a serial run attribute allocations to it.
+func heapAllocs() uint64 {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return ms.Mallocs
+}
+
+// DisjunctQueries is the OR/NOT workload of the disjunct ablation: every
+// WHERE clause is a boolean combination the translator can compile either
+// natively (logical-operator edges on one pattern tree, one index probe
+// per tag) or through the legacy union-chain form (optional "*" branches
+// plus a disjunctive post-filter). The queries cover value disjuncts,
+// existence disjuncts, and negation mixed into an OR.
+var DisjunctQueries = []tlc.WorkloadQuery{
+	{ID: "d1", Text: `FOR $p IN document("auction.xml")//person WHERE $p/profile/education = "Graduate School" or $p/profile/education = "College" RETURN $p/name`,
+		Comment: "2-way value disjunction on one path"},
+	{ID: "d2", Text: `FOR $p IN document("auction.xml")//person WHERE $p/homepage or $p/phone or $p/address/city = "Dallas" RETURN $p/name`,
+		Comment: "3-way existence/value disjunction"},
+	{ID: "d3", Text: `FOR $p IN document("auction.xml")//person WHERE not($p/watches) or $p/profile/@income > 95000 RETURN $p/name`,
+		Comment: "negated branch inside a disjunction"},
+	{ID: "d4", Text: `FOR $p IN document("auction.xml")//person WHERE $p/age > 25 and ($p/profile/education = "College" or $p/homepage) RETURN $p/name`,
+		Comment: "disjunction under a conjunction"},
+}
+
+// DisjunctRow is one query of the disjunct ablation: native logical-edge
+// matching versus the legacy union-chain compilation, same engine, same
+// data.
+type DisjunctRow struct {
+	Query       string  `json:"query"`
+	NativeNs    int64   `json:"native_ns"`
+	LegacyNs    int64   `json:"legacy_ns"`
+	Speedup     float64 `json:"speedup"`
+	Results     int     `json:"results"`
+	NativeAlloc uint64  `json:"native_allocs_per_op"`
+	LegacyAlloc uint64  `json:"legacy_allocs_per_op"`
+	Err         string  `json:"error,omitempty"`
+}
+
+// DisjunctReport is the -disjuncts section of the tlcbench JSON report.
+type DisjunctReport struct {
+	Factor float64       `json:"factor"`
+	Shards int           `json:"shards"`
+	Reps   int           `json:"reps"`
+	Engine string        `json:"engine"`
+	Rows   []DisjunctRow `json:"rows"`
+	// Geomean is the geometric mean of the per-query speedups — the
+	// headline native-vs-legacy number, robust to one query dominating.
+	Geomean float64 `json:"speedup_geomean"`
+}
+
+func (r *DisjunctReport) String() string {
+	var out string
+	out += fmt.Sprintf("%-5s%12s%12s%10s%10s\n", "", "native", "legacy", "speedup", "results")
+	for _, row := range r.Rows {
+		if row.Err != "" {
+			out += fmt.Sprintf("%-5s  ERR: %s\n", row.Query, row.Err)
+			continue
+		}
+		out += fmt.Sprintf("%-5s%12s%12s%9.2fx%10d\n", row.Query,
+			fmtDuration(time.Duration(row.NativeNs)), fmtDuration(time.Duration(row.LegacyNs)),
+			row.Speedup, row.Results)
+	}
+	if r.Geomean > 0 {
+		out += fmt.Sprintf("geomean speedup: %.2fx\n", r.Geomean)
+	}
+	return out
+}
+
+// MeasureDisjuncts runs the disjunct workload twice per query — once with
+// the native logical-edge compilation and once with the legacy union-chain
+// ablation — and reports the trimmed-mean times. Both compilations must
+// return the same result multiset; a mismatch is reported as the row's
+// error, because a fast wrong answer is not a speedup.
+func MeasureDisjuncts(db *tlc.Database, cfg Config) *DisjunctReport {
+	cfg = cfg.withDefaults()
+	// The per-query times sit around a millisecond, where a trimmed mean
+	// of three keeps a single sample and scheduler noise swamps the ratio;
+	// the ablation pins its own floor of nine repetitions.
+	if cfg.Reps < 9 {
+		cfg.Reps = 9
+	}
+	rep := &DisjunctReport{Factor: cfg.Factor, Shards: db.NumShards(), Reps: cfg.Reps, Engine: tlc.TLC.String()}
+	for _, q := range DisjunctQueries {
+		row := DisjunctRow{Query: q.ID}
+		native := measureOpts(db, q.Text, cfg, tlc.WithEngine(tlc.TLC))
+		legacy := measureOpts(db, q.Text, cfg, tlc.WithEngine(tlc.TLC), tlc.WithLegacyDisjuncts(true))
+		switch {
+		case native.Err != nil:
+			row.Err = "native: " + native.Err.Error()
+		case legacy.Err != nil:
+			row.Err = "legacy: " + legacy.Err.Error()
+		case native.Results != legacy.Results:
+			row.Err = fmt.Sprintf("result mismatch: native %d vs legacy %d", native.Results, legacy.Results)
+		default:
+			row.NativeNs = native.Time.Nanoseconds()
+			row.LegacyNs = legacy.Time.Nanoseconds()
+			row.Results = native.Results
+			row.NativeAlloc = native.Allocs
+			row.LegacyAlloc = legacy.Allocs
+			if native.Time > 0 {
+				row.Speedup = float64(legacy.Time) / float64(native.Time)
+			}
+		}
+		rep.Rows = append(rep.Rows, row)
+	}
+	var logSum float64
+	var n int
+	for _, row := range rep.Rows {
+		if row.Err == "" && row.Speedup > 0 {
+			logSum += math.Log(row.Speedup)
+			n++
+		}
+	}
+	if n > 0 {
+		rep.Geomean = math.Exp(logSum / float64(n))
+	}
+	return rep
+}
+
+// measureOpts is Measure with extra compile options (the ablation toggle).
+func measureOpts(db *tlc.Database, text string, cfg Config, opts ...tlc.Option) Measurement {
+	cfg = cfg.withDefaults()
+	opts = append(opts, tlc.WithParallelism(cfg.Parallelism), tlc.WithPlanner(!cfg.PlannerOff))
+	prep, err := db.Compile(text, opts...)
+	if err != nil {
+		return Measurement{Err: err}
+	}
+	// Warm the store's postings and the runtime before the clock matters,
+	// and size the inner batch off the warmup time: sub-millisecond runs
+	// are batched until a sample spans ~10ms, so scheduler noise divides
+	// across the batch instead of dominating a single run.
+	var warm time.Duration
+	for i := 0; i < 2; i++ {
+		start := time.Now()
+		if _, err := db.Run(prep); err != nil {
+			return Measurement{Err: err}
+		}
+		warm = time.Since(start)
+	}
+	batch := 1
+	if warm > 0 && warm < 10*time.Millisecond {
+		batch = int(10*time.Millisecond/warm) + 1
+	}
+	var times []time.Duration
+	var m Measurement
+	var allocs, samples uint64
+	for i := 0; i < cfg.Reps; i++ {
+		a0 := heapAllocs()
+		start := time.Now()
+		var res *tlc.Result
+		var err error
+		for j := 0; j < batch; j++ {
+			res, err = db.Run(prep)
+			if err != nil {
+				return Measurement{Err: err}
+			}
+		}
+		elapsed := time.Since(start) / time.Duration(batch)
+		allocs += (heapAllocs() - a0) / uint64(batch)
+		samples++
+		m.Results = res.Len()
+		if elapsed > cfg.Deadline {
+			m.DNF = true
+			break
+		}
+		times = append(times, elapsed)
+	}
+	m.Time = trimmedMean(times)
+	if samples > 0 {
+		m.Allocs = allocs / samples
+	}
+	return m
+}

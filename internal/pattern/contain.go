@@ -1,0 +1,355 @@
+package pattern
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// This file decides pattern containment ("Containment for Conditional Tree
+// Patterns", see DESIGN.md §15): Subsumes(general, specific) reports that
+// every document match of the specific pattern is also a match of the
+// general one, so a plan compiled for the general pattern can answer the
+// specific query once a residual filter re-applies the stronger
+// predicates. The test is a conservative homomorphism — it may say "no"
+// for contained patterns, never "yes" for uncontained ones.
+
+// Implies reports that the strong predicate entails the weak one under the
+// Compare value semantics: every content value satisfying strong also
+// satisfies weak. A nil predicate is the trivial "always true" constraint.
+//
+// Soundness note: ordered comparisons against a numeric literal reject all
+// non-numeric content (Compare's mixed-type rule), so interval reasoning
+// over numeric literals is exact for every op except NE, whose complement
+// keeps non-numeric content and therefore only entails an identical NE.
+func Implies(strong, weak *Predicate) bool {
+	if weak == nil {
+		return true
+	}
+	if strong == nil {
+		return false
+	}
+	if strong.Op == weak.Op && strong.Value == weak.Value {
+		return true
+	}
+	sv, serr := strconv.ParseFloat(strong.Value, 64)
+	wv, werr := strconv.ParseFloat(weak.Value, 64)
+	if serr != nil || werr != nil {
+		return false // non-numeric literals: only identity (handled above)
+	}
+	switch weak.Op {
+	case NE:
+		switch strong.Op {
+		case EQ:
+			return sv != wv
+		case GT:
+			return wv <= sv
+		case GE:
+			return wv < sv
+		case LT:
+			return wv >= sv
+		case LE:
+			return wv > sv
+		}
+	case GT:
+		switch strong.Op {
+		case EQ:
+			return sv > wv
+		case GT:
+			return sv >= wv
+		case GE:
+			return sv > wv
+		}
+	case GE:
+		switch strong.Op {
+		case EQ:
+			return sv >= wv
+		case GE:
+			return sv >= wv
+		case GT:
+			return sv >= wv
+		}
+	case LT:
+		switch strong.Op {
+		case EQ:
+			return sv < wv
+		case LT:
+			return sv <= wv
+		case LE:
+			return sv < wv
+		}
+	case LE:
+		switch strong.Op {
+		case EQ:
+			return sv <= wv
+		case LE:
+			return sv <= wv
+		case LT:
+			return sv <= wv
+		}
+	}
+	return false
+}
+
+// Subsumes reports that the general pattern contains the specific one:
+// every witness anchor matched by specific is matched by general. Both
+// trees must share their anchor (same document root or the same input
+// class for extension patterns).
+func Subsumes(general, specific *Tree) bool {
+	if general == nil || specific == nil || general.Root == nil || specific.Root == nil {
+		return false
+	}
+	g, s := general.Root, specific.Root
+	if g.Kind != s.Kind {
+		return false
+	}
+	switch g.Kind {
+	case TestDocRoot:
+		if g.Doc != s.Doc {
+			return false
+		}
+	case TestLC:
+		if g.InClass != s.InClass {
+			return false
+		}
+	}
+	return nodeSubsumes(g, s)
+}
+
+// nodeSubsumes checks that any document node matched by specific (with its
+// required structure) is matched by general.
+func nodeSubsumes(g, s *Node) bool {
+	if !testSubsumes(g, s) {
+		return false
+	}
+	if !Implies(s.Pred, g.Pred) {
+		return false
+	}
+	// Every requirement the general node imposes must be guaranteed by a
+	// requirement of the specific node.
+	seenGroups := make(map[int]bool)
+	for i := range g.Edges {
+		ge := &g.Edges[i]
+		switch {
+		case ge.Group > 0:
+			if seenGroups[ge.Group] {
+				continue
+			}
+			seenGroups[ge.Group] = true
+			if !groupSatisfied(groupEdges(g, ge.Group), s) {
+				return false
+			}
+		case ge.Not:
+			if !notSatisfied(ge, s) {
+				return false
+			}
+		default:
+			if ge.Spec.Optional() {
+				continue // imposes no existence requirement
+			}
+			if !edgeSatisfied(ge, s) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// testSubsumes checks the node tests: general must accept every node the
+// specific test accepts.
+func testSubsumes(g, s *Node) bool {
+	switch g.Kind {
+	case TestWildcard:
+		return s.Kind == TestWildcard || s.Kind == TestTag
+	case TestTag:
+		return s.Kind == TestTag && g.Tag == s.Tag
+	case TestDocRoot:
+		return s.Kind == TestDocRoot && g.Doc == s.Doc
+	case TestLC:
+		return s.Kind == TestLC && g.InClass == s.InClass
+	}
+	return false
+}
+
+// axisCovers reports that a match under the specific axis is a match under
+// the general axis (a child is also a descendant).
+func axisCovers(g, s Axis) bool {
+	return g == Descendant || s == Child
+}
+
+// edgeSatisfied looks for a specific-side requirement that guarantees the
+// general edge: a non-optional positive edge whose subtree is subsumed by
+// the general edge's subtree under a compatible axis.
+func edgeSatisfied(ge *Edge, s *Node) bool {
+	for i := range s.Edges {
+		se := &s.Edges[i]
+		if se.Not || se.Group > 0 || se.Spec.Optional() {
+			continue
+		}
+		if axisCovers(ge.Axis, se.Axis) && nodeSubsumes(ge.To, se.To) {
+			return true
+		}
+	}
+	// An OR group on the specific side guarantees the edge only when every
+	// member does (whichever disjunct holds, the general edge is matched).
+	for _, grp := range specificGroups(s) {
+		all := true
+		for _, se := range grp {
+			if se.Not || !axisCovers(ge.Axis, se.Axis) || !nodeSubsumes(ge.To, se.To) {
+				all = false
+				break
+			}
+		}
+		if all && len(grp) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// groupSatisfied checks a general-side OR group: the specific pattern must
+// guarantee that at least one member edge is matched. It suffices that one
+// member is individually guaranteed, or that a specific-side OR group is
+// member-wise covered (each specific disjunct satisfies some general
+// member).
+func groupSatisfied(members []*Edge, s *Node) bool {
+	for _, ge := range members {
+		if ge.Not {
+			continue // a required "no match" cannot be guaranteed positively here
+		}
+		if edgeSatisfied(ge, s) {
+			return true
+		}
+	}
+	for _, grp := range specificGroups(s) {
+		covered := true
+		for _, se := range grp {
+			ok := false
+			for _, ge := range members {
+				if ge.Not == se.Not && logicalEdgeCovers(ge, se) {
+					ok = true
+					break
+				}
+			}
+			if !ok {
+				covered = false
+				break
+			}
+		}
+		if covered && len(grp) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// logicalEdgeCovers reports that satisfying the specific edge se satisfies
+// the general edge ge. For positive edges that is axis coverage plus
+// subtree subsumption; for NOT edges the direction flips — the specific
+// side must forbid a superset of what the general side forbids.
+func logicalEdgeCovers(ge, se *Edge) bool {
+	if ge.Not {
+		return axisCovers(se.Axis, ge.Axis) && nodeSubsumes(se.To, ge.To)
+	}
+	return axisCovers(ge.Axis, se.Axis) && nodeSubsumes(ge.To, se.To)
+}
+
+// notSatisfied checks a general-side NOT edge: the specific pattern must
+// forbid at least as much, i.e. carry a NOT edge whose forbidden set is a
+// superset (more general subtree, wider axis).
+func notSatisfied(ge *Edge, s *Node) bool {
+	for i := range s.Edges {
+		se := &s.Edges[i]
+		if !se.Not || se.Group > 0 {
+			continue
+		}
+		if axisCovers(se.Axis, ge.Axis) && nodeSubsumes(se.To, ge.To) {
+			return true
+		}
+	}
+	return false
+}
+
+// groupEdges collects the member edges of OR group id on node n.
+func groupEdges(n *Node, id int) []*Edge {
+	var out []*Edge
+	for i := range n.Edges {
+		if n.Edges[i].Group == id {
+			out = append(out, &n.Edges[i])
+		}
+	}
+	return out
+}
+
+// specificGroups enumerates the OR groups of n as member-edge slices.
+func specificGroups(n *Node) [][]*Edge {
+	byID := make(map[int][]*Edge)
+	var order []int
+	for i := range n.Edges {
+		e := &n.Edges[i]
+		if e.Group <= 0 {
+			continue
+		}
+		if _, ok := byID[e.Group]; !ok {
+			order = append(order, e.Group)
+		}
+		byID[e.Group] = append(byID[e.Group], e)
+	}
+	out := make([][]*Edge, 0, len(order))
+	for _, id := range order {
+		out = append(out, byID[id])
+	}
+	return out
+}
+
+// Signature renders a canonical structural signature of the pattern:
+// tags, axes, matching specs and logical annotations, with content
+// predicates reduced to their operator (the literal is elided, so patterns
+// differing only in predicate constants share a signature). Two trees with
+// equal signatures have isomorphic skeletons, which is the index key the
+// plan cache uses to find containment candidates.
+func Signature(t *Tree) string {
+	if t == nil || t.Root == nil {
+		return ""
+	}
+	var sb strings.Builder
+	var walk func(n *Node, e *Edge)
+	walk = func(n *Node, e *Edge) {
+		if e != nil {
+			if e.Not {
+				sb.WriteByte('!')
+			}
+			if e.Group > 0 {
+				fmt.Fprintf(&sb, "|%d", e.Group)
+			}
+			sb.WriteString(e.Axis.String())
+			sb.WriteString(e.Spec.String())
+		}
+		switch n.Kind {
+		case TestTag:
+			sb.WriteString(n.Tag)
+		case TestDocRoot:
+			sb.WriteString("doc(" + n.Doc + ")")
+		case TestLC:
+			fmt.Fprintf(&sb, "class(%d)", n.InClass)
+		case TestWildcard:
+			sb.WriteByte('*')
+		}
+		if n.Pred != nil {
+			sb.WriteString(n.Pred.Op.String())
+			sb.WriteByte('?')
+		}
+		if len(n.Edges) > 0 {
+			sb.WriteByte('(')
+			for i := range n.Edges {
+				if i > 0 {
+					sb.WriteByte(',')
+				}
+				walk(n.Edges[i].To, &n.Edges[i])
+			}
+			sb.WriteByte(')')
+		}
+	}
+	walk(t.Root, nil)
+	return sb.String()
+}

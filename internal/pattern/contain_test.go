@@ -1,0 +1,304 @@
+package pattern
+
+import "testing"
+
+// impliesCase is one row of the Implies truth table.
+type impliesCase struct {
+	strongOp Cmp
+	strongV  string
+	weakOp   Cmp
+	weakV    string
+	want     bool
+}
+
+func TestImpliesTruthTable(t *testing.T) {
+	cases := []impliesCase{
+		// Identity always implies.
+		{EQ, "5", EQ, "5", true},
+		{NE, "x", NE, "x", true},
+		{GT, "abc", GT, "abc", true},
+		// EQ against intervals.
+		{EQ, "10", GT, "5", true},
+		{EQ, "10", GT, "10", false},
+		{EQ, "10", GE, "10", true},
+		{EQ, "10", LT, "20", true},
+		{EQ, "10", LE, "10", true},
+		{EQ, "10", LT, "10", false},
+		{EQ, "10", NE, "11", true},
+		{EQ, "10", NE, "10", false},
+		// EQ does not imply a different EQ.
+		{EQ, "10", EQ, "11", false},
+		// Interval nesting.
+		{GT, "10", GT, "5", true},
+		{GT, "10", GT, "10", true},
+		{GT, "5", GT, "10", false},
+		{GE, "10", GE, "10", true},
+		{GE, "10", GE, "11", false},
+		{GT, "10", GE, "10", true}, // everything > 10 is >= 10
+		{LT, "5", LT, "10", true},
+		{LT, "10", LT, "5", false},
+		{LE, "5", LE, "5", true},
+		{LE, "5", LT, "5", false},
+		{LT, "5", LE, "4", false},
+		// Mixed directions never imply.
+		{GT, "10", LT, "20", false},
+		{LT, "5", GT, "1", false},
+		// Ordered ops entail NE outside their interval.
+		{GT, "10", NE, "10", true},
+		{GT, "10", NE, "5", true},
+		{GT, "10", NE, "15", false},
+		{GE, "10", NE, "9", true},
+		{GE, "10", NE, "10", false},
+		{LT, "5", NE, "5", true},
+		{LT, "5", NE, "7", true},
+		{LT, "5", NE, "3", false},
+		{LE, "5", NE, "6", true},
+		{LE, "5", NE, "5", false},
+		// NE only implies an identical NE: its complement keeps non-numeric
+		// content, so interval reasoning is unsound.
+		{NE, "10", NE, "11", false},
+		{NE, "10", GT, "5", false},
+		{NE, "10", LT, "20", false},
+		// Non-numeric literals: identity only.
+		{EQ, "abc", NE, "abd", false},
+		{GT, "abc", GT, "abb", false},
+		{EQ, "abc", EQ, "abc", true},
+	}
+	for _, c := range cases {
+		strong := &Predicate{Op: c.strongOp, Value: c.strongV}
+		weak := &Predicate{Op: c.weakOp, Value: c.weakV}
+		if got := Implies(strong, weak); got != c.want {
+			t.Errorf("Implies(%s%s, %s%s) = %v, want %v",
+				c.strongOp, c.strongV, c.weakOp, c.weakV, got, c.want)
+		}
+	}
+}
+
+func TestImpliesNilPredicates(t *testing.T) {
+	p := &Predicate{Op: EQ, Value: "5"}
+	if !Implies(p, nil) {
+		t.Error("any predicate must imply the trivial nil constraint")
+	}
+	if !Implies(nil, nil) {
+		t.Error("nil must imply nil")
+	}
+	if Implies(nil, p) {
+		t.Error("nil (always true) must not imply a real constraint")
+	}
+}
+
+// chain builds doc(d)/-tag1/-tag2... with One edges, returning the tree and
+// its leaf.
+func chain(doc string, tags ...string) (*Tree, *Node) {
+	root := NewDocRoot(0, doc)
+	n := root
+	for i, tag := range tags {
+		n = n.Add(NewTagNode(i+1, tag), Child, One)
+	}
+	return &Tree{Root: root}, n
+}
+
+func TestSubsumesStructural(t *testing.T) {
+	eq := func(v string) *Predicate { return &Predicate{Op: EQ, Value: v} }
+	gt := func(v string) *Predicate { return &Predicate{Op: GT, Value: v} }
+
+	t.Run("identical chains subsume", func(t *testing.T) {
+		g, _ := chain("a.xml", "person", "name")
+		s, _ := chain("a.xml", "person", "name")
+		if !Subsumes(g, s) {
+			t.Error("identical patterns must subsume each other")
+		}
+	})
+	t.Run("different documents do not", func(t *testing.T) {
+		g, _ := chain("a.xml", "person")
+		s, _ := chain("b.xml", "person")
+		if Subsumes(g, s) {
+			t.Error("patterns over different documents must not subsume")
+		}
+	})
+	t.Run("different tags do not", func(t *testing.T) {
+		g, _ := chain("a.xml", "person", "name")
+		s, _ := chain("a.xml", "person", "age")
+		if Subsumes(g, s) {
+			t.Error("sibling tags must not subsume")
+		}
+	})
+	t.Run("specific with extra required edge is contained", func(t *testing.T) {
+		g, _ := chain("a.xml", "person")
+		s, leaf := chain("a.xml", "person")
+		leaf.Add(NewTagNode(9, "age"), Child, One)
+		if !Subsumes(g, s) {
+			t.Error("a pattern with an extra requirement is contained in the one without")
+		}
+		if Subsumes(s, g) {
+			t.Error("the general pattern is not contained in the stricter one")
+		}
+	})
+	t.Run("wildcard covers tag", func(t *testing.T) {
+		g := &Tree{Root: NewDocRoot(0, "a.xml")}
+		g.Root.Add(&Node{LCL: 1, Kind: TestWildcard}, Child, One)
+		s, _ := chain("a.xml", "person")
+		if !Subsumes(g, s) {
+			t.Error("a wildcard test must cover a tag test")
+		}
+		if Subsumes(s, g) {
+			t.Error("a tag test must not cover a wildcard")
+		}
+	})
+	t.Run("descendant covers child", func(t *testing.T) {
+		g := &Tree{Root: NewDocRoot(0, "a.xml")}
+		g.Root.Add(NewTagNode(1, "name"), Descendant, One)
+		s := &Tree{Root: NewDocRoot(0, "a.xml")}
+		s.Root.Add(NewTagNode(1, "name"), Child, One)
+		if !Subsumes(g, s) {
+			t.Error("descendant edge must cover a child edge")
+		}
+		if Subsumes(s, g) {
+			t.Error("child edge must not cover a descendant edge")
+		}
+	})
+	t.Run("weaker predicate subsumes stronger", func(t *testing.T) {
+		g, gl := chain("a.xml", "person", "age")
+		gl.Pred = gt("10")
+		s, sl := chain("a.xml", "person", "age")
+		sl.Pred = gt("20")
+		if !Subsumes(g, s) {
+			t.Error("age > 20 must be contained in age > 10")
+		}
+		if Subsumes(s, g) {
+			t.Error("age > 10 must not be contained in age > 20")
+		}
+	})
+	t.Run("optional general edge imposes nothing", func(t *testing.T) {
+		g, gl := chain("a.xml", "person")
+		gl.Add(NewTagNode(5, "phone"), Child, ZeroOrMore)
+		s, _ := chain("a.xml", "person")
+		if !Subsumes(g, s) {
+			t.Error("an optional edge on the general side must not block containment")
+		}
+	})
+	t.Run("required general edge must be guaranteed", func(t *testing.T) {
+		g, gl := chain("a.xml", "person")
+		gl.Add(NewTagNode(5, "phone"), Child, One)
+		s, _ := chain("a.xml", "person")
+		if Subsumes(g, s) {
+			t.Error("a required general edge absent from the specific side must block containment")
+		}
+	})
+	t.Run("predicate EQ values differ", func(t *testing.T) {
+		g, gl := chain("a.xml", "person", "name")
+		gl.Pred = eq("Alice")
+		s, sl := chain("a.xml", "person", "name")
+		sl.Pred = eq("Bob")
+		if Subsumes(g, s) {
+			t.Error("name = Bob must not be contained in name = Alice")
+		}
+	})
+}
+
+func TestSubsumesLogical(t *testing.T) {
+	orGroup := func(doc string, gid int, tags ...string) (*Tree, *Node) {
+		tr, leaf := chain(doc, "person")
+		for i, tag := range tags {
+			leaf.Edges = append(leaf.Edges, Edge{
+				Axis: Child, Spec: ZeroOrMore, To: NewTagNode(0, tag), Group: gid,
+			})
+			_ = i
+		}
+		return tr, leaf
+	}
+
+	t.Run("group member guarantees the group", func(t *testing.T) {
+		g, _ := orGroup("a.xml", 1, "phone", "homepage")
+		s, sl := chain("a.xml", "person")
+		sl.Add(NewTagNode(5, "phone"), Child, One)
+		if !Subsumes(g, s) {
+			t.Error("a required phone edge must satisfy the phone|homepage group")
+		}
+	})
+	t.Run("unrelated member does not", func(t *testing.T) {
+		g, _ := orGroup("a.xml", 1, "phone", "homepage")
+		s, sl := chain("a.xml", "person")
+		sl.Add(NewTagNode(5, "address"), Child, One)
+		if Subsumes(g, s) {
+			t.Error("an address edge must not satisfy the phone|homepage group")
+		}
+	})
+	t.Run("narrower specific group is covered", func(t *testing.T) {
+		g, _ := orGroup("a.xml", 1, "phone", "homepage")
+		s, _ := orGroup("a.xml", 1, "phone")
+		// A single-member group is invalid in a real pattern; widen to two
+		// members both covered by the general group.
+		s2, _ := orGroup("a.xml", 1, "phone", "homepage")
+		if !Subsumes(g, s2) {
+			t.Error("an identical OR group must be covered")
+		}
+		_ = s
+	})
+	t.Run("wider specific group is not covered", func(t *testing.T) {
+		g, _ := orGroup("a.xml", 1, "phone", "homepage")
+		s, _ := orGroup("a.xml", 1, "phone", "homepage", "address")
+		if Subsumes(g, s) {
+			t.Error("a wider OR disjunction must not be covered by a narrower one")
+		}
+	})
+	t.Run("NOT edge must be matched by NOT", func(t *testing.T) {
+		g, gl := chain("a.xml", "person")
+		g2 := NewTagNode(0, "watches")
+		gl.Edges = append(gl.Edges, Edge{Axis: Child, Spec: ZeroOrMore, To: g2, Not: true})
+		s, sl := chain("a.xml", "person")
+		s2 := NewTagNode(0, "watches")
+		sl.Edges = append(sl.Edges, Edge{Axis: Child, Spec: ZeroOrMore, To: s2, Not: true})
+		if !Subsumes(g, s) {
+			t.Error("identical NOT edges must subsume")
+		}
+		plain, _ := chain("a.xml", "person")
+		if Subsumes(g, plain) {
+			t.Error("a pattern without the NOT edge must not be contained")
+		}
+	})
+	t.Run("specific NOT forbids superset", func(t *testing.T) {
+		// general forbids child::watches; specific forbids descendant::watches
+		// (a superset of subtrees) — contained.
+		g, gl := chain("a.xml", "person")
+		gl.Edges = append(gl.Edges, Edge{Axis: Child, Spec: ZeroOrMore, To: NewTagNode(0, "watches"), Not: true})
+		s, sl := chain("a.xml", "person")
+		sl.Edges = append(sl.Edges, Edge{Axis: Descendant, Spec: ZeroOrMore, To: NewTagNode(0, "watches"), Not: true})
+		if !Subsumes(g, s) {
+			t.Error("forbidding descendant::watches must satisfy forbidding child::watches")
+		}
+		if Subsumes(s, g) {
+			t.Error("forbidding child::watches must not satisfy forbidding descendant::watches")
+		}
+	})
+}
+
+func TestSignatureStability(t *testing.T) {
+	eq := func(v string) *Predicate { return &Predicate{Op: EQ, Value: v} }
+	a, al := chain("a.xml", "person", "age")
+	al.Pred = eq("10")
+	b, bl := chain("a.xml", "person", "age")
+	bl.Pred = eq("99")
+	if Signature(a) != Signature(b) {
+		t.Errorf("signatures must elide predicate literals:\n%s\n%s", Signature(a), Signature(b))
+	}
+	c, cl := chain("a.xml", "person", "age")
+	cl.Pred = &Predicate{Op: GT, Value: "10"}
+	if Signature(a) == Signature(c) {
+		t.Error("signatures must keep the predicate operator")
+	}
+	d, _ := chain("a.xml", "person", "name")
+	if Signature(a) == Signature(d) {
+		t.Error("different tags must produce different signatures")
+	}
+	// Logical annotations are part of the signature.
+	e, el := chain("a.xml", "person")
+	el.Edges = append(el.Edges, Edge{Axis: Child, Spec: ZeroOrMore, To: NewTagNode(0, "phone"), Group: 1})
+	el.Edges = append(el.Edges, Edge{Axis: Child, Spec: ZeroOrMore, To: NewTagNode(0, "homepage"), Group: 1})
+	f, fl := chain("a.xml", "person")
+	fl.Add(NewTagNode(0, "phone"), Child, ZeroOrMore)
+	fl.Add(NewTagNode(0, "homepage"), Child, ZeroOrMore)
+	if Signature(e) == Signature(f) {
+		t.Error("OR-group annotations must distinguish signatures")
+	}
+}

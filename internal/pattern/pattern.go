@@ -165,11 +165,32 @@ type Node struct {
 }
 
 // Edge is a downward edge of an annotated pattern tree.
+//
+// Beyond the structural axis and matching specification, an edge can carry
+// a logical-operator annotation (after "Adding Logical Operators to Tree
+// Pattern Queries", see DESIGN.md §15): edges of one node that share a
+// positive Group identifier form an OR-disjunction — the parent matches
+// when at least one member edge is satisfied — and an edge with Not set is
+// an anti-join: the parent matches only when the edge's subtree has NO
+// match (a Not member inside a Group is satisfied exactly when its subtree
+// has no match). Annotated edges are pure existence tests: their subtrees
+// are anonymous (every LCL is 0), nothing is attached to the witness tree,
+// and they never multiply matches. Plain edges (Group == 0, !Not) are the
+// implicit AND of the classical APT.
 type Edge struct {
 	Axis Axis
 	Spec MSpec
 	To   *Node
+	// Group links this edge into an OR-disjunction with the sibling edges
+	// carrying the same positive identifier; 0 means a plain AND edge.
+	Group int
+	// Not inverts the edge into an anti-join existence test.
+	Not bool
 }
+
+// Logical reports whether the edge carries a logical-operator annotation
+// (OR-group membership or NOT) and is therefore a pure existence test.
+func (e *Edge) Logical() bool { return e.Group != 0 || e.Not }
 
 // Tree is an annotated pattern tree.
 type Tree struct {
@@ -246,7 +267,8 @@ func (t *Tree) Clone() *Tree {
 		m := *n
 		m.Edges = make([]Edge, len(n.Edges))
 		for i, e := range n.Edges {
-			m.Edges[i] = Edge{Axis: e.Axis, Spec: e.Spec, To: cp(e.To)}
+			e.To = cp(e.To)
+			m.Edges[i] = e
 		}
 		if n.Pred != nil {
 			p := *n.Pred
@@ -261,11 +283,17 @@ func (t *Tree) Clone() *Tree {
 }
 
 // Validate checks structural sanity: non-nil root, unique positive LCLs,
-// LC anchors only at the root, and tag tests with non-empty tags. A nil
-// error means the pattern is well formed.
+// LC anchors only at the root, tag tests with non-empty tags, and
+// well-formed logical annotations (OR groups need at least two member
+// edges, and annotated subtrees must be anonymous — they are existence
+// tests that bind no logical class). A nil error means the pattern is well
+// formed.
 func (t *Tree) Validate() error {
 	if t.Root == nil {
 		return fmt.Errorf("pattern: nil root")
+	}
+	if err := validateLogical(t.Root); err != nil {
+		return err
 	}
 	seen := make(map[int]bool)
 	nodes := t.Nodes()
@@ -300,6 +328,52 @@ func (t *Tree) Validate() error {
 	return nil
 }
 
+// validateLogical checks the logical-operator annotations below n: group
+// identifiers are non-negative, every OR group has at least two member
+// edges of the same node, and annotated (group or NOT) subtrees carry no
+// logical class labels.
+func validateLogical(n *Node) error {
+	groupSize := make(map[int]int)
+	for i := range n.Edges {
+		e := &n.Edges[i]
+		if e.Group < 0 {
+			return fmt.Errorf("pattern: negative OR-group id %d", e.Group)
+		}
+		if e.Group > 0 {
+			groupSize[e.Group]++
+		}
+		if e.Logical() {
+			if err := requireAnonymous(e.To); err != nil {
+				return err
+			}
+		}
+		if err := validateLogical(e.To); err != nil {
+			return err
+		}
+	}
+	for g, size := range groupSize {
+		if size < 2 {
+			return fmt.Errorf("pattern: OR group %d has a single member edge", g)
+		}
+	}
+	return nil
+}
+
+// requireAnonymous rejects logical class labels inside an annotated
+// (existence-test) subtree: nothing is attached for such edges, so a label
+// would silently produce an empty class.
+func requireAnonymous(n *Node) error {
+	if n.LCL != 0 {
+		return fmt.Errorf("pattern: class label %d inside a logical (OR/NOT) subtree", n.LCL)
+	}
+	for i := range n.Edges {
+		if err := requireAnonymous(n.Edges[i].To); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // String renders the pattern tree in a compact indented form used by plan
 // explanation and tests, e.g.
 //
@@ -315,6 +389,9 @@ func (t *Tree) String() string {
 	walk = func(n *Node, depth int, e *Edge) {
 		sb.WriteString(strings.Repeat("  ", depth))
 		if e != nil {
+			if e.Not {
+				sb.WriteString("not ")
+			}
 			sb.WriteString(e.Axis.String())
 		}
 		switch n.Kind {
@@ -335,6 +412,9 @@ func (t *Tree) String() string {
 		}
 		if e != nil && e.Spec != One {
 			fmt.Fprintf(&sb, " {%s}", e.Spec)
+		}
+		if e != nil && e.Group > 0 {
+			fmt.Fprintf(&sb, " {or:%d}", e.Group)
 		}
 		sb.WriteByte('\n')
 		for i := range n.Edges {

@@ -12,8 +12,37 @@ import (
 // maxAlternatives bounds the number of witness trees a single input tree
 // may expand into during an extension match. Exceeding it indicates a
 // runaway "-" edge combination and is reported as an error rather than
-// allowed to exhaust memory.
-const maxAlternatives = 65536
+// allowed to exhaust memory. A variable so tests can lower the bound; use
+// SetMaxAlternatives to restore it.
+var maxAlternatives = 65536
+
+// SetMaxAlternatives overrides the witness-tree explosion bound and
+// returns a func restoring the previous value. Testing hook: production
+// code never calls it.
+func SetMaxAlternatives(n int) (restore func()) {
+	prev := maxAlternatives
+	maxAlternatives = n
+	return func() { maxAlternatives = prev }
+}
+
+// ExplosionError reports an extension match whose witness-tree expansion
+// exceeded the maxAlternatives bound. It is a property of the query shape
+// against the data (a runaway "-" edge combination), not an evaluator
+// fault, so the service maps it to the 422 query_error taxonomy class.
+type ExplosionError struct {
+	// Limit is the bound that was exceeded.
+	Limit int
+	// Anchor reports whether the per-anchor cross product (rather than the
+	// per-tree witness expansion) overflowed.
+	Anchor bool
+}
+
+func (e *ExplosionError) Error() string {
+	if e.Anchor {
+		return fmt.Sprintf("physical: anchor alternatives explode past %d", e.Limit)
+	}
+	return fmt.Sprintf("physical: extension match explodes past %d witness trees", e.Limit)
+}
 
 // attachment is one branch to add under an anchor node: either a fresh
 // partial matched in the store (branch) or an existing in-memory node of
@@ -86,7 +115,7 @@ func (m *Matcher) extendTree(ctx context.Context, t *seq.Tree, anchor *pattern.N
 		perAnchor[i] = alts
 		total *= len(alts)
 		if total > maxAlternatives {
-			return nil, fmt.Errorf("physical: extension match explodes past %d witness trees", maxAlternatives)
+			return nil, &ExplosionError{Limit: maxAlternatives}
 		}
 	}
 	// Fast path: a single combination (all edges nested or unique) extends
@@ -184,7 +213,46 @@ func (m *Matcher) extendTree(ctx context.Context, t *seq.Tree, anchor *pattern.N
 func (m *Matcher) anchorAlternatives(ctx context.Context, a *seq.Node, anchor *pattern.Node) ([]alternative, error) {
 	var alts []alternative
 	first := true
+	var seenGroups map[int]bool
 	for _, e := range anchor.Edges {
+		// Logical (OR/NOT) edges are existence tests during extension: a
+		// NOT edge is an anti-join that kills the anchor when its subtree
+		// matches, an OR group passes when at least one member does.
+		// Neither contributes attachments or alternatives.
+		if e.Group > 0 {
+			if seenGroups[e.Group] {
+				continue
+			}
+			if seenGroups == nil {
+				seenGroups = make(map[int]bool)
+			}
+			seenGroups[e.Group] = true
+			pass := false
+			for _, ge := range memberEdges(anchor, e.Group) {
+				exists, err := m.edgeExists(ctx, a, ge)
+				if err != nil {
+					return nil, err
+				}
+				if exists != ge.Not {
+					pass = true
+					break
+				}
+			}
+			if !pass {
+				return nil, nil
+			}
+			continue
+		}
+		if e.Not {
+			exists, err := m.edgeExists(ctx, a, e)
+			if err != nil {
+				return nil, err
+			}
+			if exists {
+				return nil, nil
+			}
+			continue
+		}
 		var edgeAlts []alternative
 		var err error
 		if a.IsStore() {
@@ -213,7 +281,7 @@ func (m *Matcher) anchorAlternatives(ctx context.Context, a *seq.Node, anchor *p
 				merged := alternative{attachments: append(append([]attachment(nil), base.attachments...), ea.attachments...)}
 				next = append(next, merged)
 				if len(next) > maxAlternatives {
-					return nil, fmt.Errorf("physical: anchor alternatives explode past %d", maxAlternatives)
+					return nil, &ExplosionError{Limit: maxAlternatives, Anchor: true}
 				}
 			}
 		}
@@ -224,6 +292,29 @@ func (m *Matcher) anchorAlternatives(ctx context.Context, a *seq.Node, anchor *p
 		return []alternative{{}}, nil
 	}
 	return alts, nil
+}
+
+// edgeExists reports whether one pattern edge (ignoring its logical
+// annotations and multiplicity) has at least one match below the anchor.
+// Store anchors probe the cached per-node matches with a binary search;
+// memory anchors scan their in-memory children.
+func (m *Matcher) edgeExists(ctx context.Context, a *seq.Node, e pattern.Edge) (bool, error) {
+	pe := e
+	pe.Not, pe.Group, pe.Spec = false, 0, pattern.One
+	if a.IsStore() {
+		children, err := m.matchNode(ctx, a.Doc, pe.To)
+		if err != nil {
+			return false, err
+		}
+		d := m.st.Doc(a.Doc)
+		ms, _ := structuralMatches(d, a.Ord, children, pe.Axis, nil)
+		return len(ms) > 0, nil
+	}
+	alts, err := m.memoryEdgeAlternatives(a, pe)
+	if err != nil {
+		return false, err
+	}
+	return len(alts) > 0, nil
 }
 
 // storeEdgeAlternatives matches one pattern edge below a stored anchor by
@@ -312,7 +403,44 @@ func (m *Matcher) memorySubMatch(n *seq.Node, p *pattern.Node) ([]*partial, erro
 		base.classes = append(base.classes, classEntry{lcl: p.LCL, node: n})
 	}
 	parts := []*partial{base}
+	var seenGroups map[int]bool
 	for _, e := range p.Edges {
+		// Logical edges gate all combinations at once: every partial here
+		// shares the same root node n, so existence is decided once.
+		if e.Group > 0 {
+			if seenGroups[e.Group] {
+				continue
+			}
+			if seenGroups == nil {
+				seenGroups = make(map[int]bool)
+			}
+			seenGroups[e.Group] = true
+			pass := false
+			for _, ge := range memberEdges(p, e.Group) {
+				exists, err := m.edgeExists(context.Background(), n, ge)
+				if err != nil {
+					return nil, err
+				}
+				if exists != ge.Not {
+					pass = true
+					break
+				}
+			}
+			if !pass {
+				return nil, nil
+			}
+			continue
+		}
+		if e.Not {
+			exists, err := m.edgeExists(context.Background(), n, e)
+			if err != nil {
+				return nil, err
+			}
+			if exists {
+				return nil, nil
+			}
+			continue
+		}
 		var next []*partial
 		for _, P := range parts {
 			var kids []*seq.Node

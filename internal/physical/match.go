@@ -233,13 +233,151 @@ func (m *Matcher) buildPartials(ctx context.Context, doc store.DocID, p *pattern
 		}
 		parts = append(parts, pt)
 	}
-	for _, e := range p.Edges {
-		parts, err = m.expandEdge(ctx, doc, parts, e)
+	var seenGroups map[int]bool
+	for i := range p.Edges {
+		e := p.Edges[i]
+		switch {
+		case e.Group > 0:
+			// All member edges of an OR group are evaluated as one unit at
+			// the position of the first member.
+			if seenGroups[e.Group] {
+				continue
+			}
+			if seenGroups == nil {
+				seenGroups = make(map[int]bool)
+			}
+			seenGroups[e.Group] = true
+			parts, err = m.filterGroup(ctx, doc, parts, memberEdges(p, e.Group))
+		case e.Not:
+			parts, err = m.filterNot(ctx, doc, parts, e)
+		default:
+			parts, err = m.expandEdge(ctx, doc, parts, e)
+		}
 		if err != nil {
 			return nil, err
 		}
 	}
 	return parts, nil
+}
+
+// memberEdges collects the edges of n belonging to OR group id.
+func memberEdges(n *pattern.Node, id int) []pattern.Edge {
+	var out []pattern.Edge
+	for _, e := range n.Edges {
+		if e.Group == id {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// filterNot implements a NOT-annotated edge as an anti-join: parents with
+// at least one structural match of the edge's subtree are dropped, nothing
+// is attached. The subtree matches come from the same per-node cache as
+// positive edges, so the probe cost is one index lookup per tag.
+func (m *Matcher) filterNot(ctx context.Context, doc store.DocID, parents []*partial, e pattern.Edge) ([]*partial, error) {
+	children, err := m.matchNode(ctx, doc, e.To)
+	if err != nil {
+		return nil, err
+	}
+	d := m.st.Doc(doc)
+	var out, scratch []*partial
+	for i, P := range parents {
+		if err := poll(ctx, i); err != nil {
+			return nil, err
+		}
+		var ms []*partial
+		ms, scratch = structuralMatches(d, P.root.Ord, children, e.Axis, scratch)
+		if len(ms) == 0 {
+			out = append(out, P)
+		}
+	}
+	return out, nil
+}
+
+// filterGroup implements an OR-annotated edge set natively: the parent
+// survives when at least one positive member has a structural match or one
+// NOT member has none. Positive members sharing an axis are merged into a
+// single document-ordered candidate list first, so the group costs one
+// range scan per parent and axis instead of one pass per disjunct — the
+// single-pass evaluation that replaces the old rewrite into a filter
+// union. Like NOT edges, group edges are pure existence tests: no witness
+// nodes are attached and no classes are bound.
+func (m *Matcher) filterGroup(ctx context.Context, doc store.DocID, parents []*partial, members []pattern.Edge) ([]*partial, error) {
+	merged := make(map[pattern.Axis][]*partial)
+	type notMember struct {
+		axis     pattern.Axis
+		children []*partial
+	}
+	var nots []notMember
+	for _, e := range members {
+		children, err := m.matchNode(ctx, doc, e.To)
+		if err != nil {
+			return nil, err
+		}
+		if e.Not {
+			nots = append(nots, notMember{axis: e.Axis, children: children})
+			continue
+		}
+		merged[e.Axis] = mergeByOrd(merged[e.Axis], children)
+	}
+	dd := m.st.Doc(doc)
+	var out, scratch []*partial
+	for i, P := range parents {
+		if err := poll(ctx, i); err != nil {
+			return nil, err
+		}
+		pass := false
+		for axis, children := range merged {
+			var ms []*partial
+			ms, scratch = structuralMatches(dd, P.root.Ord, children, axis, scratch)
+			if len(ms) > 0 {
+				pass = true
+				break
+			}
+		}
+		for _, nm := range nots {
+			if pass {
+				break
+			}
+			var ms []*partial
+			ms, scratch = structuralMatches(dd, P.root.Ord, nm.children, nm.axis, scratch)
+			if len(ms) == 0 {
+				pass = true
+			}
+		}
+		if pass {
+			out = append(out, P)
+		}
+	}
+	return out, nil
+}
+
+// mergeByOrd merges two partial lists sorted by root ordinal into one
+// document-ordered list (the "alternatives merged in document order" step
+// of native OR matching). Duplicate ordinals across disjuncts are kept;
+// existence tests only probe for a non-empty range.
+func mergeByOrd(a, b []*partial) []*partial {
+	if len(a) == 0 {
+		return b
+	}
+	if len(b) == 0 {
+		return a
+	}
+	out := make([]*partial, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		if a[i].root.Ord <= b[j].root.Ord {
+			out = append(out, a[i])
+			i++
+		} else {
+			out = append(out, b[j])
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	out = append(out, b[j:]...)
+	return out
 }
 
 // expandEdge joins the parent partials with the matches of one pattern

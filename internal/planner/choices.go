@@ -1,6 +1,7 @@
 package planner
 
 import (
+	"fmt"
 	"sort"
 
 	"tlc/internal/algebra"
@@ -41,6 +42,11 @@ func orderEdges(root algebra.Op, est *estimator) int {
 				if ci != cj {
 					return ci < cj
 				}
+				// Keep OR-group members adjacent so the matcher's one-pass
+				// group evaluation sees them as a unit.
+				if gi, gj := n.Edges[i].Group, n.Edges[j].Group; gi != gj {
+					return gi < gj
+				}
 				return est.branchCard(docs, n.Edges[i].To) < est.branchCard(docs, n.Edges[j].To)
 			})
 			if edgeOrderKey(n.Edges) != before {
@@ -52,15 +58,19 @@ func orderEdges(root algebra.Op, est *estimator) int {
 }
 
 // edgeClass ranks edges: 0 = flat with a predicate somewhere in the
-// branch, 1 = flat, 2 = nested.
+// branch, 1 = logical existence tests (OR groups, NOT anti-joins — they
+// prune parents and never multiply partials), 2 = flat, 3 = nested.
 func edgeClass(e pattern.Edge) int {
+	if e.Logical() {
+		return 1
+	}
 	if e.Spec.Nested() {
-		return 2
+		return 3
 	}
 	if branchHasPredicate(e.To) {
 		return 0
 	}
-	return 1
+	return 2
 }
 
 func branchHasPredicate(n *pattern.Node) bool {
@@ -78,6 +88,12 @@ func branchHasPredicate(n *pattern.Node) bool {
 func edgeOrderKey(edges []pattern.Edge) string {
 	key := ""
 	for _, e := range edges {
+		if e.Not {
+			key += "!"
+		}
+		if e.Group != 0 {
+			key += fmt.Sprintf("g%d:", e.Group)
+		}
 		key += e.To.Tag + e.Spec.String() + "|"
 	}
 	return key

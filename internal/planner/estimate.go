@@ -184,11 +184,37 @@ func (e *estimator) survive(docs []store.DocID, n *pattern.Node) float64 {
 	p := e.predSel(docs, e.tagOfNode(docs, n), n.Pred)
 	tag := e.tagOfNode(docs, n)
 	cand := e.candCount(docs, n)
+	// OR groups combine disjunctively: the group fails only when every
+	// member fails, so its pass probability is 1 − Π(1 − s_member), with a
+	// NOT member's satisfaction being the complement of its subtree's
+	// existence probability.
+	var groupFail map[int]float64
 	for _, edge := range n.Edges {
-		if edge.Spec.Optional() {
+		switch {
+		case edge.Group > 0:
+			s := math.Min(1, e.expTo(docs, tag, cand, edge))
+			if edge.Not {
+				s = 1 - s
+			}
+			if groupFail == nil {
+				groupFail = make(map[int]float64)
+			}
+			if f, ok := groupFail[edge.Group]; ok {
+				groupFail[edge.Group] = f * (1 - s)
+			} else {
+				groupFail[edge.Group] = 1 - s
+			}
+		case edge.Not:
+			// Standalone anti-join: pass iff the subtree has no match.
+			p *= math.Max(0, 1-math.Min(1, e.expTo(docs, tag, cand, edge)))
+		case edge.Spec.Optional():
 			continue
+		default:
+			p *= math.Min(1, e.expTo(docs, tag, cand, edge))
 		}
-		p *= math.Min(1, e.expTo(docs, tag, cand, edge))
+	}
+	for _, fail := range groupFail {
+		p *= 1 - fail
 	}
 	return p
 }
@@ -201,7 +227,7 @@ func (e *estimator) wit(docs []store.DocID, n *pattern.Node) float64 {
 	tag := e.tagOfNode(docs, n)
 	cand := e.candCount(docs, n)
 	for _, edge := range n.Edges {
-		if edge.Spec.Nested() {
+		if edge.Spec.Nested() || edge.Logical() {
 			continue
 		}
 		w *= math.Max(1, e.expTo(docs, tag, cand, edge)*e.wit(docs, edge.To))
@@ -222,6 +248,12 @@ func (e *estimator) branchCard(docs []store.DocID, n *pattern.Node) float64 {
 			}
 		}
 		for _, edge := range p.Edges {
+			// Logical branches are not conjunctive requirements (a NOT or a
+			// lone disjunct does not bound the match count), so their tags
+			// cannot cap the branch cardinality.
+			if edge.Logical() {
+				continue
+			}
 			walkNode(edge.To)
 		}
 	}

@@ -70,6 +70,11 @@ func findCoveringBranch(ops []algebra.Op, anchorClass int, ee pattern.Edge) (*al
 		}
 		for bi := range a.Edges {
 			eb := &a.Edges[bi]
+			// Logical (OR-group / NOT) branches are existence tests, not
+			// class producers — they cannot serve an extension match.
+			if eb.Logical() {
+				continue
+			}
 			if eb.Axis != ee.Axis || !eb.Spec.Nested() {
 				continue
 			}
@@ -82,7 +87,7 @@ func findCoveringBranch(ops []algebra.Op, anchorClass int, ee pattern.Edge) (*al
 			}
 			safe := true
 			for _, ex := range extras {
-				if !ex.edge.Spec.Optional() {
+				if !ex.edge.Spec.Optional() || ex.edge.Logical() {
 					safe = false
 					break
 				}

@@ -8,6 +8,7 @@ import (
 	"tlc"
 	"tlc/internal/failure"
 	"tlc/internal/faultinject"
+	"tlc/internal/physical"
 )
 
 // The service error taxonomy. Every error response carries one of these
@@ -44,9 +45,15 @@ const (
 func classify(err error) (int, string) {
 	var be *tlc.BudgetError
 	var pe *failure.PanicError
+	var xe *physical.ExplosionError
 	switch {
 	case errors.As(err, &be):
 		return http.StatusUnprocessableEntity, codeBudget
+	case errors.As(err, &xe):
+		// A pattern node exceeded the matcher's alternative cap: the query
+		// is well-formed but too explosive for this data — the client's
+		// problem (reformulate or shrink scope), never an internal fault.
+		return http.StatusUnprocessableEntity, codeQueryError
 	case errors.As(err, &pe), errors.Is(err, faultinject.ErrInjected):
 		return http.StatusInternalServerError, codeInternal
 	case errors.Is(err, tlc.ErrUpdateConflict):

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"tlc"
+	"tlc/internal/physical"
 )
 
 const siteXML = `<site>
@@ -123,6 +124,35 @@ func TestQueryBadRequests(t *testing.T) {
 	}
 	if resp, _ := postJSON(t, ts.URL+"/query", "not an object"); resp.StatusCode != http.StatusBadRequest {
 		t.Errorf("non-object body: status = %d", resp.StatusCode)
+	}
+}
+
+// TestExplosionMapsToQueryError lowers the matcher's alternative bound so a
+// GTP extension over a multi-name person explodes, and checks the typed
+// physical.ExplosionError reaches the client as 422 query_error — the
+// query's problem, not an internal fault.
+func TestExplosionMapsToQueryError(t *testing.T) {
+	restore := physical.SetMaxAlternatives(1)
+	defer restore()
+	db := tlc.Open()
+	const doc = `<site><person><name>A</name><name>B</name><name>C</name></person></site>`
+	if err := db.LoadXMLString("fat.xml", doc); err != nil {
+		t.Fatal(err)
+	}
+	_, ts := newServer(t, Config{DB: db})
+	resp, body := postJSON(t, ts.URL+"/query", map[string]any{
+		"query":  `FOR $p IN document("fat.xml")//person RETURN $p/name`,
+		"engine": "GTP",
+	})
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("status = %d (%s), want 422", resp.StatusCode, body)
+	}
+	e := decode[errorResponse](t, body)
+	if e.Code != "query_error" {
+		t.Errorf("code = %q, want query_error", e.Code)
+	}
+	if !strings.Contains(e.Error, "explode") {
+		t.Errorf("error = %q, want the explosion message", e.Error)
 	}
 }
 

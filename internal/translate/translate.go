@@ -39,24 +39,61 @@ type Result struct {
 	VarLCLs []int
 	// DocNames are the documents the query reads, in first-use order.
 	DocNames []string
+	// PredSites are the conjunctive simple-comparison predicates of the
+	// query in translation order (outer bindings' nested blocks first,
+	// then this block's WHERE conjuncts left to right, then RETURN
+	// sub-blocks). The plan cache's containment probe aligns these with
+	// the canonicalizer's literal sites to place residual filters.
+	PredSites []PredSite
+}
+
+// PredSite is one conjunctive simple-comparison predicate and the logical
+// class its pattern leaf binds.
+type PredSite struct {
+	// LCL is the class whose (single, for liftable sites) member per
+	// witness tree carries the compared content.
+	LCL   int
+	Op    pattern.Cmp
+	Value string
+	// Liftable marks sites where a weaker predicate plus a residual
+	// Filter directly above the owning Select reproduces the original
+	// results exactly: the site's path is a chain of required "-" edges
+	// from a document root through FOR-bound variables, so every emitted
+	// witness tree has exactly one class member and the per-tree Filter
+	// is equivalent to the match-time predicate.
+	Liftable bool
+}
+
+// Options tune the translation.
+type Options struct {
+	// LegacyDisjuncts disables native OR/NOT pattern-edge annotations and
+	// compiles disjunctions to the pre-PR9 optional-branch + DisjFilter
+	// form. Kept as an ablation baseline for tlcbench -disjuncts.
+	LegacyDisjuncts bool
 }
 
 // Translate compiles a parsed query into a TLC plan.
 func Translate(f *xquery.FLWOR) (*Result, error) {
+	return TranslateOpts(f, Options{})
+}
+
+// TranslateOpts compiles a parsed query into a TLC plan with options.
+func TranslateOpts(f *xquery.FLWOR, opts Options) (*Result, error) {
 	counter := 0
 	tagOf := make(map[int]string)
-	shared := &sharedState{}
+	shared := &sharedState{opts: opts}
 	t := &translator{lclCounter: &counter, tagOf: tagOf, shared: shared}
 	res, err := t.block(f)
 	if err != nil {
 		return nil, err
 	}
 	return &Result{
-		Plan:     res.plan,
-		RootLCL:  res.rootLCL,
-		TagOf:    tagOf,
-		VarLCLs:  shared.varLCLs,
-		DocNames: shared.docNames,
+		Plan:      res.plan,
+		RootLCL:   res.rootLCL,
+		TagOf:     tagOf,
+		VarLCLs:   shared.varLCLs,
+		DocNames:  shared.docNames,
+		PredSites: shared.predSites,
 	}, nil
 }
 
@@ -103,6 +140,17 @@ type blockResult struct {
 type sharedState struct {
 	varLCLs  []int
 	docNames []string
+	opts     Options
+	// predSites accumulates conjunctive simple predicates in translation
+	// order (see Result.PredSites).
+	predSites []PredSite
+	// groupCounter hands out OR-group identifiers, unique per query.
+	groupCounter int
+}
+
+func (s *sharedState) nextGroup() int {
+	s.groupCounter++
+	return s.groupCounter
 }
 
 type translator struct {

@@ -29,8 +29,111 @@ func (t *translator) where(e xquery.Expr) error {
 		return t.whereAggr(x)
 	case *xquery.Quantified:
 		return t.whereQuantified(x)
+	case *xquery.Not:
+		return t.whereNot(x)
+	case *xquery.Exists:
+		return t.whereExists(x)
 	default:
 		return fmt.Errorf("translate: unsupported WHERE expression %T", e)
+	}
+}
+
+// whereNot compiles not(...). Negations over connectives are pushed inward
+// (De Morgan) and double negations cancel, so the base cases are a negated
+// simple predicate or a negated existence test — both become a NOT-
+// annotated (anti-join) pattern edge when the path walks below the
+// variable, or a NoneOf filter when the predicate sits on the bound node
+// itself.
+func (t *translator) whereNot(n *xquery.Not) error {
+	switch x := n.X.(type) {
+	case *xquery.And:
+		return t.where(&xquery.Or{L: &xquery.Not{X: x.L}, R: &xquery.Not{X: x.R}})
+	case *xquery.Or:
+		if err := t.where(&xquery.Not{X: x.L}); err != nil {
+			return err
+		}
+		return t.where(&xquery.Not{X: x.R})
+	case *xquery.Not:
+		return t.where(x.X)
+	case *xquery.Comparison:
+		if x.RightPath != nil {
+			return fmt.Errorf("translate: not() over a value join is not supported")
+		}
+		return t.whereNotSimple(x.Left, &pattern.Predicate{Op: x.Op, Value: x.RightVal})
+	case *xquery.Exists:
+		return t.whereNotSimple(x.Path, nil)
+	default:
+		return fmt.Errorf("translate: not() over %T is not supported", n.X)
+	}
+}
+
+// whereNotSimple negates one simple predicate (pred == nil: a bare
+// existence test): the tree survives only when NO match of the path
+// satisfies the predicate.
+func (t *translator) whereNotSimple(path *xquery.Path, pred *pattern.Predicate) error {
+	b, err := t.patternVar(path)
+	if err != nil {
+		return err
+	}
+	if len(path.Steps) == 0 {
+		if pred == nil {
+			return fmt.Errorf("translate: not(%s) over a bare variable is not supported", path)
+		}
+		t.root = algebra.NewFilter(t.root, b.node.LCL, *pred, algebra.NoneOf)
+		return nil
+	}
+	if t.shared.opts.LegacyDisjuncts {
+		// Ablation mode: no pattern annotations; compile to an optional
+		// "*" branch plus a NoneOf filter over its class.
+		leaf, err := t.extendChain(b.node, path.Steps, pattern.ZeroOrMore)
+		if err != nil {
+			return err
+		}
+		p := pattern.Predicate{Op: pattern.NE, Value: "\x00tlc-never"}
+		if pred != nil {
+			p = *pred
+		}
+		t.root = algebra.NewFilter(t.root, leaf.LCL, p, algebra.NoneOf)
+		return nil
+	}
+	t.logicalChain(b.node, path.Steps, pred, 0, true)
+	return nil
+}
+
+// whereExists compiles a bare-path existence conjunct: the path accretes
+// with required "-" edges, so trees without a match are dropped by the
+// Select itself.
+func (t *translator) whereExists(x *xquery.Exists) error {
+	b, err := t.patternVar(x.Path)
+	if err != nil {
+		return err
+	}
+	if len(x.Path.Steps) == 0 {
+		return nil // a bound variable trivially exists
+	}
+	_, err = t.extendChain(b.node, x.Path.Steps, pattern.One)
+	return err
+}
+
+// logicalChain hangs an anonymous existence-test chain below from: the
+// first edge carries the logical annotation (OR-group id and/or NOT), the
+// rest are plain "-" edges, and the optional predicate lands on the leaf
+// (so equality probes are answered by the tag+value index).
+func (t *translator) logicalChain(from *pattern.Node, steps []xquery.Step, pred *pattern.Predicate, group int, not bool) {
+	cur := from
+	for i, s := range steps {
+		n := &pattern.Node{Kind: pattern.TestTag, Tag: s.Name}
+		if i == 0 {
+			cur.Edges = append(cur.Edges, pattern.Edge{
+				Axis: s.Axis, Spec: pattern.ZeroOrMore, To: n, Group: group, Not: not,
+			})
+		} else {
+			cur.Add(n, s.Axis, pattern.One)
+		}
+		cur = n
+	}
+	if cur != from {
+		cur.Pred = pred
 	}
 }
 
@@ -43,6 +146,7 @@ func (t *translator) whereSimple(c *xquery.Comparison) error {
 		return err
 	}
 	if len(c.Left.Steps) == 0 {
+		t.recordSite(PredSite{LCL: b.node.LCL, Op: c.Op, Value: c.RightVal})
 		// Predicate on the bound node itself.
 		if b.node.Pred == nil {
 			b.node.Pred = pred
@@ -56,7 +160,38 @@ func (t *translator) whereSimple(c *xquery.Comparison) error {
 		return err
 	}
 	leaf.Pred = pred
+	t.recordSite(PredSite{LCL: leaf.LCL, Op: c.Op, Value: c.RightVal, Liftable: t.liftableSite(b)})
 	return nil
+}
+
+// recordSite appends one conjunctive simple-comparison site in translation
+// order (see Result.PredSites).
+func (t *translator) recordSite(s PredSite) {
+	t.shared.predSites = append(t.shared.predSites, s)
+}
+
+// liftableSite reports whether a predicate accreted below b's node can be
+// weakened and re-applied by a per-tree residual filter without changing
+// results: the binding must be a FOR over a required "-" chain from a
+// document root (so every emitted witness tree carries exactly one member
+// of the site's class). The chain whereSimple adds is itself all "-"
+// edges.
+func (t *translator) liftableSite(b *binding) bool {
+	if !b.isFor || b.kind != bindPattern || b.sel == nil || b.sel.APT == nil {
+		return false
+	}
+	root := b.sel.APT.Root
+	if root == nil || root.Kind != pattern.TestDocRoot {
+		return false
+	}
+	for n := b.node; n != root; {
+		parent, edge := b.sel.APT.ParentOf(n)
+		if parent == nil || edge == nil || edge.Spec != pattern.One || edge.Logical() {
+			return false
+		}
+		n = parent
+	}
+	return true
 }
 
 // whereAggr handles AggrPredExpr: the aggregated path joins the APT with
@@ -260,45 +395,152 @@ func (t *translator) quantTarget(q *xquery.Quantified) (int, error) {
 // duplicating the block plan, keeping class labels consistent across
 // disjuncts, which is what the ORExp case demands.
 func (t *translator) whereOr(o *xquery.Or) error {
+	if t.shared == nil || !t.shared.opts.LegacyDisjuncts {
+		if done, err := t.whereOrNative(o); done || err != nil {
+			return err
+		}
+	}
 	var branches []algebra.FilterBranch
-	var collect func(e xquery.Expr) error
-	collect = func(e xquery.Expr) error {
+	var collect func(e xquery.Expr, neg bool) error
+	collect = func(e xquery.Expr, neg bool) error {
 		switch x := e.(type) {
 		case *xquery.Or:
-			if err := collect(x.L); err != nil {
+			if err := collect(x.L, neg); err != nil {
 				return err
 			}
-			return collect(x.R)
+			return collect(x.R, neg)
+		case *xquery.Not:
+			return collect(x.X, !neg)
+		case *xquery.Exists:
+			leaf, err := t.disjLeaf(x.Path)
+			if err != nil {
+				return err
+			}
+			branches = append(branches, algebra.FilterBranch{
+				LCL:  leaf.LCL,
+				Pred: predAlwaysTrue,
+				Mode: disjMode(neg),
+			})
+			return nil
 		case *xquery.Comparison:
 			if x.RightPath != nil {
 				return fmt.Errorf("translate: value joins inside OR are not supported")
 			}
-			b, err := t.patternVar(x.Left)
+			leaf, err := t.disjLeaf(x.Left)
 			if err != nil {
 				return err
-			}
-			leaf := b.node
-			if len(x.Left.Steps) > 0 {
-				leaf, err = t.extendChain(b.node, x.Left.Steps, pattern.ZeroOrMore)
-				if err != nil {
-					return err
-				}
 			}
 			branches = append(branches, algebra.FilterBranch{
 				LCL:  leaf.LCL,
 				Pred: pattern.Predicate{Op: x.Op, Value: x.RightVal},
-				Mode: algebra.AtLeastOne,
+				Mode: disjMode(neg),
 			})
 			return nil
 		default:
 			return fmt.Errorf("translate: unsupported expression %T inside OR", e)
 		}
 	}
-	if err := collect(o); err != nil {
+	if err := collect(o, false); err != nil {
 		return err
 	}
 	t.root = algebra.NewDisjFilter(t.root, branches...)
 	return nil
+}
+
+// predAlwaysTrue holds at any content value (no document carries the NUL
+// sentinel); used to turn existence branches into predicate branches.
+var predAlwaysTrue = pattern.Predicate{Op: pattern.NE, Value: "\x00tlc-never"}
+
+func disjMode(neg bool) algebra.FilterMode {
+	if neg {
+		return algebra.NoneOf
+	}
+	return algebra.AtLeastOne
+}
+
+// disjLeaf resolves one disjunct path to an optional-branch pattern leaf
+// (the legacy "*"-edge formulation).
+func (t *translator) disjLeaf(p *xquery.Path) (*pattern.Node, error) {
+	b, err := t.patternVar(p)
+	if err != nil {
+		return nil, err
+	}
+	if len(p.Steps) == 0 {
+		return b.node, nil
+	}
+	return t.extendChain(b.node, p.Steps, pattern.ZeroOrMore)
+}
+
+// whereOrNative compiles a disjunction of same-node path predicates into an
+// OR-annotated edge group on the shared pattern node, evaluated natively by
+// the matcher in a single pass (one index probe per alternative tag,
+// candidates merged in document order). It reports done=false when the
+// disjunction does not fit that shape — mixed anchor nodes, value joins, or
+// predicates on the bound node itself — and the caller falls back to the
+// optional-branch + DisjFilter form.
+func (t *translator) whereOrNative(o *xquery.Or) (bool, error) {
+	type disjunct struct {
+		path *xquery.Path
+		pred *pattern.Predicate
+		not  bool
+	}
+	var ds []disjunct
+	fits := true
+	var collect func(e xquery.Expr, neg bool)
+	collect = func(e xquery.Expr, neg bool) {
+		if !fits {
+			return
+		}
+		switch x := e.(type) {
+		case *xquery.Or:
+			collect(x.L, neg)
+			collect(x.R, neg)
+		case *xquery.Not:
+			collect(x.X, !neg)
+		case *xquery.Exists:
+			if len(x.Path.Steps) == 0 {
+				fits = false
+				return
+			}
+			ds = append(ds, disjunct{path: x.Path, not: neg})
+		case *xquery.Comparison:
+			if x.RightPath != nil || len(x.Left.Steps) == 0 {
+				fits = false
+				return
+			}
+			ds = append(ds, disjunct{
+				path: x.Left,
+				pred: &pattern.Predicate{Op: x.Op, Value: x.RightVal},
+				not:  neg,
+			})
+		default:
+			fits = false
+		}
+	}
+	collect(o, false)
+	if !fits || len(ds) < 2 {
+		return false, nil
+	}
+	var anchor *binding
+	for _, d := range ds {
+		if d.path.Root != xquery.RootVariable {
+			return false, nil
+		}
+		b, _ := t.lookup(d.path.Var)
+		if b == nil || b.kind != bindPattern {
+			return false, nil
+		}
+		if anchor == nil {
+			anchor = b
+		} else if b.node != anchor.node {
+			return false, nil
+		}
+	}
+	gid := t.shared.nextGroup()
+	for _, d := range ds {
+		t.logicalChain(anchor.node, d.path.Steps, d.pred, gid, d.not)
+	}
+	return true, nil
 }
 
 // patternVar resolves a path's root variable to a pattern binding.

@@ -122,11 +122,20 @@ type Quantified struct {
 	Cond  *Comparison
 }
 
+// Not is a boolean negation: not(expr).
+type Not struct{ X Expr }
+
+// Exists is a bare-path existence test: true when the path has at least
+// one match. Produced for paths used as predicates, e.g. not($p/phone).
+type Exists struct{ Path *Path }
+
 func (*And) exprNode()        {}
 func (*Or) exprNode()         {}
 func (*Comparison) exprNode() {}
 func (*AggrPred) exprNode()   {}
 func (*Quantified) exprNode() {}
+func (*Not) exprNode()        {}
+func (*Exists) exprNode()     {}
 
 // String implementations render expressions for diagnostics.
 func (e *And) String() string { return "(" + e.L.String() + " AND " + e.R.String() + ")" }
@@ -147,6 +156,8 @@ func (e *Quantified) String() string {
 	}
 	return fmt.Sprintf("%s %s IN %s SATISFIES %s", q, e.Var, e.Path, e.Cond)
 }
+func (e *Not) String() string    { return "not(" + e.X.String() + ")" }
+func (e *Exists) String() string { return e.Path.String() }
 
 // OrderKey is one ORDER BY key.
 type OrderKey struct {
@@ -244,6 +255,10 @@ func (f *FLWOR) collectDocuments(set map[string]struct{}) {
 			if x.Cond != nil {
 				addExpr(x.Cond)
 			}
+		case *Not:
+			addExpr(x.X)
+		case *Exists:
+			addPath(x.Path)
 		}
 	}
 	var addRet func(r *RetNode)

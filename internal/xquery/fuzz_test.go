@@ -33,6 +33,20 @@ func FuzzParse(f *testing.F) {
 	f.Add("\x00\xff\xfe")
 	f.Add(`FOR $p IN document("unterminated`)
 	f.Add(`FOR $p IN document("a")//b ORDER BY $p/x DESCENDING RETURN $p`)
+	// Boolean-connective syntax: or/not()/exists and their nestings feed the
+	// logical-edge translation paths.
+	f.Add(`FOR $p IN document("a")//b WHERE $p/x = "1" OR $p/y = "2" RETURN $p`)
+	f.Add(`FOR $p IN document("a")//b WHERE not($p/x) RETURN $p`)
+	f.Add(`FOR $p IN document("a")//b WHERE not($p/x > 3) RETURN $p`)
+	f.Add(`FOR $p IN document("a")//b WHERE not(not($p/x)) RETURN $p`)
+	f.Add(`FOR $p IN document("a")//b WHERE $p/x OR not($p/y) OR $p/z = "9" RETURN $p`)
+	f.Add(`FOR $p IN document("a")//b WHERE $p/a > 1 AND ($p/x OR $p/y) RETURN $p`)
+	f.Add(`FOR $p IN document("a")//b WHERE not($p/x AND $p/y OR not($p/z)) RETURN $p`)
+	f.Add(`FOR $p IN document("a")//b WHERE ` + strings.Repeat("not(", 50) + "$p/x" + strings.Repeat(")", 50) + " RETURN $p")
+	f.Add(`FOR $p IN document("a")//b WHERE ` + strings.Repeat("$p/x OR ", 40) + "$p/y RETURN $p")
+	f.Add(`FOR $p IN document("a")//b WHERE not($p/x RETURN $p`)
+	f.Add(`FOR $p IN document("a")//b WHERE not() RETURN $p`)
+	f.Add(`FOR $p IN document("a")//b WHERE (($p/x OR ($p/y)) AND not(($p/z))) RETURN $p`)
 
 	f.Fuzz(func(t *testing.T, src string) {
 		// Deep recursion on pathological nesting is the realistic failure

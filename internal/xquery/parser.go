@@ -290,6 +290,17 @@ func (p *parser) parseWhereAtom() (Expr, error) {
 		return e, nil
 	case keyword(t, "every") || keyword(t, "some"):
 		return p.parseQuantified()
+	case t.kind == tokIdent && strings.ToLower(t.text) == "not" && p.peek2().kind == tokLParen:
+		p.next()
+		p.next()
+		e, err := p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokRParen); err != nil {
+			return nil, err
+		}
+		return &Not{X: e}, nil
 	case t.kind == tokIdent && aggFuncs[strings.ToLower(t.text)]:
 		fn := strings.ToLower(p.next().text)
 		if _, err := p.expect(tokLParen); err != nil {
@@ -315,6 +326,13 @@ func (p *parser) parseWhereAtom() (Expr, error) {
 		left, err := p.parsePath()
 		if err != nil {
 			return nil, err
+		}
+		// A path not followed by a comparison operator is a bare existence
+		// test (useful inside not(...)).
+		switch p.peek().kind {
+		case tokEQ, tokNE, tokLT, tokLE, tokGT, tokGE:
+		default:
+			return &Exists{Path: left}, nil
 		}
 		op, err := p.parseCmp()
 		if err != nil {

@@ -204,7 +204,7 @@ func TestParseErrors(t *testing.T) {
 		`FOR $p IN RETURN $p`,        // missing path
 		`FOR $p IN document("a")//x`, // missing RETURN
 		`FOR $p IN document("a")//x RETURN <a></b>`,             // tag mismatch
-		`FOR $p IN document("a")//x WHERE $p/a RETURN $p`,       // no comparison
+		`FOR $p IN document("a")//x WHERE not($p/a RETURN $p`,   // unclosed not()
 		`FOR $p IN document("a")//x WHERE count $p RETURN $p`,   // malformed count
 		`FOR $p IN document("a")//x RETURN <a`,                  // unterminated
 		`FOR $p IN document("a")//x[1] RETURN $p`,               // branching predicate

@@ -486,10 +486,11 @@ type BudgetError = governor.ErrBudgetExceeded
 type Option func(*queryConfig)
 
 type queryConfig struct {
-	engine      Engine
-	parallelism int
-	plannerOff  bool
-	limits      Limits
+	engine          Engine
+	parallelism     int
+	plannerOff      bool
+	limits          Limits
+	legacyDisjuncts bool
 }
 
 // WithEngine selects the evaluation engine for a query.
@@ -521,6 +522,15 @@ func WithParallelism(n int) Option {
 // WithLimits sets the query's whole resource budget at once.
 func WithLimits(l Limits) Option {
 	return func(c *queryConfig) { c.limits = l }
+}
+
+// WithLegacyDisjuncts disables native OR/NOT pattern-tree annotations for
+// the TLC translator: disjunctions compile to the pre-annotation form of
+// one optional "*" branch per disjunct plus a disjunctive filter. This is
+// the ablation baseline tlcbench -disjuncts measures against; production
+// queries should leave it off.
+func WithLegacyDisjuncts(on bool) Option {
+	return func(c *queryConfig) { c.legacyDisjuncts = on }
 }
 
 // WithMaxArenaNodes caps the query's witness-node allocation (n <= 0 is
@@ -563,10 +573,17 @@ type Prepared struct {
 	ast         *xquery.FLWOR
 	parallelism int
 	limits      Limits
+	// predSites are the translator's conjunctive predicate sites (nil for
+	// Nav); the plan cache aligns them with canonical literal sites to
+	// place residual filters on containment reuse.
+	predSites []translate.PredSite
 	// PlanInfo records what the cost-based planner did and estimated; nil
 	// when the planner was disabled or the engine has no plan (Nav).
 	PlanInfo *planner.Info
 }
+
+// PredSite re-exports the translator's predicate-site record.
+type PredSite = translate.PredSite
 
 // Engine returns the engine the query was compiled for.
 func (p *Prepared) Engine() Engine { return p.engine }
@@ -649,33 +666,38 @@ func (db *Database) CompileContext(ctx context.Context, text string, opts ...Opt
 		return nil, err
 	}
 	p := &Prepared{engine: cfg.engine, ast: ast, parallelism: cfg.parallelism, limits: cfg.limits}
+	topts := translate.Options{LegacyDisjuncts: cfg.legacyDisjuncts}
 	switch cfg.engine {
 	case Nav:
 		return p, nil
 	case TLC:
-		res, err := translate.Translate(ast)
+		res, err := translate.TranslateOpts(ast, topts)
 		if err != nil {
 			return nil, err
 		}
 		p.plan = res.Plan
+		p.predSites = res.PredSites
 	case TLCOpt:
-		res, err := translate.Translate(ast)
+		res, err := translate.TranslateOpts(ast, topts)
 		if err != nil {
 			return nil, err
 		}
 		p.plan, _ = rewrite.Optimize(res.Plan)
+		p.predSites = res.PredSites
 	case GTP:
 		res, err := gtp.Translate(ast)
 		if err != nil {
 			return nil, err
 		}
 		p.plan = res.Plan
+		p.predSites = res.PredSites
 	case TAX:
 		res, err := tax.Translate(ast)
 		if err != nil {
 			return nil, err
 		}
 		p.plan = res.Plan
+		p.predSites = res.PredSites
 	default:
 		return nil, fmt.Errorf("tlc: unknown engine %v", cfg.engine)
 	}
