@@ -44,6 +44,13 @@
 // instead of compilation (recorded under "contain_mix"):
 //
 //	tlcbench -disjuncts -contain-mix -factor 0.1 -json bench.json
+//
+// -durability sweeps the WAL fsync policies (off, batch, always) with a
+// sequential update workload, reporting commit cost and throughput per
+// policy and the overhead each pays relative to no durability (recorded
+// under "durability" in the -json report):
+//
+//	tlcbench -durability -durability-ops 1000 -factor 0.01 -json bench.json
 package main
 
 import (
@@ -81,6 +88,8 @@ func main() {
 	containMix := flag.Bool("contain-mix", false, "run the skewed multi-client plan-cache mix — exact vs containment reuse (included in -json under \"contain_mix\")")
 	containClients := flag.Int("contain-clients", 4, "concurrent client goroutines for -contain-mix")
 	containOps := flag.Int("contain-ops", 2000, "total queries for the -contain-mix workload")
+	durability := flag.Bool("durability", false, "run the WAL fsync-policy sweep — update commit cost under off, batch and always (included in -json under \"durability\")")
+	durabilityOps := flag.Int("durability-ops", 1000, "committed updates per policy for the -durability sweep")
 	flag.Parse()
 
 	cfg := harness.Config{Factor: *factor, Reps: *reps, Deadline: *deadline, Parallelism: *parallel, Shards: *shards}
@@ -110,7 +119,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "tlcbench: unknown figure %q\n", *fig)
 		os.Exit(2)
 	}
-	if (*startup || *updateMix != "" || *disjuncts || *containMix) && *fig == "all" && !figFlagSet() {
+	if (*startup || *updateMix != "" || *disjuncts || *containMix || *durability) && *fig == "all" && !figFlagSet() {
 		// A standalone experiment flag (no explicit -fig) measures only
 		// that experiment.
 		*fig = "none"
@@ -234,6 +243,26 @@ func main() {
 				rep = &harness.BenchReport{Factor: *factor, Reps: cfg.Reps, Parallelism: cfg.Parallelism, Shards: cfg.Shards}
 			}
 			rep.ContainMix = cr
+		}
+	}
+
+	if *durability {
+		dir, err := os.MkdirTemp("", "tlc-durability-*")
+		if err != nil {
+			fatal(err)
+		}
+		defer os.RemoveAll(dir)
+		fmt.Printf("=== Durability: WAL fsync-policy sweep, XMark factor %g ===\n", *factor)
+		dur, err := harness.MeasureDurability(*factor, cfg.Shards, *durabilityOps, dir)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(dur.String())
+		if *jsonOut != "" {
+			if rep == nil {
+				rep = &harness.BenchReport{Factor: *factor, Reps: cfg.Reps, Parallelism: cfg.Parallelism, Shards: cfg.Shards}
+			}
+			rep.Durability = dur
 		}
 	}
 

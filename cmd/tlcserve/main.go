@@ -21,6 +21,7 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"slices"
 	"strings"
 	"syscall"
 	"time"
@@ -47,6 +48,10 @@ func main() {
 	maxBytes := flag.Int64("max-bytes", 0, "per-query arena memory budget in bytes (0 = unlimited)")
 	maxResult := flag.Int64("max-result", 0, "per-query cap on any intermediate sequence's cardinality (0 = unlimited)")
 	maxWall := flag.Duration("max-wall", 0, "per-query wall-time budget, reported as 422 budget_exceeded rather than 504 (0 = unlimited)")
+	walDir := flag.String("wal", "", "write-ahead log directory: replay it at startup (after any -snapshot open), then log every update durably before acknowledging")
+	fsync := flag.String("fsync", "always", "WAL durability policy: always (fsync per update), batch (group commit), off")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful-shutdown deadline for in-flight requests on SIGTERM/SIGINT")
+	updateRetries := flag.Int("update-retries", 3, "attempts per /update when the commit keeps losing its race (jittered backoff between attempts)")
 	faults := flag.String("faults", os.Getenv("TLC_FAULTS"),
 		"fault-injection spec, e.g. 'store.load=error;physical.valuejoin=panic,after=2' (default $TLC_FAULTS; testing only)")
 	flag.Parse()
@@ -67,18 +72,25 @@ func main() {
 		if db, err = tlc.OpenSnapshot(*snapshot); err != nil {
 			fatal(err)
 		}
-		defer db.Close()
 		fmt.Fprintf(os.Stderr, "tlcserve: opened snapshot %s (%d documents, %d shards)\n",
 			*snapshot, len(db.Documents()), db.NumShards())
 	} else {
 		db = tlc.Open(tlc.WithShards(*shards))
 		writeSnap = *snapshot != ""
 	}
+	defer db.Close()
 	if *xmarkFactor > 0 {
-		if err := db.LoadXMark("auction.xml", *xmarkFactor); err != nil {
-			fatal(err)
+		// A reopened snapshot already holds auction.xml; reloading it would
+		// fatal on the duplicate and, worse, reset state the WAL is about to
+		// replay on top of. Keep -xmark in the restart command line harmless.
+		if slices.Contains(db.Documents(), "auction.xml") {
+			fmt.Fprintf(os.Stderr, "tlcserve: auction.xml already in snapshot, skipping -xmark load\n")
+		} else {
+			if err := db.LoadXMark("auction.xml", *xmarkFactor); err != nil {
+				fatal(err)
+			}
+			fmt.Fprintf(os.Stderr, "tlcserve: loaded XMark factor %g as auction.xml\n", *xmarkFactor)
 		}
-		fmt.Fprintf(os.Stderr, "tlcserve: loaded XMark factor %g as auction.xml\n", *xmarkFactor)
 	}
 	if *load != "" {
 		for _, spec := range strings.Split(*load, ",") {
@@ -116,6 +128,7 @@ func main() {
 		MaxTimeout:     *maxTimeout,
 		CacheSize:      *cacheSize,
 		Parallelism:    *parallel,
+		UpdateRetries:  *updateRetries,
 		Limits: tlc.Limits{
 			MaxArenaNodes: *maxNodes,
 			MaxArenaBytes: *maxBytes,
@@ -125,6 +138,11 @@ func main() {
 	})
 	if err != nil {
 		fatal(err)
+	}
+	if *walDir != "" {
+		// Mark the server not-ready before the listener exists, so the
+		// first /readyz a load balancer sees during replay is already 503.
+		srv.BeginRecovery()
 	}
 
 	ln, err := net.Listen("tcp", *addr)
@@ -152,6 +170,23 @@ func main() {
 	done := make(chan error, 1)
 	go func() { done <- hs.Serve(ln) }()
 
+	if *walDir != "" {
+		// Replay while the listener is already accepting: liveness and
+		// read-only endpoints answer during recovery, /readyz reports 503
+		// with live progress, and writes shed until EndRecovery.
+		stats, err := db.AttachWAL(tlc.WALOptions{
+			Dir:        *walDir,
+			Fsync:      *fsync,
+			OnProgress: srv.RecoveryProgress,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		srv.EndRecovery(stats.Applied, stats.Skipped, stats.Duration)
+		fmt.Fprintf(os.Stderr, "tlcserve: wal %s ready (fsync=%s): replayed %d updates, skipped %d, %d torn repairs, %v\n",
+			*walDir, *fsync, stats.Applied, stats.Skipped, stats.TornRepairs, stats.Duration.Round(time.Millisecond))
+	}
+
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	select {
@@ -161,11 +196,25 @@ func main() {
 		}
 	case s := <-sig:
 		fmt.Fprintf(os.Stderr, "tlcserve: %v, draining\n", s)
-		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		// Stop admitting (readyz flips to 503, writes shed), drain
+		// in-flight requests with a deadline, then fsync and close the
+		// WAL via db.Close (the deferred close) before exiting 0. A
+		// second signal aborts immediately.
+		srv.SetDraining()
+		go func() {
+			s2 := <-sig
+			fmt.Fprintf(os.Stderr, "tlcserve: %v again, aborting\n", s2)
+			os.Exit(1)
+		}()
+		ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 		defer cancel()
 		if err := hs.Shutdown(ctx); err != nil {
+			fmt.Fprintf(os.Stderr, "tlcserve: drain incomplete: %v\n", err)
+		}
+		if err := db.Close(); err != nil {
 			fatal(err)
 		}
+		fmt.Fprintln(os.Stderr, "tlcserve: drained, wal closed, exiting")
 	}
 }
 

@@ -73,6 +73,19 @@ const (
 	// statistics delta to the catalog; an injected failure must abort the
 	// whole mutation with no partial state.
 	PointMutateStatsDelta = "mutate.statsdelta"
+	// PointWALAppend fires at the top of wal.Log.Append, before the record
+	// is written — a commit that dies here must leave no trace in the log.
+	PointWALAppend = "wal.append"
+	// PointWALFsync fires before the WAL fsync syscall — the window where
+	// a record is written but not yet durable. A slow-mode stall here is
+	// how the chaos harness times its SIGKILL.
+	PointWALFsync = "wal.fsync"
+	// PointWALRotate fires at the start of a segment rotation (the first
+	// step of the snapshot checkpoint protocol).
+	PointWALRotate = "wal.rotate"
+	// PointRecoverReplay fires once per record applied during WAL replay
+	// at startup — a crash mid-recovery must itself be recoverable.
+	PointRecoverReplay = "recover.replay"
 )
 
 // Catalog returns every registered injection point name, sorted.
@@ -90,6 +103,10 @@ func Catalog() []string {
 		PointServiceUpdate,
 		PointMutateCommit,
 		PointMutateStatsDelta,
+		PointWALAppend,
+		PointWALFsync,
+		PointWALRotate,
+		PointRecoverReplay,
 	}
 	sort.Strings(pts)
 	return pts

@@ -1,0 +1,130 @@
+package harness
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"tlc"
+)
+
+// DurabilityPoint measures one WAL fsync policy: sequential paired
+// insert/delete updates through the full commit path (encode, append,
+// sync per policy, MVCC splice).
+type DurabilityPoint struct {
+	// Policy is the WAL durability policy: off, batch or always.
+	Policy string `json:"policy"`
+	// NsPerOp is the mean wall time per committed update.
+	NsPerOp int64 `json:"ns_per_op"`
+	// UpdatesPerSec is the sequential single-writer commit throughput.
+	UpdatesPerSec float64 `json:"updates_per_sec"`
+	// OverheadVsOff is NsPerOp relative to the off policy (1.0 = free).
+	OverheadVsOff float64 `json:"overhead_vs_off"`
+	// Syncs and Bytes are the log's own counters over the run: how many
+	// fsyncs the policy actually issued and how much it wrote.
+	Syncs int64 `json:"syncs"`
+	Bytes int64 `json:"bytes"`
+}
+
+// DurabilityReport is the tlcbench -durability sweep: the same update
+// workload under each WAL fsync policy, quantifying what crash safety
+// costs at the commit path's throughput ceiling.
+type DurabilityReport struct {
+	// Factor and Shards describe the database; Ops is the committed
+	// update count per policy.
+	Factor float64           `json:"factor"`
+	Shards int               `json:"shards"`
+	Ops    int               `json:"ops"`
+	Points []DurabilityPoint `json:"points"`
+}
+
+func (r *DurabilityReport) String() string {
+	s := fmt.Sprintf("factor %g, %d shard(s), %d updates per policy\n", r.Factor, r.Shards, r.Ops)
+	for _, p := range r.Points {
+		s += fmt.Sprintf("  fsync=%-6s %10s/op  %8.0f updates/s  %5.2fx vs off  (%d fsyncs, %d bytes logged)\n",
+			p.Policy, time.Duration(p.NsPerOp).Round(time.Microsecond),
+			p.UpdatesPerSec, p.OverheadVsOff, p.Syncs, p.Bytes)
+	}
+	return s
+}
+
+// MeasureDurability loads XMark at factor once per policy and drives ops
+// sequential updates (alternating marker insert and delete, so the store
+// ends where it began) with the WAL attached under that policy. Each
+// policy gets a fresh log directory under baseDir. The off policy is the
+// no-durability baseline the others are normalized against.
+func MeasureDurability(factor float64, shards, ops int, baseDir string) (*DurabilityReport, error) {
+	if ops < 2 {
+		ops = 2
+	}
+	if ops%2 == 1 {
+		ops++ // inserts and deletes pair up
+	}
+	rep := &DurabilityReport{Factor: factor, Ops: ops}
+	for _, policy := range []string{"off", "batch", "always"} {
+		db, err := OpenDatabase(factor, shards)
+		if err != nil {
+			return nil, err
+		}
+		rep.Shards = db.NumShards()
+		dir := filepath.Join(baseDir, "wal-"+policy)
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			db.Close()
+			return nil, err
+		}
+		if _, err := db.AttachWAL(tlc.WALOptions{Dir: dir, Fsync: policy}); err != nil {
+			db.Close()
+			return nil, err
+		}
+		// Warm the commit path before the clock starts.
+		for i := 0; i < 2; i++ {
+			if err := pairedUpdate(db); err != nil {
+				db.Close()
+				return nil, err
+			}
+		}
+		start := time.Now()
+		for i := 0; i < ops/2; i++ {
+			if err := pairedUpdate(db); err != nil {
+				db.Close()
+				return nil, err
+			}
+		}
+		wall := time.Since(start)
+		pt := DurabilityPoint{
+			Policy:        policy,
+			NsPerOp:       wall.Nanoseconds() / int64(ops),
+			UpdatesPerSec: float64(ops) / wall.Seconds(),
+		}
+		if ws, _, ok := db.WALStats(); ok {
+			pt.Syncs = ws.Synced
+			pt.Bytes = ws.Bytes
+		}
+		db.Close()
+		rep.Points = append(rep.Points, pt)
+	}
+	base := rep.Points[0].NsPerOp
+	for i := range rep.Points {
+		if base > 0 {
+			rep.Points[i].OverheadVsOff = float64(rep.Points[i].NsPerOp) / float64(base)
+		}
+	}
+	return rep, nil
+}
+
+// pairedUpdate commits one marker insert and one delete.
+func pairedUpdate(db *tlc.Database) error {
+	if _, err := db.Update(tlc.UpdateRequest{
+		Doc: "auction.xml", Op: tlc.UpdateInsert, Target: "/site",
+		Fragment: "<durmark>probe</durmark>",
+	}); err != nil {
+		return fmt.Errorf("harness: durability insert: %w", err)
+	}
+	if _, err := db.Update(tlc.UpdateRequest{
+		Doc: "auction.xml", Op: tlc.UpdateDelete, Target: "/site/durmark[1]",
+	}); err != nil {
+		return fmt.Errorf("harness: durability delete: %w", err)
+	}
+	return nil
+}

@@ -46,6 +46,9 @@ type BenchReport struct {
 	// ContainMix, when present, is the tlcbench -contain-mix workload:
 	// plan-cache exact versus containment reuse under a skewed client mix.
 	ContainMix *ContainMixReport `json:"contain_mix,omitempty"`
+	// Durability, when present, is the tlcbench -durability sweep: update
+	// commit cost under each WAL fsync policy (off, batch, always).
+	Durability *DurabilityReport `json:"durability,omitempty"`
 }
 
 // Report flattens Figure 15 rows into a BenchReport.

@@ -23,6 +23,7 @@ package mutate
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"strconv"
@@ -115,6 +116,44 @@ type Request struct {
 	Fragment string
 }
 
+// wireRequest is the WAL (and HTTP) encoding of a Request: the logical
+// operation, not the spliced columns, so replay exercises the same
+// resolve/splice/commit path as live traffic.
+type wireRequest struct {
+	Doc      string `json:"doc"`
+	Op       string `json:"op"`
+	Target   string `json:"target"`
+	Position string `json:"position,omitempty"`
+	Fragment string `json:"fragment,omitempty"`
+}
+
+// EncodeRequest serializes a Request for the write-ahead log.
+func EncodeRequest(req Request) ([]byte, error) {
+	return json.Marshal(wireRequest{
+		Doc:      req.Doc,
+		Op:       req.Op.String(),
+		Target:   req.Target,
+		Position: req.Position,
+		Fragment: req.Fragment,
+	})
+}
+
+// DecodeRequest parses a WAL record payload back into the Request it was
+// encoded from. Errors wrap ErrBadRequest: a payload that passed the
+// log's CRC but does not decode is a version-skew or corruption bug, not
+// a user error.
+func DecodeRequest(data []byte) (Request, error) {
+	var w wireRequest
+	if err := json.Unmarshal(data, &w); err != nil {
+		return Request{}, fmt.Errorf("%w: undecodable update record: %v", ErrBadRequest, err)
+	}
+	op, err := ParseKind(w.Op)
+	if err != nil {
+		return Request{}, err
+	}
+	return Request{Doc: w.Doc, Op: op, Target: w.Target, Position: w.Position, Fragment: w.Fragment}, nil
+}
+
 // Result summarizes an applied update.
 type Result struct {
 	// Doc and Version identify the document version the update produced.
@@ -196,6 +235,17 @@ func Apply(ctx context.Context, st *store.Store, req Request) (Result, error) {
 		return res, fmt.Errorf("%w: unknown position %q (into|first|before|after)", ErrBadRequest, req.Position)
 	}
 
+	// Serialize the logical operation once, outside the retry loop: the
+	// WAL records what was asked, so every attempt logs identical bytes.
+	var payload []byte
+	if st.LogsCommits() {
+		p, err := EncodeRequest(req)
+		if err != nil {
+			return res, fmt.Errorf("%w: %v", ErrBadRequest, err)
+		}
+		payload = p
+	}
+
 	// The writer epoch makes the mutation visible to LoadSnapshot, which
 	// refuses to rewrite the directory under an in-flight splice.
 	release := st.BeginMutation()
@@ -229,7 +279,7 @@ func Apply(ctx context.Context, st *store.Store, req Request) (Result, error) {
 		if err != nil {
 			return res, err
 		}
-		if err := st.Commit(d, nd); err != nil {
+		if err := st.CommitLogged(d, nd, payload); err != nil {
 			if errors.Is(err, store.ErrVersionConflict) {
 				updateConflicts.Add(1)
 				res.Conflicts++

@@ -25,7 +25,10 @@ import (
 //	canceled         503  the client went away mid-evaluation
 //	unavailable      503  shed while queued, or circuit breaker open
 //	timeout          504  the evaluation deadline expired
-//	internal         500  a contained panic or injected fault
+//	internal         500  a contained panic, injected fault, or a commit
+//	                      vetoed by a WAL write failure
+//	recovering       503  the node is replaying its WAL (or draining for
+//	                      shutdown) and not yet/no longer serving writes
 const (
 	codeUserError   = "user_error"
 	codeQueryError  = "query_error"
@@ -36,6 +39,7 @@ const (
 	codeUnavailable = "unavailable"
 	codeTimeout     = "timeout"
 	codeInternal    = "internal"
+	codeRecovering  = "recovering"
 )
 
 // classify maps an evaluation error to its HTTP status and taxonomy code.
@@ -55,6 +59,11 @@ func classify(err error) (int, string) {
 		// problem (reformulate or shrink scope), never an internal fault.
 		return http.StatusUnprocessableEntity, codeQueryError
 	case errors.As(err, &pe), errors.Is(err, faultinject.ErrInjected):
+		return http.StatusInternalServerError, codeInternal
+	case errors.Is(err, tlc.ErrDurability):
+		// The WAL refused the commit's record; the store is unchanged but
+		// the node can no longer honor its durability contract — an
+		// operator problem, not the client's.
 		return http.StatusInternalServerError, codeInternal
 	case errors.Is(err, tlc.ErrUpdateConflict):
 		// The update lost its commit race repeatedly; the client can refetch

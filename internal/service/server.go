@@ -14,9 +14,14 @@
 //	POST /load      ?name=doc.xml with an XML body, or ?name=&xmark=1
 //	POST /update    {"doc": "...", "op": "insert", "target": "...", ...}
 //	POST /snapshot  ?dir=/path — write a columnar snapshot of the store
-//	GET  /documents loaded document names
-//	GET  /healthz   liveness
+//	                (with a WAL attached, also a durable checkpoint:
+//	                rotate, snapshot, truncate)
+//	GET  /documents loaded document names and versions
+//	GET  /healthz   liveness (alias /livez): the process is up
+//	GET  /readyz    readiness: 503 while replaying the WAL or draining
 //	GET  /varz      metrics JSON
+//	GET  /faultz    fault-injection counters only (lock-free; stays
+//	                responsive while an injected stall wedges /varz)
 package service
 
 import (
@@ -25,6 +30,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"runtime"
 	"sort"
@@ -71,6 +77,14 @@ type Config struct {
 	// BreakerCooldown is how long an open breaker sheds before letting a
 	// probe through (default 5s).
 	BreakerCooldown time.Duration
+	// UpdateRetries is how many times /update attempts an update that
+	// keeps losing its commit race before surfacing the 409 (default 3;
+	// 1 disables retrying). Each retry waits a jittered exponential
+	// backoff so competing writers de-synchronize.
+	UpdateRetries int
+	// UpdateRetryBackoff is the base backoff before the first retry
+	// (default 2ms, doubling per attempt, capped at 1s).
+	UpdateRetryBackoff time.Duration
 }
 
 func (c *Config) fillDefaults() {
@@ -97,6 +111,12 @@ func (c *Config) fillDefaults() {
 	}
 	if c.BreakerCooldown <= 0 {
 		c.BreakerCooldown = 5 * time.Second
+	}
+	if c.UpdateRetries <= 0 {
+		c.UpdateRetries = 3
+	}
+	if c.UpdateRetryBackoff <= 0 {
+		c.UpdateRetryBackoff = 2 * time.Millisecond
 	}
 }
 
@@ -130,10 +150,28 @@ type Server struct {
 	shed            atomic.Int64
 	serialFallbacks atomic.Int64
 
+	// recovering marks the WAL-replay window between process start and
+	// EndRecovery: /readyz reports 503 and mutating endpoints shed, while
+	// liveness and read-only endpoints stay up. draining marks the
+	// graceful-shutdown window with the same readiness effect.
+	recovering atomic.Bool
+	draining   atomic.Bool
+	// recApplied/recSkipped/recDurNs expose replay progress in /varz and
+	// /readyz while recovering (and the final totals afterwards).
+	recApplied atomic.Int64
+	recSkipped atomic.Int64
+	recDurNs   atomic.Int64
+	// updateRetries counts /update commit-race retries that were absorbed
+	// by the handler's backoff loop rather than surfaced as 409s.
+	updateRetries atomic.Int64
+
 	// preEval, when set by tests, runs after admission and plan lookup,
 	// immediately before evaluation — it lets overload tests hold all
 	// evaluation slots deterministically.
 	preEval func()
+	// updateOverride, when set by tests, replaces db.UpdateContext in
+	// handleUpdate — it lets retry tests script conflict sequences.
+	updateOverride func(context.Context, tlc.UpdateRequest, ...tlc.Option) (tlc.UpdateResult, error)
 }
 
 // New returns a Server for cfg.
@@ -168,8 +206,74 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/update", s.instrument(s.protect("update", s.handleUpdate)))
 	mux.HandleFunc("/documents", s.instrument(s.handleDocuments))
 	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/livez", s.handleHealthz)
+	mux.HandleFunc("/readyz", s.handleReadyz)
 	mux.HandleFunc("/varz", s.handleVarz)
+	mux.HandleFunc("/faultz", s.handleFaultz)
 	return mux
+}
+
+// handleFaultz reports the armed fault-injection points and their hit
+// counters. Unlike /varz it reads nothing but faultinject's atomics, so
+// it stays responsive while an injected stall holds store or WAL locks —
+// the kill-and-restart chaos harness polls it to time a SIGKILL inside a
+// crash window that wedges every other introspection endpoint.
+func (s *Server) handleFaultz(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeErrorCode(w, http.StatusMethodNotAllowed, codeUserError, "use GET")
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"active": faultinject.Active(),
+		"faults": faultinject.Stats(),
+	})
+}
+
+// BeginRecovery puts the server in the recovering state: /readyz reports
+// 503 and mutating endpoints shed with code "recovering" while the WAL
+// replays. Call before the listener starts accepting so a load balancer
+// never routes a write to a half-replayed store.
+func (s *Server) BeginRecovery() { s.recovering.Store(true) }
+
+// RecoveryProgress records replay progress (the AttachWAL OnProgress
+// hook); /varz and /readyz surface it live.
+func (s *Server) RecoveryProgress(applied, skipped int) {
+	s.recApplied.Store(int64(applied))
+	s.recSkipped.Store(int64(skipped))
+}
+
+// EndRecovery leaves the recovering state, recording the final replay
+// totals.
+func (s *Server) EndRecovery(applied, skipped int, dur time.Duration) {
+	s.recApplied.Store(int64(applied))
+	s.recSkipped.Store(int64(skipped))
+	s.recDurNs.Store(int64(dur))
+	s.recovering.Store(false)
+}
+
+// Recovering reports whether the server is replaying its WAL.
+func (s *Server) Recovering() bool { return s.recovering.Load() }
+
+// SetDraining marks the server as shutting down: /readyz flips to 503 so
+// load balancers stop routing new work, while in-flight requests drain.
+func (s *Server) SetDraining() { s.draining.Store(true) }
+
+// gateRecovery sheds a mutating request while the store is replaying its
+// WAL or the process is draining; reads stay up. Returns true when the
+// request was shed.
+func (s *Server) gateRecovery(w http.ResponseWriter, endpoint string) bool {
+	state := ""
+	switch {
+	case s.recovering.Load():
+		state = "recovering"
+	case s.draining.Load():
+		state = "draining"
+	default:
+		return false
+	}
+	w.Header().Set("Retry-After", "1")
+	writeErrorCode(w, http.StatusServiceUnavailable, codeRecovering, "%s: node is %s", endpoint, state)
+	return true
 }
 
 // statusWriter remembers the status code for metrics and whether a
@@ -235,6 +339,26 @@ func (s *Server) protect(endpoint string, h http.HandlerFunc) http.HandlerFunc {
 }
 
 // retryAfter renders a Retry-After header value: whole seconds, at least 1.
+// sleepBackoff waits the attempt-th retry backoff: base doubled per
+// attempt, capped at a second, plus up to 50% random jitter so competing
+// writers spread out instead of colliding again in lockstep. It returns
+// false if ctx expired first.
+func sleepBackoff(ctx context.Context, base time.Duration, attempt int) bool {
+	d := base << uint(attempt-1)
+	if d > time.Second {
+		d = time.Second
+	}
+	d += time.Duration(rand.Int63n(int64(d)/2 + 1))
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return false
+	case <-t.C:
+		return true
+	}
+}
+
 func retryAfter(d time.Duration) string {
 	secs := int(d / time.Second)
 	if secs < 1 {
@@ -582,6 +706,9 @@ func (s *Server) handleLoad(w http.ResponseWriter, r *http.Request) {
 		writeErrorCode(w, http.StatusMethodNotAllowed, codeUserError, "POST required")
 		return
 	}
+	if s.gateRecovery(w, "load") {
+		return
+	}
 	if err := faultinject.Hit(faultinject.PointServiceLoad); err != nil {
 		status, code := classify(err)
 		writeErrorCode(w, status, code, "load: %v", err)
@@ -633,6 +760,9 @@ func (s *Server) handleLoad(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		writeErrorCode(w, http.StatusMethodNotAllowed, codeUserError, "POST required")
+		return
+	}
+	if s.gateRecovery(w, "snapshot") {
 		return
 	}
 	dir := r.URL.Query().Get("dir")
@@ -695,6 +825,9 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 		writeErrorCode(w, http.StatusMethodNotAllowed, codeUserError, "POST required")
 		return
 	}
+	if s.gateRecovery(w, "update") {
+		return
+	}
 	if err := faultinject.Hit(faultinject.PointServiceUpdate); err != nil {
 		status, code := classify(err)
 		writeErrorCode(w, status, code, "update: %v", err)
@@ -730,13 +863,33 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 	defer s.rlockShards([]int{s.db.ShardOfDocument(req.Doc)})()
 
 	begin := time.Now()
-	res, err := s.db.UpdateContext(ctx, tlc.UpdateRequest{
+	apply := s.db.UpdateContext
+	if s.updateOverride != nil {
+		apply = s.updateOverride
+	}
+	ureq := tlc.UpdateRequest{
 		Doc:      req.Doc,
 		Op:       op,
 		Target:   req.Target,
 		Position: req.Position,
 		Fragment: req.Fragment,
-	}, tlc.WithLimits(s.limits(qreq)))
+	}
+	// The database already retries a conflicted commit a few times
+	// back-to-back; this outer loop adds jittered backoff between whole
+	// attempts, so sustained writer herds de-synchronize instead of
+	// bouncing 409s off every client.
+	var res tlc.UpdateResult
+	err = nil
+	for attempt := 1; ; attempt++ {
+		res, err = apply(ctx, ureq, tlc.WithLimits(s.limits(qreq)))
+		if err == nil || !errors.Is(err, tlc.ErrUpdateConflict) || attempt >= s.cfg.UpdateRetries {
+			break
+		}
+		s.updateRetries.Add(1)
+		if !sleepBackoff(ctx, s.cfg.UpdateRetryBackoff, attempt) {
+			break // context expired while backing off; surface the conflict
+		}
+	}
 	if err != nil {
 		switch {
 		case errors.Is(err, tlc.ErrBadUpdateRequest):
@@ -745,7 +898,12 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 			writeErrorCode(w, http.StatusUnprocessableEntity, codeQueryError, "update: %v", err)
 		default:
 			// Conflict (409), budget (422), injected fault / contained panic
-			// (500), timeout (504) all classify like query errors.
+			// (500), WAL veto (500), timeout (504) all classify like query
+			// errors. A conflict that exhausted its retries tells the
+			// client when contention is worth re-probing.
+			if errors.Is(err, tlc.ErrUpdateConflict) {
+				w.Header().Set("Retry-After", "1")
+			}
 			status, code := classify(err)
 			writeErrorCode(w, status, code, "update: %v", err)
 		}
@@ -771,12 +929,43 @@ func (s *Server) handleDocuments(w http.ResponseWriter, r *http.Request) {
 	if docs == nil {
 		docs = []string{}
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"documents": docs})
+	writeJSON(w, http.StatusOK, map[string]any{
+		"documents": docs,
+		"versions":  s.db.DocumentVersions(),
+	})
 }
 
+// handleHealthz is liveness (also mounted at /livez): the process is up
+// and serving HTTP. It stays 200 during WAL replay and drain — restarting
+// a recovering node would only restart its recovery.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain")
 	fmt.Fprintln(w, "ok")
+}
+
+// handleReadyz is readiness: 200 only when the node should receive
+// traffic. During WAL replay it reports "recovering" with live progress;
+// during graceful shutdown it reports "draining".
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	state := "ok"
+	switch {
+	case s.recovering.Load():
+		state = "recovering"
+	case s.draining.Load():
+		state = "draining"
+	}
+	status := http.StatusOK
+	if state != "ok" {
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, map[string]any{
+		"ready": state == "ok",
+		"state": state,
+		"replay": map[string]int64{
+			"applied": s.recApplied.Load(),
+			"skipped": s.recSkipped.Load(),
+		},
+	})
 }
 
 // varz is the /varz metrics document.
@@ -824,6 +1013,16 @@ type varz struct {
 	// internal error.
 	Shed            int64 `json:"shed_total"`
 	SerialFallbacks int64 `json:"serial_fallbacks"`
+	// UpdateRetries counts /update commit-race retries absorbed by the
+	// handler's backoff loop.
+	UpdateRetries int64 `json:"update_retries"`
+	// Recovery reports the WAL-replay state: "recovering" while records
+	// re-apply at startup, then "ok" with the final totals.
+	Recovery map[string]any `json:"recovery,omitempty"`
+	// WAL reports the write-ahead log gauges when one is attached: records
+	// appended/synced, rotations, torn-tail repairs, live segments, and
+	// the recovery totals from attach time.
+	WAL map[string]any `json:"wal,omitempty"`
 	// Faults reports the armed fault-injection points (absent in
 	// production: injection is off unless TLC_FAULTS is set).
 	Faults map[string]faultinject.Counts `json:"faults,omitempty"`
@@ -895,6 +1094,35 @@ func (s *Server) handleVarz(w http.ResponseWriter, r *http.Request) {
 		Breakers:        make(map[string]string, len(s.breakers)),
 		Shed:            s.shed.Load(),
 		SerialFallbacks: s.serialFallbacks.Load(),
+		UpdateRetries:   s.updateRetries.Load(),
+	}
+	recState := "ok"
+	if s.recovering.Load() {
+		recState = "recovering"
+	} else if s.draining.Load() {
+		recState = "draining"
+	}
+	v.Recovery = map[string]any{
+		"state":       recState,
+		"applied":     s.recApplied.Load(),
+		"skipped":     s.recSkipped.Load(),
+		"duration_ms": time.Duration(s.recDurNs.Load()).Milliseconds(),
+	}
+	if ws, replay, ok := s.db.WALStats(); ok {
+		v.WAL = map[string]any{
+			"policy":           ws.Policy,
+			"appended":         ws.Appended,
+			"synced":           ws.Synced,
+			"rotations":        ws.Rotations,
+			"torn_repairs":     ws.TornRepairs,
+			"segments":         ws.Segments,
+			"segments_removed": ws.SegmentsRemoved,
+			"pending":          ws.Pending,
+			"last_seq":         ws.LastSeq,
+			"bytes":            ws.Bytes,
+			"replay_applied":   replay.Applied,
+			"replay_skipped":   replay.Skipped,
+		}
 	}
 	gens := s.db.ShardGenerations()
 	v.Shards = make([]shardVarz, len(gens))

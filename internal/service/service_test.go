@@ -234,8 +234,10 @@ func TestLoadAndDocumentsEndpoints(t *testing.T) {
 
 	// No documents yet.
 	_, body := getBody(t, ts.URL+"/documents")
-	docs := decode[map[string][]string](t, body)
-	if len(docs["documents"]) != 0 {
+	docs := decode[map[string]json.RawMessage](t, body)
+	var names []string
+	json.Unmarshal(docs["documents"], &names)
+	if len(names) != 0 {
 		t.Fatalf("fresh server has documents: %v", docs)
 	}
 
@@ -260,8 +262,15 @@ func TestLoadAndDocumentsEndpoints(t *testing.T) {
 	}
 
 	_, body = getBody(t, ts.URL+"/documents")
-	docs = decode[map[string][]string](t, body)
-	if len(docs["documents"]) != 2 {
+	docs = decode[map[string]json.RawMessage](t, body)
+	names = nil
+	json.Unmarshal(docs["documents"], &names)
+	var versions map[string]uint64
+	json.Unmarshal(docs["versions"], &versions)
+	if len(versions) != 2 {
+		t.Fatalf("versions = %v, want 2 entries", versions)
+	}
+	if len(names) != 2 {
 		t.Fatalf("documents = %v, want 2", docs)
 	}
 

@@ -50,6 +50,9 @@ var (
 	// ErrConcurrentMutation reports an operation that cannot run while
 	// writers are in flight (LoadSnapshot).
 	ErrConcurrentMutation = errors.New("store: concurrent mutation in flight")
+	// ErrDurability reports a commit vetoed because its write-ahead log
+	// record could not be persisted; the store is unchanged.
+	ErrDurability = errors.New("store: durable log write failed")
 	// ErrBadSplice reports a structurally invalid splice specification.
 	ErrBadSplice = errors.New("store: invalid splice")
 	// ErrSpliceContent reports a splice that would change the concatenated
@@ -486,6 +489,16 @@ func spliceStats(old, nd *Doc, d0, d1, m int32) (*docStats, int) {
 // mutations invalidate differently (per-shard vs per-document), and the
 // plan cache checks document versions for exactly this reason.
 func (s *Store) Commit(old, nd *Doc) error {
+	return s.CommitLogged(old, nd, nil)
+}
+
+// CommitLogged is Commit plus the write-ahead step: when a commit hook is
+// installed (SetCommitLog) and payload is non-nil, the hook runs after the
+// conflict check and before the directory swap, with the sequence number
+// this commit will publish. A hook failure aborts the commit with
+// ErrDurability and the store unchanged — an update is never visible to
+// readers unless its log record was accepted first.
+func (s *Store) CommitLogged(old, nd *Doc, payload []byte) error {
 	if s.pinned {
 		return fmt.Errorf("store: commit into a pinned (read-only) view")
 	}
@@ -497,6 +510,11 @@ func (s *Store) Commit(old, nd *Doc) error {
 	cur := s.dir.Load()
 	if int(old.id) >= len(cur.docs) || cur.docs[old.id] != old {
 		return fmt.Errorf("store: document %q: %w", old.name, ErrVersionConflict)
+	}
+	if fn := s.commitLog.Load(); fn != nil && payload != nil {
+		if err := (*fn)(s.updateGen.Load()+1, payload); err != nil {
+			return fmt.Errorf("%w: document %q: %w", ErrDurability, old.name, err)
+		}
 	}
 	next := &directory{
 		docs:   make([]*Doc, len(cur.docs)),

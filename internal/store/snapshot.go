@@ -285,6 +285,9 @@ type SnapshotInfo struct {
 	// ShardFiles is the number of shard files written (shards that held
 	// at least one document).
 	ShardFiles int
+	// UpdateGen is the update generation captured in the manifest — the
+	// watermark below which WAL records are covered by this snapshot.
+	UpdateGen uint64
 }
 
 // WriteSnapshot captures the current contents of the store into dir (one
@@ -302,6 +305,7 @@ func (s *Store) WriteSnapshot(dir string) (SnapshotInfo, error) {
 	s.loadMu.Lock()
 	d := s.dir.Load()
 	updateGen := s.updateGen.Load()
+	info.UpdateGen = updateGen
 	shardDocs := make([][]DocID, len(s.shards))
 	for i, sh := range s.shards {
 		shardDocs[i] = append([]DocID(nil), sh.docs...)

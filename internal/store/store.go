@@ -190,6 +190,44 @@ type Store struct {
 	// reclaimed by the garbage collector (their finalizer decrements it);
 	// VersionsLive adds it to the live document count.
 	superseded atomic.Int64
+	// commitLog, when set, is invoked inside CommitLogged — after the
+	// version-conflict check, before the directory swap — with the commit's
+	// sequence number (the update generation it will publish) and the
+	// logical operation payload. An error vetoes the commit: the write-ahead
+	// rule that makes every acknowledged update recoverable.
+	commitLog atomic.Pointer[CommitLogFunc]
+}
+
+// CommitLogFunc persists one logical update before its directory swap.
+// It runs under the store's commit lock, so calls arrive with strictly
+// increasing, contiguous sequence numbers.
+type CommitLogFunc func(seq uint64, payload []byte) error
+
+// SetCommitLog installs (or, with nil, removes) the durable commit hook.
+func (s *Store) SetCommitLog(fn CommitLogFunc) {
+	if fn == nil {
+		s.commitLog.Store(nil)
+		return
+	}
+	s.commitLog.Store(&fn)
+}
+
+// LogsCommits reports whether a commit hook is installed — callers use it
+// to skip serializing the logical operation when nothing will log it.
+func (s *Store) LogsCommits() bool { return s.commitLog.Load() != nil }
+
+// AdvanceUpdateGen raises the update generation to at least gen (a no-op
+// when it is already there). Recovery uses it to re-align the store with
+// a log that records a deliberate sequence gap — e.g. a snapshot loaded
+// at a generation past the log's tail — so each replayed record commits
+// at exactly its logged sequence number.
+func (s *Store) AdvanceUpdateGen(gen uint64) {
+	for {
+		cur := s.updateGen.Load()
+		if cur >= gen || s.updateGen.CompareAndSwap(cur, gen) {
+			return
+		}
+	}
 }
 
 // DefaultShards is the shard count New uses: one per available CPU, the

@@ -22,6 +22,7 @@ package tlc
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"io"
 	"sort"
@@ -34,6 +35,7 @@ import (
 	"tlc/internal/baselines/gtp"
 	"tlc/internal/baselines/nav"
 	"tlc/internal/baselines/tax"
+	"tlc/internal/faultinject"
 	"tlc/internal/governor"
 	"tlc/internal/mutate"
 	"tlc/internal/pattern"
@@ -42,6 +44,7 @@ import (
 	"tlc/internal/seq"
 	"tlc/internal/store"
 	"tlc/internal/translate"
+	"tlc/internal/wal"
 	"tlc/internal/xmark"
 	"tlc/internal/xquery"
 )
@@ -130,6 +133,11 @@ type Database struct {
 	// use the finer per-shard generations and per-document versions
 	// instead.
 	gen atomic.Uint64
+	// wal, when AttachWAL has run, is the durable write-ahead log every
+	// commit appends to before its directory swap; walReplay records what
+	// recovery did at attach time.
+	wal       *wal.Log
+	walReplay WALReplayStats
 }
 
 // OpenOption configures a database at Open time.
@@ -374,8 +382,28 @@ var (
 // so an interrupted snapshot leaves no readable-but-partial state).
 // Snapshot may run concurrently with queries; it captures the document
 // set current when it starts.
+//
+// With a WAL attached, Snapshot is the durable checkpoint protocol:
+// rotate the log (sealing everything up to now), write the snapshot, then
+// truncate the sealed segments the snapshot covers. A crash between any
+// two steps only leaves extra log to replay — never a gap.
 func (db *Database) Snapshot(dir string) (SnapshotInfo, error) {
-	return db.st.WriteSnapshot(dir)
+	if db.wal == nil {
+		return db.st.WriteSnapshot(dir)
+	}
+	if err := db.wal.Rotate(); err != nil {
+		return SnapshotInfo{Dir: dir}, fmt.Errorf("tlc: snapshot checkpoint: %w", err)
+	}
+	info, err := db.st.WriteSnapshot(dir)
+	if err != nil {
+		return info, err
+	}
+	if _, err := db.wal.TruncateThrough(info.UpdateGen); err != nil {
+		// The snapshot itself is complete and valid; the stale sealed
+		// segments merely survive until the next checkpoint removes them.
+		return info, nil
+	}
+	return info, nil
 }
 
 // LoadSnapshot loads every document of the snapshot in dir into the
@@ -391,6 +419,15 @@ func (db *Database) LoadSnapshot(dir string) error {
 	err := db.st.LoadSnapshot(dir)
 	if err == nil {
 		db.gen.Add(1)
+		if db.wal != nil {
+			// The load may have jumped the update generation past the
+			// log's tail (the snapshot was written by a store with more
+			// committed updates). Seal the gap so the next commit appends
+			// at the new generation in a fresh segment.
+			if g := db.st.UpdateGeneration(); g > db.wal.LastSeq() {
+				db.wal.RotateTo(g)
+			}
+		}
 	}
 	return err
 }
@@ -421,11 +458,187 @@ func OpenSnapshot(dir string) (*Database, error) {
 	return db, nil
 }
 
-// Close releases resources held by the database — today, the snapshot
-// file mappings. After Close, results and documents backed by a snapshot
-// must no longer be accessed. Databases that never loaded a snapshot need
-// not be closed.
-func (db *Database) Close() error { return db.st.Close() }
+// Close releases resources held by the database: the write-ahead log (any
+// pending group-commit batch is fsynced first) and the snapshot file
+// mappings. After Close, results and documents backed by a snapshot must
+// no longer be accessed; commits against a closed WAL fail rather than
+// going unlogged. Databases that never loaded a snapshot and never
+// attached a WAL need not be closed.
+func (db *Database) Close() error {
+	var firstErr error
+	if db.wal != nil {
+		// The commit hook stays installed: a commit racing Close fails
+		// with ErrClosed instead of silently skipping durability.
+		firstErr = db.wal.Close()
+	}
+	if err := db.st.Close(); err != nil && firstErr == nil {
+		firstErr = err
+	}
+	return firstErr
+}
+
+// WAL attachment and recovery.
+
+// Typed durability errors.
+var (
+	// ErrWALCorrupt reports mid-log corruption found while opening or
+	// replaying the write-ahead log: damage the torn-tail rule cannot
+	// repair (a bad record with valid data after it, or any damage in a
+	// sealed segment). Recovery refuses to continue past it — silently
+	// skipping a record would replay a divergent history.
+	ErrWALCorrupt = wal.ErrCorrupt
+	// ErrWALReplay reports a WAL record that re-applied with a different
+	// outcome than its original commit (or failed to apply at all) —
+	// version skew or a non-deterministic update path, not file damage.
+	ErrWALReplay = errors.New("tlc: wal replay failed")
+	// ErrDurability reports a commit vetoed because its WAL record could
+	// not be persisted; the store is unchanged and the client must treat
+	// the update as not applied.
+	ErrDurability = store.ErrDurability
+)
+
+// walReplayError carries both the ErrWALReplay marker and the underlying
+// cause through errors.Is/As.
+type walReplayError struct{ cause error }
+
+func (e *walReplayError) Error() string {
+	return fmt.Sprintf("%v: %v", ErrWALReplay, e.cause)
+}
+func (e *walReplayError) Unwrap() []error { return []error{ErrWALReplay, e.cause} }
+
+// WALOptions configures AttachWAL.
+type WALOptions struct {
+	// Dir is the log directory (created if missing).
+	Dir string
+	// Fsync selects the durability policy: "always" (default — fsync
+	// inside every commit), "batch" (group commit), or "off".
+	Fsync string
+	// BatchRecords and BatchDelay tune group commit ("batch" only):
+	// a pending batch is fsynced when it reaches BatchRecords appends
+	// (default 32) or BatchDelay after its first (default 2ms).
+	BatchRecords int
+	BatchDelay   time.Duration
+	// OnProgress, when set, is called after each replayed record with the
+	// running applied/skipped counts — the hook the service uses to expose
+	// recovery progress while /readyz reports "recovering".
+	OnProgress func(applied, skipped int)
+}
+
+// WALReplayStats summarizes what AttachWAL's recovery pass did.
+type WALReplayStats struct {
+	// Applied is the number of records re-applied through the ordinary
+	// update path; Skipped is the number at or below the store's update
+	// generation (already covered by the snapshot that was opened).
+	Applied, Skipped int
+	// TornRepairs counts torn tails truncated while opening the log.
+	TornRepairs int64
+	// LastSeq is the log's newest sequence number after recovery.
+	LastSeq uint64
+	// Duration is the wall-clock recovery time.
+	Duration time.Duration
+}
+
+// AttachWAL opens (creating if needed) the write-ahead log in o.Dir,
+// replays every record newer than the database's update generation —
+// for a snapshot-opened database, the SnapshotUpdateGen watermark — and
+// installs the log as the store's commit hook: from then on every update
+// is appended and (per the fsync policy) synced before its directory swap
+// publishes it. Replay goes through the same resolve/splice/commit path
+// as live traffic; each replayed record must land at exactly its logged
+// sequence number, so recovery reproduces the pre-crash store
+// byte-for-byte. A torn tail is repaired by truncation (counted in the
+// returned stats); mid-log corruption aborts with ErrWALCorrupt and
+// nothing is installed.
+func (db *Database) AttachWAL(o WALOptions) (WALReplayStats, error) {
+	var stats WALReplayStats
+	if db.wal != nil {
+		return stats, fmt.Errorf("tlc: a WAL is already attached")
+	}
+	if o.Dir == "" {
+		return stats, fmt.Errorf("tlc: AttachWAL needs a directory")
+	}
+	policy, err := wal.ParsePolicy(o.Fsync)
+	if err != nil {
+		return stats, err
+	}
+	lg, err := wal.Open(o.Dir, wal.Options{Policy: policy, BatchRecords: o.BatchRecords, BatchDelay: o.BatchDelay})
+	if err != nil {
+		return stats, err
+	}
+	start := time.Now()
+	watermark := db.st.UpdateGeneration()
+	nApplied, nSkipped := 0, 0
+	_, nSkipped, err = lg.Replay(watermark, func(rec wal.Record) error {
+		if err := faultinject.Hit(faultinject.PointRecoverReplay); err != nil {
+			return err
+		}
+		req, err := mutate.DecodeRequest(rec.Payload)
+		if err != nil {
+			return err
+		}
+		// A checkpoint loaded mid-log can leave a deliberate gap between
+		// the store's generation and the next record; re-align so the
+		// replayed commit lands at exactly its logged sequence number.
+		if g := db.st.UpdateGeneration(); g+1 < rec.Seq {
+			db.st.AdvanceUpdateGen(rec.Seq - 1)
+		}
+		if _, err := mutate.Apply(context.Background(), db.st, req); err != nil {
+			return err
+		}
+		if got := db.st.UpdateGeneration(); got != rec.Seq {
+			return fmt.Errorf("replayed record %d committed at generation %d", rec.Seq, got)
+		}
+		db.gen.Add(1)
+		nApplied++
+		if o.OnProgress != nil {
+			o.OnProgress(nApplied, nSkipped)
+		}
+		return nil
+	})
+	stats.Applied, stats.Skipped = nApplied, nSkipped
+	if err != nil {
+		lg.Close()
+		if errors.Is(err, ErrWALCorrupt) {
+			return stats, err
+		}
+		return stats, &walReplayError{cause: err}
+	}
+	// If the store is ahead of the log (snapshot newer than every record),
+	// seal the gap so the next commit appends contiguously.
+	if g := db.st.UpdateGeneration(); g > lg.LastSeq() {
+		if err := lg.RotateTo(g); err != nil {
+			lg.Close()
+			return stats, err
+		}
+	}
+	stats.TornRepairs = lg.Stats().TornRepairs
+	stats.LastSeq = lg.LastSeq()
+	stats.Duration = time.Since(start)
+	db.wal = lg
+	db.walReplay = stats
+	db.st.SetCommitLog(func(seq uint64, payload []byte) error {
+		return lg.Append(seq, payload)
+	})
+	return stats, nil
+}
+
+// WALStats returns the attached log's counters plus the recovery stats
+// from attach time; ok is false when no WAL is attached.
+func (db *Database) WALStats() (s wal.Stats, replay WALReplayStats, ok bool) {
+	if db.wal == nil {
+		return s, replay, false
+	}
+	return db.wal.Stats(), db.walReplay, true
+}
+
+// SyncWAL forces any pending group-commit batch to durable storage (a
+// no-op without an attached WAL or with nothing pending).
+func (db *Database) SyncWAL() error {
+	if db.wal == nil {
+		return nil
+	}
+	return db.wal.Sync()
+}
 
 // MappedBytes returns the total size of the snapshot file mappings the
 // database currently holds.
